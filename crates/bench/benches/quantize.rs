@@ -1,0 +1,41 @@
+//! Cost and quality of the Ryzen 3-P-state selection (§5 "Ryzen
+//! details"): the exact DP clustering vs the naive evenly-spaced
+//! snapping, across core counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pap_simcpu::freq::{FreqGrid, KiloHertz};
+use powerd::quantize::{cluster_to_slots, greedy_cluster, ClusterStrategy};
+
+fn grid() -> FreqGrid {
+    FreqGrid::new(
+        KiloHertz::from_mhz(400),
+        KiloHertz::from_mhz(3800),
+        KiloHertz::from_mhz(25),
+    )
+}
+
+fn targets(n: usize) -> Vec<KiloHertz> {
+    // deterministic spread resembling a share allocation
+    (0..n)
+        .map(|i| KiloHertz::from_mhz(800 + ((i * 2657) % 2600) as u64))
+        .collect()
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let g = grid();
+    let mut group = c.benchmark_group("three_pstate_selection");
+    for n in [8usize, 16, 32, 64] {
+        let t = targets(n);
+        group.bench_with_input(BenchmarkId::new("dp_optimal", n), &t, |b, t| {
+            b.iter(|| cluster_to_slots(t, 3, &g, ClusterStrategy::Mean))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &t, |b, t| {
+            b.iter(|| greedy_cluster(t, 3, &g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Simulator throughput: chip ticks per second with all cores loaded.
+//!
+//! Experiment wall-clock cost is dominated by `Chip::tick`; this bench
+//! keeps the sweep binaries honest about how much simulated time a run
+//! can afford.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use pap_simcpu::chip::Chip;
+use pap_simcpu::freq::KiloHertz;
+use pap_simcpu::platform::PlatformSpec;
+use pap_simcpu::power::LoadDescriptor;
+use pap_simcpu::units::{Seconds, Watts};
+use pap_workloads::engine::RunningApp;
+use pap_workloads::spec;
+
+fn loaded_chip(platform: PlatformSpec, rapl: bool) -> Chip {
+    let mut chip = Chip::new(platform);
+    for c in 0..chip.num_cores() {
+        let f = chip.spec().base_freq;
+        chip.set_requested_freq(c, f).unwrap();
+        chip.set_load(
+            c,
+            LoadDescriptor {
+                capacitance: 1.4,
+                utilization: 1.0,
+                avx: c % 2 == 0,
+            },
+        )
+        .unwrap();
+    }
+    if rapl {
+        chip.set_rapl_limit(Some(Watts(50.0))).unwrap();
+    }
+    chip
+}
+
+fn bench_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chip_tick");
+    g.throughput(Throughput::Elements(1));
+    for (name, rapl) in [("skylake_free", false), ("skylake_rapl", true)] {
+        let mut chip = loaded_chip(PlatformSpec::skylake(), rapl);
+        g.bench_function(name, |b| b.iter(|| chip.tick(Seconds(0.001))));
+    }
+    let mut chip = loaded_chip(PlatformSpec::ryzen(), false);
+    g.bench_function("ryzen_free", |b| b.iter(|| chip.tick(Seconds(0.001))));
+    g.finish();
+}
+
+fn bench_workload_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_advance");
+    let mut app = RunningApp::looping(spec::GCC);
+    let f = KiloHertz::from_mhz(2200);
+    g.bench_function("gcc_1ms", |b| b.iter(|| app.advance(Seconds(0.001), f)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_tick, bench_workload_step);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Ablation: the paper's naïve α translation model vs damping levels.
+//!
+//! The α model converts watts of error into frequency linearly against
+//! `MaxPower`/`MaxFrequency` (§5.2); it overestimates corrections far from
+//! the target. We sweep the damping factor applied to the correction and
+//! measure settling time (control intervals until package power stays
+//! within ±1.5 W of the limit) and steady-state behavior.
+
+use pap_bench::{f1, f3, par_map, Table};
+use pap_simcpu::platform::PlatformSpec;
+use pap_simcpu::units::{Seconds, Watts};
+use pap_telemetry::stats;
+use pap_workloads::spec;
+use powerd::config::{ControllerTuning, PolicyKind, Priority};
+use powerd::runner::Experiment;
+
+fn main() {
+    let dampings = [0.2, 0.4, 0.6, 0.8, 1.0];
+    let results = par_map(dampings.to_vec(), |damping| {
+        let tuning = ControllerTuning {
+            damping,
+            ..ControllerTuning::default()
+        };
+        let mut e = Experiment::new(
+            PlatformSpec::skylake(),
+            PolicyKind::FrequencyShares,
+            Watts(45.0),
+        )
+        .tuning(tuning)
+        .duration(Seconds(60.0))
+        .warmup(0); // keep the transient in the trace
+        for i in 0..5 {
+            e = e.app(format!("cactus-{i}"), spec::CACTUS_BSSN, Priority::High, 70);
+            e = e.app(format!("leela-{i}"), spec::LEELA, Priority::High, 30);
+        }
+        (damping, e.run().expect("experiment runs"))
+    });
+
+    let mut t = Table::new(
+        "Ablation: α-model damping (frequency shares, 45 W, 10 apps on Skylake)",
+        &[
+            "damping",
+            "settle_intervals",
+            "steady_mean_w",
+            "steady_std_w",
+        ],
+    );
+    for (damping, r) in &results {
+        let powers: Vec<f64> = r
+            .trace
+            .samples()
+            .iter()
+            .map(|s| s.package_power.value())
+            .collect();
+        // settled = first index after which all samples stay within ±1.5 W
+        let mut settle = powers.len();
+        for i in 0..powers.len() {
+            if powers[i..].iter().all(|p| (p - 45.0).abs() < 1.5) {
+                settle = i;
+                break;
+            }
+        }
+        let steady = &powers[powers.len().min(settle)..];
+        let steady = if steady.is_empty() {
+            &powers[powers.len() - 10..]
+        } else {
+            steady
+        };
+        t.row(vec![
+            f3(*damping),
+            format!("{settle}"),
+            f1(stats::mean(steady)),
+            f3(stats::std_dev(steady)),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Expected: low damping settles slowly but smoothly; raw α (1.0) \
+         converges fastest but with the largest steady-state jitter. The \
+         default 0.6 trades a few intervals of settling for stability — \
+         consistent with the paper's note that the model's error shrinks \
+         near the target."
+    );
+}

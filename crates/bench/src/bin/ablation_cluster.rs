@@ -1,0 +1,92 @@
+//! Ablation: Ryzen 3-P-state slot selection — exact DP clustering (mean
+//! and floor variants) vs naive evenly-spaced levels, measured through a
+//! full frequency-shares run with eight distinct share levels.
+
+use pap_bench::{f1, f3, par_map, Table};
+use pap_simcpu::platform::PlatformSpec;
+use pap_simcpu::units::{Seconds, Watts};
+use pap_workloads::spec;
+use powerd::config::{ControllerTuning, PolicyKind, Priority};
+use powerd::quantize::SlotSelector;
+use powerd::runner::Experiment;
+
+fn main() {
+    let selectors = [
+        ("dp_mean", SlotSelector::DpMean),
+        ("dp_floor", SlotSelector::DpFloor),
+        ("greedy", SlotSelector::Greedy),
+    ];
+    let results = par_map(selectors.to_vec(), |(name, selector)| {
+        let tuning = ControllerTuning {
+            slot_selector: selector,
+            ..ControllerTuning::default()
+        };
+        let mut e = Experiment::new(
+            PlatformSpec::ryzen(),
+            PolicyKind::FrequencyShares,
+            Watts(42.0),
+        )
+        .tuning(tuning)
+        .duration(Seconds(60.0))
+        .warmup(15);
+        for i in 0..8 {
+            let profile = if i % 2 == 0 {
+                spec::LEELA
+            } else {
+                spec::CACTUS_BSSN
+            };
+            e = e.app(
+                format!("app-{i}"),
+                profile,
+                Priority::High,
+                10 + 12 * i as u32,
+            );
+        }
+        (name, e.run().expect("experiment runs"))
+    });
+
+    let mut t = Table::new(
+        "Ablation: Ryzen shared-slot selector (frequency shares, 42 W, shares 10..94)",
+        &[
+            "selector",
+            "pkg_w",
+            "share_rank_violations",
+            "mean_abs_share_err_%",
+        ],
+    );
+    for (name, r) in &results {
+        // Rank violations: pairs where a higher-share app runs slower.
+        let mut violations = 0;
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                // shares rise with index
+                if r.apps[j].mean_freq_mhz + 1.0 < r.apps[i].mean_freq_mhz {
+                    violations += 1;
+                }
+            }
+        }
+        // Deviation of each app's frequency fraction from its share fraction.
+        let total_share: f64 = (0..8).map(|i| (10 + 12 * i) as f64).sum();
+        let total_mhz: f64 = r.apps.iter().map(|a| a.mean_freq_mhz).sum();
+        let err: f64 = (0..8)
+            .map(|i| {
+                let want = (10 + 12 * i) as f64 / total_share;
+                let got = r.apps[i].mean_freq_mhz / total_mhz;
+                (want - got).abs() * 100.0
+            })
+            .sum::<f64>()
+            / 8.0;
+        t.row(vec![
+            name.to_string(),
+            f1(r.mean_package_power.value()),
+            format!("{violations}"),
+            f3(err),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Expected: DP selectors respect share ordering with smaller deviation \
+         from the configured fractions; the naive evenly-spaced selector wastes \
+         the three levels when allocations cluster, producing larger errors."
+    );
+}

@@ -1,0 +1,103 @@
+//! Ablation: saturation-aware allocation (§4.4 / §5.2 "identifying
+//! saturation").
+//!
+//! An AVX-capped application cannot use frequency above its license
+//! limit. With the water-fill redistribution the *steady state* is the
+//! same either way — the power feedback loop neutralizes phantom
+//! allocations — but saturation awareness changes how fast the loop
+//! converges and how the allocation is *accounted*: without it, the
+//! capped app's programmed target rides far above what it can execute,
+//! and under the paper's literal incremental scheme that phantom headroom
+//! is what lets allocations drift (see `ablation_minfund`). We measure
+//! settling time and the requested-vs-achieved gap.
+
+use pap_bench::{f1, par_map, Table};
+use pap_simcpu::platform::PlatformSpec;
+use pap_simcpu::units::{Seconds, Watts};
+use pap_workloads::spec;
+use powerd::config::{PolicyKind, Priority};
+use powerd::runner::Experiment;
+
+fn main() {
+    let results = par_map(vec![true, false], |aware| {
+        let mut e = Experiment::new(
+            PlatformSpec::skylake(),
+            PolicyKind::FrequencyShares,
+            Watts(60.0),
+        )
+        .saturation_aware(aware)
+        .duration(Seconds(60.0))
+        .warmup(0); // keep the transient for settling analysis
+        for i in 0..5 {
+            e = e.app(format!("cam4-{i}"), spec::CAM4, Priority::High, 50);
+            e = e.app(
+                format!("exchange2-{i}"),
+                spec::EXCHANGE2,
+                Priority::High,
+                50,
+            );
+        }
+        (aware, e.run().expect("experiment runs"))
+    });
+
+    let mut t = Table::new(
+        "Ablation: saturation-aware claims (5x cam4 AVX + 5x exchange2, equal shares, 60 W)",
+        &[
+            "saturation_aware",
+            "settle_intervals",
+            "cam4_req_mhz",
+            "cam4_run_mhz",
+            "phantom_mhz",
+            "exchange2_mhz",
+            "pkg_w",
+        ],
+    );
+    for (aware, r) in &results {
+        let powers: Vec<f64> = r
+            .trace
+            .samples()
+            .iter()
+            .map(|s| s.package_power.value())
+            .collect();
+        let mut settle = powers.len();
+        for i in 0..powers.len() {
+            if powers[i..].iter().all(|p| (p - 60.0).abs() < 2.0) {
+                settle = i;
+                break;
+            }
+        }
+        // Requested vs achieved for the AVX-capped cores (mean over the
+        // last 10 samples).
+        let tail = &r.trace.samples()[r.trace.len().saturating_sub(10)..];
+        let mean_req: f64 = tail
+            .iter()
+            .map(|s| {
+                (0..5)
+                    .map(|i| s.cores[2 * i].requested_freq.mhz() as f64)
+                    .sum::<f64>()
+                    / 5.0
+            })
+            .sum::<f64>()
+            / tail.len() as f64;
+        let cam_run: f64 = (0..5).map(|i| r.apps[2 * i].mean_freq_mhz).sum::<f64>() / 5.0;
+        let exch: f64 = (0..5).map(|i| r.apps[2 * i + 1].mean_freq_mhz).sum::<f64>() / 5.0;
+        t.row(vec![
+            if *aware { "on" } else { "off" }.into(),
+            format!("{settle}"),
+            f1(mean_req),
+            f1(cam_run),
+            f1(mean_req - cam_run),
+            f1(exch),
+            f1(r.mean_package_power.value()),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Expected: the steady state matches (water-fill + power feedback \
+         neutralize phantom grants), but with awareness ON the programmed \
+         target for cam4 tracks its ~1.7 GHz license cap (phantom ≈ one grid \
+         step) instead of riding hundreds of MHz above it — the accounting \
+         honesty that §4.4 asks for, and the property the incremental \
+         redistribution scheme depends on (see ablation_minfund)."
+    );
+}

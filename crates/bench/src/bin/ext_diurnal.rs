@@ -1,0 +1,199 @@
+//! Extension: diurnal colocation — the datacenter scenario the paper's
+//! introduction motivates.
+//!
+//! A latency-critical service with a (compressed) diurnal load curve
+//! shares the socket with low-priority batch work under one power limit.
+//! Under the priority policy the batch class soaks up the budget at
+//! night and is throttled/starved back at peak, keeping the service's
+//! tail flat across the day; native RAPL lets the batch work inflate the
+//! peak-hour tail.
+
+use pap_bench::{f1, Table};
+use pap_simcpu::chip::Chip;
+use pap_simcpu::freq::KiloHertz;
+use pap_simcpu::platform::PlatformSpec;
+use pap_simcpu::units::{Seconds, Watts};
+use pap_telemetry::sampler::Sampler;
+use pap_workloads::engine::RunningApp;
+use pap_workloads::latency::ServiceConfig;
+use pap_workloads::spec;
+use pap_workloads::traces::{LoadTrace, TracedService};
+use powerd::config::{AppSpec, DaemonConfig, PolicyKind, Priority};
+use powerd::daemon::Daemon;
+
+const SERVICE_CORES: usize = 5;
+const DAY: f64 = 120.0; // compressed day length in simulated seconds
+
+struct PhaseStats {
+    p90_ms: f64,
+    batch_ips: f64,
+    pkg_w: f64,
+}
+
+fn run(policy: PolicyKind, limit: f64) -> (PhaseStats, PhaseStats) {
+    let platform = PlatformSpec::skylake();
+    let mut chip = Chip::new(platform.clone());
+    if policy == PolicyKind::RaplNative {
+        chip.set_rapl_limit(Some(Watts(limit))).unwrap();
+    }
+
+    let service_cfg = ServiceConfig {
+        users: 200,
+        mean_think: Seconds(0.5),
+        mean_service_cycles: 20.0e6,
+        capacitance: 0.55,
+        seed: 77,
+    };
+    // Peak at the first half of the day, trough in the second.
+    let trace = LoadTrace::Diurnal {
+        mean: 0.6,
+        swing: 0.4,
+        period: Seconds(DAY),
+    };
+    let mut service = TracedService::new(service_cfg, SERVICE_CORES, trace);
+    let mut batch: Vec<RunningApp> = (SERVICE_CORES..10)
+        .map(|_| RunningApp::looping(spec::CACTUS_BSSN))
+        .collect();
+
+    let mut apps: Vec<AppSpec> = (0..SERVICE_CORES)
+        .map(|c| {
+            AppSpec::new(format!("web/{c}"), c)
+                .with_priority(Priority::High)
+                .with_shares(90)
+                .with_baseline_ips(3.0e9)
+        })
+        .collect();
+    for c in SERVICE_CORES..10 {
+        apps.push(
+            AppSpec::new(format!("batch/{c}"), c)
+                .with_priority(Priority::Low)
+                .with_shares(10)
+                .with_baseline_ips(3.0e9),
+        );
+    }
+    let config = DaemonConfig::new(policy, Watts(limit), apps);
+    let mut daemon = Daemon::new(config, &platform).unwrap();
+    let action = daemon.initial();
+    chip.set_all_requested(&action.freqs).unwrap();
+    let mut parked = action.parked.clone();
+    for (core, &p) in parked.iter().enumerate() {
+        chip.set_forced_idle(core, p).unwrap();
+    }
+
+    let mut sampler = Sampler::new(&chip);
+    let dt = Seconds(0.001);
+    let mut t = 0.0;
+    let mut next_control = 1.0;
+
+    // accumulate per half-day (peak = sin>0 half, trough = sin<0 half)
+    let mut acc = [
+        (Vec::<f64>::new(), 0u64, 0.0f64, 0u64), // (latencies proxy, batch instr, pkg-J, ticks)
+        (Vec::<f64>::new(), 0u64, 0.0f64, 0u64),
+    ];
+    let warmup = DAY; // one full day of warm-up
+    let total = warmup + 2.0 * DAY;
+    let mut p90_marks: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+
+    while t < total {
+        let freqs: Vec<KiloHertz> = (0..SERVICE_CORES)
+            .map(|c| {
+                if parked[c] {
+                    KiloHertz(1)
+                } else {
+                    chip.effective_freq(c)
+                }
+            })
+            .collect();
+        let loads = service.advance(dt, &freqs);
+        for (c, load) in loads.into_iter().enumerate() {
+            if parked[c] {
+                continue;
+            }
+            let instr = (load.utilization * freqs[c].hz() * dt.value()) as u64;
+            chip.set_load(c, load).unwrap();
+            chip.add_instructions(c, instr).unwrap();
+        }
+        let phase_idx = if ((t % DAY) / DAY) < 0.5 { 0 } else { 1 }; // 0 = peak half, 1 = trough half
+        for (i, app) in batch.iter_mut().enumerate() {
+            let core = SERVICE_CORES + i;
+            if parked[core] {
+                continue;
+            }
+            let f = chip.effective_freq(core);
+            let out = app.advance(dt, f);
+            chip.set_load(core, out.load).unwrap();
+            chip.add_instructions(core, out.instructions).unwrap();
+            if t >= warmup {
+                acc[phase_idx].1 += out.instructions;
+            }
+        }
+        chip.tick(dt);
+        if t >= warmup {
+            acc[phase_idx].2 += chip.package_power().value() * dt.value();
+            acc[phase_idx].3 += 1;
+        }
+        t += dt.value();
+
+        if t + 1e-9 >= next_control {
+            next_control += 1.0;
+            if let Some(sample) = sampler.sample(&chip) {
+                let action = daemon.step(&sample);
+                chip.set_all_requested(&action.freqs).unwrap();
+                for (core, &p) in action.parked.iter().enumerate() {
+                    chip.set_forced_idle(core, p).unwrap();
+                }
+                parked = action.parked.clone();
+            }
+            // sample the service tail once per second into the phase
+            // bucket, then restart the window
+            if t >= warmup {
+                if service.service().completed() > 30 {
+                    p90_marks[phase_idx].push(service.service().p90_ms());
+                }
+                service.service_mut().reset_stats();
+            } else if t >= warmup - 1.5 {
+                // clear warm-up latencies just before measurement starts
+                service.service_mut().reset_stats();
+            }
+        }
+    }
+
+    let stats = |i: usize| -> PhaseStats {
+        let (_, instr, joules, ticks) = &acc[i];
+        let secs = *ticks as f64 * dt.value();
+        PhaseStats {
+            p90_ms: pap_telemetry::stats::percentile(&p90_marks[i], 50.0),
+            batch_ips: *instr as f64 / secs,
+            pkg_w: joules / secs,
+        }
+    };
+    (stats(0), stats(1))
+}
+
+fn main() {
+    let mut t = Table::new(
+        "Extension: diurnal service + low-priority batch under a 45 W limit (compressed day)",
+        &["policy", "phase", "service_p90_ms", "batch_gips", "pkg_w"],
+    );
+    for policy in [PolicyKind::Priority, PolicyKind::RaplNative] {
+        let (peak, trough) = run(policy, 45.0);
+        for (label, s) in [("peak", &peak), ("trough", &trough)] {
+            t.row(vec![
+                policy.name().into(),
+                label.into(),
+                f1(s.p90_ms),
+                f1(s.batch_ips / 1e9),
+                f1(s.pkg_w),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!(
+        "Expected: under the priority policy the batch class gets most of its \
+         throughput in the trough and is pushed back at peak, holding the \
+         service p90 nearly flat across the day; under RAPL the batch work \
+         competes at peak and the peak-hour tail inflates. The budget stays \
+         fully used around the clock either way — the utilization argument \
+         for colocating batch work at all."
+    );
+}

@@ -1,0 +1,96 @@
+//! Extension: OS frequency governors (§2.2) on a bursty service core.
+//!
+//! A single-core closed-loop service (think one shard of websearch) runs
+//! under each cpufreq governor. Utilization-driven governors trade tail
+//! latency against power exactly as the kernel documentation promises:
+//! `performance` burns the most power for the best tail, `powersave`
+//! saturates the queue, `ondemand` races to max under load, and
+//! `conservative` lags bursts.
+
+use pap_bench::{f1, Table};
+use pap_simcpu::chip::Chip;
+use pap_simcpu::platform::PlatformSpec;
+use pap_simcpu::units::Seconds;
+use pap_telemetry::sampler::Sampler;
+use pap_workloads::latency::{ClosedLoopService, ServiceConfig};
+use powerd::governor::Governor;
+
+fn run(gov: Governor) -> (f64, f64, f64) {
+    let platform = PlatformSpec::skylake();
+    let mut chip = Chip::new(platform);
+    let cfg = ServiceConfig {
+        users: 40,
+        mean_think: Seconds(0.4),
+        mean_service_cycles: 18.0e6,
+        capacitance: 0.8,
+        seed: 42,
+    };
+    let mut svc = ClosedLoopService::new(cfg, 1);
+    let grid = chip.spec().grid;
+    let mut freq = match gov {
+        Governor::Powersave => grid.min(),
+        _ => grid.max(),
+    };
+    chip.set_requested_freq(0, freq).unwrap();
+
+    let mut sampler = Sampler::new(&chip);
+    let dt = Seconds(0.001);
+    let mut power_acc = 0.0;
+    let mut samples = 0.0;
+    let mut t = 0.0;
+    let mut next_eval = 0.1; // kernel governors evaluate every ~100 ms
+    let warmup = 10.0;
+    let mut stats_reset = false;
+
+    while t < 70.0 {
+        let f = chip.effective_freq(0);
+        let loads = svc.advance(dt, &[f]);
+        chip.set_load(0, loads[0]).unwrap();
+        chip.tick(dt);
+        t += dt.value();
+
+        if !stats_reset && t >= warmup {
+            svc.reset_stats();
+            stats_reset = true;
+        }
+        if t + 1e-9 >= next_eval {
+            next_eval += 0.1;
+            if let Some(s) = sampler.sample(&chip) {
+                let util = s.cores[0].rates.c0_residency;
+                freq = gov.next_freq(&grid, freq, util);
+                chip.set_requested_freq(0, freq).unwrap();
+                if stats_reset {
+                    power_acc += s.package_power.value();
+                    samples += 1.0;
+                }
+            }
+        }
+    }
+    (svc.p90_ms(), power_acc / samples, svc.throughput())
+}
+
+fn main() {
+    let governors = [
+        ("performance", Governor::Performance),
+        ("ondemand", Governor::ondemand()),
+        ("conservative", Governor::conservative()),
+        ("powersave", Governor::Powersave),
+    ];
+    let mut t = Table::new(
+        "Extension: cpufreq governors on a bursty single-core service (40 users)",
+        &["governor", "p90_ms", "pkg_w", "throughput_rps"],
+    );
+    for (name, gov) in governors {
+        let (p90, pkg, x) = run(gov);
+        t.row(vec![name.into(), f1(p90), f1(pkg), f1(x)]);
+    }
+    println!("{t}");
+    println!(
+        "Expected ordering: performance gives the best p90 at the highest \
+         power; ondemand tracks it closely for less power; conservative lags \
+         bursts (worse tail, similar power); powersave collapses the tail \
+         once the 800 MHz core saturates. These governors act per-core on \
+         local utilization — none can express cross-application shares, which \
+         is the gap the paper's policies fill."
+    );
+}

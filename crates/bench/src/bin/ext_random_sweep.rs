@@ -1,0 +1,118 @@
+//! Extension: generalization sweep over many random mixes (§6.3 taken
+//! further).
+//!
+//! The paper reports two hand-drawn random sets; here we draw 20 seeded
+//! 5-app mixes, run each under frequency and performance shares at
+//! 40/50 W, and measure how faithfully shares translate into delivered
+//! frequency: Spearman rank correlation between configured shares and
+//! measured frequency, and the mean absolute deviation from the
+//! share-proportional frequency fraction.
+
+use pap_bench::{f3, par_map, Table};
+use pap_simcpu::platform::PlatformSpec;
+use pap_simcpu::units::{Seconds, Watts};
+use pap_telemetry::stats;
+use pap_workloads::generator::random_set;
+use powerd::config::{PolicyKind, Priority};
+use powerd::runner::Experiment;
+
+const SHARES: [u32; 5] = [20, 40, 60, 80, 100];
+
+/// Spearman rank correlation for distinct-rank inputs.
+fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    let rank = |v: &[f64]| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).expect("finite"));
+        let mut r = vec![0.0; v.len()];
+        for (pos, &i) in idx.iter().enumerate() {
+            r[i] = pos as f64;
+        }
+        r
+    };
+    let rx = rank(xs);
+    let ry = rank(ys);
+    let n = xs.len() as f64;
+    let d2: f64 = rx.iter().zip(&ry).map(|(a, b)| (a - b) * (a - b)).sum();
+    1.0 - 6.0 * d2 / (n * (n * n - 1.0))
+}
+
+fn main() {
+    let seeds: Vec<u64> = (1..=20).collect();
+    let mut jobs = Vec::new();
+    for policy in [PolicyKind::FrequencyShares, PolicyKind::PerformanceShares] {
+        for limit in [40.0, 50.0] {
+            for &seed in &seeds {
+                jobs.push((policy, limit, seed));
+            }
+        }
+    }
+    let results = par_map(jobs, |(policy, limit, seed)| {
+        let set = random_set(seed, 5);
+        let mut e = Experiment::new(PlatformSpec::skylake(), policy, Watts(limit))
+            .duration(Seconds(45.0))
+            .warmup(12);
+        for (i, profile) in set.iter().enumerate() {
+            for copy in 0..2 {
+                e = e.app(
+                    format!("{}-{copy}", profile.name),
+                    *profile,
+                    Priority::High,
+                    SHARES[i],
+                );
+            }
+        }
+        let r = e.run().expect("experiment runs");
+        // Per share level: mean frequency of its two copies.
+        let freqs: Vec<f64> = (0..5)
+            .map(|i| (r.apps[2 * i].mean_freq_mhz + r.apps[2 * i + 1].mean_freq_mhz) / 2.0)
+            .collect();
+        let shares: Vec<f64> = SHARES.iter().map(|&s| s as f64).collect();
+        let rho = spearman(&shares, &freqs);
+        let total_f: f64 = freqs.iter().sum();
+        let total_s: f64 = shares.iter().sum();
+        let mad: f64 = freqs
+            .iter()
+            .zip(&shares)
+            .map(|(f, s)| (f / total_f - s / total_s).abs() * 100.0)
+            .sum::<f64>()
+            / 5.0;
+        (policy, limit, rho, mad)
+    });
+
+    let mut t = Table::new(
+        "Extension: 20 random 5-app mixes, share fidelity (Skylake, 2 copies each)",
+        &[
+            "policy",
+            "limit_w",
+            "spearman_mean",
+            "spearman_min",
+            "mad_freq_frac_%",
+        ],
+    );
+    for policy in [PolicyKind::FrequencyShares, PolicyKind::PerformanceShares] {
+        for limit in [40.0, 50.0] {
+            let rows: Vec<&(PolicyKind, f64, f64, f64)> = results
+                .iter()
+                .filter(|(p, l, _, _)| *p == policy && *l == limit)
+                .collect();
+            let rhos: Vec<f64> = rows.iter().map(|r| r.2).collect();
+            let mads: Vec<f64> = rows.iter().map(|r| r.3).collect();
+            t.row(vec![
+                policy.name().into(),
+                format!("{limit:.0}"),
+                f3(stats::mean(&rhos)),
+                f3(rhos.iter().copied().fold(f64::INFINITY, f64::min)),
+                f3(stats::mean(&mads)),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!(
+        "Expected: share ordering is respected in essentially every random mix \
+         (Spearman near 1.0 — occasional inversions come from AVX caps pinning \
+         a high-share app), with a few percent mean deviation from perfect \
+         share-proportional frequency fractions, mostly from grid quantization \
+         and the 800 MHz floor — generalizing the Figure 11 finding beyond the \
+         paper's two hand-drawn sets."
+    );
+}

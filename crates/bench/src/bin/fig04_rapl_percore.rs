@@ -1,0 +1,89 @@
+//! Figure 4 — Impact of RAPL on per-core DVFS (gcc benchmark).
+//!
+//! Ten copies of `gcc` on Skylake: half the cores are unconstrained at
+//! 2.5 GHz, the other half are throttled to a swept frequency, while the
+//! RAPL limit is progressively lowered. Paper findings: (a) power saved by
+//! the throttled cores is spent by the unconstrained cores to run faster
+//! (at 50 W with the throttled half at 0.8 GHz the unconstrained half goes
+//! from −14 % to +6 % of its 2.5 GHz performance); (b) RAPL maintains one
+//! global maximum frequency and only ever reduces the *unconstrained*
+//! cores — per-core DVFS is an effective differential mechanism, but
+//! RAPL's policy is fixed.
+
+use pap_bench::{f1, f3, par_map, run_fixed, Table, SKYLAKE_LIMITS};
+use pap_simcpu::freq::KiloHertz;
+use pap_simcpu::platform::PlatformSpec;
+use pap_simcpu::units::{Seconds, Watts};
+use pap_workloads::profile::WorkloadProfile;
+use pap_workloads::spec;
+
+fn main() {
+    let platform = PlatformSpec::skylake();
+    let throttle_points: [u64; 5] = [2500, 2100, 1700, 1200, 800];
+    let assignments: Vec<Option<WorkloadProfile>> = vec![Some(spec::GCC); 10];
+
+    // Baseline: unconstrained performance at 2.5 GHz with no power limit.
+    let base = run_fixed(
+        platform.clone(),
+        &[KiloHertz::from_mhz(2500); 10],
+        &assignments,
+        None,
+        Seconds(30.0),
+    );
+    let base_ips: f64 = base.mean_ips[..5].iter().sum::<f64>() / 5.0;
+
+    let mut jobs = Vec::new();
+    for &limit in &SKYLAKE_LIMITS {
+        for &thr in &throttle_points {
+            jobs.push((limit, thr));
+        }
+    }
+    let results = par_map(jobs, |(limit, thr)| {
+        let mut req = vec![KiloHertz::from_mhz(2500); 10];
+        for r in req.iter_mut().skip(5) {
+            *r = KiloHertz::from_mhz(thr);
+        }
+        let r = run_fixed(
+            platform.clone(),
+            &req,
+            &assignments,
+            Some(Watts(limit)),
+            Seconds(40.0),
+        );
+        (limit, thr, r)
+    });
+
+    let mut t = Table::new(
+        "Figure 4: RAPL x per-core DVFS, 10x gcc on Skylake (5 cores free @2.5 GHz, 5 throttled)",
+        &[
+            "limit_w",
+            "throttle_mhz",
+            "free_mhz",
+            "throttled_mhz",
+            "free_perf_vs_2.5GHz",
+            "pkg_w",
+        ],
+    );
+    for (limit, thr, r) in &results {
+        let free_mhz = r.mean_freq_mhz[..5].iter().sum::<f64>() / 5.0;
+        let thr_mhz = r.mean_freq_mhz[5..].iter().sum::<f64>() / 5.0;
+        let free_perf = r.mean_ips[..5].iter().sum::<f64>() / 5.0 / base_ips;
+        t.row(vec![
+            f1(*limit),
+            format!("{thr}"),
+            f1(free_mhz),
+            f1(thr_mhz),
+            f3(free_perf),
+            f1(r.mean_package_power.value()),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Paper anchors at 50 W: throttled half at 800 MHz lifts the free half \
+         from ~0.86 to ~1.06 of its unlimited 2.5 GHz performance. Expected \
+         shape: at each limit, lowering the throttled half's frequency raises \
+         the free half's frequency/performance (saved power is re-spent); the \
+         throttled cores always run at their programmed frequency — RAPL only \
+         reduces the unconstrained cores."
+    );
+}

@@ -1,0 +1,113 @@
+//! Figure 9 — Proportional share policies on Skylake.
+//!
+//! Five copies of leela (LD) at one share level and five of cactusBSSN
+//! (HD) at another, under frequency shares and performance shares at
+//! 40/50 W, swept over share ratios. Paper findings: the dynamic range is
+//! low (800–3000 MHz), so at 90/10 the low-share app receives more than
+//! its share; frequency and performance shares produce very similar
+//! results — favoring the simpler, more stable frequency policy. Native
+//! RAPL is shown for contrast: both apps end up at nearly the same
+//! frequency regardless of shares.
+
+use pap_bench::{f1, f3, par_map, Table};
+use pap_simcpu::platform::PlatformSpec;
+use pap_simcpu::units::{Seconds, Watts};
+use pap_workloads::spec;
+use powerd::config::{PolicyKind, Priority};
+use powerd::runner::{Experiment, ExperimentResult};
+
+const RATIOS: [(u32, u32); 5] = [(90, 10), (70, 30), (50, 50), (30, 70), (10, 90)];
+const LIMITS: [f64; 2] = [40.0, 50.0];
+
+fn run(policy: PolicyKind, limit: f64, ld_share: u32, hd_share: u32) -> ExperimentResult {
+    let mut e = Experiment::new(PlatformSpec::skylake(), policy, Watts(limit))
+        .duration(Seconds(60.0))
+        .warmup(15);
+    for i in 0..5 {
+        e = e.app(format!("leela-{i}"), spec::LEELA, Priority::High, ld_share);
+    }
+    for i in 0..5 {
+        e = e.app(
+            format!("cactus-{i}"),
+            spec::CACTUS_BSSN,
+            Priority::High,
+            hd_share,
+        );
+    }
+    e.run().expect("experiment runs")
+}
+
+fn main() {
+    let policies = [PolicyKind::FrequencyShares, PolicyKind::PerformanceShares];
+    let mut jobs = Vec::new();
+    for &policy in &policies {
+        for &limit in &LIMITS {
+            for &(ld, hd) in &RATIOS {
+                jobs.push((policy, limit, ld, hd));
+            }
+        }
+    }
+    let results = par_map(jobs, |(policy, limit, ld, hd)| {
+        (policy, limit, ld, hd, run(policy, limit, ld, hd))
+    });
+
+    for &policy in &policies {
+        let mut t = Table::new(
+            format!(
+                "Figure 9 ({}): leela (LD) vs cactusBSSN (HD), 5 copies each on Skylake",
+                policy.name()
+            ),
+            &[
+                "ld/hd_shares",
+                "limit_w",
+                "ld_mhz",
+                "hd_mhz",
+                "ld_perf",
+                "hd_perf",
+                "ld_freq_frac",
+                "pkg_w",
+            ],
+        );
+        for &(ld, hd) in &RATIOS {
+            for &limit in &LIMITS {
+                let r = &results
+                    .iter()
+                    .find(|(p, l, a, b, _)| *p == policy && *l == limit && *a == ld && *b == hd)
+                    .expect("swept")
+                    .4;
+                let ld_mhz = r.apps[..5].iter().map(|a| a.mean_freq_mhz).sum::<f64>() / 5.0;
+                let hd_mhz = r.apps[5..].iter().map(|a| a.mean_freq_mhz).sum::<f64>() / 5.0;
+                let ld_perf = r.apps[..5].iter().map(|a| a.norm_perf).sum::<f64>() / 5.0;
+                let hd_perf = r.apps[5..].iter().map(|a| a.norm_perf).sum::<f64>() / 5.0;
+                t.row(vec![
+                    format!("{ld}/{hd}"),
+                    f1(limit),
+                    f1(ld_mhz),
+                    f1(hd_mhz),
+                    f3(ld_perf),
+                    f3(hd_perf),
+                    f3(ld_mhz / (ld_mhz + hd_mhz)),
+                    f1(r.mean_package_power.value()),
+                ]);
+            }
+        }
+        println!("{t}");
+    }
+
+    // RAPL contrast at 50/50-irrelevant shares.
+    let r = run(PolicyKind::RaplNative, 40.0, 50, 50);
+    let ld_mhz = r.apps[..5].iter().map(|a| a.mean_freq_mhz).sum::<f64>() / 5.0;
+    let hd_mhz = r.apps[5..].iter().map(|a| a.mean_freq_mhz).sum::<f64>() / 5.0;
+    println!(
+        "Native RAPL at 40 W for contrast: leela {} MHz vs cactusBSSN {} MHz — \
+         shares cannot be expressed at all.",
+        f1(ld_mhz),
+        f1(hd_mhz)
+    );
+    println!(
+        "Expected shape: measured frequency fraction tracks the share ratio in \
+         the middle of the range but compresses at 90/10 (the 800 MHz floor \
+         guarantees the low-share app >10%); frequency and performance shares \
+         nearly coincide."
+    );
+}

@@ -1,0 +1,81 @@
+//! Table 1 — Summary of power management features available on the two
+//! modeled platforms.
+
+use pap_bench::Table;
+use pap_simcpu::platform::PlatformSpec;
+
+fn main() {
+    let mut t = Table::new(
+        "Table 1: platform power-management features",
+        &["feature", "Skylake (Xeon SP 4114)", "Ryzen 1700X"],
+    );
+    let sky = PlatformSpec::skylake();
+    let ryz = PlatformSpec::ryzen();
+
+    let row = |name: &str, a: String, b: String| vec![name.to_string(), a, b];
+    t.row(row(
+        "cores/threads",
+        format!(
+            "{} cores, {} threads",
+            sky.num_cores,
+            sky.num_cores * sky.threads_per_core
+        ),
+        format!(
+            "{} cores, {} threads",
+            ryz.num_cores,
+            ryz.num_cores * ryz.threads_per_core
+        ),
+    ));
+    t.row(row(
+        "frequency range",
+        format!(
+            "{}-{} + {} boost",
+            sky.grid.min(),
+            sky.base_freq,
+            sky.turbo.peak()
+        ),
+        format!(
+            "{}-{} + {} XFR",
+            ryz.grid.min(),
+            ryz.base_freq,
+            ryz.turbo.peak()
+        ),
+    ));
+    t.row(row(
+        "DVFS granularity",
+        format!("per-core, {} steps", sky.grid.step()),
+        format!(
+            "per-core, {} steps, {} simultaneous P-states",
+            ryz.grid.step(),
+            ryz.shared_pstate_slots.unwrap_or(0)
+        ),
+    ));
+    t.row(row(
+        "RAPL power capping",
+        match &sky.rapl {
+            Some(cfg) => format!("{}-{}", cfg.limit_range.0, cfg.limit_range.1),
+            None => "none".into(),
+        },
+        match &ryz.rapl {
+            Some(cfg) => format!("{}-{}", cfg.limit_range.0, cfg.limit_range.1),
+            None => "monitoring only (no limits)".into(),
+        },
+    ));
+    t.row(row(
+        "power telemetry",
+        if sky.per_core_power {
+            "package + per-core"
+        } else {
+            "package only"
+        }
+        .into(),
+        if ryz.per_core_power {
+            "package + per-core"
+        } else {
+            "package only"
+        }
+        .into(),
+    ));
+    t.row(row("TDP", format!("{}", sky.tdp), format!("{}", ryz.tdp)));
+    println!("{t}");
+}

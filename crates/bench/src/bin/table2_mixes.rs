@@ -1,0 +1,44 @@
+//! Table 2 — Workload mixes for the Skylake priority experiments.
+
+use pap_bench::mixes::skylake_priority;
+use pap_bench::Table;
+use powerd::config::Priority;
+
+fn main() {
+    let mut t = Table::new(
+        "Table 2: Skylake priority workload mixes (HD = cactusBSSN, LD = leela)",
+        &[
+            "mix",
+            "cactusBSSN-HP",
+            "leela-HP",
+            "cactusBSSN-LP",
+            "leela-LP",
+        ],
+    );
+    for mix in skylake_priority() {
+        let count = |name: &str, pri: Priority| -> String {
+            let n = mix
+                .entries
+                .iter()
+                .filter(|(w, p)| w.name == name && *p == pri)
+                .count();
+            if n == 0 {
+                "-".into()
+            } else {
+                n.to_string()
+            }
+        };
+        t.row(vec![
+            mix.label.into(),
+            count("cactusBSSN", Priority::High),
+            count("leela", Priority::High),
+            count("cactusBSSN", Priority::Low),
+            count("leela", Priority::Low),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Paper's Table 2 rows: 10H0L = 5/5/-/-, 7H3L = 4/3/1/2, 5H5L = 5/-/-/5, \
+         3H7L = 2/1/3/4, 1H9L = 1/-/4/5."
+    );
+}

@@ -1,0 +1,83 @@
+//! The paper's naïve translation model (§5.2).
+//!
+//! Share policies are specified in units of their resource (frequency,
+//! normalized performance) but the limit the operator programs is in
+//! *watts*. The paper bridges the two with a deliberately simple linear
+//! model:
+//!
+//! ```text
+//! α               = PowerDelta / MaxPower
+//! FrequencyDelta  = α · MaxFrequency  · NumAvailableCores
+//! PerformanceDelta = α · MaxPerformance · NumAvailableCores
+//! ```
+//!
+//! The model is wrong in general (power is super-linear in frequency) but,
+//! as the paper notes, the error shrinks as the system approaches the
+//! target power, and the closed loop absorbs the residual.
+
+use pap_simcpu::freq::KiloHertz;
+use pap_simcpu::units::Watts;
+
+/// `α = PowerDelta / MaxPower`. `power_delta` may be negative (over
+/// budget); `max_power` must be positive.
+pub fn alpha(power_delta: Watts, max_power: Watts) -> f64 {
+    debug_assert!(max_power.value() > 0.0, "max power must be positive");
+    power_delta.value() / max_power.value()
+}
+
+/// Total frequency (kHz, signed) to distribute or withdraw across the
+/// available (non-saturated) cores.
+pub fn frequency_delta_khz(alpha: f64, max_freq: KiloHertz, available_cores: usize) -> f64 {
+    alpha * max_freq.khz() as f64 * available_cores as f64
+}
+
+/// Total normalized performance to distribute or withdraw across the
+/// available cores. `max_performance` is the per-core maximum in
+/// normalized units (1.0 when IPS is normalized to the standalone
+/// maximum-frequency baseline).
+pub fn performance_delta(alpha: f64, max_performance: f64, available_cores: usize) -> f64 {
+    alpha * max_performance * available_cores as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_signs() {
+        assert!((alpha(Watts(10.0), Watts(100.0)) - 0.1).abs() < 1e-12);
+        assert!((alpha(Watts(-25.0), Watts(100.0)) + 0.25).abs() < 1e-12);
+        assert_eq!(alpha(Watts(0.0), Watts(85.0)), 0.0);
+    }
+
+    #[test]
+    fn frequency_delta_matches_paper_formula() {
+        // α=0.1, MaxFrequency=3 GHz, 10 available cores -> 3 GHz total
+        let d = frequency_delta_khz(0.1, KiloHertz::from_ghz(3.0), 10);
+        assert!((d - 3.0e6).abs() < 1e-6);
+        // negative α withdraws
+        let d = frequency_delta_khz(-0.2, KiloHertz::from_ghz(2.0), 5);
+        assert!((d + 2.0e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn performance_delta_scales() {
+        let d = performance_delta(0.5, 1.0, 4);
+        assert!((d - 2.0).abs() < 1e-12);
+        assert_eq!(performance_delta(0.5, 1.0, 0), 0.0);
+    }
+
+    #[test]
+    fn error_shrinks_near_target() {
+        // The model's defining property: as PowerDelta -> 0, the correction
+        // goes to zero smoothly (no step at the target).
+        let big = frequency_delta_khz(
+            alpha(Watts(20.0), Watts(85.0)),
+            KiloHertz::from_ghz(3.0),
+            10,
+        );
+        let small =
+            frequency_delta_khz(alpha(Watts(1.0), Watts(85.0)), KiloHertz::from_ghz(3.0), 10);
+        assert!(small.abs() < big.abs() / 10.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! `powerd-sim` — run the per-application power-delivery daemon against a
+//! simulated socket from the command line.
+//!
+//! ```sh
+//! powerd-sim --policy freq-shares --limit 45 \
+//!     --app web=leela:90:hp --app bg=cpuburn:10:lp --duration 60
+//! ```
+
+use std::process::ExitCode;
+
+use pap_workloads::burn::CPUBURN;
+use pap_workloads::spec;
+use powerd::cli::{self, CliOptions};
+use powerd::report::{f1, f3, Table};
+use powerd::runner::Experiment;
+
+fn run(opts: &CliOptions) -> Result<(), String> {
+    let platform = opts.platform_spec()?;
+    let mut e = Experiment::new(platform, opts.policy, opts.limit).duration(opts.duration);
+    for app in &opts.apps {
+        let profile = if app.profile == "cpuburn" {
+            CPUBURN
+        } else {
+            spec::by_name(&app.profile)
+                .ok_or_else(|| format!("unknown profile '{}'", app.profile))?
+        };
+        e = e.app(app.name.clone(), profile, app.priority, app.shares);
+    }
+    let result = e.run()?;
+
+    let mut t = Table::new(
+        format!(
+            "powerd-sim: {} at {} on {}",
+            opts.policy.name(),
+            opts.limit,
+            opts.platform
+        ),
+        &[
+            "app",
+            "core",
+            "mean_mhz",
+            "norm_perf",
+            "core_w",
+            "starved_%",
+        ],
+    );
+    for a in &result.apps {
+        t.row(vec![
+            a.name.clone(),
+            a.core.to_string(),
+            f1(a.mean_freq_mhz),
+            f3(a.norm_perf),
+            a.mean_power
+                .map(|w| f3(w.value()))
+                .unwrap_or_else(|| "-".into()),
+            f1(a.starved_fraction * 100.0),
+        ]);
+    }
+    println!("{t}");
+    println!("mean package power: {:.2}", result.mean_package_power);
+    if opts.csv {
+        print!("{}", result.trace.to_csv());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Command-line parsing for the `powerd-sim` binary.
+//!
+//! The paper's daemon "takes a list of programs as input with their
+//! priority and shares" (§5); `powerd-sim` is that front door against the
+//! simulated platforms. Parsing is hand-rolled (no CLI dependency) and
+//! lives here so it can be unit-tested.
+
+use pap_simcpu::platform::PlatformSpec;
+use pap_simcpu::units::{Seconds, Watts};
+
+use crate::config::{PolicyKind, Priority};
+
+/// One `--app` argument: `name=PROFILE[:shares[:hp|lp]]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliApp {
+    /// Display name.
+    pub name: String,
+    /// SPEC profile name (resolved by the binary via `pap_workloads`).
+    pub profile: String,
+    /// Shares (default 100).
+    pub shares: u32,
+    /// Priority (default high).
+    pub priority: Priority,
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Platform: `skylake` or `ryzen`.
+    pub platform: String,
+    /// Policy to run.
+    pub policy: PolicyKind,
+    /// Package power limit.
+    pub limit: Watts,
+    /// Simulated measurement duration.
+    pub duration: Seconds,
+    /// Applications.
+    pub apps: Vec<CliApp>,
+    /// Emit the full telemetry trace as CSV on stdout.
+    pub csv: bool,
+}
+
+impl CliOptions {
+    /// Resolve the platform name.
+    pub fn platform_spec(&self) -> Result<PlatformSpec, String> {
+        match self.platform.as_str() {
+            "skylake" => Ok(PlatformSpec::skylake()),
+            "ryzen" => Ok(PlatformSpec::ryzen()),
+            other => Err(format!("unknown platform '{other}' (skylake|ryzen)")),
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+powerd-sim — per-application power delivery on a simulated socket
+
+USAGE:
+    powerd-sim --policy <POLICY> --limit <WATTS> --app <SPEC>... [OPTIONS]
+
+OPTIONS:
+    --platform <skylake|ryzen>   platform model (default: skylake)
+    --policy <POLICY>            rapl | priority | power-shares |
+                                 freq-shares | perf-shares
+    --limit <WATTS>              package power limit, e.g. 45
+    --app <name=PROFILE[:shares[:hp|lp]]>
+                                 e.g. --app web=leela:90:hp --app bg=cam4:10:lp
+                                 PROFILE is a SPEC CPU2017 name or 'cpuburn'
+    --duration <SECONDS>         measured duration (default: 60)
+    --csv                        dump the telemetry trace as CSV
+    --help                       print this help
+";
+
+fn parse_policy(s: &str) -> Result<PolicyKind, String> {
+    Ok(match s {
+        "rapl" => PolicyKind::RaplNative,
+        "priority" => PolicyKind::Priority,
+        "power-shares" => PolicyKind::PowerShares,
+        "freq-shares" => PolicyKind::FrequencyShares,
+        "perf-shares" => PolicyKind::PerformanceShares,
+        other => return Err(format!("unknown policy '{other}'")),
+    })
+}
+
+fn parse_app(s: &str) -> Result<CliApp, String> {
+    let (name, rest) = s
+        .split_once('=')
+        .ok_or_else(|| format!("--app '{s}': expected name=PROFILE[:shares[:hp|lp]]"))?;
+    if name.is_empty() {
+        return Err(format!("--app '{s}': empty name"));
+    }
+    let mut parts = rest.split(':');
+    let profile = parts
+        .next()
+        .filter(|p| !p.is_empty())
+        .ok_or_else(|| format!("--app '{s}': missing profile"))?
+        .to_string();
+    let shares = match parts.next() {
+        None => 100,
+        Some(v) => v
+            .parse::<u32>()
+            .map_err(|_| format!("--app '{s}': bad shares '{v}'"))?,
+    };
+    let priority = match parts.next() {
+        None => Priority::High,
+        Some("hp") => Priority::High,
+        Some("lp") => Priority::Low,
+        Some(v) => return Err(format!("--app '{s}': bad priority '{v}' (hp|lp)")),
+    };
+    if let Some(extra) = parts.next() {
+        return Err(format!("--app '{s}': trailing garbage '{extra}'"));
+    }
+    Ok(CliApp {
+        name: name.to_string(),
+        profile,
+        shares,
+        priority,
+    })
+}
+
+/// Parse an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<CliOptions, String> {
+    let mut platform = "skylake".to_string();
+    let mut policy = None;
+    let mut limit = None;
+    let mut duration = Seconds(60.0);
+    let mut apps = Vec::new();
+    let mut csv = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--platform" => platform = value("--platform")?.clone(),
+            "--policy" => policy = Some(parse_policy(value("--policy")?)?),
+            "--limit" => {
+                let v = value("--limit")?;
+                let w: f64 = v.parse().map_err(|_| format!("bad --limit '{v}'"))?;
+                limit = Some(Watts(w));
+            }
+            "--duration" => {
+                let v = value("--duration")?;
+                let s: f64 = v.parse().map_err(|_| format!("bad --duration '{v}'"))?;
+                duration = Seconds(s);
+            }
+            "--app" => apps.push(parse_app(value("--app")?)?),
+            "--csv" => csv = true,
+            other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
+        }
+    }
+
+    let policy = policy.ok_or_else(|| format!("--policy is required\n\n{USAGE}"))?;
+    let limit = limit.ok_or_else(|| format!("--limit is required\n\n{USAGE}"))?;
+    if apps.is_empty() {
+        return Err(format!("at least one --app is required\n\n{USAGE}"));
+    }
+    Ok(CliOptions {
+        platform,
+        policy,
+        limit,
+        duration,
+        apps,
+        csv,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn full_command_line() {
+        let o = parse(&sv(&[
+            "--platform",
+            "ryzen",
+            "--policy",
+            "freq-shares",
+            "--limit",
+            "45",
+            "--duration",
+            "30",
+            "--app",
+            "web=leela:90:hp",
+            "--app",
+            "bg=cam4:10:lp",
+            "--csv",
+        ]))
+        .unwrap();
+        assert_eq!(o.platform, "ryzen");
+        assert_eq!(o.policy, PolicyKind::FrequencyShares);
+        assert_eq!(o.limit, Watts(45.0));
+        assert_eq!(o.duration, Seconds(30.0));
+        assert!(o.csv);
+        assert_eq!(o.apps.len(), 2);
+        assert_eq!(o.apps[0].shares, 90);
+        assert_eq!(o.apps[1].priority, Priority::Low);
+        assert!(o.platform_spec().is_ok());
+    }
+
+    #[test]
+    fn app_defaults() {
+        let o = parse(&sv(&[
+            "--policy", "rapl", "--limit", "50", "--app", "x=gcc",
+        ]))
+        .unwrap();
+        assert_eq!(o.apps[0].shares, 100);
+        assert_eq!(o.apps[0].priority, Priority::High);
+        assert_eq!(o.apps[0].profile, "gcc");
+        assert_eq!(o.platform, "skylake");
+    }
+
+    #[test]
+    fn missing_required_args() {
+        assert!(parse(&sv(&["--limit", "50", "--app", "x=gcc"]))
+            .unwrap_err()
+            .contains("--policy"));
+        assert!(parse(&sv(&["--policy", "rapl", "--app", "x=gcc"]))
+            .unwrap_err()
+            .contains("--limit"));
+        assert!(parse(&sv(&["--policy", "rapl", "--limit", "50"]))
+            .unwrap_err()
+            .contains("--app"));
+    }
+
+    #[test]
+    fn malformed_inputs() {
+        assert!(parse(&sv(&[
+            "--policy", "bogus", "--limit", "50", "--app", "x=gcc"
+        ]))
+        .is_err());
+        assert!(parse(&sv(&[
+            "--policy", "rapl", "--limit", "watts", "--app", "x=gcc"
+        ]))
+        .is_err());
+        assert!(parse(&sv(&[
+            "--policy", "rapl", "--limit", "50", "--app", "nocolon"
+        ]))
+        .is_err());
+        assert!(parse(&sv(&[
+            "--policy",
+            "rapl",
+            "--limit",
+            "50",
+            "--app",
+            "x=gcc:abc"
+        ]))
+        .is_err());
+        assert!(parse(&sv(&[
+            "--policy",
+            "rapl",
+            "--limit",
+            "50",
+            "--app",
+            "x=gcc:50:mid"
+        ]))
+        .is_err());
+        assert!(parse(&sv(&["--bogus"])).is_err());
+        assert!(parse(&sv(&["--policy"]))
+            .unwrap_err()
+            .contains("needs a value"));
+    }
+
+    #[test]
+    fn help_returns_usage() {
+        let err = parse(&sv(&["--help"])).unwrap_err();
+        assert!(err.contains("powerd-sim"));
+    }
+
+    #[test]
+    fn bad_platform_resolution() {
+        let o = parse(&sv(&[
+            "--platform",
+            "epyc",
+            "--policy",
+            "rapl",
+            "--limit",
+            "50",
+            "--app",
+            "x=gcc",
+        ]))
+        .unwrap();
+        assert!(o.platform_spec().is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! Daemon configuration: applications, priorities, shares and policy
+//! selection.
+
+use pap_simcpu::units::{Seconds, Watts};
+
+use crate::quantize::SlotSelector;
+
+/// Two-level priority (§4.1). Strict: low-priority applications receive
+/// only residual power.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Foreground / latency-sensitive.
+    High,
+    /// Background / batch.
+    Low,
+}
+
+/// One application under daemon control, pinned to a core (§5: "the
+/// daemon takes a list of programs as input with their priority and
+/// shares" and pins applications to cores).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSpec {
+    /// Display name.
+    pub name: String,
+    /// The core the application is pinned to.
+    pub core: usize,
+    /// Priority class (used by the priority policy).
+    pub priority: Priority,
+    /// Proportional shares (used by share policies). Must be positive.
+    pub shares: u32,
+    /// Offline-measured baseline: instructions per second running alone at
+    /// maximum frequency (§5.2, performance shares). Ignored by policies
+    /// that do not use performance feedback.
+    pub baseline_ips: f64,
+}
+
+impl AppSpec {
+    /// Convenience constructor with equal default shares and a baseline to
+    /// be filled by the runner.
+    pub fn new(name: impl Into<String>, core: usize) -> AppSpec {
+        AppSpec {
+            name: name.into(),
+            core,
+            priority: Priority::High,
+            shares: 100,
+            baseline_ips: 0.0,
+        }
+    }
+
+    /// Set the priority class.
+    pub fn with_priority(mut self, p: Priority) -> AppSpec {
+        self.priority = p;
+        self
+    }
+
+    /// Set proportional shares.
+    pub fn with_shares(mut self, shares: u32) -> AppSpec {
+        self.shares = shares;
+        self
+    }
+
+    /// Set the offline IPS baseline.
+    pub fn with_baseline_ips(mut self, ips: f64) -> AppSpec {
+        self.baseline_ips = ips;
+        self
+    }
+}
+
+/// Which policy the daemon runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// No daemon control: hardware RAPL alone (the paper's baseline).
+    RaplNative,
+    /// Strict two-level priority (§4.1/§5.1).
+    Priority,
+    /// Proportional shares of per-core power (§5.2, Ryzen only).
+    PowerShares,
+    /// Proportional shares of frequency (§5.2).
+    FrequencyShares,
+    /// Proportional shares of normalized performance (§5.2).
+    PerformanceShares,
+}
+
+impl PolicyKind {
+    /// Whether the policy requires per-core power telemetry.
+    pub fn needs_per_core_power(self) -> bool {
+        matches!(self, PolicyKind::PowerShares)
+    }
+
+    /// Whether the policy requires per-application performance feedback.
+    pub fn needs_performance_feedback(self) -> bool {
+        matches!(self, PolicyKind::PerformanceShares)
+    }
+
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::RaplNative => "rapl",
+            PolicyKind::Priority => "priority",
+            PolicyKind::PowerShares => "power-shares",
+            PolicyKind::FrequencyShares => "freq-shares",
+            PolicyKind::PerformanceShares => "perf-shares",
+        }
+    }
+}
+
+/// Controller tuning knobs. The defaults reproduce the paper's daemon;
+/// the alternatives exist for the ablation studies (DESIGN.md §6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerTuning {
+    /// Damping applied to the α-model correction (1.0 = the paper's raw
+    /// formula).
+    pub damping: f64,
+    /// Control deadband in watts.
+    pub deadband_watts: f64,
+    /// Shared P-state slot selection algorithm (Ryzen).
+    pub slot_selector: SlotSelector,
+    /// Redistribute with the paper's literal incremental-delta scheme
+    /// instead of the share-proportional water-fill. The incremental
+    /// scheme drifts under saturation (see `policy::minfund`).
+    pub incremental_redistribution: bool,
+}
+
+impl Default for ControllerTuning {
+    fn default() -> ControllerTuning {
+        ControllerTuning {
+            damping: 0.6,
+            deadband_watts: 0.5,
+            slot_selector: SlotSelector::DpMean,
+            incremental_redistribution: false,
+        }
+    }
+}
+
+/// Full daemon configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaemonConfig {
+    /// Policy to run.
+    pub policy: PolicyKind,
+    /// The package power limit the daemon enforces.
+    pub power_limit: Watts,
+    /// Control-loop cadence (the paper uses 1 second).
+    pub control_interval: Seconds,
+    /// The applications under control.
+    pub apps: Vec<AppSpec>,
+    /// Priority-policy variant (§4.1): if true, all cores are floored at
+    /// the minimum P-state before HP applications get extra power; if
+    /// false (the paper's choice), LP applications are starved when the
+    /// budget is tight.
+    pub floor_low_priority: bool,
+    /// §4.4 extension: cap each app at its *highest useful* frequency
+    /// (beyond which measured performance saturates) instead of the
+    /// highest possible frequency.
+    pub saturation_aware: bool,
+    /// Controller tuning (damping, deadband, slot selection).
+    pub tuning: ControllerTuning,
+}
+
+impl DaemonConfig {
+    /// A configuration with the paper's defaults (1 s control loop,
+    /// starving LP variant, no saturation awareness).
+    pub fn new(policy: PolicyKind, power_limit: Watts, apps: Vec<AppSpec>) -> DaemonConfig {
+        DaemonConfig {
+            policy,
+            power_limit,
+            control_interval: Seconds(1.0),
+            apps,
+            floor_low_priority: false,
+            saturation_aware: true,
+            tuning: ControllerTuning::default(),
+        }
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self, num_cores: usize) -> Result<(), String> {
+        if self.apps.is_empty() {
+            return Err("no applications configured".into());
+        }
+        if !self.power_limit.is_valid() || self.power_limit.value() <= 0.0 {
+            return Err("invalid power limit".into());
+        }
+        if self.control_interval.value() <= 0.0 {
+            return Err("control interval must be positive".into());
+        }
+        let mut seen = vec![false; num_cores];
+        for app in &self.apps {
+            if app.core >= num_cores {
+                return Err(format!(
+                    "app '{}' pinned to core {} on a {}-core chip",
+                    app.name, app.core, num_cores
+                ));
+            }
+            if seen[app.core] {
+                return Err(format!(
+                    "core {} assigned to multiple apps (space sharing requires one app per core)",
+                    app.core
+                ));
+            }
+            seen[app.core] = true;
+            if app.shares == 0 {
+                return Err(format!("app '{}' has zero shares", app.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apps() -> Vec<AppSpec> {
+        vec![
+            AppSpec::new("a", 0).with_shares(90),
+            AppSpec::new("b", 1)
+                .with_priority(Priority::Low)
+                .with_shares(10),
+        ]
+    }
+
+    #[test]
+    fn builder_chain() {
+        let a = AppSpec::new("x", 3)
+            .with_priority(Priority::Low)
+            .with_shares(25)
+            .with_baseline_ips(1e9);
+        assert_eq!(a.core, 3);
+        assert_eq!(a.priority, Priority::Low);
+        assert_eq!(a.shares, 25);
+        assert_eq!(a.baseline_ips, 1e9);
+    }
+
+    #[test]
+    fn valid_config_passes() {
+        let c = DaemonConfig::new(PolicyKind::FrequencyShares, Watts(50.0), apps());
+        assert!(c.validate(10).is_ok());
+        assert_eq!(c.control_interval, Seconds(1.0));
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let c = DaemonConfig::new(PolicyKind::Priority, Watts(50.0), vec![]);
+        assert!(c.validate(10).is_err());
+
+        let mut a = apps();
+        a[1].core = 0; // duplicate pin
+        let c = DaemonConfig::new(PolicyKind::Priority, Watts(50.0), a);
+        assert!(c.validate(10).is_err());
+
+        let mut a = apps();
+        a[0].core = 99;
+        let c = DaemonConfig::new(PolicyKind::Priority, Watts(50.0), a);
+        assert!(c.validate(10).is_err());
+
+        let mut a = apps();
+        a[0].shares = 0;
+        let c = DaemonConfig::new(PolicyKind::FrequencyShares, Watts(50.0), a);
+        assert!(c.validate(10).is_err());
+
+        let c = DaemonConfig::new(PolicyKind::Priority, Watts(-5.0), apps());
+        assert!(c.validate(10).is_err());
+    }
+
+    #[test]
+    fn policy_capability_requirements() {
+        assert!(PolicyKind::PowerShares.needs_per_core_power());
+        assert!(!PolicyKind::FrequencyShares.needs_per_core_power());
+        assert!(PolicyKind::PerformanceShares.needs_performance_feedback());
+        assert!(!PolicyKind::Priority.needs_performance_feedback());
+        assert_eq!(PolicyKind::RaplNative.name(), "rapl");
+    }
+}

@@ -1,0 +1,379 @@
+//! The userspace control daemon (§5).
+//!
+//! The daemon runs a monitoring loop at a fixed cadence (1 s in the
+//! paper). Each interval it reads processor statistics — package power,
+//! per-core power where available, retired instructions, actual
+//! frequency — and may change P-states for a subset of cores: raising
+//! frequency where an application uses less of its resource than
+//! allocated, or redistributing the resource otherwise.
+//!
+//! [`Daemon`] is a pure controller: it consumes a telemetry
+//! [`Sample`](pap_telemetry::sampler::Sample) and emits a
+//! [`ControlAction`]; the experiment runner (or a hardware backend)
+//! applies the action. This keeps every policy testable without a chip.
+
+use pap_simcpu::freq::KiloHertz;
+use pap_simcpu::platform::PlatformSpec;
+use pap_telemetry::sampler::Sample;
+
+use crate::config::{DaemonConfig, PolicyKind};
+use crate::policy::frequency_shares::FrequencyShares;
+use crate::policy::performance_shares::PerformanceShares;
+use crate::policy::power_shares::PowerShares;
+use crate::policy::priority::PriorityPolicy;
+use crate::policy::{AppView, Policy, PolicyCtx, PolicyInput, PolicyOutput};
+use pap_simcpu::units::Watts;
+
+/// A complete per-core decision for one control interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlAction {
+    /// Requested frequency for every core (length = chip core count).
+    pub freqs: Vec<KiloHertz>,
+    /// Park flag for every core.
+    pub parked: Vec<bool>,
+}
+
+#[derive(Debug)]
+enum Engine {
+    RaplNative,
+    Priority(PriorityPolicy),
+    Power(PowerShares),
+    Freq(FrequencyShares),
+    Perf(PerformanceShares),
+}
+
+impl Engine {
+    fn as_policy(&mut self) -> Option<&mut dyn Policy> {
+        match self {
+            Engine::RaplNative => None,
+            Engine::Priority(p) => Some(p),
+            Engine::Power(p) => Some(p),
+            Engine::Freq(p) => Some(p),
+            Engine::Perf(p) => Some(p),
+        }
+    }
+}
+
+/// The control daemon.
+#[derive(Debug)]
+pub struct Daemon {
+    config: DaemonConfig,
+    ctx: PolicyCtx,
+    engine: Engine,
+    num_cores: usize,
+    shared_slots: Option<usize>,
+    initialized: bool,
+    /// Last programmed per-app frequency targets (policy state input).
+    current: Vec<KiloHertz>,
+}
+
+impl Daemon {
+    /// Build a daemon for `config` against a platform. Fails when the
+    /// policy needs telemetry the platform does not provide (the paper
+    /// runs power shares only on Ryzen for exactly this reason) or the
+    /// config is inconsistent.
+    pub fn new(config: DaemonConfig, platform: &PlatformSpec) -> Result<Daemon, String> {
+        config.validate(platform.num_cores)?;
+        if config.policy.needs_per_core_power() && !platform.per_core_power {
+            return Err(format!(
+                "policy '{}' requires per-core power telemetry, which {} does not provide",
+                config.policy.name(),
+                platform.name
+            ));
+        }
+        if config.policy.needs_performance_feedback() {
+            for app in &config.apps {
+                if app.baseline_ips <= 0.0 {
+                    return Err(format!(
+                        "performance shares need an offline IPS baseline for app '{}'",
+                        app.name
+                    ));
+                }
+            }
+        }
+        if config.policy == PolicyKind::RaplNative && platform.rapl.is_none() {
+            return Err(format!(
+                "{} does not implement RAPL limit enforcement",
+                platform.name
+            ));
+        }
+
+        let engine = match config.policy {
+            PolicyKind::RaplNative => Engine::RaplNative,
+            PolicyKind::Priority => {
+                let mut p = if config.floor_low_priority {
+                    PriorityPolicy::flooring()
+                } else {
+                    PriorityPolicy::new()
+                };
+                p.floor_low_priority = config.floor_low_priority;
+                Engine::Priority(p)
+            }
+            PolicyKind::PowerShares => Engine::Power(PowerShares::new()),
+            PolicyKind::FrequencyShares => {
+                let mut p = FrequencyShares::new();
+                p.saturation_aware = config.saturation_aware;
+                p.incremental = config.tuning.incremental_redistribution;
+                Engine::Freq(p)
+            }
+            PolicyKind::PerformanceShares => Engine::Perf(PerformanceShares::new()),
+        };
+
+        let mut ctx = PolicyCtx::new(platform.grid, platform.tdp, config.power_limit);
+        ctx.damping = config.tuning.damping;
+        ctx.deadband = Watts(config.tuning.deadband_watts);
+        let n_apps = config.apps.len();
+        Ok(Daemon {
+            config,
+            ctx,
+            engine,
+            num_cores: platform.num_cores,
+            shared_slots: platform.shared_pstate_slots,
+            initialized: false,
+            current: vec![KiloHertz::ZERO; n_apps],
+        })
+    }
+
+    /// The configuration the daemon runs.
+    pub fn config(&self) -> &DaemonConfig {
+        &self.config
+    }
+
+    /// Build app views from a telemetry sample.
+    fn views(&self, sample: &Sample) -> Vec<AppView> {
+        self.config
+            .apps
+            .iter()
+            .map(|app| {
+                let cs = &sample.cores[app.core];
+                AppView {
+                    core: app.core,
+                    shares: app.shares as f64,
+                    priority: app.priority,
+                    active_freq: cs.rates.active_freq,
+                    power: cs.power,
+                    ips: cs.rates.ips,
+                    baseline_ips: app.baseline_ips,
+                }
+            })
+            .collect()
+    }
+
+    /// Expand a per-app policy output into a per-core [`ControlAction`],
+    /// quantizing and (on Ryzen) clustering to the shared P-state slots.
+    fn expand(&self, out: &PolicyOutput) -> ControlAction {
+        let mut freqs = vec![self.ctx.grid.min(); self.num_cores];
+        let mut parked = vec![true; self.num_cores]; // unmanaged cores sleep
+        for (i, app) in self.config.apps.iter().enumerate() {
+            freqs[app.core] = self.ctx.grid.round(out.freqs[i]);
+            parked[app.core] = out.parked[i];
+        }
+        if let Some(slots) = self.shared_slots {
+            freqs = self
+                .config
+                .tuning
+                .slot_selector
+                .select(&freqs, slots, &self.ctx.grid);
+        }
+        ControlAction { freqs, parked }
+    }
+
+    /// The initial distribution (§5.2 function (i)): called once before
+    /// the applications start. No telemetry is needed.
+    pub fn initial(&mut self) -> ControlAction {
+        self.initialized = true;
+        let out = match self.engine.as_policy() {
+            None => PolicyOutput::running(vec![self.ctx.grid.max(); self.config.apps.len()]),
+            Some(p) => {
+                // Initial views carry only static configuration.
+                let views: Vec<AppView> = self
+                    .config
+                    .apps
+                    .iter()
+                    .map(|app| AppView {
+                        core: app.core,
+                        shares: app.shares as f64,
+                        priority: app.priority,
+                        active_freq: KiloHertz::ZERO,
+                        power: None,
+                        ips: 0.0,
+                        baseline_ips: app.baseline_ips,
+                    })
+                    .collect();
+                p.initial(&self.ctx, &views)
+            }
+        };
+        self.current = out.freqs.clone();
+        self.expand(&out)
+    }
+
+    /// One control interval: redistribution + translation (§5.2 functions
+    /// (ii) and (iii)) from a fresh telemetry sample.
+    pub fn step(&mut self, sample: &Sample) -> ControlAction {
+        if !self.initialized {
+            return self.initial();
+        }
+        let views = self.views(sample);
+        let out = match self.engine.as_policy() {
+            None => PolicyOutput::running(vec![self.ctx.grid.max(); self.config.apps.len()]),
+            Some(p) => p.step(
+                &self.ctx,
+                &PolicyInput {
+                    package_power: sample.package_power,
+                    apps: &views,
+                    current: &self.current,
+                },
+            ),
+        };
+        self.current = out.freqs.clone();
+        self.expand(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AppSpec, Priority};
+    use pap_simcpu::units::{Seconds, Watts};
+    use pap_telemetry::counters::CoreRates;
+    use pap_telemetry::sampler::CoreSample;
+
+    fn skylake_apps() -> Vec<AppSpec> {
+        vec![
+            AppSpec::new("hd", 0).with_shares(70).with_baseline_ips(2e9),
+            AppSpec::new("ld", 1)
+                .with_priority(Priority::Low)
+                .with_shares(30)
+                .with_baseline_ips(2e9),
+        ]
+    }
+
+    fn sample(pkg: f64, freqs_mhz: &[u64], ncores: usize) -> Sample {
+        let cores = (0..ncores)
+            .map(|i| CoreSample {
+                rates: CoreRates {
+                    active_freq: KiloHertz::from_mhz(*freqs_mhz.get(i).unwrap_or(&0)),
+                    c0_residency: 1.0,
+                    ips: 1e9,
+                },
+                power: None,
+                requested_freq: KiloHertz::from_mhz(*freqs_mhz.get(i).unwrap_or(&0)),
+            })
+            .collect();
+        Sample {
+            time: Seconds(1.0),
+            interval: Seconds(1.0),
+            package_power: Watts(pkg),
+            cores_power: Watts(pkg - 12.0),
+            cores,
+        }
+    }
+
+    #[test]
+    fn rejects_power_shares_on_skylake() {
+        let cfg = DaemonConfig::new(PolicyKind::PowerShares, Watts(50.0), skylake_apps());
+        let err = Daemon::new(cfg, &PlatformSpec::skylake()).unwrap_err();
+        assert!(err.contains("per-core power"), "{err}");
+    }
+
+    #[test]
+    fn rejects_rapl_native_on_ryzen() {
+        let mut apps = skylake_apps();
+        apps.truncate(2);
+        let cfg = DaemonConfig::new(PolicyKind::RaplNative, Watts(50.0), apps);
+        let err = Daemon::new(cfg, &PlatformSpec::ryzen()).unwrap_err();
+        assert!(err.contains("RAPL"), "{err}");
+    }
+
+    #[test]
+    fn rejects_perf_shares_without_baseline() {
+        let apps = vec![AppSpec::new("x", 0).with_shares(50)];
+        let cfg = DaemonConfig::new(PolicyKind::PerformanceShares, Watts(50.0), apps);
+        let err = Daemon::new(cfg, &PlatformSpec::skylake()).unwrap_err();
+        assert!(err.contains("baseline"), "{err}");
+    }
+
+    #[test]
+    fn initial_action_covers_all_cores() {
+        let cfg = DaemonConfig::new(PolicyKind::FrequencyShares, Watts(50.0), skylake_apps());
+        let mut d = Daemon::new(cfg, &PlatformSpec::skylake()).unwrap();
+        let a = d.initial();
+        assert_eq!(a.freqs.len(), 10);
+        assert_eq!(a.parked.len(), 10);
+        // managed cores run, unmanaged cores sleep
+        assert!(!a.parked[0] && !a.parked[1]);
+        assert!(a.parked[2..].iter().all(|&p| p));
+        // highest-share app at max
+        assert_eq!(a.freqs[0], KiloHertz::from_mhz(3000));
+    }
+
+    #[test]
+    fn step_before_initial_bootstraps() {
+        let cfg = DaemonConfig::new(PolicyKind::FrequencyShares, Watts(50.0), skylake_apps());
+        let mut d = Daemon::new(cfg, &PlatformSpec::skylake()).unwrap();
+        let a = d.step(&sample(60.0, &[3000, 1300], 10));
+        assert_eq!(a.freqs.len(), 10);
+    }
+
+    #[test]
+    fn over_budget_step_reduces_frequencies() {
+        let cfg = DaemonConfig::new(PolicyKind::FrequencyShares, Watts(40.0), skylake_apps());
+        let mut d = Daemon::new(cfg, &PlatformSpec::skylake()).unwrap();
+        let init = d.initial();
+        let a = d.step(&sample(65.0, &[3000, 1300], 10));
+        assert!(a.freqs[0] < init.freqs[0]);
+    }
+
+    #[test]
+    fn rapl_native_requests_max_everywhere_managed() {
+        let cfg = DaemonConfig::new(PolicyKind::RaplNative, Watts(50.0), skylake_apps());
+        let mut d = Daemon::new(cfg, &PlatformSpec::skylake()).unwrap();
+        let a = d.initial();
+        assert_eq!(a.freqs[0], KiloHertz::from_mhz(3000));
+        assert_eq!(a.freqs[1], KiloHertz::from_mhz(3000));
+        let a = d.step(&sample(80.0, &[2400, 2400], 10));
+        assert_eq!(
+            a.freqs[0],
+            KiloHertz::from_mhz(3000),
+            "daemon stays hands-off"
+        );
+    }
+
+    #[test]
+    fn ryzen_actions_respect_shared_slots() {
+        let apps: Vec<AppSpec> = (0..8)
+            .map(|i| {
+                AppSpec::new(format!("a{i}"), i)
+                    .with_shares(10 + 10 * i as u32)
+                    .with_baseline_ips(2e9)
+            })
+            .collect();
+        let cfg = DaemonConfig::new(PolicyKind::FrequencyShares, Watts(45.0), apps);
+        let mut d = Daemon::new(cfg, &PlatformSpec::ryzen()).unwrap();
+        let a = d.initial();
+        let mut distinct: Vec<KiloHertz> = a.freqs.clone();
+        distinct.sort();
+        distinct.dedup();
+        assert!(
+            distinct.len() <= 3,
+            "8 share levels must cluster into 3 slots, got {distinct:?}"
+        );
+
+        // and after a step too
+        let s = sample(60.0, &[3400, 3000, 2500, 2200, 2000, 1500, 1000, 800], 8);
+        let a = d.step(&s);
+        let mut distinct: Vec<KiloHertz> = a.freqs.clone();
+        distinct.sort();
+        distinct.dedup();
+        assert!(distinct.len() <= 3);
+    }
+
+    #[test]
+    fn priority_daemon_parks_lp_cores() {
+        let cfg = DaemonConfig::new(PolicyKind::Priority, Watts(50.0), skylake_apps());
+        let mut d = Daemon::new(cfg, &PlatformSpec::skylake()).unwrap();
+        let a = d.initial();
+        assert!(!a.parked[0], "HP core runs");
+        assert!(a.parked[1], "LP core starts parked");
+    }
+}

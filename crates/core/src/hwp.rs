@@ -1,0 +1,222 @@
+//! Highest-useful-frequency probing — an HWP/CPPC-style extension (§4.4).
+//!
+//! The paper notes that both policy classes waste budget on applications
+//! whose performance saturates below the maximum frequency (AVX caps,
+//! memory-boundness), and points to hardware support like Intel HWP for
+//! finding the *highest useful* frequency. [`UsefulFreqProbe`] is a
+//! software implementation: a hill climber that raises a core's frequency
+//! while each step still buys at least `min_gain` relative IPS, settles at
+//! the knee, and periodically re-probes to follow phase changes.
+
+use pap_simcpu::freq::{FreqGrid, KiloHertz};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    /// Climbing upward, remembering the previous step's measurement.
+    Climbing,
+    /// Settled at the knee; counts intervals until the next re-probe.
+    Settled(u32),
+}
+
+/// A per-core highest-useful-frequency hill climber.
+#[derive(Debug, Clone)]
+pub struct UsefulFreqProbe {
+    grid: FreqGrid,
+    /// Minimum relative IPS gain per grid step worth paying for,
+    /// as a fraction of the *ideal* gain (step / frequency). 1.0 accepts
+    /// only perfectly frequency-scaled gains; 0 always climbs.
+    pub min_gain: f64,
+    /// Intervals to stay settled before re-probing.
+    pub reprobe_after: u32,
+    state: State,
+    target: KiloHertz,
+    last: Option<(KiloHertz, f64)>,
+}
+
+impl UsefulFreqProbe {
+    /// Create a probe starting at the bottom of the grid.
+    pub fn new(grid: FreqGrid) -> UsefulFreqProbe {
+        UsefulFreqProbe {
+            grid,
+            min_gain: 0.5,
+            reprobe_after: 30,
+            state: State::Climbing,
+            target: grid.min(),
+            last: None,
+        }
+    }
+
+    /// The frequency currently requested by the probe.
+    pub fn target(&self) -> KiloHertz {
+        self.target
+    }
+
+    /// Whether the probe considers itself settled at the knee.
+    pub fn settled(&self) -> bool {
+        matches!(self.state, State::Settled(_))
+    }
+
+    /// Feed one interval's measurement (the frequency the core actually
+    /// achieved and its IPS); returns the next frequency to program.
+    pub fn observe(&mut self, achieved: KiloHertz, ips: f64) -> KiloHertz {
+        match self.state {
+            State::Climbing => {
+                if let Some((prev_f, prev_ips)) = self.last {
+                    // Hardware caps show up as no achieved-frequency gain.
+                    let freq_gain = achieved.khz() as f64 / prev_f.khz().max(1) as f64 - 1.0;
+                    let ips_gain = if prev_ips > 0.0 {
+                        ips / prev_ips - 1.0
+                    } else {
+                        1.0
+                    };
+                    let ideal = self.grid.step().khz() as f64 / prev_f.khz().max(1) as f64;
+                    if freq_gain < ideal * 0.25 || ips_gain < ideal * self.min_gain {
+                        // The last step bought (almost) nothing: the knee is
+                        // the previous point.
+                        self.target = prev_f;
+                        self.state = State::Settled(0);
+                        self.last = None;
+                        return self.target;
+                    }
+                }
+                self.last = Some((achieved, ips));
+                if self.target >= self.grid.max() {
+                    self.state = State::Settled(0);
+                } else {
+                    self.target = self.grid.step_up(self.target);
+                }
+                self.target
+            }
+            State::Settled(n) => {
+                if n >= self.reprobe_after {
+                    self.state = State::Climbing;
+                    self.last = Some((achieved, ips));
+                    if self.target < self.grid.max() {
+                        self.target = self.grid.step_up(self.target);
+                    }
+                } else {
+                    self.state = State::Settled(n + 1);
+                }
+                self.target
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pap_workloads::profile::WorkloadProfile;
+    use pap_workloads::spec;
+
+    fn grid() -> FreqGrid {
+        FreqGrid::new(
+            KiloHertz::from_mhz(800),
+            KiloHertz::from_mhz(3000),
+            KiloHertz::from_mhz(100),
+        )
+    }
+
+    /// Run the probe against an analytic workload with an optional
+    /// hardware frequency cap; return where it settles.
+    fn settle(profile: &WorkloadProfile, cap: Option<KiloHertz>) -> KiloHertz {
+        let g = grid();
+        let mut probe = UsefulFreqProbe::new(g);
+        let mut request = probe.target();
+        for _ in 0..100 {
+            let achieved = match cap {
+                Some(c) => request.min(c),
+                None => request,
+            };
+            let ips = profile.ips(achieved);
+            request = probe.observe(achieved, ips);
+            if probe.settled() {
+                break;
+            }
+        }
+        probe.target()
+    }
+
+    #[test]
+    fn frequency_sensitive_app_climbs_to_max() {
+        let f = settle(&spec::EXCHANGE2, None);
+        assert_eq!(
+            f,
+            grid().max(),
+            "compute-bound app should use all frequency"
+        );
+    }
+
+    #[test]
+    fn avx_cap_detected() {
+        // cam4 capped at 1.7 GHz by hardware: the probe must stop near it
+        // rather than requesting unusable frequency.
+        let f = settle(&spec::CAM4, Some(KiloHertz::from_mhz(1700)));
+        assert!(
+            f <= KiloHertz::from_mhz(1800),
+            "probe settled at {f}, cap is 1.7 GHz"
+        );
+        assert!(f >= KiloHertz::from_mhz(1600));
+    }
+
+    #[test]
+    fn memory_bound_app_settles_early() {
+        let mut probe = UsefulFreqProbe::new(grid());
+        probe.min_gain = 0.6;
+        let mut request = probe.target();
+        for _ in 0..100 {
+            let ips = spec::OMNETPP.ips(request);
+            request = probe.observe(request, ips);
+            if probe.settled() {
+                break;
+            }
+        }
+        let f = probe.target();
+        assert!(
+            f < grid().max(),
+            "omnetpp's IPS knee is below max frequency, probe settled at {f}"
+        );
+        assert!(f > grid().min(), "but well above the floor");
+    }
+
+    #[test]
+    fn reprobe_follows_phase_change() {
+        let g = grid();
+        let mut probe = UsefulFreqProbe::new(g);
+        probe.reprobe_after = 3;
+        // settle against a capped app
+        let mut request = probe.target();
+        for _ in 0..60 {
+            let achieved = request.min(KiloHertz::from_mhz(1500));
+            request = probe.observe(achieved, spec::GCC.ips(achieved));
+            if probe.settled() {
+                break;
+            }
+        }
+        let settled_low = probe.target();
+        assert!(settled_low <= KiloHertz::from_mhz(1600));
+        // cap lifts (phase/license change): after the re-probe holdoff the
+        // probe climbs again
+        for _ in 0..120 {
+            let achieved = request;
+            request = probe.observe(achieved, spec::GCC.ips(achieved));
+        }
+        assert!(
+            probe.target() > settled_low,
+            "probe must rediscover headroom: {} -> {}",
+            settled_low,
+            probe.target()
+        );
+    }
+
+    #[test]
+    fn targets_always_on_grid() {
+        let g = grid();
+        let mut probe = UsefulFreqProbe::new(g);
+        let mut request = probe.target();
+        for i in 0..50 {
+            assert!(g.contains(request), "off-grid at step {i}");
+            request = probe.observe(request, 1e9 + i as f64);
+        }
+    }
+}

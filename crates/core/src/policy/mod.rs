@@ -1,0 +1,195 @@
+//! Differential power-delivery policies (§4, §5).
+//!
+//! Every policy consumes the same telemetry view and produces per-app
+//! frequency targets (plus park decisions for the priority policy). Share
+//! policies follow the paper's three-function structure:
+//!
+//! 1. an **initial distribution** run when applications start,
+//! 2. a **redistribution** run when measured power deviates from the
+//!    limit, applying min-funding revocation over saturated apps,
+//! 3. a **translation** from resource units to programmable frequencies.
+//!
+//! [`Policy::initial`] is (1); [`Policy::step`] is (2)+(3).
+
+pub mod frequency_shares;
+pub mod minfund;
+pub mod performance_shares;
+pub mod power_shares;
+pub mod priority;
+pub mod single_core;
+
+use pap_simcpu::freq::{FreqGrid, KiloHertz};
+use pap_simcpu::units::Watts;
+
+use crate::config::Priority;
+
+/// Telemetry view of one application, refreshed every control interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppView {
+    /// Core the app is pinned to.
+    pub core: usize,
+    /// Proportional shares.
+    pub shares: f64,
+    /// Priority class.
+    pub priority: Priority,
+    /// Measured active frequency over the last interval (zero if the core
+    /// slept through it).
+    pub active_freq: KiloHertz,
+    /// Measured per-core power, where the platform provides it.
+    pub power: Option<Watts>,
+    /// Measured instructions per second.
+    pub ips: f64,
+    /// Offline baseline IPS at maximum standalone frequency.
+    pub baseline_ips: f64,
+}
+
+impl AppView {
+    /// Normalized performance: measured IPS over the offline baseline.
+    pub fn normalized_perf(&self) -> f64 {
+        if self.baseline_ips <= 0.0 {
+            0.0
+        } else {
+            self.ips / self.baseline_ips
+        }
+    }
+}
+
+/// Static context shared by all policies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyCtx {
+    /// The platform's programmable frequency grid.
+    pub grid: FreqGrid,
+    /// `MaxPower` in the paper's α model; we use the platform TDP.
+    pub max_power: Watts,
+    /// The power limit to enforce.
+    pub limit: Watts,
+    /// Control deadband: inside `limit ± deadband` no redistribution runs.
+    pub deadband: Watts,
+    /// Damping on the α-model correction (1.0 = paper's raw formula; lower
+    /// trades settling time for stability).
+    pub damping: f64,
+}
+
+impl PolicyCtx {
+    /// Context with default controller tuning.
+    pub fn new(grid: FreqGrid, max_power: Watts, limit: Watts) -> PolicyCtx {
+        PolicyCtx {
+            grid,
+            max_power,
+            limit,
+            deadband: Watts(0.5),
+            damping: 0.6,
+        }
+    }
+}
+
+/// Per-interval input to a policy step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyInput<'a> {
+    /// Measured package power over the last interval.
+    pub package_power: Watts,
+    /// Telemetry per app.
+    pub apps: &'a [AppView],
+    /// The frequency targets the daemon currently has programmed, one per
+    /// app in the same order.
+    pub current: &'a [KiloHertz],
+}
+
+/// A policy decision: one frequency target and park flag per app, in app
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyOutput {
+    /// Frequency targets (ignored for parked apps).
+    pub freqs: Vec<KiloHertz>,
+    /// Apps whose cores should be put to sleep (priority starvation).
+    pub parked: Vec<bool>,
+}
+
+impl PolicyOutput {
+    /// All apps running at the given frequencies, none parked.
+    pub fn running(freqs: Vec<KiloHertz>) -> PolicyOutput {
+        let n = freqs.len();
+        PolicyOutput {
+            freqs,
+            parked: vec![false; n],
+        }
+    }
+}
+
+/// A differential power-delivery policy.
+pub trait Policy {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Initial distribution when applications start.
+    fn initial(&mut self, ctx: &PolicyCtx, apps: &[AppView]) -> PolicyOutput;
+
+    /// Redistribution + translation for one control interval.
+    fn step(&mut self, ctx: &PolicyCtx, input: &PolicyInput<'_>) -> PolicyOutput;
+}
+
+/// Saturation-aware upper bound for raising an app's frequency: if the
+/// measured frequency lags the programmed target by more than two grid
+/// steps the core is capped by something the daemon does not control
+/// (AVX license, turbo budget, RAPL), so granting it more frequency would
+/// waste the resource. The bound is then just above what it measurably
+/// achieves ("identifying saturation", §5).
+pub fn useful_max(grid: &FreqGrid, requested: KiloHertz, measured: KiloHertz) -> KiloHertz {
+    let two_steps = KiloHertz(grid.step().khz() * 2);
+    if measured > KiloHertz::ZERO && requested > measured + two_steps {
+        grid.round(measured + grid.step())
+    } else {
+        grid.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> FreqGrid {
+        FreqGrid::new(
+            KiloHertz::from_mhz(800),
+            KiloHertz::from_mhz(3000),
+            KiloHertz::from_mhz(100),
+        )
+    }
+
+    #[test]
+    fn normalized_perf() {
+        let mut v = AppView {
+            core: 0,
+            shares: 50.0,
+            priority: Priority::High,
+            active_freq: KiloHertz::from_mhz(2000),
+            power: None,
+            ips: 1.5e9,
+            baseline_ips: 3.0e9,
+        };
+        assert!((v.normalized_perf() - 0.5).abs() < 1e-12);
+        v.baseline_ips = 0.0;
+        assert_eq!(v.normalized_perf(), 0.0);
+    }
+
+    #[test]
+    fn useful_max_detects_hardware_caps() {
+        let g = grid();
+        // AVX app: asked for 2.4 GHz but measures 1.7 GHz -> cap near 1.8
+        let m = useful_max(&g, KiloHertz::from_mhz(2400), KiloHertz::from_mhz(1700));
+        assert_eq!(m, KiloHertz::from_mhz(1800));
+        // tracking fine -> full headroom
+        let m = useful_max(&g, KiloHertz::from_mhz(2400), KiloHertz::from_mhz(2400));
+        assert_eq!(m, g.max());
+        let m = useful_max(&g, KiloHertz::from_mhz(2400), KiloHertz::from_mhz(2300));
+        assert_eq!(m, g.max());
+        // idle core (zero measured) is not treated as saturated
+        let m = useful_max(&g, KiloHertz::from_mhz(2400), KiloHertz::ZERO);
+        assert_eq!(m, g.max());
+    }
+
+    #[test]
+    fn output_running_helper() {
+        let o = PolicyOutput::running(vec![KiloHertz::from_mhz(1000); 3]);
+        assert_eq!(o.parked, vec![false; 3]);
+    }
+}

@@ -1,0 +1,329 @@
+//! Single-core sharing policy (§4.3).
+//!
+//! When applications time-share one core they cannot hold different
+//! frequencies; the policy instead picks one core frequency and adjusts
+//! CPU-share fractions. The paper enumerates three combinations:
+//!
+//! 1. *Equal demands, mixed shares/priorities* — set the core to the
+//!    highest P-state at which either app stays within the power limit;
+//!    shares untouched.
+//! 2. *Mixed demands, equal shares, same priority* — the high-demand app
+//!    forces the frequency down, unfairly throttling the low-demand app;
+//!    compensate by granting the more-throttled app extra runtime.
+//! 3. *Mixed demands, mixed shares/priorities* — run the high-priority
+//!    app at the highest level within the limit; an HDLP app that cannot
+//!    fit at that frequency is excluded entirely ("does not run at all").
+//!
+//! Power accounting uses the Figure-6 time-weighted-sum property via the
+//! same model the chip integrates.
+
+use pap_simcpu::freq::{FreqGrid, KiloHertz};
+use pap_simcpu::power::{LoadDescriptor, PowerModel};
+use pap_simcpu::units::Watts;
+use pap_workloads::profile::WorkloadProfile;
+
+use crate::config::Priority;
+
+/// One time-shared application.
+#[derive(Debug, Clone)]
+pub struct SharedApp {
+    /// The workload.
+    pub profile: WorkloadProfile,
+    /// Proportional CPU shares.
+    pub shares: u32,
+    /// Priority class.
+    pub priority: Priority,
+}
+
+/// The policy's decision for the core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingleCoreDecision {
+    /// The one frequency the core runs at.
+    pub freq: KiloHertz,
+    /// CPU-time fraction per app (0 for excluded apps; sums to ≤ 1).
+    pub fractions: Vec<f64>,
+    /// Apps excluded because they cannot fit under the limit at the
+    /// chosen frequency (§4.3 case 3).
+    pub excluded: Vec<bool>,
+}
+
+/// Time-weighted core power for a fraction assignment at `freq`.
+fn weighted_power(
+    model: &PowerModel,
+    freq: KiloHertz,
+    apps: &[SharedApp],
+    fractions: &[f64],
+) -> Watts {
+    let mut p = Watts::ZERO;
+    let mut used = 0.0;
+    for (app, &frac) in apps.iter().zip(fractions) {
+        p += model.core_power(freq, &app.profile.load_at(freq)) * frac;
+        used += frac;
+    }
+    p + model.core_power(freq, &LoadDescriptor::IDLE) * (1.0 - used).max(0.0)
+}
+
+/// Share-proportional fractions over the non-excluded apps.
+fn proportional_fractions(apps: &[SharedApp], excluded: &[bool]) -> Vec<f64> {
+    let total: f64 = apps
+        .iter()
+        .zip(excluded)
+        .filter(|(_, &e)| !e)
+        .map(|(a, _)| a.shares as f64)
+        .sum();
+    apps.iter()
+        .zip(excluded)
+        .map(|(a, &e)| {
+            if e || total <= 0.0 {
+                0.0
+            } else {
+                a.shares as f64 / total
+            }
+        })
+        .collect()
+}
+
+/// §4.3 case-2 compensation: rescale fractions by each app's relative
+/// performance loss at `freq` vs `reference`, so throttling-sensitive
+/// apps receive extra runtime. Share proportions are preserved in the
+/// *performance* domain rather than the time domain.
+pub fn compensate_fractions(
+    apps: &[SharedApp],
+    fractions: &[f64],
+    freq: KiloHertz,
+    reference: KiloHertz,
+) -> Vec<f64> {
+    let weights: Vec<f64> = apps
+        .iter()
+        .zip(fractions)
+        .map(|(a, &f)| {
+            if f <= 0.0 {
+                0.0
+            } else {
+                // perf loss factor > 1 for apps hurt more by the throttle
+                let loss = a.profile.ips(reference) / a.profile.ips(freq);
+                f * loss
+            }
+        })
+        .collect();
+    let used: f64 = fractions.iter().sum();
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return fractions.to_vec();
+    }
+    weights.iter().map(|w| w / total * used).collect()
+}
+
+/// Plan a time-shared core under a per-core power budget.
+///
+/// Walks the grid from the top: at each frequency, HDLP apps that would
+/// push the time-weighted power over the budget are excluded (only while
+/// a high-priority app is present, per §4.3 case 3); the first frequency
+/// whose weighted power fits is chosen. Falls back to the grid minimum
+/// with everything running if even that does not fit (the budget then
+/// simply cannot be met — the caller owns that trade).
+pub fn plan_shared_core(
+    model: &PowerModel,
+    grid: &FreqGrid,
+    budget: Watts,
+    apps: &[SharedApp],
+) -> SingleCoreDecision {
+    assert!(!apps.is_empty(), "no apps to plan");
+    let has_hp = apps.iter().any(|a| a.priority == Priority::High);
+
+    // Candidate frequencies, highest first.
+    let mut freqs: Vec<KiloHertz> = grid.iter().collect();
+    freqs.reverse();
+
+    for &freq in &freqs {
+        // Start with everyone in, share-proportional.
+        let mut excluded = vec![false; apps.len()];
+        loop {
+            let fractions = proportional_fractions(apps, &excluded);
+            let p = weighted_power(model, freq, apps, &fractions);
+            if p <= budget {
+                return SingleCoreDecision {
+                    freq,
+                    fractions,
+                    excluded,
+                };
+            }
+            // Over budget at this frequency: with an HP app present, try
+            // excluding the heaviest low-priority app before giving up on
+            // the frequency (case 3: the HDLP app "does not run at all").
+            if !has_hp {
+                break;
+            }
+            let heaviest_lp = apps
+                .iter()
+                .enumerate()
+                .filter(|(i, a)| !excluded[*i] && a.priority == Priority::Low)
+                .max_by(|(_, a), (_, b)| {
+                    a.profile
+                        .capacitance
+                        .partial_cmp(&b.profile.capacitance)
+                        .expect("finite capacitance")
+                });
+            match heaviest_lp {
+                Some((i, _)) => excluded[i] = true,
+                None => break, // only HP apps left; lower the frequency
+            }
+        }
+    }
+
+    // Nothing fits: run everything at the floor.
+    let excluded = vec![false; apps.len()];
+    SingleCoreDecision {
+        freq: grid.min(),
+        fractions: proportional_fractions(apps, &excluded),
+        excluded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pap_simcpu::platform::PlatformSpec;
+    use pap_workloads::spec;
+
+    fn model_and_grid() -> (PowerModel, FreqGrid) {
+        let p = PlatformSpec::ryzen();
+        (p.power, p.grid)
+    }
+
+    fn app(profile: WorkloadProfile, shares: u32, priority: Priority) -> SharedApp {
+        SharedApp {
+            profile,
+            shares,
+            priority,
+        }
+    }
+
+    /// §4.3 case 1: equal demands — one frequency, shares untouched.
+    #[test]
+    fn case1_equal_demands() {
+        let (model, grid) = model_and_grid();
+        let apps = vec![
+            app(spec::LEELA, 75, Priority::High),
+            app(spec::LEELA, 25, Priority::Low),
+        ];
+        let d = plan_shared_core(&model, &grid, Watts(6.0), &apps);
+        assert!(d.excluded.iter().all(|&e| !e));
+        assert!((d.fractions[0] - 0.75).abs() < 1e-9);
+        assert!((d.fractions[1] - 0.25).abs() < 1e-9);
+        // and the frequency is the highest that fits the 6 W budget
+        let up = grid.step_up(d.freq);
+        if up > d.freq {
+            let over = weighted_power(&model, up, &apps, &d.fractions);
+            assert!(over > Watts(6.0), "a higher frequency would also fit");
+        }
+    }
+
+    /// §4.3 case 2: mixed demands, equal shares — the HD app drags the
+    /// frequency down; compensation hands the throttling-sensitive app
+    /// extra runtime.
+    #[test]
+    fn case2_compensation() {
+        let (model, grid) = model_and_grid();
+        let apps = vec![
+            app(spec::CACTUS_BSSN, 50, Priority::High), // HD
+            app(spec::EXCHANGE2, 50, Priority::High),   // LD, frequency-hungry
+        ];
+        let d = plan_shared_core(&model, &grid, Watts(4.0), &apps);
+        assert!(d.freq < grid.max(), "4 W must force throttling");
+        let comp = compensate_fractions(&apps, &d.fractions, d.freq, grid.max());
+        // exchange2 loses more performance per MHz -> gains runtime
+        assert!(
+            comp[1] > d.fractions[1] + 0.01,
+            "LD fraction {} -> {}",
+            d.fractions[1],
+            comp[1]
+        );
+        // total runtime conserved
+        let before: f64 = d.fractions.iter().sum();
+        let after: f64 = comp.iter().sum();
+        assert!((before - after).abs() < 1e-9);
+    }
+
+    /// §4.3 case 3 (LDHP + HDLP): the core runs at the HP app's maximum
+    /// and the high-demand low-priority app is excluded when it cannot
+    /// fit.
+    #[test]
+    fn case3_hdlp_excluded() {
+        let (model, grid) = model_and_grid();
+        let apps = vec![
+            app(spec::LEELA, 50, Priority::High), // LDHP
+            app(spec::LBM, 50, Priority::Low),    // HDLP (heavy)
+        ];
+        // Budget fits leela at a high frequency but not lbm's share.
+        let d = plan_shared_core(&model, &grid, Watts(4.5), &apps);
+        assert!(d.excluded[1], "HDLP app must be excluded");
+        assert!(!d.excluded[0]);
+        assert!((d.fractions[0] - 1.0).abs() < 1e-9, "HP app takes the core");
+        assert_eq!(d.fractions[1], 0.0);
+        // and the HP app runs faster than it would have with lbm included
+        let both = vec![false, false];
+        let frac_both = proportional_fractions(&apps, &both);
+        let p_both = weighted_power(&model, d.freq, &apps, &frac_both);
+        assert!(p_both > Watts(4.5), "inclusion would have blown the budget");
+    }
+
+    /// §4.3 case 3 (HDHP): the low-priority app runs at the same (lower)
+    /// frequency rather than being excluded, because the HP app itself is
+    /// what limits the frequency.
+    #[test]
+    fn case3_hdhp_drags_both() {
+        let (model, grid) = model_and_grid();
+        let apps = vec![
+            app(spec::CACTUS_BSSN, 50, Priority::High), // HDHP
+            app(spec::LEELA, 50, Priority::Low),        // LDLP
+        ];
+        let d = plan_shared_core(&model, &grid, Watts(5.0), &apps);
+        // leela is cheap; excluding it would barely help, so it stays
+        assert!(!d.excluded[1], "LDLP should not be excluded");
+        assert!(d.freq < grid.max());
+    }
+
+    /// Without any high-priority app no one is excluded; the frequency
+    /// just drops.
+    #[test]
+    fn no_hp_means_no_exclusion() {
+        let (model, grid) = model_and_grid();
+        let apps = vec![
+            app(spec::LBM, 50, Priority::Low),
+            app(spec::CAM4, 50, Priority::Low),
+        ];
+        let d = plan_shared_core(&model, &grid, Watts(3.0), &apps);
+        assert!(d.excluded.iter().all(|&e| !e));
+        assert!(d.freq < grid.max());
+    }
+
+    /// Impossible budget: everything runs at the floor (the documented
+    /// fallback).
+    #[test]
+    fn impossible_budget_floors() {
+        let (model, grid) = model_and_grid();
+        let apps = vec![app(spec::LBM, 100, Priority::Low)];
+        let d = plan_shared_core(&model, &grid, Watts(0.01), &apps);
+        assert_eq!(d.freq, grid.min());
+        assert!((d.fractions[0] - 1.0).abs() < 1e-9);
+    }
+
+    /// The chosen plan always fits the budget when any plan does, and the
+    /// weighted power matches the Figure-6 time-weighted sum.
+    #[test]
+    fn plan_fits_budget() {
+        let (model, grid) = model_and_grid();
+        let apps = vec![
+            app(spec::CACTUS_BSSN, 60, Priority::High),
+            app(spec::GCC, 40, Priority::Low),
+        ];
+        for budget in [3.0, 5.0, 8.0, 12.0] {
+            let d = plan_shared_core(&model, &grid, Watts(budget), &apps);
+            let p = weighted_power(&model, d.freq, &apps, &d.fractions);
+            if d.freq > grid.min() {
+                assert!(p <= Watts(budget + 1e-9), "plan at {budget} W draws {p}");
+            }
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Frequency quantization and the Ryzen 3-P-state selection utility.
+//!
+//! Policies compute continuous per-core frequency targets; hardware
+//! accepts only grid points — and on Ryzen, at most *three distinct*
+//! concurrent frequencies (§5 "Ryzen details": "we built an additional
+//! selection utility that dynamically reduces the target frequencies to
+//! three valid P-states"). Selecting the three levels for a set of targets
+//! is a 1-D k-clustering problem; [`cluster_to_slots`] solves it exactly
+//! with dynamic programming over the sorted targets (contiguous clusters
+//! are optimal in one dimension), and [`greedy_cluster`] provides the
+//! naive evenly-spaced alternative used as an ablation baseline.
+
+use pap_simcpu::freq::{FreqGrid, KiloHertz};
+
+/// Which algorithm selects the shared P-state slot levels (daemon-level
+/// choice; [`ClusterStrategy`] additionally picks the representative
+/// within DP clusters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotSelector {
+    /// Exact DP clustering, cluster means as levels (default).
+    DpMean,
+    /// Exact DP clustering, cluster minima as levels (never exceeds a
+    /// target).
+    DpFloor,
+    /// Naive evenly-spaced levels (ablation baseline).
+    Greedy,
+}
+
+impl SlotSelector {
+    /// Apply the selector to a target vector.
+    pub fn select(self, targets: &[KiloHertz], slots: usize, grid: &FreqGrid) -> Vec<KiloHertz> {
+        match self {
+            SlotSelector::DpMean => cluster_to_slots(targets, slots, grid, ClusterStrategy::Mean),
+            SlotSelector::DpFloor => cluster_to_slots(targets, slots, grid, ClusterStrategy::Floor),
+            SlotSelector::Greedy => greedy_cluster(targets, slots, grid),
+        }
+    }
+}
+
+/// How a cluster's representative level is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterStrategy {
+    /// The cluster mean (least squared error; may exceed some members'
+    /// targets — the control loop absorbs the transient power error).
+    Mean,
+    /// The cluster minimum ("reduces the target frequencies": no core ever
+    /// runs above its target, biasing total power low).
+    Floor,
+}
+
+/// Optimally cluster per-core frequency targets into at most `slots`
+/// distinct levels, returning one level per input target (input order).
+/// Levels are quantized to `grid`.
+///
+/// ```
+/// use powerd::quantize::{cluster_to_slots, distinct_levels, ClusterStrategy};
+/// use pap_simcpu::freq::{FreqGrid, KiloHertz};
+///
+/// let grid = FreqGrid::new(
+///     KiloHertz::from_mhz(400),
+///     KiloHertz::from_mhz(3800),
+///     KiloHertz::from_mhz(25),
+/// );
+/// let targets: Vec<KiloHertz> =
+///     [3400u64, 3300, 2000, 1900, 800, 825, 850, 3350]
+///         .iter()
+///         .map(|&m| KiloHertz::from_mhz(m))
+///         .collect();
+/// let levels = cluster_to_slots(&targets, 3, &grid, ClusterStrategy::Mean);
+/// assert!(distinct_levels(&levels) <= 3);
+/// ```
+///
+/// # Panics
+/// Panics if `targets` is empty or `slots` is zero.
+pub fn cluster_to_slots(
+    targets: &[KiloHertz],
+    slots: usize,
+    grid: &FreqGrid,
+    strategy: ClusterStrategy,
+) -> Vec<KiloHertz> {
+    assert!(!targets.is_empty(), "no targets to cluster");
+    assert!(slots >= 1, "need at least one slot");
+    let n = targets.len();
+    let k = slots.min(n);
+
+    // Sort indices by target value; clusters are contiguous in this order.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| targets[i]);
+    let xs: Vec<f64> = order.iter().map(|&i| targets[i].khz() as f64).collect();
+
+    // Prefix sums for O(1) interval cost (sum of squared error to mean).
+    let mut ps = vec![0.0; n + 1];
+    let mut ps2 = vec![0.0; n + 1];
+    for i in 0..n {
+        ps[i + 1] = ps[i] + xs[i];
+        ps2[i + 1] = ps2[i] + xs[i] * xs[i];
+    }
+    let cost = |a: usize, b: usize| -> f64 {
+        // SSE of xs[a..b] around its mean
+        let m = (b - a) as f64;
+        let s = ps[b] - ps[a];
+        let s2 = ps2[b] - ps2[a];
+        (s2 - s * s / m).max(0.0)
+    };
+
+    // dp[j][i] = min cost of clustering xs[0..i] into j clusters.
+    let inf = f64::INFINITY;
+    let mut dp = vec![vec![inf; n + 1]; k + 1];
+    let mut cut = vec![vec![0usize; n + 1]; k + 1];
+    dp[0][0] = 0.0;
+    for j in 1..=k {
+        for i in j..=n {
+            for a in (j - 1)..i {
+                let c = dp[j - 1][a] + cost(a, i);
+                if c < dp[j][i] {
+                    dp[j][i] = c;
+                    cut[j][i] = a;
+                }
+            }
+        }
+    }
+
+    // Use however many clusters are cheapest (fewer clusters never beat
+    // more in SSE, but equal-cost with fewer distinct levels is fine).
+    let mut boundaries = Vec::with_capacity(k + 1);
+    let mut i = n;
+    let mut j = k;
+    boundaries.push(n);
+    while j > 0 {
+        i = cut[j][i];
+        boundaries.push(i);
+        j -= 1;
+    }
+    boundaries.reverse();
+
+    // Representative level per cluster.
+    let mut level_of_sorted = vec![KiloHertz::ZERO; n];
+    for w in boundaries.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if a == b {
+            continue;
+        }
+        let level = match strategy {
+            ClusterStrategy::Mean => {
+                let mean = (ps[b] - ps[a]) / (b - a) as f64;
+                grid.round(KiloHertz(mean.round() as u64))
+            }
+            ClusterStrategy::Floor => grid.floor(KiloHertz(xs[a] as u64)),
+        };
+        for item in level_of_sorted.iter_mut().take(b).skip(a) {
+            *item = level;
+        }
+    }
+
+    // Map back to input order.
+    let mut out = vec![KiloHertz::ZERO; n];
+    for (sorted_pos, &orig_idx) in order.iter().enumerate() {
+        out[orig_idx] = level_of_sorted[sorted_pos];
+    }
+    out
+}
+
+/// Naive alternative: snap each target to the nearest of `slots` levels
+/// spaced evenly over the grid. Used as the ablation baseline for the DP
+/// selector.
+pub fn greedy_cluster(targets: &[KiloHertz], slots: usize, grid: &FreqGrid) -> Vec<KiloHertz> {
+    assert!(slots >= 1);
+    let lo = grid.min().khz() as f64;
+    let hi = grid.max().khz() as f64;
+    let levels: Vec<KiloHertz> = (0..slots)
+        .map(|i| {
+            let f = if slots == 1 {
+                hi
+            } else {
+                lo + (hi - lo) * i as f64 / (slots - 1) as f64
+            };
+            grid.round(KiloHertz(f as u64))
+        })
+        .collect();
+    targets
+        .iter()
+        .map(|t| {
+            *levels
+                .iter()
+                .min_by_key(|l| l.khz().abs_diff(t.khz()))
+                .expect("non-empty levels")
+        })
+        .collect()
+}
+
+/// Sum of squared error (in MHz²) between targets and assigned levels;
+/// the objective [`cluster_to_slots`] minimizes under the Mean strategy.
+pub fn sse_mhz(targets: &[KiloHertz], assigned: &[KiloHertz]) -> f64 {
+    targets
+        .iter()
+        .zip(assigned)
+        .map(|(t, a)| {
+            let d = t.mhz() as f64 - a.mhz() as f64;
+            d * d
+        })
+        .sum()
+}
+
+/// Count distinct levels in an assignment.
+pub fn distinct_levels(assigned: &[KiloHertz]) -> usize {
+    let mut v: Vec<KiloHertz> = assigned.to_vec();
+    v.sort();
+    v.dedup();
+    v.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ryzen_grid() -> FreqGrid {
+        FreqGrid::new(
+            KiloHertz::from_mhz(400),
+            KiloHertz::from_mhz(3800),
+            KiloHertz::from_mhz(25),
+        )
+    }
+
+    fn mhz(v: &[u64]) -> Vec<KiloHertz> {
+        v.iter().map(|&m| KiloHertz::from_mhz(m)).collect()
+    }
+
+    #[test]
+    fn at_most_k_levels() {
+        let g = ryzen_grid();
+        let targets = mhz(&[3400, 3200, 2000, 1900, 900, 800, 850, 3300]);
+        let out = cluster_to_slots(&targets, 3, &g, ClusterStrategy::Mean);
+        assert_eq!(out.len(), targets.len());
+        assert!(distinct_levels(&out) <= 3);
+        for f in &out {
+            assert!(g.contains(*f), "level {f} off grid");
+        }
+    }
+
+    #[test]
+    fn natural_clusters_found() {
+        let g = ryzen_grid();
+        // three obvious groups
+        let targets = mhz(&[3400, 3400, 2000, 2000, 800, 800]);
+        let out = cluster_to_slots(&targets, 3, &g, ClusterStrategy::Mean);
+        assert_eq!(out[0], KiloHertz::from_mhz(3400));
+        assert_eq!(out[2], KiloHertz::from_mhz(2000));
+        assert_eq!(out[4], KiloHertz::from_mhz(800));
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[2], out[3]);
+        assert_eq!(out[4], out[5]);
+    }
+
+    #[test]
+    fn fewer_targets_than_slots() {
+        let g = ryzen_grid();
+        let targets = mhz(&[2500, 1000]);
+        let out = cluster_to_slots(&targets, 3, &g, ClusterStrategy::Mean);
+        assert_eq!(out, mhz(&[2500, 1000]));
+    }
+
+    #[test]
+    fn floor_strategy_never_exceeds_targets() {
+        let g = ryzen_grid();
+        let targets = mhz(&[3400, 3100, 2100, 1900, 950, 800]);
+        let out = cluster_to_slots(&targets, 3, &g, ClusterStrategy::Floor);
+        for (t, a) in targets.iter().zip(&out) {
+            assert!(a <= t, "floor strategy exceeded target: {a} > {t}");
+        }
+        assert!(distinct_levels(&out) <= 3);
+    }
+
+    #[test]
+    fn dp_beats_or_matches_greedy() {
+        let g = ryzen_grid();
+        let cases: Vec<Vec<KiloHertz>> = vec![
+            mhz(&[3400, 3300, 1200, 1100, 1000, 900, 850, 800]),
+            mhz(&[3800, 400, 2100, 2100, 2100, 2100, 2100, 2100]),
+            mhz(&[1000, 1100, 1200, 1300, 1400, 1500, 1600, 1700]),
+        ];
+        for targets in cases {
+            let dp = cluster_to_slots(&targets, 3, &g, ClusterStrategy::Mean);
+            let greedy = greedy_cluster(&targets, 3, &g);
+            assert!(
+                sse_mhz(&targets, &dp) <= sse_mhz(&targets, &greedy) + 1e-6,
+                "DP worse than greedy on {targets:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dp_optimal_vs_bruteforce_small() {
+        // Exhaustively check optimality on a small instance: n=6, k=2.
+        let g = FreqGrid::new(KiloHertz(0), KiloHertz(10_000_000), KiloHertz(1));
+        let targets = mhz(&[100, 200, 250, 700, 900, 950]);
+        let dp = cluster_to_slots(&targets, 2, &g, ClusterStrategy::Mean);
+        let dp_sse = sse_mhz(&targets, &dp);
+
+        // brute force: all contiguous splits of the sorted targets
+        let mut sorted = targets.clone();
+        sorted.sort();
+        let mut best = f64::INFINITY;
+        for cut in 1..sorted.len() {
+            let (a, b) = sorted.split_at(cut);
+            let mean =
+                |s: &[KiloHertz]| s.iter().map(|f| f.mhz() as f64).sum::<f64>() / s.len() as f64;
+            let sse = |s: &[KiloHertz]| {
+                let m = mean(s);
+                s.iter().map(|f| (f.mhz() as f64 - m).powi(2)).sum::<f64>()
+            };
+            best = best.min(sse(a) + sse(b));
+        }
+        // Grid rounding of the mean can cost a little; allow slack of
+        // 1 MHz² per point.
+        assert!(
+            dp_sse <= best + targets.len() as f64,
+            "dp {dp_sse} vs brute {best}"
+        );
+    }
+
+    #[test]
+    fn greedy_levels_within_grid() {
+        let g = ryzen_grid();
+        let out = greedy_cluster(&mhz(&[3400, 1700, 500]), 3, &g);
+        for f in &out {
+            assert!(g.contains(*f));
+        }
+        // single-slot greedy snaps everything to one level
+        let one = greedy_cluster(&mhz(&[3400, 1700, 500]), 1, &g);
+        assert_eq!(distinct_levels(&one), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no targets")]
+    fn empty_targets_panic() {
+        let g = ryzen_grid();
+        let _ = cluster_to_slots(&[], 3, &g, ClusterStrategy::Mean);
+    }
+
+    #[test]
+    fn identical_targets_one_level() {
+        let g = ryzen_grid();
+        let out = cluster_to_slots(&mhz(&[2000; 8]), 3, &g, ClusterStrategy::Mean);
+        assert_eq!(distinct_levels(&out), 1);
+        assert_eq!(out[0], KiloHertz::from_mhz(2000));
+    }
+}

@@ -1,0 +1,242 @@
+//! Per-core simulated state.
+//!
+//! Each core tracks its requested and effective frequency, the load placed
+//! on it by the workload engine, idle state, and the hardware counters
+//! (`APERF`/`MPERF`/`TSC`, retired instructions, per-core energy) that the
+//! telemetry layer samples — the same variables the paper collects with a
+//! modified `turbostat` (§3.1).
+
+use crate::cstate::{CState, CStateResidency};
+use crate::freq::KiloHertz;
+use crate::power::LoadDescriptor;
+use crate::rapl::EnergyCounter;
+use crate::units::{Seconds, Watts};
+
+/// Snapshot of a core's fixed counters, sampled by telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreCounters {
+    /// Cycles accumulated at the *effective* frequency while active
+    /// (APERF analogue).
+    pub aperf: u64,
+    /// Cycles accumulated at the *base* frequency while active
+    /// (MPERF analogue).
+    pub mperf: u64,
+    /// Cycles at base frequency regardless of activity (TSC analogue).
+    pub tsc: u64,
+    /// Retired instructions (fixed counter INST_RETIRED analogue).
+    pub instructions: u64,
+}
+
+/// One simulated core.
+#[derive(Debug, Clone)]
+pub struct SimCore {
+    requested: KiloHertz,
+    effective: KiloHertz,
+    load: LoadDescriptor,
+    forced_idle: bool,
+    idle_state: CState,
+    counters: CoreCounters,
+    energy: EnergyCounter,
+    residency: CStateResidency,
+    last_power: Watts,
+}
+
+impl SimCore {
+    /// A core initially requesting `initial_freq`, idle, with zeroed
+    /// counters.
+    pub fn new(initial_freq: KiloHertz) -> SimCore {
+        SimCore {
+            requested: initial_freq,
+            effective: initial_freq,
+            load: LoadDescriptor::IDLE,
+            forced_idle: false,
+            idle_state: CState::C6,
+            counters: CoreCounters::default(),
+            energy: EnergyCounter::default(),
+            residency: CStateResidency::default(),
+            last_power: Watts::ZERO,
+        }
+    }
+
+    /// The frequency software has requested for this core.
+    pub fn requested(&self) -> KiloHertz {
+        self.requested
+    }
+
+    /// Set the requested frequency (validated by the chip before calling).
+    pub(crate) fn set_requested(&mut self, f: KiloHertz) {
+        self.requested = f;
+    }
+
+    /// The frequency the core actually ran at during the last tick, after
+    /// turbo, AVX and RAPL caps.
+    pub fn effective(&self) -> KiloHertz {
+        self.effective
+    }
+
+    pub(crate) fn set_effective(&mut self, f: KiloHertz) {
+        self.effective = f;
+    }
+
+    /// The current load descriptor.
+    pub fn load(&self) -> LoadDescriptor {
+        self.load
+    }
+
+    /// Install the load for the upcoming tick.
+    pub(crate) fn set_load(&mut self, load: LoadDescriptor) {
+        debug_assert!(load.is_valid());
+        self.load = load;
+    }
+
+    /// Force the core idle (policy-driven C-state parking) or release it.
+    pub fn set_forced_idle(&mut self, idle: bool) {
+        self.forced_idle = idle;
+    }
+
+    /// Whether the core is policy-parked.
+    pub fn forced_idle(&self) -> bool {
+        self.forced_idle
+    }
+
+    /// The idle state the core sits in when not executing.
+    pub fn idle_state(&self) -> CState {
+        self.idle_state
+    }
+
+    /// Select the idle state used when the core has no work.
+    pub fn set_idle_state(&mut self, s: CState) {
+        self.idle_state = s;
+    }
+
+    /// True when the core will execute this tick: it has active load and
+    /// is not parked.
+    pub fn is_active(&self) -> bool {
+        !self.forced_idle && self.load.is_active()
+    }
+
+    /// Fixed-counter snapshot.
+    pub fn counters(&self) -> CoreCounters {
+        self.counters
+    }
+
+    /// Per-core energy counter (exposed via telemetry only on platforms
+    /// with per-core power measurement).
+    pub fn energy(&self) -> &EnergyCounter {
+        &self.energy
+    }
+
+    /// C-state residency accounting.
+    pub fn residency(&self) -> &CStateResidency {
+        &self.residency
+    }
+
+    /// Power drawn during the last tick.
+    pub fn last_power(&self) -> Watts {
+        self.last_power
+    }
+
+    /// Credit retired instructions (from the workload engine).
+    pub fn add_instructions(&mut self, n: u64) {
+        self.counters.instructions = self.counters.instructions.wrapping_add(n);
+    }
+
+    /// Integrate one tick: update counters, residency and energy.
+    ///
+    /// `base_freq` is the platform nominal frequency (MPERF/TSC clock);
+    /// `power` the instantaneous core power computed by the chip's model.
+    pub(crate) fn integrate(&mut self, dt: Seconds, base_freq: KiloHertz, power: Watts) {
+        let active_fraction = if self.is_active() {
+            self.load.utilization
+        } else {
+            0.0
+        };
+        self.counters.tsc = self
+            .counters
+            .tsc
+            .wrapping_add((base_freq.hz() * dt.value()) as u64);
+        self.counters.mperf = self
+            .counters
+            .mperf
+            .wrapping_add((base_freq.hz() * dt.value() * active_fraction) as u64);
+        self.counters.aperf = self
+            .counters
+            .aperf
+            .wrapping_add((self.effective.hz() * dt.value() * active_fraction) as u64);
+        self.residency.record(dt, active_fraction, self.idle_state);
+        self.energy.add(power * dt);
+        self.last_power = power;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_core_is_idle() {
+        let c = SimCore::new(KiloHertz::from_mhz(2200));
+        assert!(!c.is_active());
+        assert_eq!(c.requested(), KiloHertz::from_mhz(2200));
+        assert_eq!(c.counters(), CoreCounters::default());
+    }
+
+    #[test]
+    fn active_needs_load_and_not_parked() {
+        let mut c = SimCore::new(KiloHertz::from_mhz(2200));
+        c.set_load(LoadDescriptor::nominal());
+        assert!(c.is_active());
+        c.set_forced_idle(true);
+        assert!(!c.is_active());
+        c.set_forced_idle(false);
+        c.set_load(LoadDescriptor::IDLE);
+        assert!(!c.is_active());
+    }
+
+    #[test]
+    fn integrate_updates_counters() {
+        let mut c = SimCore::new(KiloHertz::from_mhz(2000));
+        c.set_load(LoadDescriptor::nominal());
+        c.set_effective(KiloHertz::from_mhz(1000));
+        c.integrate(Seconds(1.0), KiloHertz::from_mhz(2000), Watts(5.0));
+        let ctr = c.counters();
+        assert_eq!(ctr.tsc, 2_000_000_000);
+        assert_eq!(ctr.mperf, 2_000_000_000);
+        assert_eq!(ctr.aperf, 1_000_000_000);
+        assert!((c.energy().total().value() - 5.0).abs() < 1e-9);
+        assert_eq!(c.last_power(), Watts(5.0));
+    }
+
+    #[test]
+    fn integrate_idle_keeps_aperf_mperf() {
+        let mut c = SimCore::new(KiloHertz::from_mhz(2000));
+        c.integrate(Seconds(1.0), KiloHertz::from_mhz(2000), Watts(0.05));
+        let ctr = c.counters();
+        assert_eq!(ctr.mperf, 0);
+        assert_eq!(ctr.aperf, 0);
+        assert_eq!(ctr.tsc, 2_000_000_000);
+        assert!((c.residency().c0_fraction() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_utilization_scales_counters() {
+        let mut c = SimCore::new(KiloHertz::from_mhz(2000));
+        c.set_load(LoadDescriptor {
+            capacitance: 1.0,
+            utilization: 0.5,
+            avx: false,
+        });
+        c.set_effective(KiloHertz::from_mhz(2000));
+        c.integrate(Seconds(1.0), KiloHertz::from_mhz(2000), Watts(3.0));
+        assert_eq!(c.counters().mperf, 1_000_000_000);
+        assert!((c.residency().c0_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instruction_credit() {
+        let mut c = SimCore::new(KiloHertz::from_mhz(2000));
+        c.add_instructions(1_000);
+        c.add_instructions(234);
+        assert_eq!(c.counters().instructions, 1_234);
+    }
+}

@@ -1,0 +1,157 @@
+//! Core idle states (C-states).
+//!
+//! C-states let a core stop executing entirely (§2.1 "Core Idling"): C0 is
+//! active, deeper states progressively power-gate more of the core at the
+//! cost of longer wake latency (1–200 µs on current x86). The priority
+//! policy uses forced idling to starve low-priority cores and hand their
+//! power (and turbo headroom) to high-priority ones.
+
+use crate::units::Seconds;
+
+/// A core idle state. `C0` is active; higher numbers are deeper sleeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CState {
+    /// Active: executing instructions.
+    C0,
+    /// Halt: clock gated, caches coherent.
+    C1,
+    /// Deeper sleep: clocks off, caches flushed progressively.
+    C3,
+    /// Deep power-down: core voltage removed.
+    C6,
+}
+
+impl CState {
+    /// All modeled states, shallow to deep.
+    pub const ALL: [CState; 4] = [CState::C0, CState::C1, CState::C3, CState::C6];
+
+    /// Wake latency back to C0, per published x86 measurements.
+    pub fn wake_latency(self) -> Seconds {
+        match self {
+            CState::C0 => Seconds(0.0),
+            CState::C1 => Seconds::from_micros(2.0),
+            CState::C3 => Seconds::from_micros(50.0),
+            CState::C6 => Seconds::from_micros(133.0),
+        }
+    }
+
+    /// Fraction of the model's idle-floor power drawn in this state,
+    /// relative to C1 (deeper states approach zero).
+    pub fn power_scale(self) -> f64 {
+        match self {
+            CState::C0 => 1.0,
+            CState::C1 => 0.30,
+            CState::C3 => 0.08,
+            CState::C6 => 0.01,
+        }
+    }
+
+    /// True when the core is executing.
+    pub fn is_active(self) -> bool {
+        matches!(self, CState::C0)
+    }
+}
+
+/// Per-core C-state residency accounting, mirroring what `turbostat`
+/// reports per sample.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CStateResidency {
+    /// Seconds accumulated in each of [`CState::ALL`] order.
+    residency: [f64; 4],
+}
+
+impl CStateResidency {
+    /// Record `dt` spent with the core split between C0 (for
+    /// `c0_fraction` of the time) and `idle_state` for the remainder.
+    pub fn record(&mut self, dt: Seconds, c0_fraction: f64, idle_state: CState) {
+        debug_assert!((0.0..=1.0).contains(&c0_fraction));
+        self.residency[0] += dt.value() * c0_fraction;
+        let idle = dt.value() * (1.0 - c0_fraction);
+        let idx = CState::ALL
+            .iter()
+            .position(|&s| s == idle_state)
+            .expect("state is in ALL");
+        if idx == 0 {
+            // Idling "in C0" is just active time.
+            self.residency[0] += idle;
+        } else {
+            self.residency[idx] += idle;
+        }
+    }
+
+    /// Total accounted time.
+    pub fn total(&self) -> Seconds {
+        Seconds(self.residency.iter().sum())
+    }
+
+    /// Time spent in `state`.
+    pub fn in_state(&self, state: CState) -> Seconds {
+        let idx = CState::ALL.iter().position(|&s| s == state).unwrap();
+        Seconds(self.residency[idx])
+    }
+
+    /// Fraction of accounted time spent active (C0); 0 if nothing recorded.
+    pub fn c0_fraction(&self) -> f64 {
+        let t = self.total().value();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.residency[0] / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_monotone_with_depth() {
+        let mut prev = Seconds(-1.0);
+        for s in CState::ALL {
+            assert!(s.wake_latency() >= prev);
+            prev = s.wake_latency();
+        }
+    }
+
+    #[test]
+    fn power_scale_monotone_decreasing() {
+        let mut prev = f64::MAX;
+        for s in CState::ALL {
+            assert!(s.power_scale() <= prev);
+            prev = s.power_scale();
+        }
+        assert!(CState::C6.power_scale() < 0.05);
+    }
+
+    #[test]
+    fn only_c0_is_active() {
+        assert!(CState::C0.is_active());
+        assert!(!CState::C1.is_active());
+        assert!(!CState::C6.is_active());
+    }
+
+    #[test]
+    fn residency_accounting() {
+        let mut r = CStateResidency::default();
+        r.record(Seconds(1.0), 0.75, CState::C6);
+        r.record(Seconds(1.0), 0.25, CState::C6);
+        assert!((r.total().value() - 2.0).abs() < 1e-12);
+        assert!((r.in_state(CState::C0).value() - 1.0).abs() < 1e-12);
+        assert!((r.in_state(CState::C6).value() - 1.0).abs() < 1e-12);
+        assert!((r.c0_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residency_idle_in_c0_counts_active() {
+        let mut r = CStateResidency::default();
+        r.record(Seconds(2.0), 0.5, CState::C0);
+        assert!((r.in_state(CState::C0).value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_residency_fraction_zero() {
+        let r = CStateResidency::default();
+        assert_eq!(r.c0_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Simulator error types.
+
+use std::fmt;
+
+use crate::freq::KiloHertz;
+use crate::units::Watts;
+
+/// Errors returned by simulator operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A core index outside the chip was addressed.
+    NoSuchCore {
+        /// The offending core index.
+        core: usize,
+        /// How many cores the chip actually has.
+        num_cores: usize,
+    },
+    /// A frequency outside the platform's programmable range was requested.
+    FrequencyOutOfRange {
+        /// The offending frequency.
+        requested: KiloHertz,
+        /// Lowest programmable frequency.
+        min: KiloHertz,
+        /// Highest programmable frequency.
+        max: KiloHertz,
+    },
+    /// A RAPL limit outside the platform's supported window was requested.
+    PowerLimitOutOfRange {
+        /// The offending limit.
+        requested: Watts,
+        /// Lowest programmable limit.
+        min: Watts,
+        /// Highest programmable limit.
+        max: Watts,
+    },
+    /// The platform does not implement the requested capability
+    /// (e.g. RAPL limiting on Ryzen, per-core power telemetry on Skylake).
+    Unsupported(&'static str),
+    /// An MSR address that the emulated part does not decode.
+    InvalidMsr {
+        /// The undecoded register number.
+        addr: u32,
+    },
+    /// Writing a read-only MSR.
+    ReadOnlyMsr {
+        /// The register number written.
+        addr: u32,
+    },
+    /// An emulated sysfs path that does not exist.
+    NoSuchPath(String),
+    /// An invalid value written to an emulated sysfs attribute.
+    InvalidValue(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoSuchCore { core, num_cores } => {
+                write!(f, "core {core} out of range (chip has {num_cores} cores)")
+            }
+            SimError::FrequencyOutOfRange {
+                requested,
+                min,
+                max,
+            } => write!(
+                f,
+                "frequency {requested} outside programmable range [{min}, {max}]"
+            ),
+            SimError::PowerLimitOutOfRange {
+                requested,
+                min,
+                max,
+            } => write!(
+                f,
+                "power limit {requested} outside supported window [{min}, {max}]"
+            ),
+            SimError::Unsupported(what) => write!(f, "platform does not support {what}"),
+            SimError::InvalidMsr { addr } => write!(f, "invalid MSR address {addr:#x}"),
+            SimError::ReadOnlyMsr { addr } => write!(f, "MSR {addr:#x} is read-only"),
+            SimError::NoSuchPath(p) => write!(f, "no such sysfs path: {p}"),
+            SimError::InvalidValue(v) => write!(f, "invalid sysfs value: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::NoSuchCore {
+            core: 12,
+            num_cores: 10,
+        };
+        assert!(e.to_string().contains("core 12"));
+        let e = SimError::FrequencyOutOfRange {
+            requested: KiloHertz::from_mhz(5000),
+            min: KiloHertz::from_mhz(800),
+            max: KiloHertz::from_mhz(3000),
+        };
+        assert!(e.to_string().contains("5000 MHz"));
+        let e = SimError::Unsupported("RAPL limiting");
+        assert!(e.to_string().contains("RAPL limiting"));
+        let e = SimError::InvalidMsr { addr: 0x611 };
+        assert!(e.to_string().contains("0x611"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SimError::Unsupported("x"));
+    }
+}

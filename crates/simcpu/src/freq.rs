@@ -1,0 +1,404 @@
+//! Frequency representation and quantization.
+//!
+//! All frequencies in the simulator are carried as [`KiloHertz`], an integer
+//! newtype. Real platforms expose frequency in discrete steps (100 MHz on
+//! Intel Skylake, 25 MHz on AMD Ryzen); [`FreqGrid`] models such a step grid
+//! and provides quantization helpers used by the control daemon's
+//! translation functions.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A CPU frequency in kilohertz (matching the unit used by Linux cpufreq).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct KiloHertz(pub u64);
+
+impl KiloHertz {
+    /// Zero frequency (a halted core).
+    pub const ZERO: KiloHertz = KiloHertz(0);
+
+    /// Construct from megahertz.
+    #[inline]
+    pub const fn from_mhz(mhz: u64) -> KiloHertz {
+        KiloHertz(mhz * 1_000)
+    }
+
+    /// Construct from gigahertz (fractional values are truncated to kHz).
+    #[inline]
+    pub fn from_ghz(ghz: f64) -> KiloHertz {
+        KiloHertz((ghz * 1e6).round() as u64)
+    }
+
+    /// Value in kilohertz.
+    #[inline]
+    pub const fn khz(self) -> u64 {
+        self.0
+    }
+
+    /// Value in megahertz (truncating).
+    #[inline]
+    pub const fn mhz(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Value in gigahertz.
+    #[inline]
+    pub fn ghz(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Value in hertz.
+    #[inline]
+    pub fn hz(self) -> f64 {
+        self.0 as f64 * 1e3
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: KiloHertz) -> KiloHertz {
+        KiloHertz(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: KiloHertz) -> KiloHertz {
+        KiloHertz(self.0.min(other.0))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: KiloHertz) -> KiloHertz {
+        KiloHertz(self.0.max(other.0))
+    }
+
+    /// Clamp to the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn clamp(self, lo: KiloHertz, hi: KiloHertz) -> KiloHertz {
+        KiloHertz(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// Scale by a non-negative factor, rounding to the nearest kHz.
+    ///
+    /// Panics in debug builds if `factor` is negative or non-finite.
+    #[inline]
+    pub fn scale(self, factor: f64) -> KiloHertz {
+        debug_assert!(factor.is_finite() && factor >= 0.0);
+        KiloHertz((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add for KiloHertz {
+    type Output = KiloHertz;
+    #[inline]
+    fn add(self, rhs: KiloHertz) -> KiloHertz {
+        KiloHertz(self.0 + rhs.0)
+    }
+}
+
+impl Sub for KiloHertz {
+    type Output = KiloHertz;
+    #[inline]
+    fn sub(self, rhs: KiloHertz) -> KiloHertz {
+        KiloHertz(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign for KiloHertz {
+    #[inline]
+    fn add_assign(&mut self, rhs: KiloHertz) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for KiloHertz {
+    #[inline]
+    fn sub_assign(&mut self, rhs: KiloHertz) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for KiloHertz {
+    fn sum<I: Iterator<Item = KiloHertz>>(iter: I) -> KiloHertz {
+        KiloHertz(iter.map(|f| f.0).sum())
+    }
+}
+
+impl fmt::Display for KiloHertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} MHz", self.mhz())
+    }
+}
+
+/// A discrete frequency grid `[min, min+step, ..., max]`.
+///
+/// Models the quantization a platform imposes on programmable frequencies,
+/// e.g. 100 MHz bins on Intel or 25 MHz bins on AMD Ryzen.
+///
+/// ```
+/// use pap_simcpu::freq::{FreqGrid, KiloHertz};
+/// let grid = FreqGrid::new(
+///     KiloHertz::from_mhz(800),
+///     KiloHertz::from_mhz(3000),
+///     KiloHertz::from_mhz(100),
+/// );
+/// assert_eq!(grid.round(KiloHertz::from_mhz(1234)), KiloHertz::from_mhz(1200));
+/// assert_eq!(grid.len(), 23);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreqGrid {
+    min: KiloHertz,
+    max: KiloHertz,
+    step: KiloHertz,
+}
+
+impl FreqGrid {
+    /// Build a grid. `max` is adjusted down to the nearest point on the
+    /// grid if `max - min` is not a multiple of `step`.
+    ///
+    /// # Panics
+    /// Panics if `step` is zero or `max < min`.
+    pub fn new(min: KiloHertz, max: KiloHertz, step: KiloHertz) -> FreqGrid {
+        assert!(step.khz() > 0, "frequency step must be non-zero");
+        assert!(max >= min, "max frequency below min");
+        let span = (max.khz() - min.khz()) / step.khz() * step.khz();
+        FreqGrid {
+            min,
+            max: KiloHertz(min.khz() + span),
+            step,
+        }
+    }
+
+    /// Lowest grid frequency.
+    #[inline]
+    pub fn min(&self) -> KiloHertz {
+        self.min
+    }
+
+    /// Highest grid frequency.
+    #[inline]
+    pub fn max(&self) -> KiloHertz {
+        self.max
+    }
+
+    /// Grid step size.
+    #[inline]
+    pub fn step(&self) -> KiloHertz {
+        self.step
+    }
+
+    /// Number of grid points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        ((self.max.khz() - self.min.khz()) / self.step.khz()) as usize + 1
+    }
+
+    /// Grids always contain at least one point.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True if `f` lies exactly on the grid.
+    pub fn contains(&self, f: KiloHertz) -> bool {
+        f >= self.min && f <= self.max && (f.khz() - self.min.khz()).is_multiple_of(self.step.khz())
+    }
+
+    /// Quantize to the nearest grid point (ties round up).
+    pub fn round(&self, f: KiloHertz) -> KiloHertz {
+        let f = f.clamp(self.min, self.max);
+        let off = f.khz() - self.min.khz();
+        let lo = off / self.step.khz() * self.step.khz();
+        let rem = off - lo;
+        let snapped = if rem * 2 >= self.step.khz() {
+            lo + self.step.khz()
+        } else {
+            lo
+        };
+        KiloHertz(self.min.khz() + snapped).min(self.max)
+    }
+
+    /// Quantize downward to the grid (floor). Values below `min` clamp up.
+    pub fn floor(&self, f: KiloHertz) -> KiloHertz {
+        if f <= self.min {
+            return self.min;
+        }
+        let f = f.min(self.max);
+        let off = (f.khz() - self.min.khz()) / self.step.khz() * self.step.khz();
+        KiloHertz(self.min.khz() + off)
+    }
+
+    /// Quantize upward to the grid (ceiling). Values above `max` clamp down.
+    pub fn ceil(&self, f: KiloHertz) -> KiloHertz {
+        if f >= self.max {
+            return self.max;
+        }
+        let f = f.max(self.min);
+        let off = f.khz() - self.min.khz();
+        let lo = off / self.step.khz() * self.step.khz();
+        let up = if lo == off { lo } else { lo + self.step.khz() };
+        KiloHertz(self.min.khz() + up)
+    }
+
+    /// One step below `f` on the grid, clamped at `min`.
+    pub fn step_down(&self, f: KiloHertz) -> KiloHertz {
+        let f = self.round(f);
+        if f.khz() >= self.min.khz() + self.step.khz() {
+            f - self.step
+        } else {
+            self.min
+        }
+    }
+
+    /// One step above `f` on the grid, clamped at `max`.
+    pub fn step_up(&self, f: KiloHertz) -> KiloHertz {
+        let f = self.round(f);
+        (f + self.step).min(self.max)
+    }
+
+    /// Iterate all grid points in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = KiloHertz> + '_ {
+        (0..self.len() as u64).map(move |i| KiloHertz(self.min.khz() + i * self.step.khz()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skylake_grid() -> FreqGrid {
+        FreqGrid::new(
+            KiloHertz::from_mhz(800),
+            KiloHertz::from_mhz(3000),
+            KiloHertz::from_mhz(100),
+        )
+    }
+
+    #[test]
+    fn conversions() {
+        let f = KiloHertz::from_ghz(2.2);
+        assert_eq!(f.khz(), 2_200_000);
+        assert_eq!(f.mhz(), 2_200);
+        assert!((f.ghz() - 2.2).abs() < 1e-9);
+        assert!((f.hz() - 2.2e9).abs() < 1.0);
+        assert_eq!(KiloHertz::from_mhz(100).khz(), 100_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = KiloHertz::from_mhz(1000) + KiloHertz::from_mhz(500);
+        assert_eq!(a, KiloHertz::from_mhz(1500));
+        assert_eq!(a - KiloHertz::from_mhz(300), KiloHertz::from_mhz(1200));
+        assert_eq!(
+            KiloHertz::from_mhz(100).saturating_sub(KiloHertz::from_mhz(200)),
+            KiloHertz::ZERO
+        );
+        assert_eq!(
+            KiloHertz::from_mhz(1000).scale(1.5),
+            KiloHertz::from_mhz(1500)
+        );
+    }
+
+    #[test]
+    fn grid_round() {
+        let g = skylake_grid();
+        assert_eq!(g.round(KiloHertz(1_949_999)), KiloHertz::from_mhz(1900));
+        assert_eq!(g.round(KiloHertz(1_950_000)), KiloHertz::from_mhz(2000));
+        assert_eq!(g.round(KiloHertz::from_mhz(50)), KiloHertz::from_mhz(800));
+        assert_eq!(
+            g.round(KiloHertz::from_mhz(9000)),
+            KiloHertz::from_mhz(3000)
+        );
+    }
+
+    #[test]
+    fn grid_floor_ceil() {
+        let g = skylake_grid();
+        assert_eq!(g.floor(KiloHertz(1_999_000)), KiloHertz::from_mhz(1900));
+        assert_eq!(g.ceil(KiloHertz(1_901_000)), KiloHertz::from_mhz(2000));
+        assert_eq!(g.floor(KiloHertz::from_mhz(100)), KiloHertz::from_mhz(800));
+        assert_eq!(g.ceil(KiloHertz::from_mhz(100)), KiloHertz::from_mhz(800));
+        assert_eq!(g.ceil(KiloHertz::from_mhz(5000)), KiloHertz::from_mhz(3000));
+        // exact grid points are fixed points
+        assert_eq!(
+            g.floor(KiloHertz::from_mhz(2000)),
+            KiloHertz::from_mhz(2000)
+        );
+        assert_eq!(g.ceil(KiloHertz::from_mhz(2000)), KiloHertz::from_mhz(2000));
+    }
+
+    #[test]
+    fn grid_steps() {
+        let g = skylake_grid();
+        assert_eq!(
+            g.step_down(KiloHertz::from_mhz(800)),
+            KiloHertz::from_mhz(800)
+        );
+        assert_eq!(
+            g.step_down(KiloHertz::from_mhz(1000)),
+            KiloHertz::from_mhz(900)
+        );
+        assert_eq!(
+            g.step_up(KiloHertz::from_mhz(3000)),
+            KiloHertz::from_mhz(3000)
+        );
+        assert_eq!(
+            g.step_up(KiloHertz::from_mhz(1000)),
+            KiloHertz::from_mhz(1100)
+        );
+    }
+
+    #[test]
+    fn grid_len_iter_contains() {
+        let g = skylake_grid();
+        assert_eq!(g.len(), 23);
+        let pts: Vec<_> = g.iter().collect();
+        assert_eq!(pts.len(), 23);
+        assert_eq!(pts[0], KiloHertz::from_mhz(800));
+        assert_eq!(*pts.last().unwrap(), KiloHertz::from_mhz(3000));
+        assert!(g.contains(KiloHertz::from_mhz(1200)));
+        assert!(!g.contains(KiloHertz::from_mhz(1250)));
+        assert!(!g.contains(KiloHertz::from_mhz(700)));
+    }
+
+    #[test]
+    fn grid_non_multiple_max_truncates() {
+        let g = FreqGrid::new(
+            KiloHertz::from_mhz(400),
+            KiloHertz::from_mhz(3800),
+            KiloHertz::from_mhz(25),
+        );
+        // 3800 - 400 = 3400 is a multiple of 25, stays
+        assert_eq!(g.max(), KiloHertz::from_mhz(3800));
+        let g2 = FreqGrid::new(
+            KiloHertz::from_mhz(400),
+            KiloHertz(3_793_000),
+            KiloHertz::from_mhz(25),
+        );
+        assert_eq!(g2.max(), KiloHertz(3_775_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency step")]
+    fn zero_step_panics() {
+        let _ = FreqGrid::new(KiloHertz(1), KiloHertz(2), KiloHertz(0));
+    }
+
+    #[test]
+    fn ryzen_grid_25mhz() {
+        let g = FreqGrid::new(
+            KiloHertz::from_mhz(400),
+            KiloHertz::from_mhz(3800),
+            KiloHertz::from_mhz(25),
+        );
+        assert_eq!(
+            g.round(KiloHertz::from_mhz(1667)),
+            KiloHertz::from_mhz(1675)
+        );
+        assert_eq!(
+            g.floor(KiloHertz::from_mhz(1667)),
+            KiloHertz::from_mhz(1650)
+        );
+        assert_eq!(g.len(), 137);
+    }
+}

@@ -1,0 +1,142 @@
+//! Idle-state selection (a menu-governor analogue, §2.1 "Core Idling").
+//!
+//! Deeper C-states save more power but cost more wake latency (1–200 µs);
+//! choosing one is a prediction problem. [`IdleGovernor`] follows the
+//! kernel menu governor's core idea: predict the next idle interval from
+//! an exponentially weighted history (with a correction factor for
+//! systematic over-prediction) and pick the deepest state whose wake
+//! latency is a small fraction of the predicted residency.
+
+use crate::cstate::CState;
+use crate::units::Seconds;
+
+/// Per-core idle-state governor.
+#[derive(Debug, Clone)]
+pub struct IdleGovernor {
+    /// EWMA of observed idle durations (seconds).
+    predicted: f64,
+    /// Multiplicative correction from past misprediction
+    /// (observed / predicted), clamped.
+    correction: f64,
+    /// Wake latency must be below `latency_fraction` of the predicted
+    /// idle residency for a state to be eligible (menu uses a comparable
+    /// break-even rule).
+    pub latency_fraction: f64,
+    /// EWMA smoothing factor for new observations.
+    pub alpha: f64,
+}
+
+impl Default for IdleGovernor {
+    fn default() -> Self {
+        IdleGovernor::new()
+    }
+}
+
+impl IdleGovernor {
+    /// A governor with kernel-like defaults, initially predicting long
+    /// idles (first decision on an idle system goes deep).
+    pub fn new() -> IdleGovernor {
+        IdleGovernor {
+            predicted: 1e-3,
+            correction: 1.0,
+            latency_fraction: 0.1,
+            alpha: 0.3,
+        }
+    }
+
+    /// The current idle-duration prediction.
+    pub fn predicted(&self) -> Seconds {
+        Seconds(self.predicted * self.correction)
+    }
+
+    /// Record an observed idle interval (call when the core wakes).
+    pub fn observe(&mut self, idle: Seconds) {
+        debug_assert!(idle.value() >= 0.0);
+        let v = idle.value();
+        // update correction from how the last prediction fared
+        let predicted = (self.predicted * self.correction).max(1e-9);
+        let ratio = (v / predicted).clamp(0.1, 10.0);
+        self.correction =
+            (self.correction * (1.0 - self.alpha) + ratio * self.alpha).clamp(0.2, 5.0);
+        self.predicted = self.predicted * (1.0 - self.alpha) + v * self.alpha;
+    }
+
+    /// Pick the deepest C-state whose wake latency fits the prediction.
+    pub fn select(&self) -> CState {
+        let budget = self.predicted().value() * self.latency_fraction;
+        // ALL is shallow→deep; take the deepest eligible.
+        CState::ALL
+            .iter()
+            .rev()
+            .find(|s| !s.is_active() && s.wake_latency().value() <= budget)
+            .copied()
+            .unwrap_or(CState::C1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_idles_go_deep() {
+        let mut g = IdleGovernor::new();
+        for _ in 0..20 {
+            g.observe(Seconds::from_millis(50.0));
+        }
+        assert_eq!(g.select(), CState::C6);
+    }
+
+    #[test]
+    fn short_idles_stay_shallow() {
+        let mut g = IdleGovernor::new();
+        for _ in 0..20 {
+            g.observe(Seconds::from_micros(30.0));
+        }
+        // 30 µs idles: C6's 133 µs wake latency is unaffordable; C1's 2 µs
+        // fits the 10% budget only marginally — expect C1.
+        assert_eq!(g.select(), CState::C1);
+    }
+
+    #[test]
+    fn medium_idles_pick_c3() {
+        let mut g = IdleGovernor::new();
+        for _ in 0..30 {
+            g.observe(Seconds::from_micros(700.0));
+        }
+        // 700 µs × 0.1 = 70 µs budget: C3 (50 µs) fits, C6 (133 µs) not.
+        assert_eq!(g.select(), CState::C3);
+    }
+
+    #[test]
+    fn prediction_tracks_observations() {
+        let mut g = IdleGovernor::new();
+        for _ in 0..50 {
+            g.observe(Seconds::from_millis(2.0));
+        }
+        let p = g.predicted().value();
+        assert!((p - 0.002).abs() < 0.001, "predicted {p}");
+    }
+
+    #[test]
+    fn adapts_when_pattern_changes() {
+        let mut g = IdleGovernor::new();
+        for _ in 0..30 {
+            g.observe(Seconds::from_millis(20.0));
+        }
+        assert_eq!(g.select(), CState::C6);
+        for _ in 0..30 {
+            g.observe(Seconds::from_micros(25.0));
+        }
+        assert_eq!(g.select(), CState::C1, "must back off after bursts shorten");
+    }
+
+    #[test]
+    fn never_selects_active_state() {
+        let g = IdleGovernor::new();
+        assert!(!g.select().is_active());
+        let mut g = IdleGovernor::new();
+        g.observe(Seconds(0.0));
+        assert!(!g.select().is_active());
+    }
+}

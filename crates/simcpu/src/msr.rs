@@ -1,0 +1,263 @@
+//! Emulated model-specific register (MSR) interface.
+//!
+//! Real control daemons reach the hardware through `/dev/cpu/<n>/msr`
+//! (§2.1 "Model-specific register"). [`MsrBus`] decodes the same register
+//! numbers against the simulated chip, so code written against this
+//! interface would port to a real MSR backend unchanged. Vendor-specific
+//! registers follow the documented Intel and AMD layouts.
+
+use crate::chip::Chip;
+use crate::error::{Result, SimError};
+use crate::freq::KiloHertz;
+use crate::platform::Vendor;
+use crate::units::Watts;
+
+/// Architectural (vendor-neutral) MSRs.
+pub mod addr {
+    /// IA32_TIME_STAMP_COUNTER.
+    pub const TSC: u32 = 0x10;
+    /// IA32_MPERF: base-clock cycles while in C0.
+    pub const MPERF: u32 = 0xE7;
+    /// IA32_APERF: actual-clock cycles while in C0.
+    pub const APERF: u32 = 0xE8;
+    /// IA32_PERF_STATUS: current operating point (read-only).
+    pub const PERF_STATUS: u32 = 0x198;
+    /// IA32_PERF_CTL: requested operating point.
+    pub const PERF_CTL: u32 = 0x199;
+    /// IA32_FIXED_CTR0: retired instructions.
+    pub const FIXED_CTR0: u32 = 0x309;
+    /// MSR_PKG_POWER_LIMIT (Intel RAPL).
+    pub const PKG_POWER_LIMIT: u32 = 0x610;
+    /// MSR_PKG_ENERGY_STATUS (Intel RAPL).
+    pub const PKG_ENERGY_STATUS: u32 = 0x611;
+    /// MSR_PP0_ENERGY_STATUS (Intel RAPL, core domain).
+    pub const PP0_ENERGY_STATUS: u32 = 0x639;
+    /// AMD core energy counter (Family 17h).
+    pub const AMD_CORE_ENERGY: u32 = 0xC001_029A;
+    /// AMD package energy counter (Family 17h).
+    pub const AMD_PKG_ENERGY: u32 = 0xC001_029B;
+    /// AMD P-state control (Family 17h, simplified frequency encoding).
+    pub const AMD_PSTATE_CTL: u32 = 0xC001_0062;
+}
+
+/// RAPL power-limit encoding: watts are programmed in 1/8 W units in bits
+/// 14:0, with bit 15 as the enable flag (a simplification of the full
+/// MSR_PKG_POWER_LIMIT layout that keeps the same unit system).
+const POWER_LIMIT_ENABLE: u64 = 1 << 15;
+const POWER_LIMIT_MASK: u64 = 0x7FFF;
+
+/// An MSR access path to a simulated chip.
+///
+/// Register semantics follow the hardware: per-core registers take the
+/// core index; package registers ignore it.
+pub struct MsrBus<'a> {
+    chip: &'a mut Chip,
+}
+
+impl<'a> MsrBus<'a> {
+    /// Attach to a chip.
+    pub fn new(chip: &'a mut Chip) -> MsrBus<'a> {
+        MsrBus { chip }
+    }
+
+    /// Read an MSR on `core`.
+    pub fn read(&self, core: usize, msr: u32) -> Result<u64> {
+        if core >= self.chip.num_cores() {
+            return Err(SimError::NoSuchCore {
+                core,
+                num_cores: self.chip.num_cores(),
+            });
+        }
+        let vendor = self.chip.spec().vendor;
+        match msr {
+            addr::TSC => Ok(self.chip.counters(core).tsc),
+            addr::MPERF => Ok(self.chip.counters(core).mperf),
+            addr::APERF => Ok(self.chip.counters(core).aperf),
+            addr::FIXED_CTR0 => Ok(self.chip.counters(core).instructions),
+            addr::PERF_STATUS => Ok(encode_perf(vendor, self.chip.effective_freq(core))),
+            addr::PERF_CTL | addr::AMD_PSTATE_CTL => {
+                Ok(encode_perf(vendor, self.chip.requested_freq(core)))
+            }
+            addr::PKG_ENERGY_STATUS if vendor == Vendor::Intel => {
+                Ok(self.chip.package_energy_raw() as u64)
+            }
+            addr::PP0_ENERGY_STATUS if vendor == Vendor::Intel => {
+                Ok(self.chip.cores_energy_raw() as u64)
+            }
+            addr::PKG_POWER_LIMIT if vendor == Vendor::Intel => {
+                let w = self.chip.rapl_limit();
+                Ok(match w {
+                    Some(w) => ((w.value() * 8.0) as u64 & POWER_LIMIT_MASK) | POWER_LIMIT_ENABLE,
+                    None => 0,
+                })
+            }
+            addr::AMD_PKG_ENERGY if vendor == Vendor::Amd => {
+                Ok(self.chip.package_energy_raw() as u64)
+            }
+            addr::AMD_CORE_ENERGY if vendor == Vendor::Amd => {
+                Ok(self.chip.core_energy_raw(core)? as u64)
+            }
+            _ => Err(SimError::InvalidMsr { addr: msr }),
+        }
+    }
+
+    /// Write an MSR on `core`.
+    pub fn write(&mut self, core: usize, msr: u32, value: u64) -> Result<()> {
+        let vendor = self.chip.spec().vendor;
+        match msr {
+            addr::PERF_CTL | addr::AMD_PSTATE_CTL => {
+                let f = decode_perf(vendor, value);
+                self.chip.set_requested_freq(core, f)
+            }
+            addr::PKG_POWER_LIMIT if vendor == Vendor::Intel => {
+                if value & POWER_LIMIT_ENABLE != 0 {
+                    let w = Watts((value & POWER_LIMIT_MASK) as f64 / 8.0);
+                    self.chip.set_rapl_limit(Some(w))
+                } else {
+                    self.chip.set_rapl_limit(None)
+                }
+            }
+            addr::TSC
+            | addr::MPERF
+            | addr::APERF
+            | addr::FIXED_CTR0
+            | addr::PERF_STATUS
+            | addr::PKG_ENERGY_STATUS
+            | addr::PP0_ENERGY_STATUS
+            | addr::AMD_PKG_ENERGY
+            | addr::AMD_CORE_ENERGY => Err(SimError::ReadOnlyMsr { addr: msr }),
+            _ => Err(SimError::InvalidMsr { addr: msr }),
+        }
+    }
+}
+
+/// Encode a frequency in the vendor's P-state request format:
+/// Intel uses 100 MHz multiples in bits 15:8; AMD Family 17h effectively
+/// exposes 25 MHz granularity (modeled in the low 16 bits).
+fn encode_perf(vendor: Vendor, f: KiloHertz) -> u64 {
+    match vendor {
+        Vendor::Intel => (f.mhz() / 100) << 8,
+        Vendor::Amd => f.mhz() / 25,
+    }
+}
+
+/// Inverse of [`encode_perf`].
+fn decode_perf(vendor: Vendor, value: u64) -> KiloHertz {
+    match vendor {
+        Vendor::Intel => KiloHertz::from_mhz(((value >> 8) & 0xFF) * 100),
+        Vendor::Amd => KiloHertz::from_mhz((value & 0xFFFF) * 25),
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::drop_non_drop)] // drop() ends MsrBus's &mut Chip borrows
+mod tests {
+    use super::*;
+    use crate::platform::PlatformSpec;
+    use crate::power::LoadDescriptor;
+    use crate::units::Seconds;
+
+    #[test]
+    fn perf_ctl_roundtrip_intel() {
+        let mut chip = Chip::new(PlatformSpec::skylake());
+        let mut bus = MsrBus::new(&mut chip);
+        let v = encode_perf(Vendor::Intel, KiloHertz::from_mhz(1800));
+        bus.write(3, addr::PERF_CTL, v).unwrap();
+        assert_eq!(bus.read(3, addr::PERF_CTL).unwrap(), v);
+        drop(bus);
+        assert_eq!(chip.requested_freq(3), KiloHertz::from_mhz(1800));
+    }
+
+    #[test]
+    fn perf_ctl_roundtrip_amd_25mhz() {
+        let mut chip = Chip::new(PlatformSpec::ryzen());
+        let mut bus = MsrBus::new(&mut chip);
+        let v = encode_perf(Vendor::Amd, KiloHertz::from_mhz(2125));
+        bus.write(0, addr::AMD_PSTATE_CTL, v).unwrap();
+        drop(bus);
+        assert_eq!(chip.requested_freq(0), KiloHertz::from_mhz(2125));
+    }
+
+    #[test]
+    fn rapl_limit_via_msr() {
+        let mut chip = Chip::new(PlatformSpec::skylake());
+        {
+            let mut bus = MsrBus::new(&mut chip);
+            let raw = ((50 * 8) as u64) | POWER_LIMIT_ENABLE;
+            bus.write(0, addr::PKG_POWER_LIMIT, raw).unwrap();
+        }
+        assert_eq!(chip.rapl_limit(), Some(Watts(50.0)));
+        {
+            let bus = MsrBus::new(&mut chip);
+            let v = bus.read(0, addr::PKG_POWER_LIMIT).unwrap();
+            assert_eq!(v & POWER_LIMIT_MASK, 400);
+            assert_ne!(v & POWER_LIMIT_ENABLE, 0);
+        }
+        {
+            let mut bus = MsrBus::new(&mut chip);
+            bus.write(0, addr::PKG_POWER_LIMIT, 0).unwrap();
+        }
+        assert_eq!(chip.rapl_limit(), None);
+    }
+
+    #[test]
+    fn counters_via_msr() {
+        let mut chip = Chip::new(PlatformSpec::skylake());
+        chip.set_load(0, LoadDescriptor::nominal()).unwrap();
+        chip.add_instructions(0, 12345).unwrap();
+        chip.run_ticks(100, Seconds(0.001));
+        let bus = MsrBus::new(&mut chip);
+        assert!(bus.read(0, addr::APERF).unwrap() > 0);
+        assert!(bus.read(0, addr::MPERF).unwrap() > 0);
+        assert!(bus.read(0, addr::TSC).unwrap() > 0);
+        assert_eq!(bus.read(0, addr::FIXED_CTR0).unwrap(), 12345);
+        assert!(bus.read(0, addr::PKG_ENERGY_STATUS).unwrap() > 0);
+    }
+
+    #[test]
+    fn vendor_specific_registers_gated() {
+        let mut sky = Chip::new(PlatformSpec::skylake());
+        let bus = MsrBus::new(&mut sky);
+        assert!(matches!(
+            bus.read(0, addr::AMD_PKG_ENERGY),
+            Err(SimError::InvalidMsr { .. })
+        ));
+        drop(bus);
+
+        let mut ryz = Chip::new(PlatformSpec::ryzen());
+        let bus = MsrBus::new(&mut ryz);
+        assert!(matches!(
+            bus.read(0, addr::PKG_ENERGY_STATUS),
+            Err(SimError::InvalidMsr { .. })
+        ));
+        assert!(bus.read(0, addr::AMD_CORE_ENERGY).is_ok());
+    }
+
+    #[test]
+    fn read_only_registers_reject_writes() {
+        let mut chip = Chip::new(PlatformSpec::skylake());
+        let mut bus = MsrBus::new(&mut chip);
+        assert!(matches!(
+            bus.write(0, addr::APERF, 1),
+            Err(SimError::ReadOnlyMsr { .. })
+        ));
+        assert!(matches!(
+            bus.write(0, addr::PKG_ENERGY_STATUS, 1),
+            Err(SimError::ReadOnlyMsr { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_core_and_msr() {
+        let mut chip = Chip::new(PlatformSpec::skylake());
+        let bus = MsrBus::new(&mut chip);
+        assert!(matches!(
+            bus.read(99, addr::TSC),
+            Err(SimError::NoSuchCore { .. })
+        ));
+        assert!(matches!(
+            bus.read(0, 0xDEAD),
+            Err(SimError::InvalidMsr { .. })
+        ));
+    }
+}

@@ -1,0 +1,327 @@
+//! The per-core and package power model.
+//!
+//! Dynamic power follows the classic CMOS law the paper leans on
+//! (§2.1): `P_dyn = C_eff · V² · f`, where the effective switching
+//! capacitance `C_eff` depends on what the software running on the core is
+//! doing — vector-heavy code toggles far more transistors per cycle than
+//! pointer-chasing code. That per-workload difference is exactly what the
+//! paper calls *power demand* (high-demand vs low-demand applications), and
+//! it is carried here by [`LoadDescriptor::capacitance`].
+//!
+//! Static (leakage) power is modeled as proportional to voltage, and the
+//! uncore (caches, memory controller, fabric) as a base plus a term that
+//! scales with aggregate active core frequency, which reproduces the
+//! package-level power slopes measured in Figures 2 and 3 of the paper.
+
+use crate::freq::KiloHertz;
+use crate::units::{Volts, Watts};
+use crate::volt::VoltageCurve;
+
+/// What the software currently running on a core looks like to the power
+/// model. Produced each tick by the workload engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadDescriptor {
+    /// Effective-capacitance factor relative to a nominal scalar integer
+    /// workload (1.0). AVX-heavy code is typically 1.5–2.5×; a power virus
+    /// can exceed 3×.
+    pub capacitance: f64,
+    /// Fraction of wall time the core spends in C0 actively executing
+    /// (0.0 ..= 1.0). Memory-stalled cycles still count as active, matching
+    /// how APERF/MPERF account them.
+    pub utilization: f64,
+    /// Whether the workload executes wide-vector (AVX) instructions, which
+    /// subjects the core to the platform's AVX frequency offset.
+    pub avx: bool,
+}
+
+impl LoadDescriptor {
+    /// A fully idle core (no workload assigned).
+    pub const IDLE: LoadDescriptor = LoadDescriptor {
+        capacitance: 0.0,
+        utilization: 0.0,
+        avx: false,
+    };
+
+    /// A nominal scalar workload at full utilization.
+    pub fn nominal() -> LoadDescriptor {
+        LoadDescriptor {
+            capacitance: 1.0,
+            utilization: 1.0,
+            avx: false,
+        }
+    }
+
+    /// True when the descriptor demands any execution at all.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.utilization > 0.0 && self.capacitance > 0.0
+    }
+
+    /// Validate invariants; returns `false` on NaN or out-of-range fields.
+    pub fn is_valid(&self) -> bool {
+        self.capacitance.is_finite()
+            && self.capacitance >= 0.0
+            && self.utilization.is_finite()
+            && (0.0..=1.0).contains(&self.utilization)
+    }
+}
+
+/// Coefficients of the analytic power model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    /// Dynamic-power coefficient for a capacitance-1.0 workload,
+    /// in W / (V² · GHz).
+    pub ceff_nominal: f64,
+    /// Leakage power per volt of supply, per core (W/V) while the core is
+    /// powered (C0 or shallow idle).
+    pub leak_per_volt: f64,
+    /// Deep-idle (package C-state) power per core. Real parts sit in the
+    /// milliwatt range here (§2.1 "Core Idling").
+    pub idle_core: Watts,
+    /// Constant uncore power (caches, memory controller, IO).
+    pub uncore_base: Watts,
+    /// Uncore power per GHz of *summed* active-core frequency, modeling
+    /// fabric/L3 activity scaling with core throughput.
+    pub uncore_per_ghz: f64,
+    /// Frequency at which opportunistic (turbo/XFR) operation begins, if
+    /// the platform has one. Entering the turbo regime clocks up the
+    /// uncore and PLLs, producing the discrete package-power jump the
+    /// paper measures (~5 W above 2.2 GHz on Skylake, above 3.4 GHz on
+    /// Ryzen).
+    pub turbo_threshold: Option<KiloHertz>,
+    /// Additional uncore power while any active core runs at or above
+    /// [`PowerModel::turbo_threshold`].
+    pub turbo_uncore_boost: Watts,
+    /// The voltage/frequency curve for the core domain.
+    pub vf_curve: VoltageCurve,
+}
+
+impl PowerModel {
+    /// Instantaneous power of one core given its effective frequency and
+    /// load. An idle core (`load.utilization == 0`) draws only
+    /// [`PowerModel::idle_core`].
+    pub fn core_power(&self, freq: KiloHertz, load: &LoadDescriptor) -> Watts {
+        debug_assert!(load.is_valid(), "invalid load {load:?}");
+        if !load.is_active() || freq == KiloHertz::ZERO {
+            return self.idle_core;
+        }
+        let v = self.vf_curve.voltage(freq);
+        let dynamic = self.ceff_nominal
+            * load.capacitance
+            * v.value()
+            * v.value()
+            * freq.ghz()
+            * load.utilization;
+        let leak = self.leak_per_volt * v.value();
+        Watts(dynamic) + Watts(leak)
+    }
+
+    /// Idle power of a core resting in C-state `state`.
+    /// [`PowerModel::idle_core`] is calibrated as the *deep* (C6) floor;
+    /// shallower states draw proportionally more per
+    /// [`CState::power_scale`](crate::cstate::CState::power_scale).
+    pub fn idle_power(&self, state: crate::cstate::CState) -> Watts {
+        let deep_scale = crate::cstate::CState::C6.power_scale();
+        self.idle_core * (state.power_scale() / deep_scale)
+    }
+
+    /// Instantaneous uncore power given the sum of active-core frequencies
+    /// and the fastest active core (for the turbo-entry surcharge).
+    pub fn uncore_power_at(
+        &self,
+        total_active_freq: KiloHertz,
+        max_active_freq: KiloHertz,
+    ) -> Watts {
+        let mut p = self.uncore_base + Watts(self.uncore_per_ghz * total_active_freq.ghz());
+        if let Some(thr) = self.turbo_threshold {
+            if max_active_freq >= thr && max_active_freq > KiloHertz::ZERO {
+                p += self.turbo_uncore_boost;
+            }
+        }
+        p
+    }
+
+    /// Uncore power without the turbo surcharge (no core in the turbo
+    /// regime).
+    pub fn uncore_power(&self, total_active_freq: KiloHertz) -> Watts {
+        self.uncore_power_at(total_active_freq, KiloHertz::ZERO)
+    }
+
+    /// Voltage the core domain runs at for frequency `f`.
+    pub fn voltage(&self, f: KiloHertz) -> Volts {
+        self.vf_curve.voltage(f)
+    }
+
+    /// Inverse of the dynamic model: the highest frequency (unquantized) at
+    /// which a capacitance-`cap` fully-utilized workload stays at or under
+    /// `budget` watts on one core. Returns `None` if even the minimum
+    /// voltage point exceeds the budget.
+    ///
+    /// Used by power-share policies to seed their initial distribution;
+    /// solved by bisection because `V(f)` is piecewise linear.
+    pub fn max_freq_within(
+        &self,
+        budget: Watts,
+        cap: f64,
+        lo: KiloHertz,
+        hi: KiloHertz,
+    ) -> Option<KiloHertz> {
+        let load = LoadDescriptor {
+            capacitance: cap,
+            utilization: 1.0,
+            avx: false,
+        };
+        if self.core_power(lo, &load) > budget {
+            return None;
+        }
+        if self.core_power(hi, &load) <= budget {
+            return Some(hi);
+        }
+        let (mut lo_k, mut hi_k) = (lo.khz(), hi.khz());
+        while hi_k - lo_k > 1_000 {
+            let mid = KiloHertz((lo_k + hi_k) / 2);
+            if self.core_power(mid, &load) <= budget {
+                lo_k = mid.khz();
+            } else {
+                hi_k = mid.khz();
+            }
+        }
+        Some(KiloHertz(lo_k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::KiloHertz;
+
+    fn model() -> PowerModel {
+        PowerModel {
+            ceff_nominal: 2.5,
+            leak_per_volt: 0.6,
+            idle_core: Watts(0.05),
+            uncore_base: Watts(10.0),
+            uncore_per_ghz: 0.3,
+            turbo_threshold: None,
+            turbo_uncore_boost: Watts(0.0),
+            vf_curve: VoltageCurve::linear(
+                KiloHertz::from_mhz(800),
+                Volts(0.65),
+                KiloHertz::from_mhz(3000),
+                Volts(1.15),
+            ),
+        }
+    }
+
+    #[test]
+    fn idle_core_draws_idle_power() {
+        let m = model();
+        assert_eq!(
+            m.core_power(KiloHertz::from_mhz(2000), &LoadDescriptor::IDLE),
+            Watts(0.05)
+        );
+        assert_eq!(
+            m.core_power(KiloHertz::ZERO, &LoadDescriptor::nominal()),
+            Watts(0.05)
+        );
+    }
+
+    #[test]
+    fn power_superlinear_in_frequency() {
+        let m = model();
+        let load = LoadDescriptor::nominal();
+        let p1 = m.core_power(KiloHertz::from_mhz(1000), &load);
+        let p2 = m.core_power(KiloHertz::from_mhz(2000), &load);
+        // with rising V the ratio must exceed the frequency ratio of 2
+        assert!(p2.value() / p1.value() > 2.0, "p1={p1} p2={p2}");
+    }
+
+    #[test]
+    fn power_scales_with_capacitance_and_utilization() {
+        let m = model();
+        let f = KiloHertz::from_mhz(2000);
+        let base = m.core_power(f, &LoadDescriptor::nominal());
+        let heavy = m.core_power(
+            f,
+            &LoadDescriptor {
+                capacitance: 2.0,
+                utilization: 1.0,
+                avx: true,
+            },
+        );
+        let half = m.core_power(
+            f,
+            &LoadDescriptor {
+                capacitance: 1.0,
+                utilization: 0.5,
+                avx: false,
+            },
+        );
+        // dynamic part doubles; leakage does not
+        let v = m.voltage(f).value();
+        let leak = 0.6 * v;
+        assert!((heavy.value() - leak) / (base.value() - leak) - 2.0 < 1e-9);
+        assert!(((half.value() - leak) / (base.value() - leak) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncore_power_scales() {
+        let m = model();
+        let p0 = m.uncore_power(KiloHertz::ZERO);
+        let p10 = m.uncore_power(KiloHertz::from_ghz(10.0));
+        assert_eq!(p0, Watts(10.0));
+        assert!((p10.value() - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_freq_within_budget_bisects() {
+        let m = model();
+        let lo = KiloHertz::from_mhz(800);
+        let hi = KiloHertz::from_mhz(3000);
+        let f = m
+            .max_freq_within(Watts(4.0), 1.0, lo, hi)
+            .expect("4 W fits at some frequency");
+        let load = LoadDescriptor::nominal();
+        assert!(m.core_power(f, &load) <= Watts(4.0));
+        // and one big step up exceeds the budget
+        let above = KiloHertz(f.khz() + 50_000).min(hi);
+        if above > f {
+            assert!(m.core_power(above, &load) > Watts(4.0));
+        }
+    }
+
+    #[test]
+    fn max_freq_within_budget_edges() {
+        let m = model();
+        let lo = KiloHertz::from_mhz(800);
+        let hi = KiloHertz::from_mhz(3000);
+        // impossible budget
+        assert_eq!(m.max_freq_within(Watts(0.01), 1.0, lo, hi), None);
+        // generous budget returns hi
+        assert_eq!(m.max_freq_within(Watts(100.0), 1.0, lo, hi), Some(hi));
+    }
+
+    #[test]
+    fn load_descriptor_validity() {
+        assert!(LoadDescriptor::nominal().is_valid());
+        assert!(LoadDescriptor::IDLE.is_valid());
+        assert!(!LoadDescriptor {
+            capacitance: -1.0,
+            utilization: 0.5,
+            avx: false
+        }
+        .is_valid());
+        assert!(!LoadDescriptor {
+            capacitance: 1.0,
+            utilization: 1.5,
+            avx: false
+        }
+        .is_valid());
+        assert!(!LoadDescriptor {
+            capacitance: f64::NAN,
+            utilization: 0.5,
+            avx: false
+        }
+        .is_valid());
+    }
+}

@@ -1,0 +1,246 @@
+//! Performance states (P-states).
+//!
+//! P-states are the software-visible handle for DVFS (§2.1). ACPI numbers
+//! them P0 (fastest) upward; each maps to an operating frequency. Modern
+//! parts additionally accept direct frequency requests through MSRs, which
+//! is what the paper's daemon uses — but the P-state table remains the
+//! interface for the ACPI-style view and for Ryzen's *redefinable* three
+//! concurrent hardware P-states.
+
+use crate::freq::{FreqGrid, KiloHertz};
+
+/// An ordered table of P-states, P0 first (highest frequency).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PStateTable {
+    freqs: Vec<KiloHertz>,
+}
+
+/// Index of a P-state within a [`PStateTable`]. P0 is the fastest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PState(pub u8);
+
+impl PStateTable {
+    /// Build a table from explicit frequencies.
+    ///
+    /// # Panics
+    /// Panics if empty or not strictly descending.
+    pub fn new(freqs: Vec<KiloHertz>) -> PStateTable {
+        assert!(!freqs.is_empty(), "P-state table cannot be empty");
+        for w in freqs.windows(2) {
+            assert!(w[0] > w[1], "P-state table must be strictly descending");
+        }
+        PStateTable { freqs }
+    }
+
+    /// Build an ACPI-style table of `n` states spread evenly over a grid,
+    /// P0 at `grid.max()` and the last state at `grid.min()`.
+    pub fn evenly_spaced(grid: &FreqGrid, n: usize) -> PStateTable {
+        assert!(n >= 2, "need at least two P-states");
+        let span = grid.max().khz() - grid.min().khz();
+        let mut freqs: Vec<KiloHertz> = (0..n)
+            .map(|i| {
+                let f = grid.max().khz() - span * i as u64 / (n as u64 - 1);
+                grid.round(KiloHertz(f))
+            })
+            .collect();
+        freqs.dedup();
+        PStateTable { freqs }
+    }
+
+    /// Frequency of P-state `p`, if it exists.
+    pub fn freq(&self, p: PState) -> Option<KiloHertz> {
+        self.freqs.get(p.0 as usize).copied()
+    }
+
+    /// The fastest state.
+    pub fn p0(&self) -> KiloHertz {
+        self.freqs[0]
+    }
+
+    /// The slowest state.
+    pub fn slowest(&self) -> KiloHertz {
+        *self.freqs.last().expect("non-empty by construction")
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// Tables are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The deepest P-state whose frequency is `>= f`; falls back to the
+    /// slowest state if `f` is below the table (the classic "highest
+    /// P-number not faster than needed" lookup).
+    pub fn state_for(&self, f: KiloHertz) -> PState {
+        // freqs descending: find last index with freq >= f
+        let mut chosen = self.freqs.len() - 1;
+        for (i, &pf) in self.freqs.iter().enumerate() {
+            if pf >= f {
+                chosen = i;
+            } else {
+                break;
+            }
+        }
+        PState(chosen as u8)
+    }
+
+    /// All frequencies, P0 first.
+    pub fn freqs(&self) -> &[KiloHertz] {
+        &self.freqs
+    }
+}
+
+/// Ryzen-style *shared* P-state slots: the chip supports only `slots`
+/// distinct voltage/frequency combinations concurrently, but each slot's
+/// frequency is software-redefinable (§2.1, §5 "Ryzen details").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedSlots {
+    slots: Vec<KiloHertz>,
+}
+
+impl SharedSlots {
+    /// Create `n` slots, all initialized to `initial`.
+    pub fn new(n: usize, initial: KiloHertz) -> SharedSlots {
+        assert!(n >= 1);
+        SharedSlots {
+            slots: vec![initial; n],
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slots are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Redefine slot `i`'s frequency. Returns false if `i` is out of range.
+    pub fn redefine(&mut self, i: usize, f: KiloHertz) -> bool {
+        match self.slots.get_mut(i) {
+            Some(s) => {
+                *s = f;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current slot frequencies.
+    pub fn freqs(&self) -> &[KiloHertz] {
+        &self.slots
+    }
+
+    /// Whether a set of per-core frequency requests is representable: it
+    /// may use at most `len()` distinct values.
+    pub fn representable(&self, requests: &[KiloHertz]) -> bool {
+        let mut distinct: Vec<KiloHertz> = Vec::with_capacity(self.slots.len() + 1);
+        for &r in requests {
+            if !distinct.contains(&r) {
+                distinct.push(r);
+                if distinct.len() > self.slots.len() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PStateTable {
+        PStateTable::new(vec![
+            KiloHertz::from_mhz(3000),
+            KiloHertz::from_mhz(2200),
+            KiloHertz::from_mhz(1500),
+            KiloHertz::from_mhz(800),
+        ])
+    }
+
+    #[test]
+    fn lookup() {
+        let t = table();
+        assert_eq!(t.freq(PState(0)), Some(KiloHertz::from_mhz(3000)));
+        assert_eq!(t.freq(PState(3)), Some(KiloHertz::from_mhz(800)));
+        assert_eq!(t.freq(PState(4)), None);
+        assert_eq!(t.p0(), KiloHertz::from_mhz(3000));
+        assert_eq!(t.slowest(), KiloHertz::from_mhz(800));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn state_for_frequency() {
+        let t = table();
+        assert_eq!(t.state_for(KiloHertz::from_mhz(3000)), PState(0));
+        assert_eq!(t.state_for(KiloHertz::from_mhz(2200)), PState(1));
+        // 1600 needs at least 1600 -> deepest state with freq >= 1600 is P1 (2200)
+        assert_eq!(t.state_for(KiloHertz::from_mhz(1600)), PState(1));
+        assert_eq!(t.state_for(KiloHertz::from_mhz(1500)), PState(2));
+        assert_eq!(t.state_for(KiloHertz::from_mhz(100)), PState(3));
+        assert_eq!(t.state_for(KiloHertz::from_mhz(9000)), PState(3));
+    }
+
+    #[test]
+    fn evenly_spaced_from_grid() {
+        let g = FreqGrid::new(
+            KiloHertz::from_mhz(800),
+            KiloHertz::from_mhz(2200),
+            KiloHertz::from_mhz(100),
+        );
+        let t = PStateTable::evenly_spaced(&g, 8);
+        assert_eq!(t.p0(), KiloHertz::from_mhz(2200));
+        assert_eq!(t.slowest(), KiloHertz::from_mhz(800));
+        assert_eq!(t.len(), 8);
+        for w in t.freqs().windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "descending")]
+    fn rejects_unordered() {
+        let _ = PStateTable::new(vec![KiloHertz::from_mhz(800), KiloHertz::from_mhz(2200)]);
+    }
+
+    #[test]
+    fn shared_slots_redefine_and_representable() {
+        let mut s = SharedSlots::new(3, KiloHertz::from_mhz(3400));
+        assert_eq!(s.len(), 3);
+        assert!(s.redefine(1, KiloHertz::from_mhz(2500)));
+        assert!(s.redefine(2, KiloHertz::from_mhz(1200)));
+        assert!(!s.redefine(3, KiloHertz::from_mhz(1000)));
+        assert_eq!(
+            s.freqs(),
+            &[
+                KiloHertz::from_mhz(3400),
+                KiloHertz::from_mhz(2500),
+                KiloHertz::from_mhz(1200)
+            ]
+        );
+
+        let ok = vec![
+            KiloHertz::from_mhz(3400),
+            KiloHertz::from_mhz(2500),
+            KiloHertz::from_mhz(2500),
+            KiloHertz::from_mhz(1200),
+        ];
+        assert!(s.representable(&ok));
+        let bad = vec![
+            KiloHertz::from_mhz(3400),
+            KiloHertz::from_mhz(2500),
+            KiloHertz::from_mhz(1200),
+            KiloHertz::from_mhz(800),
+        ];
+        assert!(!s.representable(&bad));
+        assert!(s.representable(&[]));
+    }
+}

@@ -1,0 +1,262 @@
+//! Emulated cpufreq/powercap sysfs tree.
+//!
+//! Linux exposes DVFS through `/sys/devices/system/cpu/cpu<n>/cpufreq/` and
+//! RAPL through `/sys/class/powercap/intel-rapl:0/` (§2.2). The paper's
+//! daemon uses the *userspace* governor and writes `scaling_setspeed`; this
+//! module reproduces that file-level interface over the simulated chip so
+//! higher layers can be written (and tested) against the exact strings a
+//! real sysfs would serve.
+
+use crate::chip::Chip;
+use crate::error::{Result, SimError};
+use crate::freq::KiloHertz;
+use crate::units::Watts;
+
+/// A file-path view over a [`Chip`], mirroring the subset of sysfs the
+/// paper's tooling touches.
+pub struct SysfsTree<'a> {
+    chip: &'a mut Chip,
+    governor: Vec<String>,
+}
+
+impl<'a> SysfsTree<'a> {
+    /// Attach to a chip. All cores start with the `userspace` governor,
+    /// matching the paper's experimental setup (§2.2).
+    pub fn new(chip: &'a mut Chip) -> SysfsTree<'a> {
+        let n = chip.num_cores();
+        SysfsTree {
+            chip,
+            governor: vec!["userspace".to_string(); n],
+        }
+    }
+
+    fn parse_cpu(path: &str) -> Option<(usize, &str)> {
+        let rest = path.strip_prefix("/sys/devices/system/cpu/cpu")?;
+        let slash = rest.find('/')?;
+        let cpu: usize = rest[..slash].parse().ok()?;
+        let attr = rest[slash + 1..].strip_prefix("cpufreq/")?;
+        Some((cpu, attr))
+    }
+
+    fn check_cpu(&self, cpu: usize) -> Result<()> {
+        if cpu >= self.chip.num_cores() {
+            Err(SimError::NoSuchCore {
+                core: cpu,
+                num_cores: self.chip.num_cores(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read a sysfs attribute; returns the string a real kernel would
+    /// produce (frequencies in kHz, energies in µJ, powers in µW).
+    pub fn read(&self, path: &str) -> Result<String> {
+        if let Some((cpu, attr)) = Self::parse_cpu(path) {
+            self.check_cpu(cpu)?;
+            return match attr {
+                "scaling_governor" => Ok(self.governor[cpu].clone()),
+                "scaling_cur_freq" => Ok(self.chip.effective_freq(cpu).khz().to_string()),
+                "scaling_setspeed" => Ok(self.chip.requested_freq(cpu).khz().to_string()),
+                "scaling_min_freq" | "cpuinfo_min_freq" => {
+                    Ok(self.chip.spec().grid.min().khz().to_string())
+                }
+                "scaling_max_freq" | "cpuinfo_max_freq" => {
+                    Ok(self.chip.spec().grid.max().khz().to_string())
+                }
+                _ => Err(SimError::NoSuchPath(path.to_string())),
+            };
+        }
+        match path {
+            "/sys/class/powercap/intel-rapl:0/energy_uj" => {
+                // The powercap framework widens the wrapping MSR counter;
+                // we serve the raw counter scaled to µJ.
+                let uj = (self.chip.package_energy_raw() as f64
+                    * crate::rapl::ENERGY_UNIT.value()
+                    * 1e6) as u64;
+                Ok(uj.to_string())
+            }
+            "/sys/class/powercap/intel-rapl:0/constraint_0_power_limit_uw" => {
+                match self.chip.rapl_limit() {
+                    Some(w) => Ok(((w.value() * 1e6) as u64).to_string()),
+                    None => Ok("0".to_string()),
+                }
+            }
+            "/sys/class/powercap/intel-rapl:0/name" => Ok("package-0".to_string()),
+            _ => Err(SimError::NoSuchPath(path.to_string())),
+        }
+    }
+
+    /// Write a sysfs attribute.
+    pub fn write(&mut self, path: &str, value: &str) -> Result<()> {
+        let value = value.trim();
+        if let Some((cpu, attr)) = Self::parse_cpu(path) {
+            self.check_cpu(cpu)?;
+            return match attr {
+                "scaling_governor" => {
+                    // Only the userspace governor is modeled; others would
+                    // fight the daemon for control.
+                    if value == "userspace" {
+                        self.governor[cpu] = value.to_string();
+                        Ok(())
+                    } else {
+                        Err(SimError::InvalidValue(format!(
+                            "unsupported governor '{value}'"
+                        )))
+                    }
+                }
+                "scaling_setspeed" => {
+                    if self.governor[cpu] != "userspace" {
+                        return Err(SimError::InvalidValue(
+                            "scaling_setspeed requires the userspace governor".to_string(),
+                        ));
+                    }
+                    let khz: u64 = value
+                        .parse()
+                        .map_err(|_| SimError::InvalidValue(value.to_string()))?;
+                    self.chip.set_requested_freq(cpu, KiloHertz(khz))
+                }
+                _ => Err(SimError::NoSuchPath(path.to_string())),
+            };
+        }
+        match path {
+            "/sys/class/powercap/intel-rapl:0/constraint_0_power_limit_uw" => {
+                let uw: u64 = value
+                    .parse()
+                    .map_err(|_| SimError::InvalidValue(value.to_string()))?;
+                if uw == 0 {
+                    self.chip.set_rapl_limit(None)
+                } else {
+                    self.chip.set_rapl_limit(Some(Watts(uw as f64 / 1e6)))
+                }
+            }
+            _ => Err(SimError::NoSuchPath(path.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::PlatformSpec;
+
+    #[test]
+    fn setspeed_roundtrip() {
+        let mut chip = Chip::new(PlatformSpec::skylake());
+        let mut fs = SysfsTree::new(&mut chip);
+        fs.write(
+            "/sys/devices/system/cpu/cpu2/cpufreq/scaling_setspeed",
+            "1500000\n",
+        )
+        .unwrap();
+        assert_eq!(
+            fs.read("/sys/devices/system/cpu/cpu2/cpufreq/scaling_setspeed")
+                .unwrap(),
+            "1500000"
+        );
+        drop(fs);
+        assert_eq!(chip.requested_freq(2), KiloHertz::from_mhz(1500));
+    }
+
+    #[test]
+    fn static_attributes() {
+        let mut chip = Chip::new(PlatformSpec::skylake());
+        let fs = SysfsTree::new(&mut chip);
+        assert_eq!(
+            fs.read("/sys/devices/system/cpu/cpu0/cpufreq/cpuinfo_min_freq")
+                .unwrap(),
+            "800000"
+        );
+        assert_eq!(
+            fs.read("/sys/devices/system/cpu/cpu0/cpufreq/cpuinfo_max_freq")
+                .unwrap(),
+            "3000000"
+        );
+        assert_eq!(
+            fs.read("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor")
+                .unwrap(),
+            "userspace"
+        );
+    }
+
+    #[test]
+    fn governor_validation() {
+        let mut chip = Chip::new(PlatformSpec::skylake());
+        let mut fs = SysfsTree::new(&mut chip);
+        assert!(matches!(
+            fs.write(
+                "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor",
+                "ondemand"
+            ),
+            Err(SimError::InvalidValue(_))
+        ));
+        fs.write(
+            "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor",
+            "userspace",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rapl_powercap_files() {
+        let mut chip = Chip::new(PlatformSpec::skylake());
+        let mut fs = SysfsTree::new(&mut chip);
+        fs.write(
+            "/sys/class/powercap/intel-rapl:0/constraint_0_power_limit_uw",
+            "50000000",
+        )
+        .unwrap();
+        assert_eq!(
+            fs.read("/sys/class/powercap/intel-rapl:0/constraint_0_power_limit_uw")
+                .unwrap(),
+            "50000000"
+        );
+        fs.write(
+            "/sys/class/powercap/intel-rapl:0/constraint_0_power_limit_uw",
+            "0",
+        )
+        .unwrap();
+        drop(fs);
+        assert_eq!(chip.rapl_limit(), None);
+    }
+
+    #[test]
+    fn bad_paths_and_values() {
+        let mut chip = Chip::new(PlatformSpec::skylake());
+        let mut fs = SysfsTree::new(&mut chip);
+        assert!(matches!(
+            fs.read("/sys/devices/system/cpu/cpu0/cpufreq/nonsense"),
+            Err(SimError::NoSuchPath(_))
+        ));
+        assert!(matches!(
+            fs.read("/sys/devices/system/cpu/cpu99/cpufreq/scaling_cur_freq"),
+            Err(SimError::NoSuchCore { .. })
+        ));
+        assert!(matches!(
+            fs.write(
+                "/sys/devices/system/cpu/cpu0/cpufreq/scaling_setspeed",
+                "fast"
+            ),
+            Err(SimError::InvalidValue(_))
+        ));
+        assert!(matches!(
+            fs.read("/proc/cpuinfo"),
+            Err(SimError::NoSuchPath(_))
+        ));
+    }
+
+    #[test]
+    fn energy_uj_advances() {
+        let mut chip = Chip::new(PlatformSpec::skylake());
+        chip.set_load(0, crate::power::LoadDescriptor::nominal())
+            .unwrap();
+        chip.run_ticks(200, crate::units::Seconds(0.001));
+        let fs = SysfsTree::new(&mut chip);
+        let uj: u64 = fs
+            .read("/sys/class/powercap/intel-rapl:0/energy_uj")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(uj > 1_000_000, "expected > 1 J, got {uj} µJ");
+    }
+}

@@ -1,0 +1,240 @@
+//! Package thermal model and thermald-style throttling (§2.2).
+//!
+//! Temperature follows a first-order RC model driven by package power:
+//! `C·dT/dt = P − (T − T_ambient)/R`. A [`ThermalZone`] integrates it; a
+//! [`ThermalGovernor`] reproduces the Linux `thermald` behavior the paper
+//! describes: when a trip point is exceeded, it engages progressively
+//! stronger mechanisms (frequency caps, then RAPL-style power limits) and
+//! releases them with hysteresis.
+
+use crate::freq::{FreqGrid, KiloHertz};
+use crate::units::{Seconds, Watts};
+
+/// A first-order thermal RC zone (package or core cluster).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalZone {
+    /// Ambient (heatsink inlet) temperature, °C.
+    pub ambient: f64,
+    /// Thermal resistance junction→ambient, °C/W.
+    pub resistance: f64,
+    /// Thermal capacitance, J/°C.
+    pub capacitance: f64,
+    temperature: f64,
+}
+
+impl ThermalZone {
+    /// A zone starting at ambient temperature.
+    pub fn new(ambient: f64, resistance: f64, capacitance: f64) -> ThermalZone {
+        assert!(resistance > 0.0 && capacitance > 0.0);
+        ThermalZone {
+            ambient,
+            resistance,
+            capacitance,
+            temperature: ambient,
+        }
+    }
+
+    /// A server-class package: 25 °C ambient, 0.55 °C/W to ambient,
+    /// 120 J/°C (tens-of-seconds time constant, as on real heatsinks).
+    pub fn server_package() -> ThermalZone {
+        ThermalZone::new(25.0, 0.55, 120.0)
+    }
+
+    /// Current junction temperature, °C.
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+
+    /// Steady-state temperature at constant power.
+    pub fn steady_state(&self, power: Watts) -> f64 {
+        self.ambient + power.value() * self.resistance
+    }
+
+    /// Integrate one tick of dissipated power.
+    pub fn advance(&mut self, power: Watts, dt: Seconds) {
+        debug_assert!(dt.value() > 0.0);
+        let dt_dt = (power.value() - (self.temperature - self.ambient) / self.resistance)
+            / self.capacitance;
+        self.temperature += dt_dt * dt.value();
+    }
+}
+
+/// What the thermal governor currently imposes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalAction {
+    /// Frequency cap to program (grid max when unconstrained).
+    pub freq_cap: KiloHertz,
+    /// RAPL limit to program, if the deeper mechanism is engaged.
+    pub power_limit: Option<Watts>,
+}
+
+/// thermald-style trip-point governor with hysteresis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalGovernor {
+    /// Passive trip point: start frequency capping above this, °C.
+    pub passive_trip: f64,
+    /// Aggressive trip point: additionally engage a power limit, °C.
+    pub power_trip: f64,
+    /// Degrees below a trip before its mechanism releases.
+    pub hysteresis: f64,
+    /// Power limit engaged above `power_trip`.
+    pub emergency_limit: Watts,
+    /// Frequency cap step per evaluation while over the passive trip.
+    step: KiloHertz,
+    cap: KiloHertz,
+    grid: FreqGrid,
+    power_limited: bool,
+}
+
+impl ThermalGovernor {
+    /// Create a governor over a platform grid with the given trip points.
+    pub fn new(grid: FreqGrid, passive_trip: f64, power_trip: f64) -> ThermalGovernor {
+        assert!(power_trip > passive_trip);
+        ThermalGovernor {
+            passive_trip,
+            power_trip,
+            hysteresis: 3.0,
+            emergency_limit: Watts(35.0),
+            step: KiloHertz(grid.step().khz() * 2),
+            cap: grid.max(),
+            grid,
+            power_limited: false,
+        }
+    }
+
+    /// Evaluate once per control interval against the zone temperature.
+    pub fn evaluate(&mut self, temperature: f64) -> ThermalAction {
+        // Passive capping with hysteresis.
+        if temperature > self.passive_trip {
+            self.cap = self
+                .grid
+                .round(self.cap.saturating_sub(self.step))
+                .max(self.grid.min());
+        } else if temperature < self.passive_trip - self.hysteresis && self.cap < self.grid.max() {
+            self.cap = self.grid.step_up(self.cap);
+        }
+        // Deep mechanism with hysteresis.
+        if temperature > self.power_trip {
+            self.power_limited = true;
+        } else if temperature < self.power_trip - self.hysteresis {
+            self.power_limited = false;
+        }
+        ThermalAction {
+            freq_cap: self.cap,
+            power_limit: self.power_limited.then_some(self.emergency_limit),
+        }
+    }
+
+    /// The current frequency cap.
+    pub fn cap(&self) -> KiloHertz {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zone_approaches_steady_state() {
+        let mut z = ThermalZone::server_package();
+        let p = Watts(80.0);
+        let target = z.steady_state(p);
+        assert!((target - 69.0).abs() < 0.5, "steady state {target}");
+        for _ in 0..600_000 {
+            z.advance(p, Seconds(0.001));
+        }
+        assert!(
+            (z.temperature() - target).abs() < 1.0,
+            "after 10 min: {:.1} vs {target:.1}",
+            z.temperature()
+        );
+    }
+
+    #[test]
+    fn zone_heats_and_cools_exponentially() {
+        let mut z = ThermalZone::server_package();
+        z.advance(Watts(80.0), Seconds(1.0));
+        let early = z.temperature();
+        assert!(early > 25.0 && early < 30.0, "one second in: {early}");
+        // cool down with zero power
+        for _ in 0..600 {
+            z.advance(Watts::ZERO, Seconds(1.0));
+        }
+        assert!((z.temperature() - 25.0).abs() < 0.5, "cooled to ambient");
+    }
+
+    #[test]
+    fn governor_caps_over_trip_and_releases() {
+        let grid = FreqGrid::new(
+            KiloHertz::from_mhz(800),
+            KiloHertz::from_mhz(3000),
+            KiloHertz::from_mhz(100),
+        );
+        let mut g = ThermalGovernor::new(grid, 75.0, 90.0);
+        // hot: cap ratchets down
+        let a1 = g.evaluate(80.0);
+        let a2 = g.evaluate(80.0);
+        assert!(a2.freq_cap < a1.freq_cap);
+        assert!(a2.power_limit.is_none());
+        // very hot: power limit engages
+        let a3 = g.evaluate(92.0);
+        assert_eq!(a3.power_limit, Some(Watts(35.0)));
+        // cooling inside hysteresis: limit stays (and 88.5 °C is still
+        // above the passive trip, so the cap keeps ratcheting down)
+        let a4 = g.evaluate(88.5);
+        assert!(a4.power_limit.is_some());
+        assert!(a4.freq_cap < a3.freq_cap);
+        // well below: releases and the cap steps back up
+        let a5 = g.evaluate(60.0);
+        assert!(a5.power_limit.is_none());
+        let a6 = g.evaluate(60.0);
+        assert!(a6.freq_cap > a4.freq_cap);
+        assert!(a6.freq_cap > a5.freq_cap || a5.freq_cap == a6.freq_cap);
+    }
+
+    #[test]
+    fn governor_cap_bounded_by_grid() {
+        let grid = FreqGrid::new(
+            KiloHertz::from_mhz(800),
+            KiloHertz::from_mhz(3000),
+            KiloHertz::from_mhz(100),
+        );
+        let mut g = ThermalGovernor::new(grid, 75.0, 90.0);
+        for _ in 0..100 {
+            g.evaluate(100.0);
+        }
+        assert_eq!(g.cap(), grid.min(), "cap floors at grid min");
+        for _ in 0..100 {
+            g.evaluate(20.0);
+        }
+        assert_eq!(g.cap(), grid.max(), "cap recovers to grid max");
+    }
+
+    #[test]
+    fn closed_loop_with_zone_regulates_temperature() {
+        // Feed the governor's cap into a toy power model: P = 20 + 20·(f/fmax)².
+        let grid = FreqGrid::new(
+            KiloHertz::from_mhz(800),
+            KiloHertz::from_mhz(3000),
+            KiloHertz::from_mhz(100),
+        );
+        let mut zone = ThermalZone::new(25.0, 1.0, 60.0); // hot-running box
+        let mut gov = ThermalGovernor::new(grid, 55.0, 70.0);
+        let mut cap = grid.max();
+        for _ in 0..1200 {
+            let x = cap.ghz() / grid.max().ghz();
+            let power = Watts(20.0 + 40.0 * x * x);
+            for _ in 0..1000 {
+                zone.advance(power, Seconds(0.001));
+            }
+            cap = gov.evaluate(zone.temperature()).freq_cap;
+        }
+        assert!(
+            zone.temperature() < 60.0,
+            "thermal loop failed to regulate: {:.1} °C",
+            zone.temperature()
+        );
+        assert!(cap < grid.max(), "some capping must be active");
+    }
+}

@@ -1,0 +1,288 @@
+//! Single-core proportional time sharing (§4.3, Figure 6).
+//!
+//! When two applications share one core, each receives a configured
+//! fraction of CPU time (docker/cgroups CPU shares in the paper). The
+//! paper's observation is that the core's average power is then the
+//! *time-weighted sum* of the individual applications' power draws; this
+//! module models that scheduler and exposes both the analytic average and
+//! a segment-accurate simulation.
+
+use crate::freq::KiloHertz;
+use crate::power::{LoadDescriptor, PowerModel};
+use crate::units::{Seconds, Watts};
+
+/// One application time-sharing a core.
+#[derive(Debug, Clone)]
+pub struct ShareTask {
+    /// Display name.
+    pub name: String,
+    /// Fraction of core time allotted (0, 1]. The sum over tasks must not
+    /// exceed 1; any remainder is idle time.
+    pub fraction: f64,
+    /// What the task looks like to the power model while resident.
+    pub load: LoadDescriptor,
+}
+
+/// Accumulated accounting for one task after simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskAccount {
+    /// Task name.
+    pub name: String,
+    /// Total time the task was resident on the core.
+    pub resident: Seconds,
+    /// Energy attributable to the task's resident intervals.
+    pub energy_joules: f64,
+}
+
+/// Result of simulating a time-shared core.
+#[derive(Debug, Clone)]
+pub struct TimeShareReport {
+    /// Per-task accounting, in input order.
+    pub tasks: Vec<TaskAccount>,
+    /// Time the core spent idle.
+    pub idle: Seconds,
+    /// Average core power over the simulated window.
+    pub average_power: Watts,
+}
+
+/// A single core time-shared by several tasks under a proportional-share
+/// scheduler with a fixed scheduling period.
+///
+/// ```
+/// use pap_simcpu::timeshare::{ShareTask, TimeSharedCore};
+/// use pap_simcpu::platform::PlatformSpec;
+/// use pap_simcpu::power::LoadDescriptor;
+/// use pap_simcpu::freq::KiloHertz;
+/// use pap_simcpu::units::Seconds;
+///
+/// let model = PlatformSpec::ryzen().power;
+/// let core = TimeSharedCore::new(
+///     vec![ShareTask {
+///         name: "app".into(),
+///         fraction: 0.5,
+///         load: LoadDescriptor::nominal(),
+///     }],
+///     Seconds(0.1),
+/// );
+/// let f = KiloHertz::from_mhz(3400);
+/// // half-time residency draws half the dynamic power plus the idle floor
+/// let p = core.time_weighted_power(&model, f);
+/// assert!(p < model.core_power(f, &LoadDescriptor::nominal()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeSharedCore {
+    tasks: Vec<ShareTask>,
+    period: Seconds,
+}
+
+impl TimeSharedCore {
+    /// Create a time-shared core.
+    ///
+    /// # Panics
+    /// Panics if fractions are out of range or sum above 1 (+ε).
+    pub fn new(tasks: Vec<ShareTask>, period: Seconds) -> TimeSharedCore {
+        assert!(period.value() > 0.0, "period must be positive");
+        let mut total = 0.0;
+        for t in &tasks {
+            assert!(
+                t.fraction > 0.0 && t.fraction <= 1.0,
+                "task {} fraction {} out of range",
+                t.name,
+                t.fraction
+            );
+            total += t.fraction;
+        }
+        assert!(total <= 1.0 + 1e-9, "fractions sum to {total} > 1");
+        TimeSharedCore { tasks, period }
+    }
+
+    /// The configured tasks.
+    pub fn tasks(&self) -> &[ShareTask] {
+        &self.tasks
+    }
+
+    /// Analytic average power at `freq`: the time-weighted sum of per-task
+    /// power plus idle power for the unallocated remainder — exactly the
+    /// property Figure 6 demonstrates.
+    pub fn time_weighted_power(&self, model: &PowerModel, freq: KiloHertz) -> Watts {
+        let mut p = Watts::ZERO;
+        let mut used = 0.0;
+        for t in &self.tasks {
+            p += model.core_power(freq, &t.load) * t.fraction;
+            used += t.fraction;
+        }
+        p += model.core_power(freq, &LoadDescriptor::IDLE) * (1.0 - used).max(0.0);
+        p
+    }
+
+    /// Simulate `duration` of round-robin scheduling at `freq`, slicing
+    /// each period proportionally. Returns per-task residency and energy
+    /// and the measured average power, which matches
+    /// [`Self::time_weighted_power`] up to period-boundary truncation.
+    pub fn simulate(
+        &self,
+        model: &PowerModel,
+        freq: KiloHertz,
+        duration: Seconds,
+    ) -> TimeShareReport {
+        let mut accounts: Vec<TaskAccount> = self
+            .tasks
+            .iter()
+            .map(|t| TaskAccount {
+                name: t.name.clone(),
+                resident: Seconds(0.0),
+                energy_joules: 0.0,
+            })
+            .collect();
+        let mut idle = Seconds(0.0);
+        let mut total_energy = 0.0;
+        let idle_power = model.core_power(freq, &LoadDescriptor::IDLE);
+
+        let mut remaining = duration.value();
+        while remaining > 1e-12 {
+            let this_period = remaining.min(self.period.value());
+            // Slice the (possibly truncated) period proportionally.
+            for (task, acct) in self.tasks.iter().zip(accounts.iter_mut()) {
+                let slice = this_period * task.fraction;
+                if slice <= 0.0 {
+                    continue;
+                }
+                let p = model.core_power(freq, &task.load);
+                acct.resident += Seconds(slice);
+                acct.energy_joules += p.value() * slice;
+                total_energy += p.value() * slice;
+            }
+            let used: f64 = self.tasks.iter().map(|t| t.fraction).sum();
+            let idle_slice = this_period * (1.0 - used).max(0.0);
+            idle += Seconds(idle_slice);
+            total_energy += idle_power.value() * idle_slice;
+            remaining -= this_period;
+        }
+
+        TimeShareReport {
+            tasks: accounts,
+            idle,
+            average_power: Watts(total_energy / duration.value()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::PlatformSpec;
+
+    fn model() -> PowerModel {
+        PlatformSpec::ryzen().power
+    }
+
+    fn hd_load() -> LoadDescriptor {
+        LoadDescriptor {
+            capacitance: 1.8,
+            utilization: 1.0,
+            avx: true,
+        }
+    }
+
+    fn ld_load() -> LoadDescriptor {
+        LoadDescriptor {
+            capacitance: 0.9,
+            utilization: 1.0,
+            avx: false,
+        }
+    }
+
+    fn core(hd_frac: f64, ld_frac: f64) -> TimeSharedCore {
+        TimeSharedCore::new(
+            vec![
+                ShareTask {
+                    name: "cactusBSSN".into(),
+                    fraction: hd_frac,
+                    load: hd_load(),
+                },
+                ShareTask {
+                    name: "gcc".into(),
+                    fraction: ld_frac,
+                    load: ld_load(),
+                },
+            ],
+            Seconds::from_millis(100.0),
+        )
+    }
+
+    #[test]
+    fn analytic_equals_simulated() {
+        let m = model();
+        let c = core(0.5, 0.3);
+        let f = KiloHertz::from_mhz(3400);
+        let analytic = c.time_weighted_power(&m, f);
+        let sim = c.simulate(&m, f, Seconds(10.0));
+        assert!(
+            (analytic.value() - sim.average_power.value()).abs() < 1e-6,
+            "analytic {analytic} vs simulated {}",
+            sim.average_power
+        );
+    }
+
+    #[test]
+    fn power_increases_with_hd_share() {
+        let m = model();
+        let f = KiloHertz::from_mhz(3400);
+        let mut prev = Watts::ZERO;
+        // LD fixed at 50%, HD share swept 10%..50% (Figure 6 protocol).
+        for hd in [0.1, 0.2, 0.3, 0.4, 0.5] {
+            let p = core(hd, 0.5).time_weighted_power(&m, f);
+            assert!(p > prev, "power must rise with HD share: {p} at {hd}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn solo_full_share_matches_plain_model() {
+        let m = model();
+        let f = KiloHertz::from_mhz(3400);
+        let solo = TimeSharedCore::new(
+            vec![ShareTask {
+                name: "cactusBSSN".into(),
+                fraction: 1.0,
+                load: hd_load(),
+            }],
+            Seconds::from_millis(100.0),
+        );
+        let p = solo.time_weighted_power(&m, f);
+        assert!((p.value() - m.core_power(f, &hd_load()).value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residency_proportional_to_fraction() {
+        let m = model();
+        let c = core(0.2, 0.5);
+        let rep = c.simulate(&m, KiloHertz::from_mhz(3000), Seconds(100.0));
+        assert!((rep.tasks[0].resident.value() - 20.0).abs() < 1e-6);
+        assert!((rep.tasks[1].resident.value() - 50.0).abs() < 1e-6);
+        assert!((rep.idle.value() - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sum_bounded_by_one() {
+        let t = |f: f64| ShareTask {
+            name: "x".into(),
+            fraction: f,
+            load: ld_load(),
+        };
+        let r =
+            std::panic::catch_unwind(|| TimeSharedCore::new(vec![t(0.7), t(0.7)], Seconds(0.1)));
+        assert!(r.is_err(), "fractions summing to 1.4 must panic");
+    }
+
+    #[test]
+    fn partial_final_period_accounted() {
+        let m = model();
+        let c = core(0.5, 0.5);
+        // 0.25 s is 2.5 periods of 100 ms.
+        let rep = c.simulate(&m, KiloHertz::from_mhz(3000), Seconds(0.25));
+        let total: f64 =
+            rep.tasks.iter().map(|t| t.resident.value()).sum::<f64>() + rep.idle.value();
+        assert!((total - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,222 @@
+//! Opportunistic frequency scaling (TurboBoost / Precision Boost + XFR)
+//! and AVX frequency offsets.
+//!
+//! When few cores are active the package has thermal and power headroom, so
+//! the active cores may exceed the nominal maximum frequency (§2.1
+//! "Opportunistic Scaling"). Conversely, wide-vector (AVX) instructions
+//! draw so much current that the part caps AVX-executing cores to a lower
+//! maximum — the effect that limits `cam4` to ~1.7 GHz while `gcc` reaches
+//! 2.36 GHz in Figure 1 of the paper, and that makes the AVX benchmarks'
+//! performance "peak at a relatively low 1.9 GHz" in Figure 2.
+
+use crate::freq::KiloHertz;
+
+/// Turbo/boost frequency limits as a function of active core count, for
+/// scalar and AVX-executing cores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TurboTable {
+    /// `limits[i]` is the per-core scalar maximum when `i + 1` cores are
+    /// active. Must be non-increasing.
+    limits: Vec<KiloHertz>,
+    /// Same, for cores currently executing AVX code. Must be
+    /// non-increasing and element-wise `<= limits`.
+    avx_limits: Vec<KiloHertz>,
+}
+
+impl TurboTable {
+    /// Build from explicit per-active-count limit vectors.
+    ///
+    /// # Panics
+    /// Panics if the vectors are empty, different lengths, increase with
+    /// active count, or the AVX limit exceeds the scalar limit anywhere.
+    pub fn new(limits: Vec<KiloHertz>, avx_limits: Vec<KiloHertz>) -> TurboTable {
+        assert!(!limits.is_empty(), "turbo table cannot be empty");
+        assert_eq!(
+            limits.len(),
+            avx_limits.len(),
+            "scalar and AVX tables must cover the same core counts"
+        );
+        for w in limits.windows(2) {
+            assert!(w[0] >= w[1], "turbo limits must be non-increasing");
+        }
+        for w in avx_limits.windows(2) {
+            assert!(w[0] >= w[1], "AVX turbo limits must be non-increasing");
+        }
+        for (l, a) in limits.iter().zip(&avx_limits) {
+            assert!(a <= l, "AVX limit above scalar limit");
+        }
+        TurboTable { limits, avx_limits }
+    }
+
+    /// A flat table: no opportunistic scaling.
+    pub fn flat(num_cores: usize, max: KiloHertz, avx_cap: KiloHertz) -> TurboTable {
+        let n = num_cores.max(1);
+        TurboTable::new(vec![max; n], vec![avx_cap.min(max); n])
+    }
+
+    /// Linear ramps from single-core peaks down to all-core limits,
+    /// quantized to `step`.
+    pub fn ramp(
+        num_cores: usize,
+        single_core_max: KiloHertz,
+        all_core_max: KiloHertz,
+        avx_single_max: KiloHertz,
+        avx_all_max: KiloHertz,
+        step: KiloHertz,
+    ) -> TurboTable {
+        assert!(num_cores >= 1);
+        assert!(single_core_max >= all_core_max);
+        assert!(avx_single_max >= avx_all_max);
+        assert!(step.khz() > 0);
+        let ramp_one = |hi: KiloHertz, lo: KiloHertz| -> Vec<KiloHertz> {
+            (0..num_cores)
+                .map(|i| {
+                    let f = if num_cores == 1 {
+                        hi.khz()
+                    } else {
+                        let span = hi.khz() - lo.khz();
+                        hi.khz() - span * i as u64 / (num_cores as u64 - 1)
+                    };
+                    KiloHertz(f / step.khz() * step.khz())
+                })
+                .collect()
+        };
+        TurboTable::new(
+            ramp_one(single_core_max, all_core_max),
+            ramp_one(
+                avx_single_max.min(single_core_max),
+                avx_all_max.min(all_core_max),
+            ),
+        )
+    }
+
+    /// Per-core scalar maximum when `active` cores are in C0.
+    /// `active == 0` is treated as 1 (the querying core is about to wake).
+    /// Counts beyond the table clamp to the all-core limit.
+    pub fn limit(&self, active: usize) -> KiloHertz {
+        let idx = active.max(1).min(self.limits.len()) - 1;
+        self.limits[idx]
+    }
+
+    /// Per-core AVX maximum when `active` cores are in C0.
+    pub fn avx_limit(&self, active: usize) -> KiloHertz {
+        let idx = active.max(1).min(self.avx_limits.len()) - 1;
+        self.avx_limits[idx]
+    }
+
+    /// The all-core (sustained) scalar limit.
+    pub fn all_core_limit(&self) -> KiloHertz {
+        *self.limits.last().expect("non-empty")
+    }
+
+    /// The single-core (peak boost) scalar limit.
+    pub fn peak(&self) -> KiloHertz {
+        self.limits[0]
+    }
+
+    /// The all-core AVX limit (the cap the paper's Figure 1 shows for cam4).
+    pub fn avx_cap(&self) -> KiloHertz {
+        *self.avx_limits.last().expect("non-empty")
+    }
+
+    /// Resolve the cap for one core given the active count and whether it
+    /// is executing AVX code.
+    pub fn cap_for(&self, active: usize, avx: bool) -> KiloHertz {
+        if avx {
+            self.avx_limit(active)
+        } else {
+            self.limit(active)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skylake_like() -> TurboTable {
+        TurboTable::ramp(
+            10,
+            KiloHertz::from_mhz(3000),
+            KiloHertz::from_mhz(2400),
+            KiloHertz::from_mhz(1900),
+            KiloHertz::from_mhz(1700),
+            KiloHertz::from_mhz(100),
+        )
+    }
+
+    #[test]
+    fn ramp_endpoints() {
+        let t = skylake_like();
+        assert_eq!(t.peak(), KiloHertz::from_mhz(3000));
+        assert_eq!(t.all_core_limit(), KiloHertz::from_mhz(2400));
+        assert_eq!(t.avx_limit(1), KiloHertz::from_mhz(1900));
+        assert_eq!(t.avx_cap(), KiloHertz::from_mhz(1700));
+    }
+
+    #[test]
+    fn limits_monotone_in_active_count() {
+        let t = skylake_like();
+        let mut prev = KiloHertz(u64::MAX);
+        let mut prev_avx = KiloHertz(u64::MAX);
+        for n in 1..=10 {
+            assert!(t.limit(n) <= prev);
+            assert!(t.avx_limit(n) <= prev_avx);
+            assert!(t.avx_limit(n) <= t.limit(n));
+            prev = t.limit(n);
+            prev_avx = t.avx_limit(n);
+        }
+    }
+
+    #[test]
+    fn limit_edge_counts() {
+        let t = skylake_like();
+        assert_eq!(t.limit(0), t.limit(1));
+        assert_eq!(t.limit(64), t.all_core_limit());
+        assert_eq!(t.avx_limit(64), t.avx_cap());
+    }
+
+    #[test]
+    fn ramp_quantized_to_step() {
+        let t = skylake_like();
+        for n in 1..=10 {
+            assert_eq!(t.limit(n).khz() % 100_000, 0, "unquantized at {n}");
+            assert_eq!(t.avx_limit(n).khz() % 100_000, 0);
+        }
+    }
+
+    #[test]
+    fn cap_for_selects_table() {
+        let t = skylake_like();
+        assert_eq!(t.cap_for(10, false), KiloHertz::from_mhz(2400));
+        assert_eq!(t.cap_for(10, true), KiloHertz::from_mhz(1700));
+        assert_eq!(t.cap_for(1, true), KiloHertz::from_mhz(1900));
+    }
+
+    #[test]
+    fn flat_table() {
+        let t = TurboTable::flat(4, KiloHertz::from_mhz(2000), KiloHertz::from_mhz(1500));
+        for n in 1..=4 {
+            assert_eq!(t.limit(n), KiloHertz::from_mhz(2000));
+            assert_eq!(t.avx_limit(n), KiloHertz::from_mhz(1500));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing")]
+    fn rejects_increasing_limits() {
+        let _ = TurboTable::new(
+            vec![KiloHertz::from_mhz(2000), KiloHertz::from_mhz(2500)],
+            vec![KiloHertz::from_mhz(1500), KiloHertz::from_mhz(1500)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "AVX limit above scalar")]
+    fn rejects_avx_above_scalar() {
+        let _ = TurboTable::new(
+            vec![KiloHertz::from_mhz(2000)],
+            vec![KiloHertz::from_mhz(2500)],
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! Scalar unit newtypes used throughout the simulator.
+//!
+//! Power, energy and time quantities are kept in dedicated newtypes so that
+//! a watt value can never be accidentally added to a joule value. Arithmetic
+//! is implemented only where it is physically meaningful
+//! (`Watts * Seconds = Joules`, `Joules / Seconds = Watts`, ...).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Electrical power in watts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Watts(pub f64);
+
+/// Energy in joules.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Joules(pub f64);
+
+/// Wall-clock (simulated) time in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Seconds(pub f64);
+
+/// Core supply voltage in volts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Volts(pub f64);
+
+macro_rules! impl_unit {
+    ($ty:ident, $sym:expr) => {
+        impl $ty {
+            /// Raw scalar value.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Zero of this unit.
+            pub const ZERO: $ty = $ty(0.0);
+
+            /// Clamp to the inclusive range `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: $ty, hi: $ty) -> $ty {
+                $ty(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Component-wise maximum.
+            #[inline]
+            pub fn max(self, other: $ty) -> $ty {
+                $ty(self.0.max(other.0))
+            }
+
+            /// Component-wise minimum.
+            #[inline]
+            pub fn min(self, other: $ty) -> $ty {
+                $ty(self.0.min(other.0))
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> $ty {
+                $ty(self.0.abs())
+            }
+
+            /// True when the value is finite and non-negative.
+            #[inline]
+            pub fn is_valid(self) -> bool {
+                self.0.is_finite() && self.0 >= 0.0
+            }
+        }
+
+        impl Add for $ty {
+            type Output = $ty;
+            #[inline]
+            fn add(self, rhs: $ty) -> $ty {
+                $ty(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $ty {
+            type Output = $ty;
+            #[inline]
+            fn sub(self, rhs: $ty) -> $ty {
+                $ty(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $ty {
+            #[inline]
+            fn add_assign(&mut self, rhs: $ty) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $ty {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $ty) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $ty {
+            type Output = $ty;
+            #[inline]
+            fn neg(self) -> $ty {
+                $ty(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $ty {
+            type Output = $ty;
+            #[inline]
+            fn mul(self, rhs: f64) -> $ty {
+                $ty(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $ty {
+            type Output = $ty;
+            #[inline]
+            fn div(self, rhs: f64) -> $ty {
+                $ty(self.0 / rhs)
+            }
+        }
+
+        impl Div for $ty {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $ty) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $ty {
+            fn sum<I: Iterator<Item = $ty>>(iter: I) -> $ty {
+                $ty(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $sym)
+                } else {
+                    write!(f, "{:.3} {}", self.0, $sym)
+                }
+            }
+        }
+    };
+}
+
+impl_unit!(Watts, "W");
+impl_unit!(Joules, "J");
+impl_unit!(Seconds, "s");
+impl_unit!(Volts, "V");
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+impl Seconds {
+    /// Construct from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Seconds {
+        Seconds(ms / 1e3)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub fn from_micros(us: f64) -> Seconds {
+        Seconds(us / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Watts(10.0) * Seconds(2.5);
+        assert_eq!(e, Joules(25.0));
+        let e2 = Seconds(2.5) * Watts(10.0);
+        assert_eq!(e2, e);
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        let p = Joules(30.0) / Seconds(3.0);
+        assert_eq!(p, Watts(10.0));
+    }
+
+    #[test]
+    fn unit_arithmetic() {
+        let a = Watts(3.0) + Watts(4.0) - Watts(2.0);
+        assert_eq!(a, Watts(5.0));
+        let mut b = Watts(1.0);
+        b += Watts(2.0);
+        b -= Watts(0.5);
+        assert!((b.value() - 2.5).abs() < 1e-12);
+        assert_eq!(Watts(8.0) / Watts(2.0), 4.0);
+        assert_eq!(Watts(2.0) * 3.0, Watts(6.0));
+        assert_eq!(Watts(6.0) / 3.0, Watts(2.0));
+        assert_eq!(-Watts(1.5), Watts(-1.5));
+    }
+
+    #[test]
+    fn clamp_min_max() {
+        assert_eq!(Watts(5.0).clamp(Watts(0.0), Watts(4.0)), Watts(4.0));
+        assert_eq!(Watts(-1.0).clamp(Watts(0.0), Watts(4.0)), Watts(0.0));
+        assert_eq!(Watts(2.0).max(Watts(3.0)), Watts(3.0));
+        assert_eq!(Watts(2.0).min(Watts(3.0)), Watts(2.0));
+        assert_eq!(Watts(-2.0).abs(), Watts(2.0));
+    }
+
+    #[test]
+    fn validity() {
+        assert!(Watts(1.0).is_valid());
+        assert!(!Watts(-1.0).is_valid());
+        assert!(!Watts(f64::NAN).is_valid());
+        assert!(!Watts(f64::INFINITY).is_valid());
+    }
+
+    #[test]
+    fn sum_and_display() {
+        let total: Watts = [Watts(1.0), Watts(2.0), Watts(3.0)].into_iter().sum();
+        assert_eq!(total, Watts(6.0));
+        assert_eq!(format!("{:.1}", Watts(1.25)), "1.2 W");
+        assert_eq!(format!("{}", Seconds(2.0)), "2.000 s");
+    }
+
+    #[test]
+    fn seconds_constructors() {
+        assert!((Seconds::from_millis(1500.0).value() - 1.5).abs() < 1e-12);
+        assert!((Seconds::from_micros(250.0).value() - 0.00025).abs() < 1e-12);
+    }
+}

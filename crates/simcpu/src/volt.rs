@@ -1,0 +1,232 @@
+//! Voltage/frequency curves.
+//!
+//! DVFS couples frequency to supply voltage: higher frequencies need higher
+//! voltage, which is what makes dynamic power super-linear in frequency
+//! (`P_dyn ∝ V²·f`, §2.1 of the paper). Real parts publish a small table of
+//! voltage operating points; we model the curve as a piecewise-linear
+//! interpolation over such a table.
+
+use crate::freq::KiloHertz;
+use crate::units::Volts;
+
+/// A voltage/frequency curve: piecewise-linear interpolation over
+/// operating points, or stepped voltage bands.
+///
+/// The *interpolated* form models per-operating-point voltage (Intel's
+/// per-core FIVR). The *banded* form models the paper's Ryzen workaround
+/// (§3.1): each redefinable P-state slot carries **one** BIOS-configured
+/// voltage used for every frequency the band represents, so running at
+/// the bottom of a band wastes the band's full voltage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoltageCurve {
+    points: Vec<(KiloHertz, Volts)>,
+    /// Stepped bands `(upper_bound_inclusive, voltage)`, ascending; when
+    /// non-empty they take precedence over interpolation.
+    bands: Vec<(KiloHertz, Volts)>,
+}
+
+impl VoltageCurve {
+    /// Build a curve from `(frequency, voltage)` operating points.
+    ///
+    /// # Panics
+    /// Panics if fewer than two points are given, frequencies are not
+    /// strictly increasing, or voltages decrease.
+    pub fn new(points: Vec<(KiloHertz, Volts)>) -> VoltageCurve {
+        assert!(points.len() >= 2, "voltage curve needs at least two points");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "curve frequencies must strictly increase");
+            assert!(w[0].1 <= w[1].1, "curve voltages must not decrease");
+        }
+        VoltageCurve {
+            points,
+            bands: Vec::new(),
+        }
+    }
+
+    /// A stepped curve of voltage bands: each `(upper_bound, voltage)`
+    /// covers frequencies up to and including the bound; queries above
+    /// the last bound use the last voltage. This is the Ryzen shared
+    /// P-state model of §3.1 ("each P-state uses the same voltage level
+    /// for all frequencies it represents").
+    ///
+    /// # Panics
+    /// Panics if empty or not ascending in both coordinates.
+    pub fn banded(bands: Vec<(KiloHertz, Volts)>) -> VoltageCurve {
+        assert!(!bands.is_empty(), "need at least one band");
+        for w in bands.windows(2) {
+            assert!(w[0].0 < w[1].0, "band bounds must strictly increase");
+            assert!(w[0].1 <= w[1].1, "band voltages must not decrease");
+        }
+        VoltageCurve {
+            points: Vec::new(),
+            bands,
+        }
+    }
+
+    /// A simple linear curve between two endpoints; convenient for tests
+    /// and platform definitions without detailed V/f tables.
+    pub fn linear(f_lo: KiloHertz, v_lo: Volts, f_hi: KiloHertz, v_hi: Volts) -> VoltageCurve {
+        VoltageCurve::new(vec![(f_lo, v_lo), (f_hi, v_hi)])
+    }
+
+    /// Voltage required to run at frequency `f`.
+    pub fn voltage(&self, f: KiloHertz) -> Volts {
+        if !self.bands.is_empty() {
+            return self
+                .bands
+                .iter()
+                .find(|(bound, _)| f <= *bound)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| self.bands.last().expect("non-empty").1);
+        }
+        let pts = &self.points;
+        if f <= pts[0].0 {
+            return pts[0].1;
+        }
+        // Find the segment containing f; extrapolate past the end.
+        let seg = pts
+            .windows(2)
+            .find(|w| f <= w[1].0)
+            .unwrap_or_else(|| &pts[pts.len() - 2..]);
+        let (f0, v0) = seg[0];
+        let (f1, v1) = seg[1];
+        let t = (f.khz() as f64 - f0.khz() as f64) / (f1.khz() as f64 - f0.khz() as f64);
+        Volts(v0.value() + t * (v1.value() - v0.value()))
+    }
+
+    /// The operating points the curve was built from.
+    pub fn points(&self) -> &[(KiloHertz, Volts)] {
+        &self.points
+    }
+
+    /// Minimum (leftmost) voltage on the curve.
+    pub fn min_voltage(&self) -> Volts {
+        if !self.bands.is_empty() {
+            self.bands[0].1
+        } else {
+            self.points[0].1
+        }
+    }
+
+    /// Whether this curve is banded (stepped) rather than interpolated.
+    pub fn is_banded(&self) -> bool {
+        !self.bands.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> VoltageCurve {
+        VoltageCurve::new(vec![
+            (KiloHertz::from_mhz(800), Volts(0.65)),
+            (KiloHertz::from_mhz(2200), Volts(0.95)),
+            (KiloHertz::from_mhz(3000), Volts(1.15)),
+        ])
+    }
+
+    #[test]
+    fn interpolates_within_segments() {
+        let c = curve();
+        let v = c.voltage(KiloHertz::from_mhz(1500));
+        // halfway between 800 (0.65V) and 2200 (0.95V)
+        assert!((v.value() - 0.80).abs() < 1e-9);
+        let v2 = c.voltage(KiloHertz::from_mhz(2600));
+        assert!((v2.value() - 1.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn endpoints_exact() {
+        let c = curve();
+        assert_eq!(c.voltage(KiloHertz::from_mhz(800)), Volts(0.65));
+        assert_eq!(c.voltage(KiloHertz::from_mhz(2200)), Volts(0.95));
+        assert_eq!(c.voltage(KiloHertz::from_mhz(3000)), Volts(1.15));
+    }
+
+    #[test]
+    fn clamps_below_extrapolates_above() {
+        let c = curve();
+        assert_eq!(c.voltage(KiloHertz::from_mhz(100)), Volts(0.65));
+        let v = c.voltage(KiloHertz::from_mhz(3400));
+        // slope of last segment: 0.2V per 800MHz -> +0.1V at 3400
+        assert!((v.value() - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_non_decreasing() {
+        let c = curve();
+        let mut prev = Volts(0.0);
+        for mhz in (400..3600).step_by(50) {
+            let v = c.voltage(KiloHertz::from_mhz(mhz));
+            assert!(v >= prev, "voltage decreased at {mhz} MHz");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn linear_constructor() {
+        let c = VoltageCurve::linear(
+            KiloHertz::from_mhz(400),
+            Volts(0.7),
+            KiloHertz::from_mhz(3800),
+            Volts(1.35),
+        );
+        let mid = c.voltage(KiloHertz::from_mhz(2100));
+        assert!((mid.value() - 1.025).abs() < 1e-9);
+        assert_eq!(c.min_voltage(), Volts(0.7));
+    }
+
+    #[test]
+    fn banded_curve_steps() {
+        // The paper's Ryzen P-state bands: P2 0.8-2.1 GHz, P1 2.2-3.3,
+        // P0 3.4-3.8, each at one voltage.
+        let c = VoltageCurve::banded(vec![
+            (KiloHertz::from_mhz(2100), Volts(0.95)),
+            (KiloHertz::from_mhz(3300), Volts(1.16)),
+            (KiloHertz::from_mhz(3800), Volts(1.42)),
+        ]);
+        assert!(c.is_banded());
+        assert_eq!(c.min_voltage(), Volts(0.95));
+        // everything within a band shares its voltage
+        assert_eq!(c.voltage(KiloHertz::from_mhz(800)), Volts(0.95));
+        assert_eq!(c.voltage(KiloHertz::from_mhz(2100)), Volts(0.95));
+        assert_eq!(c.voltage(KiloHertz::from_mhz(2200)), Volts(1.16));
+        assert_eq!(c.voltage(KiloHertz::from_mhz(3300)), Volts(1.16));
+        assert_eq!(c.voltage(KiloHertz::from_mhz(3400)), Volts(1.42));
+        // above the top band: clamp to the top voltage
+        assert_eq!(c.voltage(KiloHertz::from_mhz(4000)), Volts(1.42));
+    }
+
+    #[test]
+    #[should_panic(expected = "band bounds")]
+    fn banded_rejects_unordered() {
+        let _ = VoltageCurve::banded(vec![
+            (KiloHertz::from_mhz(3000), Volts(1.0)),
+            (KiloHertz::from_mhz(2000), Volts(1.2)),
+        ]);
+    }
+
+    #[test]
+    fn interpolated_curve_is_not_banded() {
+        assert!(!curve().is_banded());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn rejects_unordered_points() {
+        let _ = VoltageCurve::new(vec![
+            (KiloHertz::from_mhz(2000), Volts(0.9)),
+            (KiloHertz::from_mhz(1000), Volts(1.0)),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not decrease")]
+    fn rejects_decreasing_voltage() {
+        let _ = VoltageCurve::new(vec![
+            (KiloHertz::from_mhz(1000), Volts(1.0)),
+            (KiloHertz::from_mhz(2000), Volts(0.9)),
+        ]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Log-bucketed latency histograms.
+//!
+//! Latency experiments record hundreds of thousands of sojourn times; a
+//! log-bucketed histogram keeps percentile queries cheap with bounded
+//! memory and bounded relative error, the standard approach in production
+//! latency tooling.
+
+/// A histogram with logarithmically spaced buckets over
+/// `[min_value, max_value]`, plus overflow/underflow buckets.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    min_value: f64,
+    /// log-width of each bucket.
+    log_step: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Create a histogram spanning `[min_value, max_value]` with
+    /// `buckets` log-spaced buckets.
+    ///
+    /// # Panics
+    /// Panics unless `0 < min_value < max_value` and `buckets >= 1`.
+    pub fn new(min_value: f64, max_value: f64, buckets: usize) -> LogHistogram {
+        assert!(min_value > 0.0 && max_value > min_value && buckets >= 1);
+        LogHistogram {
+            min_value,
+            log_step: (max_value / min_value).ln() / buckets as f64,
+            counts: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// A latency histogram from 10 µs to 100 s with ~2 % relative
+    /// resolution (value in seconds).
+    pub fn latency() -> LogHistogram {
+        LogHistogram::new(1e-5, 100.0, 800)
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: f64) {
+        debug_assert!(value.is_finite());
+        self.total += 1;
+        if value < self.min_value {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((value / self.min_value).ln() / self.log_step) as usize;
+        match self.counts.get_mut(idx) {
+            Some(c) => *c += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate percentile (`p` in 0..100): the geometric midpoint of
+    /// the bucket containing the rank. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = (p / 100.0 * self.total as f64).ceil() as u64;
+        let mut seen = self.underflow;
+        if rank <= seen {
+            return self.min_value;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if rank <= seen {
+                let lo = self.min_value * (self.log_step * i as f64).exp();
+                let hi = self.min_value * (self.log_step * (i + 1) as f64).exp();
+                return (lo * hi).sqrt();
+            }
+        }
+        // rank lands in overflow
+        self.min_value * (self.log_step * self.counts.len() as f64).exp()
+    }
+
+    /// Merge another histogram with identical geometry.
+    ///
+    /// # Panics
+    /// Panics if the geometries differ.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "geometry mismatch");
+        assert!((self.min_value - other.min_value).abs() < 1e-12);
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_accuracy() {
+        let mut h = LogHistogram::latency();
+        // 1..=1000 ms uniformly
+        for i in 1..=1000 {
+            h.record(i as f64 / 1000.0);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.percentile(50.0);
+        assert!((p50 - 0.5).abs() / 0.5 < 0.05, "p50 {p50}");
+        let p90 = h.percentile(90.0);
+        assert!((p90 - 0.9).abs() / 0.9 < 0.05, "p90 {p90}");
+    }
+
+    #[test]
+    fn empty_and_extremes() {
+        let mut h = LogHistogram::new(1.0, 100.0, 10);
+        assert_eq!(h.percentile(90.0), 0.0);
+        h.record(0.5); // underflow
+        h.record(1000.0); // overflow
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile(1.0), 1.0);
+        assert!(h.percentile(100.0) >= 100.0 * 0.99);
+    }
+
+    #[test]
+    fn percentiles_monotone() {
+        let mut h = LogHistogram::latency();
+        let mut x = 0.001;
+        for _ in 0..10_000 {
+            h.record(x);
+            x *= 1.0007;
+        }
+        let mut prev = 0.0;
+        for p in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0] {
+            let v = h.percentile(p);
+            assert!(v >= prev, "non-monotone at p{p}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LogHistogram::new(1.0, 100.0, 50);
+        let mut b = LogHistogram::new(1.0, 100.0, 50);
+        for _ in 0..100 {
+            a.record(2.0);
+            b.record(50.0);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        let p25 = a.percentile(25.0);
+        let p75 = a.percentile(75.0);
+        assert!(p25 < 3.0 && p75 > 40.0, "p25={p25} p75={p75}");
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn merge_rejects_mismatch() {
+        let mut a = LogHistogram::new(1.0, 100.0, 50);
+        let b = LogHistogram::new(1.0, 100.0, 60);
+        a.merge(&b);
+    }
+}

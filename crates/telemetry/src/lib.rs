@@ -1,0 +1,32 @@
+//! # pap-telemetry — turbostat-like telemetry for the simulated chip
+//!
+//! The paper collects package power, per-core power (Ryzen), retired
+//! instruction counts and active frequency once per second with a modified
+//! `turbostat` (§3.1). This crate provides the equivalent over
+//! [`pap_simcpu::chip::Chip`]:
+//!
+//! * [`counters`] — delta/rate arithmetic over wrapping hardware counters;
+//! * [`sampler`] — the stateful 1 Hz sampler;
+//! * [`trace`] — time-series recording and CSV export;
+//! * [`stats`] — means, percentiles and the box-plot five-number summary;
+//! * [`rolling`] — online EWMA / sliding-window / Welford estimators;
+//! * [`histogram`] — log-bucketed latency histograms.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod counters;
+pub mod histogram;
+pub mod rolling;
+pub mod sampler;
+pub mod stats;
+pub mod trace;
+
+/// Convenient glob-import of the most used types.
+pub mod prelude {
+    pub use crate::counters::{core_rates, power_from_energy, CoreRates};
+    pub use crate::histogram::LogHistogram;
+    pub use crate::sampler::{CoreSample, Sample, Sampler};
+    pub use crate::stats::BoxStats;
+    pub use crate::trace::Trace;
+}

@@ -1,0 +1,249 @@
+//! Rolling (online) statistics for control loops.
+//!
+//! Controllers act on noisy 1 Hz samples; these small online estimators
+//! give them smoothed views without storing whole traces: an EWMA (the
+//! same filter RAPL's running average uses), a fixed-length window with
+//! exact mean/min/max/percentile, and an online mean/variance
+//! (Welford) for settling detection.
+
+use std::collections::VecDeque;
+
+/// Exponentially weighted moving average.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Create with smoothing factor `alpha` in (0, 1]; larger = faster.
+    pub fn new(alpha: f64) -> Ewma {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range");
+        Ewma { alpha, value: None }
+    }
+
+    /// Create from a time constant: `alpha = dt / tau` (clamped to 1).
+    pub fn from_time_constant(dt: f64, tau: f64) -> Ewma {
+        assert!(dt > 0.0 && tau > 0.0);
+        Ewma::new((dt / tau).min(1.0))
+    }
+
+    /// Feed one observation; returns the updated average.
+    pub fn observe(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current average (`None` before the first observation).
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Forget all history.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+/// Fixed-capacity sliding window with exact order statistics.
+#[derive(Debug, Clone)]
+pub struct Window {
+    cap: usize,
+    buf: VecDeque<f64>,
+}
+
+impl Window {
+    /// Create a window holding the last `cap` observations.
+    pub fn new(cap: usize) -> Window {
+        assert!(cap > 0, "window capacity must be positive");
+        Window {
+            cap,
+            buf: VecDeque::with_capacity(cap),
+        }
+    }
+
+    /// Push an observation, evicting the oldest when full.
+    pub fn push(&mut self, x: f64) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(x);
+    }
+
+    /// Number of observations currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether the window has reached capacity.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.cap
+    }
+
+    /// Mean over the window (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.buf.is_empty() {
+            return 0.0;
+        }
+        self.buf.iter().sum::<f64>() / self.buf.len() as f64
+    }
+
+    /// Minimum over the window.
+    pub fn min(&self) -> Option<f64> {
+        self.buf.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum over the window.
+    pub fn max(&self) -> Option<f64> {
+        self.buf.iter().copied().reduce(f64::max)
+    }
+
+    /// Exact percentile over the window contents.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let v: Vec<f64> = self.buf.iter().copied().collect();
+        Some(crate::stats::percentile(&v, p))
+    }
+}
+
+/// Welford's online mean/variance, for settling detection ("has the
+/// signal's variance over the run dropped below a threshold?").
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Welford {
+        Welford::default()
+    }
+
+    /// Feed one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_converges_to_constant_input() {
+        let mut e = Ewma::new(0.2);
+        assert_eq!(e.value(), None);
+        for _ in 0..100 {
+            e.observe(42.0);
+        }
+        assert!((e.value().unwrap() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_first_observation_initializes() {
+        let mut e = Ewma::new(0.1);
+        assert_eq!(e.observe(7.0), 7.0);
+        // second observation moves by alpha of the gap
+        assert!((e.observe(17.0) - 8.0).abs() < 1e-12);
+        e.reset();
+        assert_eq!(e.value(), None);
+    }
+
+    #[test]
+    fn ewma_time_constant_matches_rapl_form() {
+        // dt=1ms, tau=100ms -> alpha 0.01, same as the RAPL controller's
+        let e = Ewma::from_time_constant(0.001, 0.1);
+        let _ = e;
+        let clamped = Ewma::from_time_constant(1.0, 0.5);
+        let mut c = clamped;
+        assert_eq!(c.observe(5.0), 5.0);
+        assert_eq!(c.observe(9.0), 9.0, "alpha clamped to 1 tracks instantly");
+    }
+
+    #[test]
+    fn window_evicts_and_aggregates() {
+        let mut w = Window::new(3);
+        assert!(w.is_empty());
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            w.push(x);
+        }
+        assert!(w.is_full());
+        assert_eq!(w.len(), 3);
+        assert!((w.mean() - 3.0).abs() < 1e-12); // 2,3,4
+        assert_eq!(w.min(), Some(2.0));
+        assert_eq!(w.max(), Some(4.0));
+        assert_eq!(w.percentile(50.0), Some(3.0));
+    }
+
+    #[test]
+    fn window_empty_queries() {
+        let w = Window::new(5);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.min(), None);
+        assert_eq!(w.percentile(90.0), None);
+    }
+
+    #[test]
+    fn welford_matches_batch_statistics() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &data {
+            w.observe(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.std_dev() - 2.0).abs() < 1e-12);
+        // batch reference
+        assert!((w.mean() - crate::stats::mean(&data)).abs() < 1e-12);
+        assert!((w.std_dev() - crate::stats::std_dev(&data)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_degenerate_cases() {
+        let mut w = Welford::new();
+        assert_eq!(w.variance(), 0.0);
+        w.observe(3.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.mean(), 3.0);
+    }
+}

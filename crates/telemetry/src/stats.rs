@@ -1,0 +1,143 @@
+//! Descriptive statistics for experiment reporting.
+//!
+//! The paper's DVFS figures (2 and 3) are box plots: median, quartiles,
+//! 1st/99th percentile whiskers, and outliers. [`BoxStats`] computes that
+//! five-number summary; the free functions cover the aggregate statistics
+//! used elsewhere.
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation; 0 for fewer than two values.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Linear-interpolated percentile (`p` in 0..=100); 0 for empty input.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    debug_assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let t = rank - lo as f64;
+        v[lo] * (1.0 - t) + v[hi] * t
+    }
+}
+
+/// The five-number summary the paper's box plots report, plus outliers
+/// beyond the 1st/99th-percentile whiskers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxStats {
+    /// 1st percentile (lower whisker).
+    pub p1: f64,
+    /// First quartile (box bottom).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile (box top).
+    pub q3: f64,
+    /// 99th percentile (upper whisker).
+    pub p99: f64,
+    /// Values outside the whiskers.
+    pub outliers: Vec<f64>,
+}
+
+impl BoxStats {
+    /// Summarize a sample. Returns `None` for empty input.
+    pub fn from(values: &[f64]) -> Option<BoxStats> {
+        if values.is_empty() {
+            return None;
+        }
+        let p1 = percentile(values, 1.0);
+        let p99 = percentile(values, 99.0);
+        Some(BoxStats {
+            p1,
+            q1: percentile(values, 25.0),
+            median: percentile(values, 50.0),
+            q3: percentile(values, 75.0),
+            p99,
+            outliers: values
+                .iter()
+                .copied()
+                .filter(|&v| v < p1 || v > p99)
+                .collect(),
+        })
+    }
+
+    /// One-line rendering for experiment tables.
+    pub fn render(&self) -> String {
+        format!(
+            "p1={:.3} q1={:.3} med={:.3} q3={:.3} p99={:.3} outliers={}",
+            self.p1,
+            self.q1,
+            self.median,
+            self.q3,
+            self.p99,
+            self.outliers.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        let s = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert!((percentile(&v, 50.0) - 2.5).abs() < 1e-12);
+        // unsorted input is handled
+        let u = [4.0, 1.0, 3.0, 2.0];
+        assert!((percentile(&u, 50.0) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn box_stats_ordering() {
+        let v: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let b = BoxStats::from(&v).unwrap();
+        assert!(b.p1 <= b.q1 && b.q1 <= b.median && b.median <= b.q3 && b.q3 <= b.p99);
+        assert!((b.median - 499.5).abs() < 1.0);
+        assert!(!b.outliers.is_empty(), "tails beyond p1/p99 are outliers");
+        assert!(BoxStats::from(&[]).is_none());
+    }
+
+    #[test]
+    fn box_stats_single_value() {
+        let b = BoxStats::from(&[7.0]).unwrap();
+        assert_eq!(b.median, 7.0);
+        assert_eq!(b.p1, 7.0);
+        assert_eq!(b.p99, 7.0);
+        assert!(b.outliers.is_empty());
+        assert!(b.render().contains("med=7.000"));
+    }
+}

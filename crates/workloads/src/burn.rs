@@ -1,0 +1,69 @@
+//! The `cpuburn` power virus (§3.2 "Unfair throttling", §6.4).
+//!
+//! `cpuburn` exists to draw the maximum possible power on one core. It is
+//! modeled as a fully compute-bound loop with the highest effective
+//! capacitance in the workload set, calibrated so that one busy core plus
+//! the idle rest of the Skylake package draws ≈ 32 W at 3 GHz, matching
+//! the paper's measurement.
+
+use crate::engine::RunningApp;
+use crate::profile::WorkloadProfile;
+
+/// The cpuburn profile.
+pub const CPUBURN: WorkloadProfile = WorkloadProfile {
+    name: "cpuburn",
+    cpi: 1.0,
+    mem_stall_ns: 0.0,
+    capacitance: 1.8,
+    avx: false,
+    total_instructions: u64::MAX / 2,
+};
+
+/// A ready-to-run, never-terminating cpuburn instance.
+pub fn cpuburn() -> RunningApp {
+    RunningApp::looping(CPUBURN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pap_simcpu::freq::KiloHertz;
+    use pap_simcpu::platform::PlatformSpec;
+    use pap_simcpu::units::Seconds;
+
+    #[test]
+    fn burn_is_high_demand_and_compute_bound() {
+        assert!(CPUBURN.is_high_demand());
+        assert!(CPUBURN.compute_fraction(KiloHertz::from_ghz(3.0)) > 0.999);
+    }
+
+    /// Paper anchor: cpuburn on one Skylake core at 3 GHz draws ≈ 32 W of
+    /// package power.
+    #[test]
+    fn package_power_anchor() {
+        let spec = PlatformSpec::skylake();
+        let mut app = cpuburn();
+        let f = KiloHertz::from_ghz(3.0);
+        let out = app.advance(Seconds(0.001), f);
+        let core = spec.power.core_power(f, &out.load);
+        let idle = spec
+            .power
+            .core_power(f, &pap_simcpu::power::LoadDescriptor::IDLE)
+            * 9.0;
+        let pkg = core + idle + spec.power.uncore_power(f);
+        assert!(
+            (pkg.value() - 32.0).abs() < 3.0,
+            "cpuburn package power {pkg}, paper says ~32 W"
+        );
+    }
+
+    #[test]
+    fn burn_never_completes() {
+        let mut app = cpuburn();
+        for _ in 0..10_000 {
+            let out = app.advance(Seconds(0.01), KiloHertz::from_ghz(3.8));
+            assert!(!out.finished_run);
+        }
+        assert!(!app.is_done());
+    }
+}

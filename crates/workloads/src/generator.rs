@@ -1,0 +1,111 @@
+//! Workload mix generation (§6.3, Table 3).
+//!
+//! The paper complements its hand-picked HD/LD pairs with randomly drawn
+//! SPEC subsets. Table 3 fixes the two Skylake sets it reports (A and B);
+//! [`random_set`] draws fresh seeded sets for wider sweeps.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::profile::WorkloadProfile;
+use crate::spec;
+
+/// Table 3, Skylake set A: deepsjeng, perlbench, cactusBSSN, exchange, gcc.
+pub fn skylake_set_a() -> Vec<WorkloadProfile> {
+    ["deepsjeng", "perlbench", "cactusBSSN", "exchange2", "gcc"]
+        .iter()
+        .map(|n| spec::by_name(n).expect("Table 3 name"))
+        .collect()
+}
+
+/// Table 3, Skylake set B: deepsjeng, omnetpp, perlbench, cam4, lbm.
+pub fn skylake_set_b() -> Vec<WorkloadProfile> {
+    ["deepsjeng", "omnetpp", "perlbench", "cam4", "lbm"]
+        .iter()
+        .map(|n| spec::by_name(n).expect("Table 3 name"))
+        .collect()
+}
+
+/// Draw `k` distinct benchmarks from the SPEC subset, deterministically
+/// from `seed` (the paper used numbergenerator.org; we use a seeded
+/// shuffle).
+pub fn random_set(seed: u64, k: usize) -> Vec<WorkloadProfile> {
+    let mut all = spec::spec2017();
+    assert!(
+        k <= all.len(),
+        "cannot draw {k} from {} benchmarks",
+        all.len()
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    all.shuffle(&mut rng);
+    all.truncate(k);
+    all
+}
+
+/// Duplicate each profile `copies` times (the Skylake random experiments
+/// run two copies of each of 5 applications on the 10 cores).
+pub fn replicate(set: &[WorkloadProfile], copies: usize) -> Vec<WorkloadProfile> {
+    let mut out = Vec::with_capacity(set.len() * copies);
+    for w in set {
+        for _ in 0..copies {
+            out.push(*w);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_sets() {
+        let a = skylake_set_a();
+        let b = skylake_set_b();
+        assert_eq!(a.len(), 5);
+        assert_eq!(b.len(), 5);
+        assert_eq!(a[2].name, "cactusBSSN");
+        assert_eq!(b[3].name, "cam4");
+        assert_eq!(b[4].name, "lbm");
+        // B contains the AVX outliers the paper calls out; A has none.
+        assert!(a.iter().all(|w| !w.avx));
+        assert_eq!(b.iter().filter(|w| w.avx).count(), 2);
+    }
+
+    #[test]
+    fn random_set_deterministic_and_distinct() {
+        let s1 = random_set(7, 5);
+        let s2 = random_set(7, 5);
+        assert_eq!(
+            s1.iter().map(|w| w.name).collect::<Vec<_>>(),
+            s2.iter().map(|w| w.name).collect::<Vec<_>>()
+        );
+        let mut names: Vec<_> = s1.iter().map(|w| w.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 5, "duplicates drawn");
+
+        let s3 = random_set(8, 5);
+        assert_ne!(
+            s1.iter().map(|w| w.name).collect::<Vec<_>>(),
+            s3.iter().map(|w| w.name).collect::<Vec<_>>(),
+            "different seeds should give different sets"
+        );
+    }
+
+    #[test]
+    fn replicate_doubles() {
+        let set = skylake_set_a();
+        let r = replicate(&set, 2);
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[0].name, r[1].name);
+        assert_eq!(r[8].name, r[9].name);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn random_set_bounds() {
+        let _ = random_set(1, 12);
+    }
+}

@@ -1,0 +1,77 @@
+//! Performance metrics and normalization helpers.
+//!
+//! The paper reports *performance normalized to standalone execution* —
+//! either at a reference frequency (Figures 2/3) or at the full 85 W
+//! budget (Figures 1/7/8). These helpers centralize that arithmetic so
+//! every experiment normalizes the same way.
+
+use pap_simcpu::freq::KiloHertz;
+
+use crate::profile::WorkloadProfile;
+
+/// Performance (IPS) of `profile` at `freq`, normalized to its standalone
+/// IPS at `reference`.
+pub fn normalized_perf(profile: &WorkloadProfile, freq: KiloHertz, reference: KiloHertz) -> f64 {
+    profile.ips(freq) / profile.ips(reference)
+}
+
+/// Normalized runtime (inverse of normalized performance): >1 means
+/// slower than the reference.
+pub fn normalized_runtime(profile: &WorkloadProfile, freq: KiloHertz, reference: KiloHertz) -> f64 {
+    profile.runtime(freq) / profile.runtime(reference)
+}
+
+/// Normalize a measured IPS value against a baseline IPS.
+pub fn normalize_ips(measured_ips: f64, baseline_ips: f64) -> f64 {
+    if baseline_ips <= 0.0 {
+        return 0.0;
+    }
+    measured_ips / baseline_ips
+}
+
+/// Relative share of each value in a slice (values / sum). Empty or
+/// all-zero input yields zeros. Used for the "percent of total resource
+/// used by each application" views of Figures 10 and 11.
+pub fn relative_shares(values: &[f64]) -> Vec<f64> {
+    let total: f64 = values.iter().sum();
+    if total <= 0.0 {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|v| v / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+
+    #[test]
+    fn normalized_perf_identity() {
+        let f = KiloHertz::from_mhz(2200);
+        assert!((normalized_perf(&spec::GCC, f, f) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perf_and_runtime_are_inverse() {
+        let f = KiloHertz::from_mhz(1200);
+        let r = KiloHertz::from_mhz(2200);
+        let p = normalized_perf(&spec::GCC, f, r);
+        let t = normalized_runtime(&spec::GCC, f, r);
+        assert!((p * t - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_ips_guards_zero() {
+        assert_eq!(normalize_ips(100.0, 0.0), 0.0);
+        assert!((normalize_ips(50.0, 100.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_shares_sum_to_one() {
+        let s = relative_shares(&[1.0, 3.0]);
+        assert!((s[0] - 0.25).abs() < 1e-12);
+        assert!((s[1] - 0.75).abs() < 1e-12);
+        assert_eq!(relative_shares(&[]), Vec::<f64>::new());
+        assert_eq!(relative_shares(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+}

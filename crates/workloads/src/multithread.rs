@@ -1,0 +1,202 @@
+//! Multithreaded workloads with lock contention (§5.2).
+//!
+//! The paper uses IPS as its performance proxy "as our workloads are
+//! single-threaded. For multithreaded workloads with lock contention,
+//! where spinlocks may artificially inflate instruction counts, hardware
+//! mechanisms such as Intel's HWP ... may be a better choice."
+//!
+//! [`MtWorkload`] makes that concrete: `k` threads share one spinlock
+//! protecting a serial fraction of the work. Threads that fail to get the
+//! lock *spin*, retiring pause-loop instructions at full rate while doing
+//! nothing useful. Measured IPS therefore stays high (and can even rise
+//! with contention) while useful throughput obeys Amdahl's law — exactly
+//! the failure mode that misleads an IPS-driven policy.
+
+use pap_simcpu::freq::KiloHertz;
+use pap_simcpu::power::LoadDescriptor;
+use pap_simcpu::units::Seconds;
+
+use crate::profile::WorkloadProfile;
+
+/// A `k`-thread workload with a spinlock-protected serial section.
+#[derive(Debug, Clone)]
+pub struct MtWorkload {
+    /// Per-thread compute profile (parallel section behavior).
+    pub profile: WorkloadProfile,
+    /// Fraction of useful work that must hold the lock (serial fraction).
+    pub serial_fraction: f64,
+    /// Instructions a spinning thread retires per cycle (pause loops
+    /// retire fast; ~1/cycle after the pipeline settles).
+    pub spin_ipc: f64,
+    /// Useful instructions retired so far (all threads).
+    useful: f64,
+    /// Total retired including spin filler (what the counters see).
+    retired: f64,
+}
+
+/// Per-thread outcome of one tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MtStep {
+    /// Instructions the hardware counter sees (useful + spin).
+    pub instructions: u64,
+    /// The useful subset.
+    pub useful_instructions: u64,
+    /// Load presented to the power model.
+    pub load: LoadDescriptor,
+}
+
+impl MtWorkload {
+    /// Create a workload; `serial_fraction` in [0, 1).
+    pub fn new(profile: WorkloadProfile, serial_fraction: f64, threads_hint: usize) -> MtWorkload {
+        assert!((0.0..1.0).contains(&serial_fraction));
+        let _ = threads_hint; // documented for symmetry; threads are per call
+        MtWorkload {
+            profile,
+            serial_fraction,
+            spin_ipc: 1.0,
+            useful: 0.0,
+            retired: 0.0,
+        }
+    }
+
+    /// Advance all threads by `dt`, thread `i` running at `freqs[i]`.
+    ///
+    /// Lock utilization follows the serial bottleneck: the lock is held
+    /// for `serial_fraction` of each unit of useful work, executed at the
+    /// speed of whichever thread holds it (round-robin ≈ mean frequency).
+    /// Threads spend the fraction of time the lock is contended spinning.
+    pub fn advance(&mut self, dt: Seconds, freqs: &[KiloHertz]) -> Vec<MtStep> {
+        let k = freqs.len().max(1) as f64;
+        let mean_hz = freqs.iter().map(|f| f.hz()).sum::<f64>() / k;
+        let spi = self
+            .profile
+            .seconds_per_instruction(KiloHertz((mean_hz / 1e3) as u64));
+
+        // Amdahl: useful rate with k threads and serial fraction s at
+        // per-thread rate r = 1/spi is k·r / (1 + s·(k-1)).
+        let r = 1.0 / spi;
+        let s = self.serial_fraction;
+        let useful_rate = k * r / (1.0 + s * (k - 1.0));
+        let useful_total = useful_rate * dt.value();
+
+        // Fraction of each thread's time spent waiting on the lock.
+        let busy_useful_frac = (useful_rate / (k * r)).min(1.0); // per-thread useful time share
+        let spin_frac = 1.0 - busy_useful_frac;
+
+        self.useful += useful_total;
+
+        freqs
+            .iter()
+            .map(|f| {
+                let useful_i = (useful_total / k).round() as u64;
+                let spin_i = (spin_frac * f.hz() * dt.value() * self.spin_ipc) as u64;
+                self.retired += (useful_i + spin_i) as f64;
+                MtStep {
+                    instructions: useful_i + spin_i,
+                    useful_instructions: useful_i,
+                    // spinning keeps the core fully active and fairly hot
+                    load: LoadDescriptor {
+                        capacitance: self.profile.capacitance * (0.45 + 0.55 * busy_useful_frac)
+                            + 0.6 * spin_frac,
+                        utilization: 1.0,
+                        avx: self.profile.avx,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Useful instructions retired so far.
+    pub fn useful_retired(&self) -> u64 {
+        self.useful as u64
+    }
+
+    /// Counter-visible instructions retired so far (inflated by spinning).
+    pub fn counter_retired(&self) -> u64 {
+        self.retired as u64
+    }
+
+    /// IPS inflation factor so far: counter-visible over useful.
+    pub fn inflation(&self) -> f64 {
+        if self.useful <= 0.0 {
+            1.0
+        } else {
+            self.retired / self.useful
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+
+    fn freqs(k: usize, mhz: u64) -> Vec<KiloHertz> {
+        vec![KiloHertz::from_mhz(mhz); k]
+    }
+
+    #[test]
+    fn no_contention_single_thread() {
+        let mut w = MtWorkload::new(spec::LEELA, 0.3, 1);
+        let steps = w.advance(Seconds(1.0), &freqs(1, 2200));
+        assert_eq!(steps.len(), 1);
+        // one thread: no spinning, counter == useful
+        assert_eq!(steps[0].instructions, steps[0].useful_instructions);
+        assert!((w.inflation() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn amdahl_limits_useful_throughput() {
+        let one = {
+            let mut w = MtWorkload::new(spec::LEELA, 0.3, 1);
+            w.advance(Seconds(1.0), &freqs(1, 2200));
+            w.useful_retired()
+        };
+        let eight = {
+            let mut w = MtWorkload::new(spec::LEELA, 0.3, 8);
+            w.advance(Seconds(1.0), &freqs(8, 2200));
+            w.useful_retired()
+        };
+        let speedup = eight as f64 / one as f64;
+        // Amdahl with s=0.3, k=8: 8/(1+0.3*7) = 2.58
+        assert!((speedup - 2.58).abs() < 0.1, "speedup {speedup}");
+    }
+
+    #[test]
+    fn contention_inflates_counters() {
+        let mut w = MtWorkload::new(spec::LEELA, 0.3, 8);
+        for _ in 0..100 {
+            w.advance(Seconds(0.01), &freqs(8, 2200));
+        }
+        assert!(
+            w.inflation() > 2.0,
+            "spin-inflated counters expected: {}",
+            w.inflation()
+        );
+        // counter-visible IPS per thread stays near full speed even though
+        // useful throughput is Amdahl-limited
+        let ips_visible = w.counter_retired() as f64 / 8.0; // over 1 s
+        let solo = spec::LEELA.ips(KiloHertz::from_mhz(2200));
+        assert!(ips_visible > solo * 0.6, "{ips_visible:.3e} vs {solo:.3e}");
+    }
+
+    #[test]
+    fn no_serial_section_scales_linearly() {
+        let mut w = MtWorkload::new(spec::LEELA, 0.0, 8);
+        w.advance(Seconds(1.0), &freqs(8, 2200));
+        let useful = w.useful_retired() as f64;
+        let solo = spec::LEELA.ips(KiloHertz::from_mhz(2200));
+        assert!((useful / (8.0 * solo) - 1.0).abs() < 0.01);
+        assert!((w.inflation() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spinning_threads_stay_hot() {
+        let mut w = MtWorkload::new(spec::LEELA, 0.5, 8);
+        let steps = w.advance(Seconds(0.01), &freqs(8, 2200));
+        for s in &steps {
+            assert_eq!(s.load.utilization, 1.0);
+            assert!(s.load.capacitance > 0.5);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Workload profiles: the analytic performance/power characterization of
+//! an application.
+//!
+//! The paper's policies only ever observe applications through three
+//! telemetry signals — power, retired instructions and frequency — so a
+//! workload is fully described here by a two-term runtime model plus a
+//! power-demand factor:
+//!
+//! * **compute term**: `cpi / f` seconds per instruction scales inversely
+//!   with frequency;
+//! * **memory term**: `mem_stall_ns` per instruction does *not* scale with
+//!   core frequency (§2.1 "Limitations of P-States");
+//! * **capacitance**: the effective switching capacitance relative to a
+//!   nominal scalar workload — the paper's *power demand* axis;
+//! * **avx**: whether the workload is subject to AVX frequency caps.
+//!
+//! Together these reproduce the per-application spread of Figures 2 and 3:
+//! memory-bound applications saturate early, AVX applications are power
+//! outliers with capped peak frequency, and frequency-sensitive integer
+//! codes scale nearly linearly.
+
+use pap_simcpu::freq::KiloHertz;
+use pap_simcpu::power::LoadDescriptor;
+
+/// Analytic description of one application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadProfile {
+    /// Benchmark name (SPEC CPU2017 style).
+    pub name: &'static str,
+    /// Cycles per instruction for the compute (core-clocked) component.
+    pub cpi: f64,
+    /// Nanoseconds per instruction spent stalled on memory, independent of
+    /// core frequency.
+    pub mem_stall_ns: f64,
+    /// Effective-capacitance factor relative to a nominal scalar workload.
+    pub capacitance: f64,
+    /// Whether the workload executes AVX instructions.
+    pub avx: bool,
+    /// Instructions in one complete run (scaled down from real SPEC for
+    /// simulation; only relative runtimes matter).
+    pub total_instructions: u64,
+}
+
+impl WorkloadProfile {
+    /// Seconds to retire one instruction at core frequency `f`.
+    pub fn seconds_per_instruction(&self, f: KiloHertz) -> f64 {
+        debug_assert!(f.khz() > 0, "zero frequency");
+        self.cpi / f.hz() + self.mem_stall_ns * 1e-9
+    }
+
+    /// Instructions per second at core frequency `f`.
+    pub fn ips(&self, f: KiloHertz) -> f64 {
+        1.0 / self.seconds_per_instruction(f)
+    }
+
+    /// Complete-run runtime at a fixed frequency.
+    pub fn runtime(&self, f: KiloHertz) -> f64 {
+        self.total_instructions as f64 * self.seconds_per_instruction(f)
+    }
+
+    /// Performance at `f` normalized to performance at `reference`
+    /// (1.0 = same speed, >1 = faster than the reference point).
+    pub fn normalized_performance(&self, f: KiloHertz, reference: KiloHertz) -> f64 {
+        self.ips(f) / self.ips(reference)
+    }
+
+    /// Fraction of execution time spent in the compute (frequency-scaled)
+    /// component at `f`. 1.0 = fully compute bound.
+    pub fn compute_fraction(&self, f: KiloHertz) -> f64 {
+        let compute = self.cpi / f.hz();
+        compute / (compute + self.mem_stall_ns * 1e-9)
+    }
+
+    /// The load this workload presents to the power model at `f`.
+    ///
+    /// Memory-stalled cycles toggle less logic, so effective capacitance
+    /// is derated toward 45 % of nominal as the compute fraction drops.
+    pub fn load_at(&self, f: KiloHertz) -> LoadDescriptor {
+        let cf = self.compute_fraction(f);
+        LoadDescriptor {
+            capacitance: self.capacitance * (0.45 + 0.55 * cf),
+            utilization: 1.0,
+            avx: self.avx,
+        }
+    }
+
+    /// The paper classifies applications by *power demand* (§4.1): at a
+    /// given P-state, does the application draw more or less power than
+    /// its peers? We threshold the capacitance factor.
+    pub fn is_high_demand(&self) -> bool {
+        self.capacitance >= 1.4
+    }
+}
+
+/// Demand class of an application (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Demand {
+    /// Uses more power than peers at the same P-state.
+    High,
+    /// Uses less power than peers at the same P-state.
+    Low,
+}
+
+impl WorkloadProfile {
+    /// Demand classification as an enum.
+    pub fn demand(&self) -> Demand {
+        if self.is_high_demand() {
+            Demand::High
+        } else {
+            Demand::Low
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute_bound() -> WorkloadProfile {
+        WorkloadProfile {
+            name: "compute",
+            cpi: 0.8,
+            mem_stall_ns: 0.01,
+            capacitance: 1.0,
+            avx: false,
+            total_instructions: 1_000_000_000,
+        }
+    }
+
+    fn memory_bound() -> WorkloadProfile {
+        WorkloadProfile {
+            name: "memory",
+            cpi: 1.2,
+            mem_stall_ns: 1.0,
+            capacitance: 1.0,
+            avx: false,
+            total_instructions: 1_000_000_000,
+        }
+    }
+
+    #[test]
+    fn compute_bound_scales_with_frequency() {
+        let w = compute_bound();
+        let r1 = w.normalized_performance(KiloHertz::from_ghz(1.0), KiloHertz::from_ghz(2.0));
+        // doubling frequency nearly halves runtime for compute-bound code
+        assert!(r1 > 0.49 && r1 < 0.52, "got {r1}");
+    }
+
+    #[test]
+    fn memory_bound_saturates() {
+        let w = memory_bound();
+        let r = w.normalized_performance(KiloHertz::from_ghz(3.0), KiloHertz::from_ghz(1.5));
+        // 2x frequency buys much less than 2x performance
+        assert!(r < 1.35, "memory-bound speedup too large: {r}");
+        assert!(r > 1.0);
+    }
+
+    #[test]
+    fn ips_is_inverse_of_spi() {
+        let w = compute_bound();
+        let f = KiloHertz::from_ghz(2.2);
+        assert!((w.ips(f) * w.seconds_per_instruction(f) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runtime_proportional_to_instructions() {
+        let mut w = compute_bound();
+        let f = KiloHertz::from_ghz(2.0);
+        let t1 = w.runtime(f);
+        w.total_instructions *= 3;
+        assert!((w.runtime(f) / t1 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_fraction_limits() {
+        let c = compute_bound();
+        let m = memory_bound();
+        let f = KiloHertz::from_ghz(2.0);
+        assert!(c.compute_fraction(f) > 0.95);
+        assert!(m.compute_fraction(f) < 0.45);
+        // higher frequency -> memory fraction grows
+        assert!(m.compute_fraction(KiloHertz::from_ghz(3.0)) < m.compute_fraction(f));
+    }
+
+    #[test]
+    fn load_derates_capacitance_when_stalled() {
+        let c = compute_bound();
+        let m = memory_bound();
+        let f = KiloHertz::from_ghz(2.0);
+        assert!(c.load_at(f).capacitance > m.load_at(f).capacitance);
+        assert!(m.load_at(f).capacitance >= 0.45 * m.capacitance);
+        assert_eq!(c.load_at(f).utilization, 1.0);
+    }
+
+    #[test]
+    fn demand_classification() {
+        let mut w = compute_bound();
+        assert_eq!(w.demand(), Demand::Low);
+        w.capacitance = 1.9;
+        assert_eq!(w.demand(), Demand::High);
+        assert!(w.is_high_demand());
+    }
+}

@@ -1,0 +1,241 @@
+//! Load-trace playback: time-varying intensity for services.
+//!
+//! Datacenter services see diurnal and bursty load, which is exactly why
+//! operators under-provision power and need policies when the budget
+//! binds (§1). A [`LoadTrace`] maps simulated time to a load multiplier;
+//! [`TracedService`] replays it against the closed-loop service by
+//! modulating the active user population.
+
+use pap_simcpu::freq::KiloHertz;
+use pap_simcpu::power::LoadDescriptor;
+use pap_simcpu::units::Seconds;
+
+use crate::latency::{ClosedLoopService, ServiceConfig};
+
+/// A deterministic time→intensity curve (intensity in 0..=1, as a
+/// fraction of peak load).
+///
+/// ```
+/// use pap_workloads::traces::LoadTrace;
+/// use pap_simcpu::units::Seconds;
+///
+/// let day = LoadTrace::Diurnal { mean: 0.6, swing: 0.4, period: Seconds(120.0) };
+/// assert!(day.intensity(Seconds(30.0)) > 0.9);  // midday peak
+/// assert!(day.intensity(Seconds(90.0)) < 0.3);  // overnight trough
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadTrace {
+    /// Constant intensity.
+    Flat(f64),
+    /// Sinusoidal diurnal curve: `mean + swing·sin(2πt/period)`.
+    Diurnal {
+        /// Mean intensity.
+        mean: f64,
+        /// Peak-to-mean swing.
+        swing: f64,
+        /// Period of one "day" in simulated seconds (compressed for
+        /// simulation).
+        period: Seconds,
+    },
+    /// Square-wave bursts: `high` for `duty` of each period, else `low`.
+    Bursty {
+        /// Intensity inside a burst.
+        high: f64,
+        /// Intensity between bursts.
+        low: f64,
+        /// Burst period.
+        period: Seconds,
+        /// Fraction of the period spent at `high`.
+        duty: f64,
+    },
+    /// Piecewise-linear between `(time, intensity)` points; clamps at the
+    /// ends.
+    Piecewise(Vec<(Seconds, f64)>),
+}
+
+impl LoadTrace {
+    /// Intensity at time `t`, clamped into `[0, 1]`.
+    pub fn intensity(&self, t: Seconds) -> f64 {
+        let v = match self {
+            LoadTrace::Flat(v) => *v,
+            LoadTrace::Diurnal {
+                mean,
+                swing,
+                period,
+            } => mean + swing * (2.0 * std::f64::consts::PI * t.value() / period.value()).sin(),
+            LoadTrace::Bursty {
+                high,
+                low,
+                period,
+                duty,
+            } => {
+                let phase = (t.value() / period.value()).fract();
+                if phase < *duty {
+                    *high
+                } else {
+                    *low
+                }
+            }
+            LoadTrace::Piecewise(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    points[0].1
+                } else if t >= points[points.len() - 1].0 {
+                    points[points.len() - 1].1
+                } else {
+                    let seg = points
+                        .windows(2)
+                        .find(|w| t <= w[1].0)
+                        .expect("t within range");
+                    let (t0, v0) = seg[0];
+                    let (t1, v1) = seg[1];
+                    let a = (t.value() - t0.value()) / (t1.value() - t0.value());
+                    v0 + a * (v1 - v0)
+                }
+            }
+        };
+        v.clamp(0.0, 1.0)
+    }
+}
+
+/// A closed-loop service whose offered demand follows a [`LoadTrace`]:
+/// users whose think timers expire submit with the trace's current
+/// intensity as probability (and think again otherwise) — users are
+/// "logged out" for the off-peak hours without disturbing queue state.
+#[derive(Debug, Clone)]
+pub struct TracedService {
+    service: ClosedLoopService,
+    trace: LoadTrace,
+    now: f64,
+}
+
+impl TracedService {
+    /// Create a traced service at peak population `config.users`.
+    pub fn new(config: ServiceConfig, num_cores: usize, trace: LoadTrace) -> TracedService {
+        TracedService {
+            service: ClosedLoopService::new(config, num_cores),
+            trace,
+            now: 0.0,
+        }
+    }
+
+    /// Advance by `dt` at the given per-core frequencies, with demand
+    /// scaled to the trace's current intensity.
+    pub fn advance(&mut self, dt: Seconds, freqs: &[KiloHertz]) -> Vec<LoadDescriptor> {
+        let intensity = self.trace.intensity(Seconds(self.now));
+        self.now += dt.value();
+        self.service.set_demand_scale(intensity);
+        self.service.advance(dt, freqs)
+    }
+
+    /// The wrapped service (latency stats etc.).
+    pub fn service(&self) -> &ClosedLoopService {
+        &self.service
+    }
+
+    /// Mutable access (e.g. `reset_stats`).
+    pub fn service_mut(&mut self) -> &mut ClosedLoopService {
+        &mut self.service
+    }
+
+    /// Current trace intensity.
+    pub fn intensity(&self) -> f64 {
+        self.trace.intensity(Seconds(self.now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_and_clamping() {
+        assert_eq!(LoadTrace::Flat(0.4).intensity(Seconds(123.0)), 0.4);
+        assert_eq!(LoadTrace::Flat(1.7).intensity(Seconds(0.0)), 1.0);
+        assert_eq!(LoadTrace::Flat(-0.2).intensity(Seconds(0.0)), 0.0);
+    }
+
+    #[test]
+    fn diurnal_cycles() {
+        let t = LoadTrace::Diurnal {
+            mean: 0.5,
+            swing: 0.4,
+            period: Seconds(100.0),
+        };
+        assert!((t.intensity(Seconds(0.0)) - 0.5).abs() < 1e-9);
+        assert!((t.intensity(Seconds(25.0)) - 0.9).abs() < 1e-9);
+        assert!((t.intensity(Seconds(75.0)) - 0.1).abs() < 1e-9);
+        // periodicity
+        assert!((t.intensity(Seconds(125.0)) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bursty_square_wave() {
+        let t = LoadTrace::Bursty {
+            high: 1.0,
+            low: 0.2,
+            period: Seconds(10.0),
+            duty: 0.3,
+        };
+        assert_eq!(t.intensity(Seconds(1.0)), 1.0);
+        assert_eq!(t.intensity(Seconds(2.9)), 1.0);
+        assert_eq!(t.intensity(Seconds(3.1)), 0.2);
+        assert_eq!(t.intensity(Seconds(11.0)), 1.0);
+    }
+
+    #[test]
+    fn piecewise_interpolates_and_clamps() {
+        let t = LoadTrace::Piecewise(vec![
+            (Seconds(0.0), 0.2),
+            (Seconds(10.0), 1.0),
+            (Seconds(20.0), 0.4),
+        ]);
+        assert!((t.intensity(Seconds(5.0)) - 0.6).abs() < 1e-9);
+        assert!((t.intensity(Seconds(15.0)) - 0.7).abs() < 1e-9);
+        assert_eq!(t.intensity(Seconds(-5.0)), 0.2);
+        assert_eq!(t.intensity(Seconds(99.0)), 0.4);
+        assert_eq!(LoadTrace::Piecewise(vec![]).intensity(Seconds(0.0)), 0.0);
+    }
+
+    #[test]
+    fn traced_service_throughput_follows_intensity() {
+        let cfg = ServiceConfig::websearch();
+        let freqs = vec![KiloHertz::from_mhz(3000); 9];
+        let run = |trace: LoadTrace| -> f64 {
+            let mut ts = TracedService::new(cfg.clone(), 9, trace);
+            for _ in 0..30_000 {
+                ts.advance(Seconds(0.001), &freqs);
+            }
+            ts.service().throughput()
+        };
+        let full = run(LoadTrace::Flat(1.0));
+        let half = run(LoadTrace::Flat(0.5));
+        assert!(
+            half < full * 0.75,
+            "half intensity must cut throughput: {full:.0} -> {half:.0} rps"
+        );
+        assert!(half > full * 0.25);
+    }
+
+    #[test]
+    fn traced_service_conserves_users() {
+        let cfg = ServiceConfig::websearch();
+        let freqs = vec![KiloHertz::from_mhz(2000); 4];
+        let mut ts = TracedService::new(
+            cfg,
+            4,
+            LoadTrace::Bursty {
+                high: 1.0,
+                low: 0.1,
+                period: Seconds(2.0),
+                duty: 0.5,
+            },
+        );
+        for _ in 0..20_000 {
+            ts.advance(Seconds(0.001), &freqs);
+            assert!(ts.service().user_conservation());
+        }
+    }
+}

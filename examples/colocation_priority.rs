@@ -1,0 +1,53 @@
+//! Colocating batch work behind a latency-critical service with the
+//! strict priority policy — the paper's motivating datacenter scenario.
+//!
+//! Five high-priority cactusBSSN instances share the Skylake socket with
+//! five low-priority leela instances. As the power budget shrinks, the
+//! policy throttles and then *starves* the background class, keeping the
+//! foreground at speed — in contrast to native RAPL, which throttles both
+//! classes equally.
+//!
+//! ```sh
+//! cargo run --release --example colocation_priority
+//! ```
+
+use per_app_power::prelude::*;
+use per_app_power::workloads::spec;
+
+fn run(policy: PolicyKind, limit: f64) -> ExperimentResult {
+    let mut e = Experiment::new(PlatformSpec::skylake(), policy, Watts(limit))
+        .duration(Seconds(45.0))
+        .warmup(10);
+    for i in 0..5 {
+        e = e.app(format!("fg-{i}"), spec::CACTUS_BSSN, Priority::High, 100);
+    }
+    for i in 0..5 {
+        e = e.app(format!("bg-{i}"), spec::LEELA, Priority::Low, 100);
+    }
+    e.run().expect("experiment runs")
+}
+
+fn class_perf(r: &ExperimentResult) -> (f64, f64) {
+    let fg = r.apps[..5].iter().map(|a| a.norm_perf).sum::<f64>() / 5.0;
+    let bg = r.apps[5..].iter().map(|a| a.norm_perf).sum::<f64>() / 5.0;
+    (fg, bg)
+}
+
+fn main() {
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "limit_w", "prio_fg", "prio_bg", "rapl_fg", "rapl_bg"
+    );
+    for limit in [85.0, 65.0, 50.0, 40.0] {
+        let prio = run(PolicyKind::Priority, limit);
+        let rapl = run(PolicyKind::RaplNative, limit);
+        let (pf, pb) = class_perf(&prio);
+        let (rf, rb) = class_perf(&rapl);
+        println!("{limit:>8.0} {pf:>12.3} {pb:>12.3} {rf:>12.3} {rb:>12.3}");
+    }
+    println!(
+        "\nUnder the priority policy the foreground column barely moves while \
+         the background column collapses at tight budgets; under RAPL both \
+         degrade together — the interference problem the paper opens with."
+    );
+}

@@ -1,0 +1,59 @@
+//! Protecting a latency-critical service from a power virus.
+//!
+//! Reproduces the paper's headline scenario end-to-end: a websearch-like
+//! closed-loop service on 9 Skylake cores, a cpuburn power virus on the
+//! 10th, a 40 W package limit. Native RAPL lets the virus inflate the
+//! service's tail latency; 90/10 frequency shares restore it.
+//!
+//! ```sh
+//! cargo run --release --example latency_sensitive
+//! ```
+
+use per_app_power::prelude::*;
+use per_app_power::workloads::burn::CPUBURN;
+
+fn run(policy: PolicyKind, colocated: bool) -> LatencyResult {
+    let mut e = LatencyExperiment::new(PlatformSpec::skylake(), policy, Watts(40.0))
+        .shares(90, 10)
+        .duration(Seconds(60.0))
+        .warmup(Seconds(15.0));
+    if colocated {
+        e = e.colocate(CPUBURN);
+    }
+    e.run().expect("experiment runs")
+}
+
+fn main() {
+    let alone = run(PolicyKind::RaplNative, false);
+    let rapl = run(PolicyKind::RaplNative, true);
+    let shares = run(PolicyKind::FrequencyShares, true);
+
+    println!("websearch at a 40 W package limit (p90 in ms):");
+    println!(
+        "{:<26} {:>8} {:>12} {:>14} {:>14}",
+        "configuration", "p90_ms", "throughput", "service_mhz", "virus_mhz"
+    );
+    let row = |name: &str, r: &LatencyResult| {
+        println!(
+            "{:<26} {:>8.1} {:>12.0} {:>14.0} {:>14}",
+            name,
+            r.p90_ms,
+            r.throughput,
+            r.service_freq_mhz,
+            r.colocated_freq_mhz
+                .map(|f| format!("{f:.0}"))
+                .unwrap_or_else(|| "-".into()),
+        );
+    };
+    row("alone (RAPL)", &alone);
+    row("+cpuburn (RAPL)", &rapl);
+    row("+cpuburn (freq shares)", &shares);
+
+    println!(
+        "\ncolocation penalty: RAPL {:.2}x vs frequency shares {:.2}x — the \
+         share policy pushes the virus to the bottom of the frequency range \
+         and keeps the service within a few percent of running alone.",
+        rapl.p90_ms / alone.p90_ms,
+        shares.p90_ms / alone.p90_ms
+    );
+}

@@ -1,0 +1,213 @@
+//! End-to-end policy behavior: the paper's headline claims, asserted as
+//! tests over complete experiment runs.
+
+use per_app_power::prelude::*;
+use per_app_power::workloads::{burn::CPUBURN, spec};
+
+fn shares_experiment(
+    platform: PlatformSpec,
+    policy: PolicyKind,
+    limit: f64,
+    ld_share: u32,
+    hd_share: u32,
+) -> ExperimentResult {
+    let half = platform.num_cores / 2;
+    let mut e = Experiment::new(platform, policy, Watts(limit))
+        .duration(Seconds(40.0))
+        .warmup(10);
+    for i in 0..half {
+        e = e.app(format!("leela-{i}"), spec::LEELA, Priority::High, ld_share);
+    }
+    for i in 0..half {
+        e = e.app(
+            format!("cactus-{i}"),
+            spec::CACTUS_BSSN,
+            Priority::High,
+            hd_share,
+        );
+    }
+    e.run().expect("experiment runs")
+}
+
+/// All policies keep mean package power near the programmed limit.
+#[test]
+fn every_policy_tracks_the_limit() {
+    for policy in [
+        PolicyKind::RaplNative,
+        PolicyKind::FrequencyShares,
+        PolicyKind::PerformanceShares,
+    ] {
+        let r = shares_experiment(PlatformSpec::skylake(), policy, 45.0, 50, 50);
+        let p = r.mean_package_power.value();
+        assert!(
+            (p - 45.0).abs() < 4.0,
+            "{}: package {p:.1} W vs 45 W limit",
+            policy.name()
+        );
+    }
+    let r = shares_experiment(PlatformSpec::ryzen(), PolicyKind::PowerShares, 45.0, 50, 50);
+    let p = r.mean_package_power.value();
+    assert!((p - 45.0).abs() < 4.0, "power-shares: {p:.1} W vs 45 W");
+}
+
+/// Frequency shares: measured frequency ratio follows the share ratio in
+/// the controllable range (§6.2).
+#[test]
+fn frequency_shares_are_proportional() {
+    let r = shares_experiment(
+        PlatformSpec::skylake(),
+        PolicyKind::FrequencyShares,
+        40.0,
+        30,
+        70,
+    );
+    let half = 5;
+    let ld: f64 = r.apps[..half].iter().map(|a| a.mean_freq_mhz).sum::<f64>() / half as f64;
+    let hd: f64 = r.apps[half..].iter().map(|a| a.mean_freq_mhz).sum::<f64>() / half as f64;
+    let frac = ld / (ld + hd);
+    assert!(
+        (0.25..0.40).contains(&frac),
+        "LD frequency fraction {frac:.2}, configured 0.30"
+    );
+}
+
+/// Power shares give the configured *power* split but poor performance
+/// isolation: at equal shares the low-demand app runs much faster (§6.2).
+#[test]
+fn power_shares_isolate_power_not_performance() {
+    let r = shares_experiment(PlatformSpec::ryzen(), PolicyKind::PowerShares, 45.0, 50, 50);
+    let half = 4;
+    let ld_w: f64 = r.apps[..half]
+        .iter()
+        .map(|a| a.mean_power.unwrap().value())
+        .sum();
+    let hd_w: f64 = r.apps[half..]
+        .iter()
+        .map(|a| a.mean_power.unwrap().value())
+        .sum();
+    let power_frac = ld_w / (ld_w + hd_w);
+    assert!(
+        (0.42..0.58).contains(&power_frac),
+        "power split should track 50/50 shares, got {power_frac:.2}"
+    );
+    let ld_f: f64 = r.apps[..half].iter().map(|a| a.mean_freq_mhz).sum();
+    let hd_f: f64 = r.apps[half..].iter().map(|a| a.mean_freq_mhz).sum();
+    assert!(
+        ld_f > hd_f * 1.1,
+        "equal power must buy the low-demand app more frequency: {ld_f:.0} vs {hd_f:.0}"
+    );
+}
+
+/// The priority policy protects HP performance where RAPL cannot (§6.1).
+#[test]
+fn priority_beats_rapl_for_hp() {
+    let build = |policy: PolicyKind| {
+        let mut e = Experiment::new(PlatformSpec::skylake(), policy, Watts(40.0))
+            .duration(Seconds(40.0))
+            .warmup(10);
+        for i in 0..3 {
+            e = e.app(format!("hp-{i}"), spec::CACTUS_BSSN, Priority::High, 100);
+        }
+        for i in 0..7 {
+            e = e.app(format!("lp-{i}"), spec::LEELA, Priority::Low, 100);
+        }
+        e.run().expect("runs")
+    };
+    let prio = build(PolicyKind::Priority);
+    let rapl = build(PolicyKind::RaplNative);
+    let hp = |r: &ExperimentResult| r.apps[..3].iter().map(|a| a.norm_perf).sum::<f64>() / 3.0;
+    assert!(
+        hp(&prio) > hp(&rapl) * 1.25,
+        "priority HP {:.3} vs RAPL HP {:.3}",
+        hp(&prio),
+        hp(&rapl)
+    );
+}
+
+/// The flooring priority variant keeps LP running (slowly) where the
+/// starving variant parks them (§4.1 alternative).
+#[test]
+fn flooring_variant_avoids_starvation() {
+    let build = |floor: bool| {
+        let mut e = Experiment::new(PlatformSpec::skylake(), PolicyKind::Priority, Watts(40.0))
+            .duration(Seconds(40.0))
+            .warmup(10)
+            .floor_low_priority(floor);
+        for i in 0..5 {
+            e = e.app(format!("hp-{i}"), spec::CACTUS_BSSN, Priority::High, 100);
+        }
+        for i in 0..5 {
+            e = e.app(format!("lp-{i}"), spec::LEELA, Priority::Low, 100);
+        }
+        e.run().expect("runs")
+    };
+    let starving = build(false);
+    let flooring = build(true);
+    let lp_perf = |r: &ExperimentResult| r.apps[5..].iter().map(|a| a.norm_perf).sum::<f64>() / 5.0;
+    assert!(lp_perf(&starving) < 0.05, "starving variant parks LP");
+    assert!(
+        lp_perf(&flooring) > 0.15,
+        "flooring variant keeps LP crawling: {:.3}",
+        lp_perf(&flooring)
+    );
+    // and the price is paid by HP
+    let hp_perf = |r: &ExperimentResult| r.apps[..5].iter().map(|a| a.norm_perf).sum::<f64>() / 5.0;
+    assert!(hp_perf(&flooring) < hp_perf(&starving));
+}
+
+/// The unfair-throttling scenario (Figures 5 and 12): frequency shares
+/// protect the latency-sensitive service from the power virus; native
+/// RAPL does not.
+#[test]
+fn websearch_protected_by_shares() {
+    let run = |policy: PolicyKind, colocated: bool| {
+        let mut e = LatencyExperiment::new(PlatformSpec::skylake(), policy, Watts(40.0))
+            .shares(90, 10)
+            .duration(Seconds(45.0))
+            .warmup(Seconds(10.0));
+        if colocated {
+            e = e.colocate(CPUBURN);
+        }
+        e.run().expect("runs")
+    };
+    let alone = run(PolicyKind::RaplNative, false).p90_ms;
+    let rapl = run(PolicyKind::RaplNative, true).p90_ms;
+    let shares = run(PolicyKind::FrequencyShares, true).p90_ms;
+    assert!(
+        rapl > alone * 1.15,
+        "RAPL colocation must hurt: alone {alone:.1} ms vs colocated {rapl:.1} ms"
+    );
+    assert!(
+        shares < rapl * 0.9,
+        "shares must recover most of the penalty: {shares:.1} vs {rapl:.1} ms"
+    );
+}
+
+/// Ryzen runs obey the 3-concurrent-P-state constraint for the entire
+/// experiment — the chip would reject any violating control action.
+#[test]
+fn ryzen_experiment_respects_shared_slots() {
+    // Eight distinct share levels force the selector to do real work.
+    let mut e = Experiment::new(
+        PlatformSpec::ryzen(),
+        PolicyKind::FrequencyShares,
+        Watts(42.0),
+    )
+    .duration(Seconds(30.0))
+    .warmup(5);
+    for i in 0..8 {
+        e = e.app(
+            format!("app-{i}"),
+            if i % 2 == 0 {
+                spec::LEELA
+            } else {
+                spec::CACTUS_BSSN
+            },
+            Priority::High,
+            (10 + 12 * i) as u32,
+        );
+    }
+    let r = e.run().expect("slot-constrained run succeeds");
+    // Higher shares still win within the 3-level quantization.
+    assert!(r.apps[7].mean_freq_mhz >= r.apps[1].mean_freq_mhz);
+}

@@ -1,0 +1,195 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use per_app_power::prelude::*;
+use per_app_power::simcpu::rapl::EnergyCounter;
+use per_app_power::simcpu::units::Joules;
+use per_app_power::simcpu::volt::VoltageCurve;
+use per_app_power::workloads::spec;
+use powerd::policy::minfund::{distribute, proportional_fill, Claim};
+use powerd::quantize::{
+    cluster_to_slots, distinct_levels, greedy_cluster, sse_mhz, ClusterStrategy,
+};
+
+fn grid() -> FreqGrid {
+    FreqGrid::new(
+        KiloHertz::from_mhz(400),
+        KiloHertz::from_mhz(3800),
+        KiloHertz::from_mhz(25),
+    )
+}
+
+fn arb_claims(n: usize) -> impl Strategy<Value = Vec<Claim>> {
+    proptest::collection::vec(
+        (
+            1.0f64..100.0,
+            0.0f64..4000.0,
+            0.0f64..1000.0,
+            1000.0f64..4000.0,
+        ),
+        1..=n,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(share, cur, min, max)| Claim::new(share, cur, min, max))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Min-funding distribution conserves the resource: what the claims
+    /// absorb plus the unplaced residue equals the input delta.
+    #[test]
+    fn minfund_conserves(claims in arb_claims(8), delta in -5000.0f64..5000.0) {
+        let d = distribute(delta, &claims);
+        let before: f64 = claims.iter().map(|c| c.current).sum();
+        let after: f64 = d.allocations.iter().sum();
+        prop_assert!((after - before - (delta - d.unplaced)).abs() < 1e-6);
+    }
+
+    /// Min-funding never violates a claim's bounds.
+    #[test]
+    fn minfund_respects_bounds(claims in arb_claims(8), delta in -5000.0f64..5000.0) {
+        let d = distribute(delta, &claims);
+        for (a, c) in d.allocations.iter().zip(&claims) {
+            prop_assert!(*a >= c.min - 1e-6 && *a <= c.max + 1e-6);
+        }
+    }
+
+    /// Water-fill hits the requested total exactly whenever it is
+    /// feasible, and allocations between bounds are share-proportional.
+    #[test]
+    fn fill_total_and_proportionality(claims in arb_claims(8), t in 0.0f64..40_000.0) {
+        let d = proportional_fill(t, &claims);
+        let sum_min: f64 = claims.iter().map(|c| c.min).sum();
+        let sum_max: f64 = claims.iter().map(|c| c.max).sum();
+        let total: f64 = d.allocations.iter().sum();
+        if t >= sum_min && t <= sum_max {
+            prop_assert!((total - t).abs() < 1e-3, "total {total} vs target {t}");
+        }
+        // interior allocations share one λ = alloc/share
+        let lambdas: Vec<f64> = d
+            .allocations
+            .iter()
+            .zip(&claims)
+            .filter(|(a, c)| **a > c.min + 1e-6 && **a < c.max - 1e-6)
+            .map(|(a, c)| a / c.share)
+            .collect();
+        for w in lambdas.windows(2) {
+            prop_assert!((w[0] - w[1]).abs() / w[0].max(1e-9) < 1e-3);
+        }
+    }
+
+    /// The 3-slot selector always returns at most k distinct, on-grid
+    /// levels and never beats the exhaustive-free greedy on SSE.
+    #[test]
+    fn cluster_invariants(
+        mhz in proptest::collection::vec(400u64..3800, 1..16),
+        k in 1usize..5,
+    ) {
+        let g = grid();
+        let targets: Vec<KiloHertz> =
+            mhz.iter().map(|&m| g.round(KiloHertz::from_mhz(m))).collect();
+        let out = cluster_to_slots(&targets, k, &g, ClusterStrategy::Mean);
+        prop_assert_eq!(out.len(), targets.len());
+        prop_assert!(distinct_levels(&out) <= k);
+        for f in &out {
+            prop_assert!(g.contains(*f), "{} off grid", f);
+        }
+        let greedy = greedy_cluster(&targets, k, &g);
+        prop_assert!(sse_mhz(&targets, &out) <= sse_mhz(&targets, &greedy) + 1e-6);
+    }
+
+    /// Floor-strategy clusters never exceed any member's target.
+    #[test]
+    fn cluster_floor_never_exceeds(
+        mhz in proptest::collection::vec(400u64..3800, 1..16),
+    ) {
+        let g = grid();
+        let targets: Vec<KiloHertz> =
+            mhz.iter().map(|&m| g.round(KiloHertz::from_mhz(m))).collect();
+        let out = cluster_to_slots(&targets, 3, &g, ClusterStrategy::Floor);
+        for (t, a) in targets.iter().zip(&out) {
+            prop_assert!(a <= t);
+        }
+    }
+
+    /// Frequency-grid quantization: round/floor/ceil always land on the
+    /// grid, floor ≤ round ≤ ceil, and grid points are fixed points.
+    #[test]
+    fn grid_quantization_invariants(khz in 0u64..6_000_000) {
+        let g = grid();
+        let f = KiloHertz(khz);
+        let (fl, rd, ce) = (g.floor(f), g.round(f), g.ceil(f));
+        prop_assert!(g.contains(fl) && g.contains(rd) && g.contains(ce));
+        prop_assert!(fl <= rd && rd <= ce);
+        prop_assert_eq!(g.round(rd), rd);
+    }
+
+    /// Core power is monotone in frequency for any active load.
+    #[test]
+    fn power_monotone_in_frequency(
+        cap in 0.1f64..3.0,
+        util in 0.05f64..1.0,
+        lo_mhz in 400u64..3700,
+    ) {
+        let p = PlatformSpec::ryzen().power;
+        let load = LoadDescriptor { capacitance: cap, utilization: util, avx: false };
+        let lo = KiloHertz::from_mhz(lo_mhz);
+        let hi = KiloHertz::from_mhz(lo_mhz + 100);
+        prop_assert!(p.core_power(lo, &load) <= p.core_power(hi, &load));
+    }
+
+    /// Voltage curves are monotone non-decreasing everywhere.
+    #[test]
+    fn voltage_monotone(mhz in 100u64..5000) {
+        let c = VoltageCurve::linear(
+            KiloHertz::from_mhz(400),
+            per_app_power::simcpu::units::Volts(0.7),
+            KiloHertz::from_mhz(3800),
+            per_app_power::simcpu::units::Volts(1.42),
+        );
+        let a = c.voltage(KiloHertz::from_mhz(mhz));
+        let b = c.voltage(KiloHertz::from_mhz(mhz + 50));
+        prop_assert!(a <= b);
+    }
+
+    /// Energy-counter deltas survive arbitrary wraparound.
+    #[test]
+    fn energy_counter_wraps(start in 0.0f64..500_000.0, add in 0.0f64..1000.0) {
+        let mut c = EnergyCounter::default();
+        c.add(Joules(start));
+        let before = c.read_raw();
+        c.add(Joules(add));
+        let after = c.read_raw();
+        let d = EnergyCounter::delta_joules(before, after);
+        prop_assert!((d.value() - add).abs() < 1e-3, "delta {} vs {add}", d.value());
+    }
+
+    /// The workload engine retires monotonically more instructions per
+    /// tick at higher frequency, for every benchmark.
+    #[test]
+    fn engine_monotone_in_frequency(idx in 0usize..11, mhz in 800u64..2900) {
+        let profile = spec::spec2017()[idx];
+        let mut slow = RunningApp::once(profile);
+        let mut fast = RunningApp::once(profile);
+        let a = slow.advance(Seconds(0.01), KiloHertz::from_mhz(mhz));
+        let b = fast.advance(Seconds(0.01), KiloHertz::from_mhz(mhz + 100));
+        prop_assert!(b.instructions >= a.instructions);
+    }
+
+    /// Normalized performance is 1 at the reference and decreases with
+    /// lower frequency.
+    #[test]
+    fn normalized_perf_properties(idx in 0usize..11, mhz in 800u64..2200) {
+        let w = spec::spec2017()[idx];
+        let reference = KiloHertz::from_mhz(2200);
+        prop_assert!((w.normalized_performance(reference, reference) - 1.0).abs() < 1e-12);
+        let p = w.normalized_performance(KiloHertz::from_mhz(mhz), reference);
+        prop_assert!(p <= 1.0 + 1e-12);
+        prop_assert!(p > 0.0);
+    }
+}
