@@ -1,0 +1,116 @@
+//! Admission requests: what an application declares when it asks the
+//! cluster for a core and a power share.
+
+use pap_simcpu::freq::KiloHertz;
+use pap_workloads::profile::WorkloadProfile;
+use pap_workloads::spec;
+use powerd::config::Priority;
+
+/// Coarse power-demand class an arriving app declares, in lieu of a
+/// full offline profile. Each class maps to a representative SPEC-like
+/// workload model whose power draw at a given frequency matches the
+/// class (cam4 is the AVX package-power outlier of the paper's Figure
+/// 2; leela its lightest benchmark).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DemandClass {
+    /// Power-hungry AVX compute (models cam4).
+    Heavy,
+    /// High-demand but scalar (models cactuBSSN).
+    Moderate,
+    /// Low-power, frequency-sensitive (models leela).
+    Light,
+}
+
+impl DemandClass {
+    /// The workload model simulated for this class.
+    pub fn profile(self) -> WorkloadProfile {
+        match self {
+            DemandClass::Heavy => spec::CAM4,
+            DemandClass::Moderate => spec::CACTUS_BSSN,
+            DemandClass::Light => spec::LEELA,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DemandClass::Heavy => "heavy",
+            DemandClass::Moderate => "moderate",
+            DemandClass::Light => "light",
+        }
+    }
+}
+
+/// An application asking to join the cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppRequest {
+    /// Cluster-unique display name.
+    pub name: String,
+    /// Priority class, forwarded to the node daemon's policy.
+    pub priority: Priority,
+    /// Proportional shares, forwarded to the node daemon's policy and
+    /// counted by the cluster allocator toward the node's budget claim.
+    pub shares: u32,
+    /// Declared power-demand class.
+    pub demand: DemandClass,
+}
+
+impl AppRequest {
+    /// A high-priority request with the given shares and demand class.
+    pub fn new(name: impl Into<String>, shares: u32, demand: DemandClass) -> AppRequest {
+        AppRequest {
+            name: name.into(),
+            priority: Priority::High,
+            shares,
+            demand,
+        }
+    }
+
+    /// Set the priority class.
+    pub fn with_priority(mut self, p: Priority) -> AppRequest {
+        self.priority = p;
+        self
+    }
+
+    /// The app's standalone instruction rate at `max_freq`, used as the
+    /// performance baseline for normalized reporting.
+    pub fn baseline_ips(&self, max_freq: KiloHertz) -> f64 {
+        self.demand.profile().ips(max_freq)
+    }
+}
+
+/// Where an admitted application landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The node the app was placed on.
+    pub node: usize,
+    /// The core it is pinned to on that node.
+    pub core: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_classes_order_by_power() {
+        // The class mapping only makes sense if heavy really draws more
+        // than light at the same frequency.
+        let f = KiloHertz::from_mhz(2200);
+        let p = pap_simcpu::platform::PlatformSpec::skylake().power;
+        let heavy = p.core_power(f, &DemandClass::Heavy.profile().load_at(f));
+        let moderate = p.core_power(f, &DemandClass::Moderate.profile().load_at(f));
+        let light = p.core_power(f, &DemandClass::Light.profile().load_at(f));
+        assert!(heavy > moderate, "{heavy} vs {moderate}");
+        assert!(moderate > light, "{moderate} vs {light}");
+    }
+
+    #[test]
+    fn request_builder() {
+        let r = AppRequest::new("svc", 70, DemandClass::Light).with_priority(Priority::Low);
+        assert_eq!(r.priority, Priority::Low);
+        assert_eq!(r.shares, 70);
+        assert!(r.baseline_ips(KiloHertz::from_mhz(3000)) > 0.0);
+        assert_eq!(r.demand.name(), "light");
+    }
+}

@@ -1,0 +1,506 @@
+//! The cluster: many nodes under one global power budget, with dynamic
+//! admission, departures, periodic hierarchical rebalancing, and a
+//! serial reference engine (the parallel engine in [`crate::engine`]
+//! must reproduce it exactly).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use pap_simcpu::platform::PlatformSpec;
+use pap_simcpu::units::{Seconds, Watts};
+use pap_telemetry::rollup::{ClusterRollup, NodeTelemetry};
+use powerd::config::{AppSpec, PolicyKind};
+use powerd::daemon::DaemonError;
+
+use crate::admission::{AppRequest, Placement};
+use crate::allocator::{claims_from_rollup, node_cap_bounds, BudgetAllocator};
+use crate::node::Node;
+
+/// Everything needed to bring up a cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes (all share one platform model).
+    pub nodes: usize,
+    /// The chip model every node runs.
+    pub platform: PlatformSpec,
+    /// The per-node daemon policy.
+    pub policy: PolicyKind,
+    /// The one global power budget split across nodes.
+    pub cluster_cap: Watts,
+    /// Length of one control interval.
+    pub control_interval: Seconds,
+    /// Simulation tick within an interval.
+    pub tick: Seconds,
+    /// Rebalance node caps every this many intervals (0 = never; the
+    /// initial even split then stands for the whole run, which is the
+    /// static RAPL-per-node baseline).
+    pub rebalance_every: u64,
+}
+
+impl ClusterConfig {
+    /// A Skylake cluster with 1 s control intervals, 1 ms ticks, and
+    /// rebalancing every 4 intervals.
+    pub fn new(nodes: usize, policy: PolicyKind, cluster_cap: Watts) -> ClusterConfig {
+        ClusterConfig {
+            nodes,
+            platform: PlatformSpec::skylake(),
+            policy,
+            cluster_cap,
+            control_interval: Seconds(1.0),
+            tick: Seconds(0.001),
+            rebalance_every: 4,
+        }
+    }
+}
+
+/// Why a cluster operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// A node daemon rejected the operation.
+    Daemon(DaemonError),
+    /// Every core of every node is occupied.
+    ClusterFull {
+        /// The app that could not be placed.
+        app: String,
+        /// Total cores in the cluster, all busy.
+        cores: usize,
+    },
+    /// An app with this name is already placed.
+    DuplicateApp {
+        /// The offending name.
+        app: String,
+    },
+    /// No app with this name is placed.
+    UnknownApp {
+        /// The name looked up.
+        app: String,
+    },
+    /// The global budget cannot fund every node's platform floor.
+    InsufficientBudget {
+        /// The configured cluster cap.
+        cap: Watts,
+        /// Minimum budget the node floors require.
+        required: Watts,
+    },
+    /// A cluster needs at least one node.
+    NoNodes,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Daemon(e) => write!(f, "node daemon: {e}"),
+            ClusterError::ClusterFull { app, cores } => {
+                write!(
+                    f,
+                    "cluster full: no free core for '{app}' ({cores} cores all busy)"
+                )
+            }
+            ClusterError::DuplicateApp { app } => {
+                write!(f, "app '{app}' is already placed")
+            }
+            ClusterError::UnknownApp { app } => write!(f, "no app named '{app}'"),
+            ClusterError::InsufficientBudget { cap, required } => write!(
+                f,
+                "cluster cap {cap} cannot fund node power floors (needs at least {required})"
+            ),
+            ClusterError::NoNodes => write!(f, "cluster needs at least one node"),
+        }
+    }
+}
+
+impl Error for ClusterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClusterError::Daemon(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DaemonError> for ClusterError {
+    fn from(e: DaemonError) -> ClusterError {
+        ClusterError::Daemon(e)
+    }
+}
+
+/// Final per-app accounting, for fairness and throughput reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppReport {
+    /// App name.
+    pub name: String,
+    /// Node it ran on.
+    pub node: usize,
+    /// Core it was pinned to.
+    pub core: usize,
+    /// Its proportional shares.
+    pub shares: u32,
+    /// Instructions retired over the whole run.
+    pub total_instructions: u64,
+    /// Standalone instruction rate at max frequency.
+    pub baseline_ips: f64,
+}
+
+impl AppReport {
+    /// Performance normalized to the app's standalone rate: achieved
+    /// IPS over `elapsed` divided by `baseline_ips`.
+    pub fn normalized_perf(&self, elapsed: Seconds) -> f64 {
+        if elapsed.value() <= 0.0 || self.baseline_ips <= 0.0 {
+            return 0.0;
+        }
+        (self.total_instructions as f64 / elapsed.value()) / self.baseline_ips
+    }
+}
+
+/// A running cluster. Admission, departures, and the serial engine live
+/// here; [`crate::engine::run_parallel`] drives the same nodes
+/// concurrently.
+#[derive(Debug)]
+pub struct Cluster {
+    pub(crate) cfg: ClusterConfig,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) allocator: BudgetAllocator,
+    pub(crate) placements: HashMap<String, usize>,
+    pub(crate) intervals_run: u64,
+    pub(crate) energy_j: f64,
+    pub(crate) last_rollup: Option<ClusterRollup>,
+}
+
+impl Cluster {
+    /// Bring up an idle cluster. The global budget must at least fund
+    /// every node's platform power floor; the initial split is even
+    /// (clamped to the platform range), so with `rebalance_every == 0`
+    /// this is exactly the static RAPL-per-node baseline.
+    pub fn new(cfg: ClusterConfig) -> Result<Cluster, ClusterError> {
+        if cfg.nodes == 0 {
+            return Err(ClusterError::NoNodes);
+        }
+        let (min, max) = node_cap_bounds(&cfg.platform);
+        let required = Watts(min.value() * cfg.nodes as f64);
+        if cfg.cluster_cap.value() < required.value() {
+            return Err(ClusterError::InsufficientBudget {
+                cap: cfg.cluster_cap,
+                required,
+            });
+        }
+        let even =
+            Watts((cfg.cluster_cap.value() / cfg.nodes as f64).clamp(min.value(), max.value()));
+        let nodes = (0..cfg.nodes)
+            .map(|id| {
+                Node::new(
+                    id,
+                    &cfg.platform,
+                    cfg.policy,
+                    even,
+                    cfg.control_interval,
+                    cfg.tick,
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Cluster {
+            allocator: BudgetAllocator::new(cfg.cluster_cap),
+            nodes,
+            placements: HashMap::new(),
+            intervals_run: 0,
+            energy_j: 0.0,
+            last_rollup: None,
+            cfg,
+        })
+    }
+
+    /// Place an arriving app on the least-saturated node with a free
+    /// core, spilling to the next candidate if that node's daemon
+    /// rejects it. Fails with [`ClusterError::ClusterFull`] when every
+    /// core in the cluster is occupied.
+    pub fn admit(&mut self, req: &AppRequest) -> Result<Placement, ClusterError> {
+        if self.placements.contains_key(&req.name) {
+            return Err(ClusterError::DuplicateApp {
+                app: req.name.clone(),
+            });
+        }
+        let mut order: Vec<usize> = (0..self.nodes.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.nodes[a]
+                .saturation()
+                .total_cmp(&self.nodes[b].saturation())
+                .then(a.cmp(&b))
+        });
+        let mut last_err = None;
+        for i in order {
+            if self.nodes[i].free_cores() == 0 {
+                continue;
+            }
+            match self.nodes[i].admit(req) {
+                Ok(core) => {
+                    self.placements.insert(req.name.clone(), i);
+                    return Ok(Placement { node: i, core });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        match last_err {
+            Some(e) => Err(ClusterError::Daemon(e)),
+            None => Err(ClusterError::ClusterFull {
+                app: req.name.clone(),
+                cores: self.total_cores(),
+            }),
+        }
+    }
+
+    /// Remove an app; its core parks immediately and its budget claim
+    /// dissolves at the next rebalance.
+    pub fn depart(&mut self, name: &str) -> Result<AppSpec, ClusterError> {
+        let node = *self
+            .placements
+            .get(name)
+            .ok_or_else(|| ClusterError::UnknownApp { app: name.into() })?;
+        let spec = self.nodes[node].depart(name)?;
+        self.placements.remove(name);
+        Ok(spec)
+    }
+
+    /// Serial reference engine: advance every node one control interval
+    /// (in node order), aggregate telemetry, and rebalance when due.
+    /// The parallel engine must produce bit-identical state.
+    pub fn run(&mut self, intervals: u64) {
+        for _ in 0..intervals {
+            let teles: Vec<NodeTelemetry> = self
+                .nodes
+                .iter_mut()
+                .map(|n| n.advance_interval())
+                .collect();
+            let rollup = ClusterRollup::new(self.cfg.control_interval, teles);
+            self.intervals_run += 1;
+            self.energy_j += rollup.total_power().value() * self.cfg.control_interval.value();
+            if self.rebalance_due() {
+                self.apply_rebalance(&rollup);
+            }
+            self.last_rollup = Some(rollup);
+        }
+    }
+
+    pub(crate) fn rebalance_due(&self) -> bool {
+        self.cfg.rebalance_every > 0 && self.intervals_run.is_multiple_of(self.cfg.rebalance_every)
+    }
+
+    pub(crate) fn apply_rebalance(&mut self, rollup: &ClusterRollup) {
+        let claims = claims_from_rollup(&self.cfg.platform, rollup);
+        let caps = self.allocator.rebalance(&claims);
+        for (node, cap) in self.nodes.iter_mut().zip(caps) {
+            node.retarget(cap)
+                .expect("allocator output stays within platform bounds");
+        }
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Total cores across all nodes.
+    pub fn total_cores(&self) -> usize {
+        self.nodes.len() * self.cfg.platform.num_cores
+    }
+
+    /// Free cores across all nodes.
+    pub fn free_cores(&self) -> usize {
+        self.nodes.iter().map(|n| n.free_cores()).sum()
+    }
+
+    /// Control intervals simulated so far.
+    pub fn intervals_run(&self) -> u64 {
+        self.intervals_run
+    }
+
+    /// Simulated time elapsed.
+    pub fn elapsed(&self) -> Seconds {
+        Seconds(self.intervals_run as f64 * self.cfg.control_interval.value())
+    }
+
+    /// Total cluster energy consumed (J) over all intervals run.
+    pub fn energy_j(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Mean cluster power draw over the whole run.
+    pub fn mean_power(&self) -> Watts {
+        let t = self.elapsed().value();
+        if t <= 0.0 {
+            return Watts(0.0);
+        }
+        Watts(self.energy_j / t)
+    }
+
+    /// The most recent telemetry roll-up.
+    pub fn last_rollup(&self) -> Option<&ClusterRollup> {
+        self.last_rollup.as_ref()
+    }
+
+    /// Current per-node power caps, in node order.
+    pub fn node_caps(&self) -> Vec<Watts> {
+        self.nodes.iter().map(|n| n.cap()).collect()
+    }
+
+    /// The nodes, in id order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Per-app accounting for every currently-placed app, sorted by
+    /// name for stable comparison.
+    pub fn reports(&self) -> Vec<AppReport> {
+        let mut out: Vec<AppReport> = self
+            .nodes
+            .iter()
+            .flat_map(|n| {
+                n.apps().iter().map(|a| AppReport {
+                    name: a.spec.name.clone(),
+                    node: n.id(),
+                    core: a.spec.core,
+                    shares: a.spec.shares,
+                    total_instructions: a.engine.total_retired(),
+                    baseline_ips: a.spec.baseline_ips,
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::DemandClass;
+
+    fn cluster(nodes: usize, cap: f64) -> Cluster {
+        Cluster::new(ClusterConfig::new(
+            nodes,
+            PolicyKind::FrequencyShares,
+            Watts(cap),
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn budget_must_fund_floors() {
+        let err = Cluster::new(ClusterConfig::new(
+            4,
+            PolicyKind::FrequencyShares,
+            Watts(50.0),
+        ))
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ClusterError::InsufficientBudget { required, .. } if required == Watts(80.0)
+        ));
+        assert!(matches!(
+            Cluster::new(ClusterConfig::new(
+                0,
+                PolicyKind::FrequencyShares,
+                Watts(50.0)
+            ))
+            .unwrap_err(),
+            ClusterError::NoNodes
+        ));
+    }
+
+    #[test]
+    fn admission_picks_least_saturated_and_spills() {
+        let mut c = cluster(2, 170.0);
+        let p0 = c
+            .admit(&AppRequest::new("a", 50, DemandClass::Light))
+            .unwrap();
+        let p1 = c
+            .admit(&AppRequest::new("b", 50, DemandClass::Light))
+            .unwrap();
+        assert_eq!((p0.node, p1.node), (0, 1), "spread across nodes");
+        let p2 = c
+            .admit(&AppRequest::new("c", 50, DemandClass::Light))
+            .unwrap();
+        assert_eq!(p2.node, 0, "tie broken by node id");
+    }
+
+    #[test]
+    fn duplicate_and_unknown_names_are_typed() {
+        let mut c = cluster(1, 85.0);
+        c.admit(&AppRequest::new("a", 50, DemandClass::Light))
+            .unwrap();
+        assert!(matches!(
+            c.admit(&AppRequest::new("a", 10, DemandClass::Heavy)),
+            Err(ClusterError::DuplicateApp { .. })
+        ));
+        assert!(matches!(
+            c.depart("ghost"),
+            Err(ClusterError::UnknownApp { .. })
+        ));
+    }
+
+    #[test]
+    fn overload_is_cluster_full() {
+        let mut c = cluster(2, 170.0);
+        for i in 0..20 {
+            c.admit(&AppRequest::new(format!("a{i}"), 10, DemandClass::Light))
+                .unwrap();
+        }
+        assert_eq!(c.free_cores(), 0);
+        let err = c
+            .admit(&AppRequest::new("straw", 10, DemandClass::Light))
+            .unwrap_err();
+        assert!(
+            matches!(err, ClusterError::ClusterFull { cores: 20, .. }),
+            "{err}"
+        );
+        // a departure makes room again
+        c.depart("a3").unwrap();
+        let p = c
+            .admit(&AppRequest::new("straw", 10, DemandClass::Light))
+            .unwrap();
+        assert_eq!(p.node, 1, "reuses the freed core's node");
+    }
+
+    #[test]
+    fn rebalance_moves_budget_toward_load() {
+        // node 0 packed with frequency-scalable high-demand apps (they
+        // can always absorb more power, so they throttle at any cap and
+        // keep their claim ceiling), node 1 one light app
+        let mut c = cluster(2, 110.0);
+        for i in 0..6 {
+            let req = AppRequest::new(format!("h{i}"), 100, DemandClass::Moderate);
+            let node = if c.nodes[0].free_cores() > 0 { 0 } else { 1 };
+            let core = c.nodes[node].admit(&req).unwrap();
+            assert!(core < 10);
+            c.placements.insert(req.name.clone(), node);
+        }
+        c.nodes[1]
+            .admit(&AppRequest::new("light", 10, DemandClass::Light))
+            .unwrap();
+        c.placements.insert("light".into(), 1);
+        let before = c.node_caps();
+        assert_eq!(before[0], before[1], "even split at startup");
+        c.run(12);
+        let after = c.node_caps();
+        assert!(
+            after[0].value() > after[1].value() + 10.0,
+            "loaded node wins budget: {after:?}"
+        );
+        let total: f64 = after.iter().map(|w| w.value()).sum();
+        assert!(total <= 110.0 + 1e-6, "conservation, got {total}");
+    }
+
+    #[test]
+    fn static_split_never_rebalances() {
+        let mut cfg = ClusterConfig::new(2, PolicyKind::RaplNative, Watts(110.0));
+        cfg.rebalance_every = 0;
+        let mut c = Cluster::new(cfg).unwrap();
+        for i in 0..6 {
+            c.admit(&AppRequest::new(format!("h{i}"), 100, DemandClass::Heavy))
+                .unwrap();
+        }
+        c.run(8);
+        assert_eq!(c.node_caps(), vec![Watts(55.0); 2]);
+        assert_eq!(c.intervals_run(), 8);
+        assert_eq!(c.reports().len(), 6);
+    }
+}

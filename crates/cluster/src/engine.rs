@@ -1,0 +1,144 @@
+//! Parallel execution engine: every node ticks on its own `crossbeam`
+//! scoped thread, synchronized with the budget arbiter twice per
+//! control interval — once to hand telemetry in, once to receive new
+//! caps out.
+//!
+//! Nodes share no mutable state (each owns its chip, daemon, and apps),
+//! the roll-up aggregates telemetry in node order, and the arbiter runs
+//! serially between the barriers, so a parallel run is bit-identical to
+//! [`Cluster::run`] — checked by the `cluster_e2e` determinism test.
+
+use std::sync::{Barrier, Mutex};
+
+use pap_simcpu::units::Watts;
+use pap_telemetry::rollup::{ClusterRollup, NodeTelemetry};
+
+use crate::allocator::claims_from_rollup;
+use crate::cluster::Cluster;
+
+/// Advance the whole cluster `intervals` control intervals with one
+/// worker thread per node. Equivalent to `cluster.run(intervals)`,
+/// state-for-state.
+pub fn run_parallel(cluster: &mut Cluster, intervals: u64) {
+    let n = cluster.nodes.len();
+    if n == 0 || intervals == 0 {
+        return;
+    }
+    let barrier = Barrier::new(n + 1);
+    let tele: Vec<Mutex<Option<NodeTelemetry>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let caps: Vec<Mutex<Option<Watts>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    let cfg = cluster.cfg.clone();
+    let allocator = cluster.allocator;
+    let mut intervals_run = cluster.intervals_run;
+    let mut energy_j = cluster.energy_j;
+    let mut last_rollup = None;
+
+    crossbeam::thread::scope(|s| {
+        for (i, node) in cluster.nodes.iter_mut().enumerate() {
+            let barrier = &barrier;
+            let tele = &tele;
+            let caps = &caps;
+            s.spawn(move |_| {
+                for _ in 0..intervals {
+                    let t = node.advance_interval();
+                    *tele[i].lock().expect("telemetry slot") = Some(t);
+                    barrier.wait(); // telemetry in
+                    barrier.wait(); // caps out
+                    if let Some(cap) = caps[i].lock().expect("cap slot").take() {
+                        node.retarget(cap)
+                            .expect("allocator output stays within platform bounds");
+                    }
+                }
+            });
+        }
+
+        // The calling thread is the arbiter.
+        for _ in 0..intervals {
+            barrier.wait(); // all telemetry written
+            let teles: Vec<NodeTelemetry> = tele
+                .iter()
+                .map(|m| {
+                    m.lock()
+                        .expect("telemetry slot")
+                        .take()
+                        .expect("node wrote")
+                })
+                .collect();
+            let rollup = ClusterRollup::new(cfg.control_interval, teles);
+            intervals_run += 1;
+            energy_j += rollup.total_power().value() * cfg.control_interval.value();
+            if cfg.rebalance_every > 0 && intervals_run.is_multiple_of(cfg.rebalance_every) {
+                let new_caps = allocator.rebalance(&claims_from_rollup(&cfg.platform, &rollup));
+                for (slot, cap) in caps.iter().zip(new_caps) {
+                    *slot.lock().expect("cap slot") = Some(cap);
+                }
+            }
+            last_rollup = Some(rollup);
+            barrier.wait(); // caps published
+        }
+    })
+    .expect("node worker panicked");
+
+    cluster.intervals_run = intervals_run;
+    cluster.energy_j = energy_j;
+    cluster.last_rollup = last_rollup.or(cluster.last_rollup.take());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::{AppRequest, DemandClass};
+    use crate::cluster::ClusterConfig;
+    use powerd::config::PolicyKind;
+
+    fn loaded_cluster() -> Cluster {
+        let mut cfg = ClusterConfig::new(3, PolicyKind::FrequencyShares, Watts(150.0));
+        cfg.rebalance_every = 2;
+        let mut c = Cluster::new(cfg).unwrap();
+        for (i, demand) in [
+            DemandClass::Heavy,
+            DemandClass::Moderate,
+            DemandClass::Light,
+        ]
+        .iter()
+        .cycle()
+        .take(9)
+        .enumerate()
+        {
+            c.admit(&AppRequest::new(
+                format!("app{i}"),
+                20 + 10 * (i as u32 % 4),
+                *demand,
+            ))
+            .unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let mut serial = loaded_cluster();
+        let mut parallel = loaded_cluster();
+        serial.run(7);
+        run_parallel(&mut parallel, 7);
+        assert_eq!(serial.intervals_run(), parallel.intervals_run());
+        assert_eq!(serial.node_caps(), parallel.node_caps());
+        assert_eq!(serial.reports(), parallel.reports());
+        assert_eq!(serial.energy_j(), parallel.energy_j());
+        let (sr, pr) = (
+            serial.last_rollup().unwrap(),
+            parallel.last_rollup().unwrap(),
+        );
+        assert_eq!(sr.total_power(), pr.total_power());
+        assert_eq!(sr.total_ips(), pr.total_ips());
+    }
+
+    #[test]
+    fn zero_intervals_is_a_no_op() {
+        let mut c = loaded_cluster();
+        run_parallel(&mut c, 0);
+        assert_eq!(c.intervals_run(), 0);
+        assert!(c.last_rollup().is_none());
+    }
+}

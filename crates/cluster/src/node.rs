@@ -1,0 +1,326 @@
+//! One simulated machine of the cluster: a chip, its `powerd` daemon,
+//! and the applications currently running on it.
+//!
+//! A node advances in whole control intervals — exactly the loop the
+//! single-socket experiment runner uses (tick the apps and the chip,
+//! then sample telemetry and let the daemon act) — so cluster results
+//! are directly comparable to the paper's single-node experiments. All
+//! state is owned: nodes on different threads share nothing, which is
+//! what lets the parallel engine reproduce the serial reference
+//! bit-for-bit.
+
+use pap_simcpu::chip::Chip;
+use pap_simcpu::platform::PlatformSpec;
+use pap_simcpu::units::{Seconds, Watts};
+use pap_telemetry::rollup::NodeTelemetry;
+use pap_telemetry::sampler::Sampler;
+use pap_workloads::engine::RunningApp;
+use powerd::config::{AppSpec, DaemonConfig, PolicyKind};
+use powerd::daemon::{ControlAction, Daemon, DaemonError};
+
+use crate::admission::AppRequest;
+
+/// An application resident on a node.
+#[derive(Debug)]
+pub struct ResidentApp {
+    /// The spec registered with the node's daemon.
+    pub spec: AppSpec,
+    /// The simulated workload.
+    pub engine: RunningApp,
+}
+
+/// One cluster node: chip + daemon + resident apps.
+#[derive(Debug)]
+pub struct Node {
+    id: usize,
+    platform: PlatformSpec,
+    chip: Chip,
+    daemon: Daemon,
+    sampler: Sampler,
+    apps: Vec<ResidentApp>,
+    parked: Vec<bool>,
+    cap: Watts,
+    interval: Seconds,
+    tick: Seconds,
+}
+
+impl Node {
+    /// Bring up an idle node: an empty daemon config (all cores parked)
+    /// under `policy` with an initial power cap of `cap`.
+    pub fn new(
+        id: usize,
+        platform: &PlatformSpec,
+        policy: PolicyKind,
+        cap: Watts,
+        interval: Seconds,
+        tick: Seconds,
+    ) -> Result<Node, DaemonError> {
+        let mut config = DaemonConfig::new(policy, cap, Vec::new());
+        config.control_interval = interval;
+        let mut chip = Chip::new(platform.clone());
+        if policy == PolicyKind::RaplNative {
+            chip.set_rapl_limit(Some(cap)).expect("platform has RAPL");
+        }
+        let mut daemon = Daemon::new(config, platform)?;
+        let action = daemon.initial();
+        apply(&mut chip, &action);
+        let sampler = Sampler::new(&chip);
+        Ok(Node {
+            id,
+            platform: platform.clone(),
+            chip,
+            daemon,
+            sampler,
+            apps: Vec::new(),
+            parked: action.parked,
+            cap,
+            interval,
+            tick,
+        })
+    }
+
+    /// Node id within the cluster.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The node's current power cap.
+    pub fn cap(&self) -> Watts {
+        self.cap
+    }
+
+    /// Cores with an app pinned.
+    pub fn busy_cores(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Cores available for placement.
+    pub fn free_cores(&self) -> usize {
+        self.platform.num_cores - self.apps.len()
+    }
+
+    /// Occupied fraction of the node's cores.
+    pub fn saturation(&self) -> f64 {
+        self.apps.len() as f64 / self.platform.num_cores as f64
+    }
+
+    /// Sum of resident apps' shares.
+    pub fn total_shares(&self) -> f64 {
+        self.apps.iter().map(|a| a.spec.shares as f64).sum()
+    }
+
+    /// The apps currently resident, for reporting.
+    pub fn apps(&self) -> &[ResidentApp] {
+        &self.apps
+    }
+
+    /// Place a requested app on the lowest free core. The daemon
+    /// validates the grown config atomically; on error the node is
+    /// unchanged. The app starts at the next control interval, when the
+    /// daemon re-runs its initial distribution over the new app set.
+    pub fn admit(&mut self, req: &AppRequest) -> Result<usize, DaemonError> {
+        let core = (0..self.platform.num_cores)
+            .find(|&c| self.apps.iter().all(|a| a.spec.core != c))
+            .ok_or_else(|| {
+                DaemonError::Config(powerd::config::ConfigError::CoreOutOfRange {
+                    app: req.name.clone(),
+                    core: self.platform.num_cores,
+                    num_cores: self.platform.num_cores,
+                })
+            })?;
+        let profile = req.demand.profile();
+        let spec = AppSpec::new(req.name.clone(), core)
+            .with_priority(req.priority)
+            .with_shares(req.shares)
+            .with_baseline_ips(profile.ips(self.platform.grid.max()));
+        self.daemon.add_app(spec.clone())?;
+        self.apps.push(ResidentApp {
+            spec,
+            engine: RunningApp::looping(profile),
+        });
+        Ok(core)
+    }
+
+    /// Remove a resident app by name. Its core parks immediately (the
+    /// workload is gone; leaving the chip's stale load descriptor
+    /// burning power until the next daemon action would charge the node
+    /// for a phantom app).
+    pub fn depart(&mut self, name: &str) -> Result<AppSpec, DaemonError> {
+        let spec = self.daemon.remove_app(name)?;
+        self.apps.retain(|a| a.spec.name != name);
+        self.chip
+            .set_forced_idle(spec.core, true)
+            .expect("core in range");
+        self.parked[spec.core] = true;
+        Ok(spec)
+    }
+
+    /// Change the node's power cap (validated against the platform's
+    /// RAPL range by the daemon; RAPL-native nodes reprogram the chip's
+    /// hardware limit too).
+    pub fn retarget(&mut self, cap: Watts) -> Result<(), DaemonError> {
+        self.daemon.retarget_budget(cap)?;
+        if self.daemon.config().policy == PolicyKind::RaplNative {
+            self.chip
+                .set_rapl_limit(Some(cap))
+                .expect("platform has RAPL");
+        }
+        self.cap = cap;
+        Ok(())
+    }
+
+    /// Advance one control interval: tick every unparked app and the
+    /// chip, then sample telemetry and apply the daemon's decision.
+    /// Returns the node's telemetry summary for the cluster roll-up.
+    pub fn advance_interval(&mut self) -> NodeTelemetry {
+        let steps = (self.interval.value() / self.tick.value()).round() as usize;
+        for _ in 0..steps.max(1) {
+            for app in &mut self.apps {
+                let core = app.spec.core;
+                if self.parked[core] {
+                    continue;
+                }
+                let f = self.chip.effective_freq(core);
+                let out = app.engine.advance(self.tick, f);
+                self.chip.set_load(core, out.load).expect("core in range");
+                self.chip
+                    .add_instructions(core, out.instructions)
+                    .expect("core in range");
+            }
+            self.chip.tick(self.tick);
+        }
+        let sample = self
+            .sampler
+            .sample(&self.chip)
+            .expect("a whole control interval elapsed");
+        let action = self.daemon.step(&sample);
+        apply(&mut self.chip, &action);
+        self.parked = action.parked.clone();
+        NodeTelemetry::from_sample(
+            self.id,
+            &sample,
+            self.cap,
+            self.busy_cores(),
+            self.total_shares(),
+        )
+    }
+}
+
+fn apply(chip: &mut Chip, action: &ControlAction) {
+    chip.set_all_requested(&action.freqs)
+        .expect("daemon emits grid/slot-valid frequencies");
+    for (core, &p) in action.parked.iter().enumerate() {
+        chip.set_forced_idle(core, p).expect("core in range");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::DemandClass;
+
+    fn node() -> Node {
+        Node::new(
+            0,
+            &PlatformSpec::skylake(),
+            PolicyKind::FrequencyShares,
+            Watts(45.0),
+            Seconds(1.0),
+            Seconds(0.001),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn idle_node_draws_little() {
+        let mut n = node();
+        assert_eq!(n.free_cores(), 10);
+        let t = n.advance_interval();
+        assert_eq!(t.busy_cores, 0);
+        assert!(
+            t.package_power.value() < 15.0,
+            "all-parked node draws only package idle power, drew {}",
+            t.package_power
+        );
+    }
+
+    #[test]
+    fn admitted_app_runs_next_interval() {
+        let mut n = node();
+        let core = n
+            .admit(&AppRequest::new("hog", 100, DemandClass::Heavy))
+            .unwrap();
+        assert_eq!(core, 0);
+        assert_eq!(n.busy_cores(), 1);
+        // interval 1 bootstraps the daemon's initial distribution;
+        // interval 2 actually runs the app
+        n.advance_interval();
+        let t = n.advance_interval();
+        assert!(
+            t.total_ips > 1e8,
+            "app retires instructions, got {}",
+            t.total_ips
+        );
+        assert!(
+            t.package_power.value() > 15.0,
+            "busy node draws above package idle"
+        );
+    }
+
+    #[test]
+    fn departure_parks_core_and_frees_it() {
+        let mut n = node();
+        n.admit(&AppRequest::new("a", 50, DemandClass::Light))
+            .unwrap();
+        n.admit(&AppRequest::new("b", 50, DemandClass::Light))
+            .unwrap();
+        n.advance_interval();
+        n.advance_interval();
+        let spec = n.depart("a").unwrap();
+        assert_eq!(spec.core, 0);
+        assert_eq!(n.free_cores(), 9);
+        let t = n.advance_interval();
+        assert_eq!(t.busy_cores, 1);
+        // core 0 is free again for the next admission
+        let core = n
+            .admit(&AppRequest::new("c", 50, DemandClass::Light))
+            .unwrap();
+        assert_eq!(core, 0);
+    }
+
+    #[test]
+    fn retarget_steers_node_power() {
+        let mut n = node();
+        for i in 0..6 {
+            n.admit(&AppRequest::new(format!("a{i}"), 100, DemandClass::Heavy))
+                .unwrap();
+        }
+        for _ in 0..8 {
+            n.advance_interval();
+        }
+        let before = n.advance_interval().package_power;
+        n.retarget(Watts(25.0)).unwrap();
+        for _ in 0..8 {
+            n.advance_interval();
+        }
+        let after = n.advance_interval().package_power;
+        assert!(
+            after.value() < before.value() - 5.0,
+            "25 W cap must bite: {before} -> {after}"
+        );
+        assert!(n.retarget(Watts(5.0)).is_err(), "below RAPL floor rejected");
+    }
+
+    #[test]
+    fn full_node_rejects_admission() {
+        let mut n = node();
+        for i in 0..10 {
+            n.admit(&AppRequest::new(format!("a{i}"), 10, DemandClass::Light))
+                .unwrap();
+        }
+        assert_eq!(n.free_cores(), 0);
+        assert!(n
+            .admit(&AppRequest::new("x", 10, DemandClass::Light))
+            .is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the hierarchical budget allocator: conservation
+//! (caps handed out never exceed the cluster budget) and monotonicity
+//! (more budget never hurts any node), plus conservation across a live
+//! cluster's admission/departure/rebalance lifecycle.
+
+use clusterd::admission::{AppRequest, DemandClass};
+use clusterd::allocator::{BudgetAllocator, NodeClaim};
+use clusterd::cluster::{Cluster, ClusterConfig};
+use pap_simcpu::units::Watts;
+use powerd::config::PolicyKind;
+use proptest::prelude::*;
+
+fn claims() -> impl Strategy<Value = Vec<NodeClaim>> {
+    proptest::collection::vec(
+        (0.0f64..500.0, 5.0f64..30.0, 0.0f64..80.0, 0.0f64..100.0).prop_map(
+            |(shares, min, span, current)| NodeClaim {
+                node: 0,
+                shares,
+                min: Watts(min),
+                max: Watts(min + span),
+                current: Watts(current),
+            },
+        ),
+        1..12usize,
+    )
+}
+
+proptest! {
+    /// Σ node caps ≤ cluster cap, and no node exceeds its ceiling —
+    /// even when the cap cannot fund every floor.
+    #[test]
+    fn rebalance_conserves_budget(cap in 0.0f64..1000.0, claims in claims()) {
+        let out = BudgetAllocator::new(Watts(cap)).rebalance(&claims);
+        prop_assert_eq!(out.len(), claims.len());
+        let total: f64 = out.iter().map(|w| w.value()).sum();
+        prop_assert!(total <= cap + 1e-6, "handed out {total} of {cap}");
+        for (got, claim) in out.iter().zip(&claims) {
+            prop_assert!(got.value() <= claim.max.value() + 1e-6);
+            prop_assert!(got.value() >= -1e-12);
+        }
+    }
+
+    /// Raising the cluster cap never lowers any node's cap.
+    #[test]
+    fn rebalance_is_monotone_in_cap(
+        cap in 0.0f64..600.0,
+        extra in 0.0f64..400.0,
+        claims in claims(),
+    ) {
+        let lo = BudgetAllocator::new(Watts(cap)).rebalance(&claims);
+        let hi = BudgetAllocator::new(Watts(cap + extra)).rebalance(&claims);
+        for (node, (l, h)) in lo.iter().zip(&hi).enumerate() {
+            prop_assert!(
+                h.value() >= l.value() - 1e-6,
+                "node {node}: cap {cap} -> {l}, cap {} -> {h}",
+                cap + extra
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Conservation holds through a live cluster's whole lifecycle:
+    /// after every admission, departure, and rebalance, the node caps
+    /// still sum to at most the cluster cap.
+    #[test]
+    fn cluster_lifecycle_conserves_budget(ops in proptest::collection::vec((0u8..3, 0u32..200), 1..8usize)) {
+        let mut cfg = ClusterConfig::new(3, PolicyKind::FrequencyShares, Watts(140.0));
+        cfg.rebalance_every = 1; // rebalance after every interval
+        let mut c = Cluster::new(cfg).unwrap();
+        let check = |c: &Cluster| {
+            let total: f64 = c.node_caps().iter().map(|w| w.value()).sum();
+            total <= 140.0 + 1e-6
+        };
+        let mut next_id = 0usize;
+        let mut alive: Vec<String> = Vec::new();
+        for (kind, arg) in ops {
+            match kind {
+                0 | 1 => {
+                    let demand = if kind == 0 { DemandClass::Moderate } else { DemandClass::Light };
+                    let name = format!("app{next_id}");
+                    next_id += 1;
+                    if c.admit(&AppRequest::new(name.clone(), 1 + arg, demand)).is_ok() {
+                        alive.push(name);
+                    }
+                }
+                _ => {
+                    if !alive.is_empty() {
+                        let name = alive.remove(arg as usize % alive.len());
+                        c.depart(&name).unwrap();
+                    }
+                }
+            }
+            prop_assert!(check(&c), "after op: caps {:?}", c.node_caps());
+            c.run(1);
+            prop_assert!(check(&c), "after rebalance: caps {:?}", c.node_caps());
+        }
+    }
+}

@@ -1,9 +1,89 @@
 //! Daemon configuration: applications, priorities, shares and policy
 //! selection.
 
+use pap_simcpu::platform::PlatformSpec;
 use pap_simcpu::units::{Seconds, Watts};
 
 use crate::quantize::SlotSelector;
+
+/// A configuration rejected by [`DaemonConfig::validate`] /
+/// [`DaemonConfig::validate_on`], with enough structure for callers
+/// (admission control, cluster placement) to react programmatically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The power limit is non-positive or non-finite.
+    InvalidPowerLimit {
+        /// The rejected limit.
+        limit: Watts,
+    },
+    /// The power limit cannot be programmed into the platform's RAPL
+    /// range (hardware clamps or ignores out-of-range limits; failing
+    /// loudly beats silently enforcing a different budget).
+    PowerLimitOutsideRaplRange {
+        /// The rejected limit.
+        limit: Watts,
+        /// The platform's programmable RAPL range.
+        range: (Watts, Watts),
+    },
+    /// The control interval is non-positive.
+    InvalidControlInterval {
+        /// The rejected interval.
+        interval: Seconds,
+    },
+    /// An app is pinned to a core the chip does not have.
+    CoreOutOfRange {
+        /// The app's display name.
+        app: String,
+        /// The requested core.
+        core: usize,
+        /// The chip's core count.
+        num_cores: usize,
+    },
+    /// Two apps are pinned to the same core (space sharing requires one
+    /// app per core).
+    DuplicateCorePin {
+        /// The doubly-assigned core.
+        core: usize,
+    },
+    /// An app has zero proportional shares.
+    ZeroShares {
+        /// The app's display name.
+        app: String,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::InvalidPowerLimit { limit } => {
+                write!(f, "invalid power limit {limit}")
+            }
+            ConfigError::PowerLimitOutsideRaplRange { limit, range } => write!(
+                f,
+                "power limit {limit} outside the platform RAPL range [{}, {}]",
+                range.0, range.1
+            ),
+            ConfigError::InvalidControlInterval { interval } => {
+                write!(f, "control interval must be positive, got {interval}")
+            }
+            ConfigError::CoreOutOfRange {
+                app,
+                core,
+                num_cores,
+            } => write!(
+                f,
+                "app '{app}' pinned to core {core} on a {num_cores}-core chip"
+            ),
+            ConfigError::DuplicateCorePin { core } => write!(
+                f,
+                "core {core} assigned to multiple apps (space sharing requires one app per core)"
+            ),
+            ConfigError::ZeroShares { app } => write!(f, "app '{app}' has zero shares"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Two-level priority (§4.1). Strict: low-priority applications receive
 /// only residual power.
@@ -171,34 +251,56 @@ impl DaemonConfig {
         }
     }
 
-    /// Validate internal consistency.
-    pub fn validate(&self, num_cores: usize) -> Result<(), String> {
-        if self.apps.is_empty() {
-            return Err("no applications configured".into());
-        }
+    /// Validate internal consistency against a core count. An empty app
+    /// set is valid: it describes an idle node (all cores parked), which
+    /// cluster admission relies on.
+    pub fn validate(&self, num_cores: usize) -> Result<(), ConfigError> {
         if !self.power_limit.is_valid() || self.power_limit.value() <= 0.0 {
-            return Err("invalid power limit".into());
+            return Err(ConfigError::InvalidPowerLimit {
+                limit: self.power_limit,
+            });
         }
         if self.control_interval.value() <= 0.0 {
-            return Err("control interval must be positive".into());
+            return Err(ConfigError::InvalidControlInterval {
+                interval: self.control_interval,
+            });
         }
         let mut seen = vec![false; num_cores];
         for app in &self.apps {
             if app.core >= num_cores {
-                return Err(format!(
-                    "app '{}' pinned to core {} on a {}-core chip",
-                    app.name, app.core, num_cores
-                ));
+                return Err(ConfigError::CoreOutOfRange {
+                    app: app.name.clone(),
+                    core: app.core,
+                    num_cores,
+                });
             }
             if seen[app.core] {
-                return Err(format!(
-                    "core {} assigned to multiple apps (space sharing requires one app per core)",
-                    app.core
-                ));
+                return Err(ConfigError::DuplicateCorePin { core: app.core });
             }
             seen[app.core] = true;
             if app.shares == 0 {
-                return Err(format!("app '{}' has zero shares", app.name));
+                return Err(ConfigError::ZeroShares {
+                    app: app.name.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate against a concrete platform: everything [`validate`]
+    /// checks, plus that the power limit can actually be programmed into
+    /// the platform's RAPL range when it has one.
+    ///
+    /// [`validate`]: DaemonConfig::validate
+    pub fn validate_on(&self, platform: &PlatformSpec) -> Result<(), ConfigError> {
+        self.validate(platform.num_cores)?;
+        if let Some(rapl) = &platform.rapl {
+            let (lo, hi) = rapl.limit_range;
+            if self.power_limit < lo || self.power_limit > hi {
+                return Err(ConfigError::PowerLimitOutsideRaplRange {
+                    limit: self.power_limit,
+                    range: (lo, hi),
+                });
             }
         }
         Ok(())
@@ -238,27 +340,80 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bad_configs() {
+    fn empty_app_set_is_an_idle_node() {
         let c = DaemonConfig::new(PolicyKind::Priority, Watts(50.0), vec![]);
-        assert!(c.validate(10).is_err());
+        assert!(c.validate(10).is_ok(), "empty config = all cores parked");
+    }
 
+    #[test]
+    fn rejects_bad_configs() {
         let mut a = apps();
         a[1].core = 0; // duplicate pin
         let c = DaemonConfig::new(PolicyKind::Priority, Watts(50.0), a);
-        assert!(c.validate(10).is_err());
+        assert_eq!(
+            c.validate(10),
+            Err(ConfigError::DuplicateCorePin { core: 0 })
+        );
 
         let mut a = apps();
         a[0].core = 99;
         let c = DaemonConfig::new(PolicyKind::Priority, Watts(50.0), a);
-        assert!(c.validate(10).is_err());
+        assert_eq!(
+            c.validate(10),
+            Err(ConfigError::CoreOutOfRange {
+                app: "a".into(),
+                core: 99,
+                num_cores: 10
+            })
+        );
 
         let mut a = apps();
         a[0].shares = 0;
         let c = DaemonConfig::new(PolicyKind::FrequencyShares, Watts(50.0), a);
-        assert!(c.validate(10).is_err());
+        assert_eq!(
+            c.validate(10),
+            Err(ConfigError::ZeroShares { app: "a".into() })
+        );
 
         let c = DaemonConfig::new(PolicyKind::Priority, Watts(-5.0), apps());
-        assert!(c.validate(10).is_err());
+        assert_eq!(
+            c.validate(10),
+            Err(ConfigError::InvalidPowerLimit { limit: Watts(-5.0) })
+        );
+
+        let mut c = DaemonConfig::new(PolicyKind::Priority, Watts(50.0), apps());
+        c.control_interval = Seconds(0.0);
+        assert!(matches!(
+            c.validate(10),
+            Err(ConfigError::InvalidControlInterval { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_on_enforces_rapl_range() {
+        // Skylake RAPL range is [20, 85] W.
+        let sky = PlatformSpec::skylake();
+        let c = DaemonConfig::new(PolicyKind::FrequencyShares, Watts(50.0), apps());
+        assert!(c.validate_on(&sky).is_ok());
+
+        let c = DaemonConfig::new(PolicyKind::FrequencyShares, Watts(10.0), apps());
+        match c.validate_on(&sky) {
+            Err(ConfigError::PowerLimitOutsideRaplRange { limit, range }) => {
+                assert_eq!(limit, Watts(10.0));
+                assert_eq!(range, (Watts(20.0), Watts(85.0)));
+            }
+            other => panic!("expected RAPL range rejection, got {other:?}"),
+        }
+
+        let c = DaemonConfig::new(PolicyKind::FrequencyShares, Watts(200.0), apps());
+        assert!(matches!(
+            c.validate_on(&sky),
+            Err(ConfigError::PowerLimitOutsideRaplRange { .. })
+        ));
+
+        // Ryzen has no RAPL; any positive limit is programmable.
+        let c = DaemonConfig::new(PolicyKind::FrequencyShares, Watts(10.0), apps());
+        assert!(c.validate_on(&PlatformSpec::ryzen()).is_ok());
     }
 
     #[test]

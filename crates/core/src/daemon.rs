@@ -16,13 +16,85 @@ use pap_simcpu::freq::KiloHertz;
 use pap_simcpu::platform::PlatformSpec;
 use pap_telemetry::sampler::Sample;
 
-use crate::config::{DaemonConfig, PolicyKind};
+use crate::config::{AppSpec, ConfigError, DaemonConfig, PolicyKind};
 use crate::policy::frequency_shares::FrequencyShares;
 use crate::policy::performance_shares::PerformanceShares;
 use crate::policy::power_shares::PowerShares;
 use crate::policy::priority::PriorityPolicy;
 use crate::policy::{AppView, Policy, PolicyCtx, PolicyInput, PolicyOutput};
 use pap_simcpu::units::Watts;
+
+/// Why a daemon could not be built or reconfigured. Wraps
+/// [`ConfigError`] for static config problems and adds the
+/// platform-capability and runtime-reconfiguration failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DaemonError {
+    /// The configuration itself is invalid.
+    Config(ConfigError),
+    /// The policy needs per-core power telemetry the platform lacks.
+    NeedsPerCorePower {
+        /// Policy short name.
+        policy: &'static str,
+        /// Platform name.
+        platform: &'static str,
+    },
+    /// The RAPL-native baseline needs hardware RAPL enforcement.
+    NeedsRapl {
+        /// Platform name.
+        platform: &'static str,
+    },
+    /// Performance shares need an offline IPS baseline for every app.
+    MissingBaseline {
+        /// The app without a baseline.
+        app: String,
+    },
+    /// A reconfiguration referenced an app the daemon does not run.
+    UnknownApp {
+        /// The requested app name.
+        app: String,
+    },
+}
+
+impl std::fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaemonError::Config(e) => e.fmt(f),
+            DaemonError::NeedsPerCorePower { policy, platform } => write!(
+                f,
+                "policy '{policy}' requires per-core power telemetry, which {platform} does not provide"
+            ),
+            DaemonError::NeedsRapl { platform } => {
+                write!(f, "{platform} does not implement RAPL limit enforcement")
+            }
+            DaemonError::MissingBaseline { app } => write!(
+                f,
+                "performance shares need an offline IPS baseline for app '{app}'"
+            ),
+            DaemonError::UnknownApp { app } => write!(f, "no app named '{app}' under control"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DaemonError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for DaemonError {
+    fn from(e: ConfigError) -> DaemonError {
+        DaemonError::Config(e)
+    }
+}
+
+impl From<DaemonError> for String {
+    fn from(e: DaemonError) -> String {
+        e.to_string()
+    }
+}
 
 /// A complete per-core decision for one control interval.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +132,7 @@ pub struct Daemon {
     config: DaemonConfig,
     ctx: PolicyCtx,
     engine: Engine,
+    platform: PlatformSpec,
     num_cores: usize,
     shared_slots: Option<usize>,
     initialized: bool,
@@ -67,36 +140,40 @@ pub struct Daemon {
     current: Vec<KiloHertz>,
 }
 
+/// Platform-capability checks shared by construction and runtime
+/// reconfiguration.
+fn check_capabilities(config: &DaemonConfig, platform: &PlatformSpec) -> Result<(), DaemonError> {
+    config.validate_on(platform)?;
+    if config.policy.needs_per_core_power() && !platform.per_core_power {
+        return Err(DaemonError::NeedsPerCorePower {
+            policy: config.policy.name(),
+            platform: platform.name,
+        });
+    }
+    if config.policy.needs_performance_feedback() {
+        for app in &config.apps {
+            if app.baseline_ips <= 0.0 {
+                return Err(DaemonError::MissingBaseline {
+                    app: app.name.clone(),
+                });
+            }
+        }
+    }
+    if config.policy == PolicyKind::RaplNative && platform.rapl.is_none() {
+        return Err(DaemonError::NeedsRapl {
+            platform: platform.name,
+        });
+    }
+    Ok(())
+}
+
 impl Daemon {
     /// Build a daemon for `config` against a platform. Fails when the
     /// policy needs telemetry the platform does not provide (the paper
     /// runs power shares only on Ryzen for exactly this reason) or the
     /// config is inconsistent.
-    pub fn new(config: DaemonConfig, platform: &PlatformSpec) -> Result<Daemon, String> {
-        config.validate(platform.num_cores)?;
-        if config.policy.needs_per_core_power() && !platform.per_core_power {
-            return Err(format!(
-                "policy '{}' requires per-core power telemetry, which {} does not provide",
-                config.policy.name(),
-                platform.name
-            ));
-        }
-        if config.policy.needs_performance_feedback() {
-            for app in &config.apps {
-                if app.baseline_ips <= 0.0 {
-                    return Err(format!(
-                        "performance shares need an offline IPS baseline for app '{}'",
-                        app.name
-                    ));
-                }
-            }
-        }
-        if config.policy == PolicyKind::RaplNative && platform.rapl.is_none() {
-            return Err(format!(
-                "{} does not implement RAPL limit enforcement",
-                platform.name
-            ));
-        }
+    pub fn new(config: DaemonConfig, platform: &PlatformSpec) -> Result<Daemon, DaemonError> {
+        check_capabilities(&config, platform)?;
 
         let engine = match config.policy {
             PolicyKind::RaplNative => Engine::RaplNative,
@@ -127,6 +204,7 @@ impl Daemon {
             config,
             ctx,
             engine,
+            platform: platform.clone(),
             num_cores: platform.num_cores,
             shared_slots: platform.shared_pstate_slots,
             initialized: false,
@@ -137,6 +215,54 @@ impl Daemon {
     /// The configuration the daemon runs.
     pub fn config(&self) -> &DaemonConfig {
         &self.config
+    }
+
+    /// Admit an application mid-run. The candidate configuration is
+    /// validated atomically — on error nothing changes. On success the
+    /// next control interval re-runs the initial distribution over the
+    /// new app set (§5.2 function (i)), exactly as at daemon start.
+    pub fn add_app(&mut self, app: AppSpec) -> Result<(), DaemonError> {
+        let mut candidate = self.config.clone();
+        candidate.apps.push(app);
+        check_capabilities(&candidate, &self.platform)?;
+        self.config = candidate;
+        self.reset_distribution();
+        Ok(())
+    }
+
+    /// Remove an application by name, returning its spec so callers
+    /// (e.g. cluster admission) can re-place it. The freed core parks at
+    /// the next control interval.
+    pub fn remove_app(&mut self, name: &str) -> Result<AppSpec, DaemonError> {
+        let idx = self
+            .config
+            .apps
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| DaemonError::UnknownApp { app: name.into() })?;
+        let removed = self.config.apps.remove(idx);
+        self.reset_distribution();
+        Ok(removed)
+    }
+
+    /// Change the enforced package power budget mid-run (the cluster
+    /// allocator retargets node budgets every rebalance). Validated
+    /// against the platform's RAPL range; on error nothing changes.
+    pub fn retarget_budget(&mut self, limit: Watts) -> Result<(), DaemonError> {
+        let mut candidate = self.config.clone();
+        candidate.power_limit = limit;
+        candidate.validate_on(&self.platform)?;
+        self.config = candidate;
+        self.ctx.limit = limit;
+        Ok(())
+    }
+
+    /// After a membership change, restart from the initial distribution:
+    /// per-app policy state (previous targets, per-app limits) is sized
+    /// for the old app set and must be rebuilt.
+    fn reset_distribution(&mut self) {
+        self.current = vec![KiloHertz::ZERO; self.config.apps.len()];
+        self.initialized = false;
     }
 
     /// Build app views from a telemetry sample.
@@ -273,7 +399,11 @@ mod tests {
     fn rejects_power_shares_on_skylake() {
         let cfg = DaemonConfig::new(PolicyKind::PowerShares, Watts(50.0), skylake_apps());
         let err = Daemon::new(cfg, &PlatformSpec::skylake()).unwrap_err();
-        assert!(err.contains("per-core power"), "{err}");
+        assert!(
+            matches!(err, DaemonError::NeedsPerCorePower { .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("per-core power"), "{err}");
     }
 
     #[test]
@@ -282,7 +412,8 @@ mod tests {
         apps.truncate(2);
         let cfg = DaemonConfig::new(PolicyKind::RaplNative, Watts(50.0), apps);
         let err = Daemon::new(cfg, &PlatformSpec::ryzen()).unwrap_err();
-        assert!(err.contains("RAPL"), "{err}");
+        assert!(matches!(err, DaemonError::NeedsRapl { .. }), "{err}");
+        assert!(err.to_string().contains("RAPL"), "{err}");
     }
 
     #[test]
@@ -290,7 +421,103 @@ mod tests {
         let apps = vec![AppSpec::new("x", 0).with_shares(50)];
         let cfg = DaemonConfig::new(PolicyKind::PerformanceShares, Watts(50.0), apps);
         let err = Daemon::new(cfg, &PlatformSpec::skylake()).unwrap_err();
-        assert!(err.contains("baseline"), "{err}");
+        assert!(matches!(err, DaemonError::MissingBaseline { .. }), "{err}");
+        assert!(err.to_string().contains("baseline"), "{err}");
+    }
+
+    #[test]
+    fn add_app_reruns_initial_distribution() {
+        let cfg = DaemonConfig::new(PolicyKind::FrequencyShares, Watts(50.0), skylake_apps());
+        let mut d = Daemon::new(cfg, &PlatformSpec::skylake()).unwrap();
+        d.initial();
+        d.add_app(
+            AppSpec::new("late", 5)
+                .with_shares(70)
+                .with_baseline_ips(2e9),
+        )
+        .unwrap();
+        assert_eq!(d.config().apps.len(), 3);
+        // next step bootstraps the full initial distribution again
+        let a = d.step(&sample(45.0, &[2000, 1000, 0, 0, 0, 0], 10));
+        assert!(!a.parked[5], "admitted app's core runs");
+        assert_eq!(
+            a.freqs[5],
+            KiloHertz::from_mhz(3000),
+            "top-share app at max"
+        );
+    }
+
+    #[test]
+    fn add_app_rejects_conflicts_atomically() {
+        let cfg = DaemonConfig::new(PolicyKind::FrequencyShares, Watts(50.0), skylake_apps());
+        let mut d = Daemon::new(cfg, &PlatformSpec::skylake()).unwrap();
+        let err = d.add_app(AppSpec::new("dup", 0)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DaemonError::Config(ConfigError::DuplicateCorePin { core: 0 })
+            ),
+            "{err}"
+        );
+        let err = d
+            .add_app(AppSpec::new("zero", 5).with_shares(0))
+            .unwrap_err();
+        assert!(
+            matches!(err, DaemonError::Config(ConfigError::ZeroShares { .. })),
+            "{err}"
+        );
+        assert_eq!(d.config().apps.len(), 2, "failed admissions change nothing");
+    }
+
+    #[test]
+    fn remove_app_returns_spec_and_parks_core() {
+        let cfg = DaemonConfig::new(PolicyKind::FrequencyShares, Watts(50.0), skylake_apps());
+        let mut d = Daemon::new(cfg, &PlatformSpec::skylake()).unwrap();
+        d.initial();
+        let spec = d.remove_app("ld").unwrap();
+        assert_eq!(spec.core, 1);
+        let a = d.step(&sample(40.0, &[2000, 0], 10));
+        assert!(a.parked[1], "departed app's core parks");
+        assert!(!a.parked[0]);
+        assert!(matches!(
+            d.remove_app("nope").unwrap_err(),
+            DaemonError::UnknownApp { .. }
+        ));
+    }
+
+    #[test]
+    fn retarget_budget_validates_rapl_range() {
+        let cfg = DaemonConfig::new(PolicyKind::FrequencyShares, Watts(50.0), skylake_apps());
+        let mut d = Daemon::new(cfg, &PlatformSpec::skylake()).unwrap();
+        d.retarget_budget(Watts(30.0)).unwrap();
+        assert_eq!(d.config().power_limit, Watts(30.0));
+
+        let err = d.retarget_budget(Watts(5.0)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DaemonError::Config(ConfigError::PowerLimitOutsideRaplRange { .. })
+            ),
+            "{err}"
+        );
+        assert_eq!(
+            d.config().power_limit,
+            Watts(30.0),
+            "failed retarget changes nothing"
+        );
+    }
+
+    #[test]
+    fn retarget_budget_steers_the_controller() {
+        let cfg = DaemonConfig::new(PolicyKind::FrequencyShares, Watts(80.0), skylake_apps());
+        let mut d = Daemon::new(cfg, &PlatformSpec::skylake()).unwrap();
+        let init = d.initial();
+        // Under the old 80 W budget a 65 W sample is under budget; after
+        // retargeting to 40 W the same sample is over budget and the
+        // daemon must throttle.
+        d.retarget_budget(Watts(40.0)).unwrap();
+        let a = d.step(&sample(65.0, &[3000, 1300], 10));
+        assert!(a.freqs[0] < init.freqs[0], "tightened budget throttles");
     }
 
     #[test]

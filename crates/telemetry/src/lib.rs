@@ -10,7 +10,8 @@
 //! * [`trace`] — time-series recording and CSV export;
 //! * [`stats`] — means, percentiles and the box-plot five-number summary;
 //! * [`rolling`] — online EWMA / sliding-window / Welford estimators;
-//! * [`histogram`] — log-bucketed latency histograms.
+//! * [`histogram`] — log-bucketed latency histograms;
+//! * [`rollup`] — multi-node aggregation for cluster-level arbitration.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -18,6 +19,7 @@
 pub mod counters;
 pub mod histogram;
 pub mod rolling;
+pub mod rollup;
 pub mod sampler;
 pub mod stats;
 pub mod trace;
@@ -26,6 +28,7 @@ pub mod trace;
 pub mod prelude {
     pub use crate::counters::{core_rates, power_from_energy, CoreRates};
     pub use crate::histogram::LogHistogram;
+    pub use crate::rollup::{ClusterRollup, NodeTelemetry};
     pub use crate::sampler::{CoreSample, Sample, Sampler};
     pub use crate::stats::BoxStats;
     pub use crate::trace::Trace;

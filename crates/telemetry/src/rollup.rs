@@ -1,0 +1,254 @@
+//! Multi-node telemetry aggregation for cluster-level arbitration.
+//!
+//! A cluster allocator reasons about *nodes*, not cores: each node's
+//! `powerd` daemon samples its own chip at the control cadence, and the
+//! arbiter needs those per-node views folded into one cluster picture —
+//! total draw vs the global cap, per-node saturation for placement, and
+//! headroom for rebalancing. [`NodeTelemetry`] is the one-node summary
+//! (built from a [`Sample`] plus the node's static membership facts);
+//! [`ClusterRollup`] is the cluster-wide fold the allocator consumes.
+
+use pap_simcpu::units::{Seconds, Watts};
+
+use crate::sampler::Sample;
+
+/// One node's telemetry for one control interval, summarized to what
+/// cluster-level arbitration needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeTelemetry {
+    /// Node identifier within the cluster.
+    pub node: usize,
+    /// Measured package power over the interval.
+    pub package_power: Watts,
+    /// The node's currently enforced power cap.
+    pub power_cap: Watts,
+    /// Cores with an application pinned (membership, not C0 residency:
+    /// a momentarily idle service core is still occupied).
+    pub busy_cores: usize,
+    /// The node's total core count.
+    pub num_cores: usize,
+    /// Sum of proportional shares across the node's applications.
+    pub total_shares: f64,
+    /// Aggregate retired instructions per second across all cores.
+    pub total_ips: f64,
+}
+
+impl NodeTelemetry {
+    /// Summarize a node's chip sample. `busy_cores` and `total_shares`
+    /// come from the daemon's app membership — the sampler cannot know
+    /// them.
+    pub fn from_sample(
+        node: usize,
+        sample: &Sample,
+        power_cap: Watts,
+        busy_cores: usize,
+        total_shares: f64,
+    ) -> NodeTelemetry {
+        NodeTelemetry {
+            node,
+            package_power: sample.package_power,
+            power_cap,
+            busy_cores,
+            num_cores: sample.cores.len(),
+            total_shares,
+            total_ips: sample.cores.iter().map(|c| c.rates.ips).sum(),
+        }
+    }
+
+    /// Occupied fraction of the node's cores.
+    pub fn saturation(&self) -> f64 {
+        if self.num_cores == 0 {
+            return 1.0;
+        }
+        self.busy_cores as f64 / self.num_cores as f64
+    }
+
+    /// Unoccupied cores available for placement.
+    pub fn free_cores(&self) -> usize {
+        self.num_cores.saturating_sub(self.busy_cores)
+    }
+
+    /// Cap minus draw (negative when the node overshoots its cap).
+    pub fn headroom(&self) -> Watts {
+        self.power_cap - self.package_power
+    }
+}
+
+/// The cluster-wide aggregation of one control interval's per-node
+/// telemetry, in ascending node order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterRollup {
+    /// Sampling interval the rows cover.
+    pub interval: Seconds,
+    /// Per-node summaries, sorted by node id.
+    pub nodes: Vec<NodeTelemetry>,
+}
+
+impl ClusterRollup {
+    /// Fold per-node telemetry (any order) into a rollup; rows are
+    /// sorted by node id so downstream iteration is deterministic.
+    pub fn new(interval: Seconds, mut nodes: Vec<NodeTelemetry>) -> ClusterRollup {
+        nodes.sort_by_key(|n| n.node);
+        ClusterRollup { interval, nodes }
+    }
+
+    /// Total measured power across the cluster.
+    pub fn total_power(&self) -> Watts {
+        self.nodes.iter().map(|n| n.package_power).sum()
+    }
+
+    /// Sum of all node caps (the budget currently handed out).
+    pub fn total_cap(&self) -> Watts {
+        self.nodes.iter().map(|n| n.power_cap).sum()
+    }
+
+    /// Sum of shares across every application in the cluster.
+    pub fn total_shares(&self) -> f64 {
+        self.nodes.iter().map(|n| n.total_shares).sum()
+    }
+
+    /// Aggregate instruction throughput across the cluster.
+    pub fn total_ips(&self) -> f64 {
+        self.nodes.iter().map(|n| n.total_ips).sum()
+    }
+
+    /// Occupied cores across the cluster.
+    pub fn busy_cores(&self) -> usize {
+        self.nodes.iter().map(|n| n.busy_cores).sum()
+    }
+
+    /// All cores across the cluster.
+    pub fn total_cores(&self) -> usize {
+        self.nodes.iter().map(|n| n.num_cores).sum()
+    }
+
+    /// Occupied fraction of the whole cluster.
+    pub fn saturation(&self) -> f64 {
+        let total = self.total_cores();
+        if total == 0 {
+            return 1.0;
+        }
+        self.busy_cores() as f64 / total as f64
+    }
+
+    /// The least-saturated node with at least one free core — the
+    /// placement target. Ties break to the lowest node id (placement
+    /// must be deterministic for the parallel engine's replay checks).
+    pub fn least_saturated(&self) -> Option<usize> {
+        self.nodes
+            .iter()
+            .filter(|n| n.free_cores() > 0)
+            .min_by(|a, b| {
+                a.saturation()
+                    .total_cmp(&b.saturation())
+                    .then(a.node.cmp(&b.node))
+            })
+            .map(|n| n.node)
+    }
+
+    /// Jain fairness of per-node power draw (1 = perfectly even).
+    pub fn power_balance(&self) -> f64 {
+        let draws: Vec<f64> = self.nodes.iter().map(|n| n.package_power.value()).collect();
+        crate::stats::jain(&draws)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(id: usize, power: f64, cap: f64, busy: usize, shares: f64) -> NodeTelemetry {
+        NodeTelemetry {
+            node: id,
+            package_power: Watts(power),
+            power_cap: Watts(cap),
+            busy_cores: busy,
+            num_cores: 8,
+            total_shares: shares,
+            total_ips: 1e9 * busy as f64,
+        }
+    }
+
+    #[test]
+    fn aggregates_and_sorts() {
+        let r = ClusterRollup::new(
+            Seconds(1.0),
+            vec![node(2, 30.0, 45.0, 4, 100.0), node(0, 40.0, 45.0, 8, 200.0)],
+        );
+        assert_eq!(r.nodes[0].node, 0, "rows sorted by node id");
+        assert!((r.total_power().value() - 70.0).abs() < 1e-12);
+        assert!((r.total_cap().value() - 90.0).abs() < 1e-12);
+        assert_eq!(r.busy_cores(), 12);
+        assert_eq!(r.total_cores(), 16);
+        assert!((r.total_shares() - 300.0).abs() < 1e-12);
+        assert!((r.saturation() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn placement_targets_least_saturated_with_deterministic_ties() {
+        let r = ClusterRollup::new(
+            Seconds(1.0),
+            vec![
+                node(0, 40.0, 45.0, 8, 200.0), // full
+                node(1, 30.0, 45.0, 3, 80.0),
+                node(2, 30.0, 45.0, 3, 80.0), // tie with node 1
+                node(3, 35.0, 45.0, 6, 150.0),
+            ],
+        );
+        assert_eq!(r.least_saturated(), Some(1), "tie breaks to lowest id");
+
+        let full = ClusterRollup::new(
+            Seconds(1.0),
+            vec![node(0, 40.0, 45.0, 8, 200.0), node(1, 41.0, 45.0, 8, 210.0)],
+        );
+        assert_eq!(full.least_saturated(), None, "no free core anywhere");
+    }
+
+    #[test]
+    fn node_headroom_and_balance() {
+        let n = node(0, 50.0, 45.0, 8, 100.0);
+        assert!(n.headroom().value() < 0.0, "overshoot is negative headroom");
+        assert_eq!(n.free_cores(), 0);
+
+        let even = ClusterRollup::new(
+            Seconds(1.0),
+            vec![node(0, 30.0, 45.0, 4, 1.0), node(1, 30.0, 45.0, 4, 1.0)],
+        );
+        assert!((even.power_balance() - 1.0).abs() < 1e-12);
+        let skewed = ClusterRollup::new(
+            Seconds(1.0),
+            vec![node(0, 60.0, 45.0, 4, 1.0), node(1, 0.0, 45.0, 4, 1.0)],
+        );
+        assert!(skewed.power_balance() < 0.6);
+    }
+
+    #[test]
+    fn from_sample_folds_core_rates() {
+        use crate::counters::CoreRates;
+        use crate::sampler::CoreSample;
+        use pap_simcpu::freq::KiloHertz;
+
+        let sample = Sample {
+            time: Seconds(2.0),
+            interval: Seconds(1.0),
+            package_power: Watts(33.0),
+            cores_power: Watts(25.0),
+            cores: (0..4)
+                .map(|_| CoreSample {
+                    rates: CoreRates {
+                        active_freq: KiloHertz::from_mhz(2000),
+                        c0_residency: 1.0,
+                        ips: 2e9,
+                    },
+                    power: None,
+                    requested_freq: KiloHertz::from_mhz(2000),
+                })
+                .collect(),
+        };
+        let t = NodeTelemetry::from_sample(3, &sample, Watts(45.0), 2, 120.0);
+        assert_eq!(t.node, 3);
+        assert_eq!(t.num_cores, 4);
+        assert!((t.total_ips - 8e9).abs() < 1.0);
+        assert!((t.saturation() - 0.5).abs() < 1e-12);
+    }
+}

@@ -42,6 +42,23 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
     }
 }
 
+/// Jain's fairness index over non-negative allocations:
+/// `(Σx)² / (n · Σx²)`. 1 when all values are equal, approaching `1/n`
+/// when one value dominates. Empty or all-zero input is vacuously fair
+/// (1.0): nothing is allocated unequally.
+pub fn jain(values: &[f64]) -> f64 {
+    debug_assert!(
+        values.iter().all(|&v| v >= 0.0),
+        "Jain needs non-negative values"
+    );
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (values.len() as f64 * sum_sq)
+}
+
 /// The five-number summary the paper's box plots report, plus outliers
 /// beyond the 1st/99th-percentile whiskers.
 #[derive(Debug, Clone, PartialEq)]
@@ -129,6 +146,23 @@ mod tests {
         assert!((b.median - 499.5).abs() < 1.0);
         assert!(!b.outliers.is_empty(), "tails beyond p1/p99 are outliers");
         assert!(BoxStats::from(&[]).is_none());
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain(&[]), 1.0);
+        assert_eq!(jain(&[0.0, 0.0]), 1.0);
+        assert!(
+            (jain(&[3.0, 3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12,
+            "equal = fair"
+        );
+        let skewed = jain(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((skewed - 0.25).abs() < 1e-12, "one hog → 1/n");
+        let mid = jain(&[1.0, 2.0, 3.0]);
+        assert!(
+            mid > 0.25 && mid < 1.0,
+            "partial skew in between, got {mid}"
+        );
     }
 
     #[test]

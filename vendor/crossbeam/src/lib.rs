@@ -1,0 +1,155 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so this vendors
+//! the two pieces the workspace uses — `queue::SegQueue` and
+//! `thread::scope` — implemented over std primitives. `SegQueue` is a
+//! mutex-guarded `VecDeque` rather than a lock-free segment queue: the
+//! sweeps that use it pop coarse work items (whole experiment runs),
+//! so queue contention is nowhere near the critical path.
+
+#![forbid(unsafe_code)]
+
+/// Concurrent queues.
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC FIFO queue, API-compatible with
+    /// `crossbeam::queue::SegQueue` for `new`/`push`/`pop`/`len`.
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// An empty queue.
+        pub fn new() -> SegQueue<T> {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Append `value` at the tail.
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .expect("SegQueue poisoned")
+                .push_back(value);
+        }
+
+        /// Remove and return the head, or `None` when empty.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("SegQueue poisoned").pop_front()
+        }
+
+        /// Number of queued items.
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("SegQueue poisoned").len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle passed to the `scope` closure; spawns threads that may
+    /// borrow from the enclosing stack frame.
+    ///
+    /// Unlike crossbeam's, this wrapper is `Copy` and is passed to
+    /// `scope`'s closure and to spawned closures **by value** — the
+    /// in-tree callers all bind it as `|s|` / `|_|`, which works
+    /// unchanged with either calling convention.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives a copy
+        /// of the scope handle so it can spawn nested work.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            self.inner.spawn(move || f(handle))
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned threads are joined
+    /// before this returns. A panic in a spawned thread propagates as a
+    /// panic at the join (crossbeam instead returns `Err`, but every
+    /// in-tree caller immediately `.expect()`s the result, so the
+    /// observable behavior — abort with a message — is the same).
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::SegQueue;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn queue_is_fifo() {
+        let q = SegQueue::new();
+        for i in 0..10 {
+            q.push(i);
+        }
+        assert_eq!(q.len(), 10);
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn scoped_threads_drain_shared_queue() {
+        let q = SegQueue::new();
+        for i in 0..1000u64 {
+            q.push(i);
+        }
+        let sum = AtomicU64::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    while let Some(v) = q.pop() {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .expect("scope failed");
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let r = super::thread::scope(|s| {
+            let h = s.spawn(|_| 21);
+            h.join().expect("worker") * 2
+        })
+        .expect("scope failed");
+        assert_eq!(r, 42);
+    }
+}

@@ -1,0 +1,199 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *minimal* surface of `rand` 0.8 it actually uses: a
+//! deterministic seeded generator ([`rngs::StdRng`]), uniform
+//! [`Rng::gen_range`] sampling over primitive ranges, and Fisher–Yates
+//! [`seq::SliceRandom::shuffle`]. The generator is SplitMix64 — not the
+//! upstream ChaCha12, so exact value streams differ from real `rand`,
+//! but every consumer in this workspace only relies on determinism per
+//! seed and uniformity, both of which hold.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// A source of random 64-bit words. Equivalent to the subset of
+/// `rand_core::RngCore` the workspace needs.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, matching `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers over an [`RngCore`], matching the `rand::Rng`
+/// extension-trait idiom.
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open primitive range.
+    fn gen_range<R: UniformRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// A bool that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Map 64 random bits to a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    // 53 mantissa bits give the standard dyadic-uniform unit double.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A half-open range a uniform value can be drawn from.
+pub trait UniformRange {
+    /// The sampled type.
+    type Output;
+    /// Draw one uniform sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Output;
+}
+
+impl UniformRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        debug_assert!(self.start < self.end, "empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+macro_rules! uniform_int_range {
+    ($($t:ty),*) => {$(
+        impl UniformRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                debug_assert!(self.start < self.end, "empty range");
+                let width = (self.end - self.start) as u64;
+                // Modulo bias is ≤ width/2⁶⁴ — irrelevant for the
+                // simulation-scale widths used here.
+                self.start + (rng.next_u64() % width) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int_range!(u64, u32, usize, i64);
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64. Deterministic per
+    /// seed, passes the statistical bar every consumer here needs.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut rng = StdRng { state: seed };
+            // One warm-up step decorrelates small adjacent seeds.
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+/// Slice utilities.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Shuffling, matching `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Shuffle in place (Fisher–Yates).
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same = (0..100)
+            .all(|_| StdRng::seed_from_u64(42).gen_range(0.0..1.0) == c.gen_range(0.0..1.0));
+        assert!(!same, "different seeds must diverge");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniformity_rough() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(
+            v, sorted,
+            "49! permutations; identity is astronomically unlikely"
+        );
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((hits as f64 / 100_000.0 - 0.3).abs() < 0.01);
+    }
+}
