@@ -1,0 +1,178 @@
+//! Extension: chaos bench — the resilience layer vs injected faults.
+//!
+//! One seeded [`FaultPlan::chaos`] schedule (per-core power outage,
+//! package-telemetry outage, flaky reads, stuck and failed frequency
+//! writes, energy glitches, a counter rollover, a thermal emergency) is
+//! replayed twice over the same power-shares workload mix on the
+//! per-core-DVFS server platform:
+//!
+//! * **resilient** — retries, per-sensor health tracking, and the
+//!   degradation ladder (power shares → frequency shares → uniform cap);
+//! * **baseline** — the plain daemon with stale-fill telemetry and
+//!   fire-and-forget writes, i.e. what happens when nobody handles
+//!   errors.
+//!
+//! Scored on the inner chip's ground truth. The headline: the resilient
+//! stack holds the package cap through every fault (fairness degrades
+//! gracefully instead), while the baseline blindly raises frequencies on
+//! stale below-limit readings during the package outage and sails over
+//! budget. Exits non-zero if the resilient run shows any sustained cap
+//! violation, so CI can run it as a chaos smoke test:
+//! `cargo run --release -p pap-bench --bin ext_faults -- --seed 42`.
+
+use std::process::ExitCode;
+
+use pap_bench::{f1, Table};
+use pap_faults::chaos_platform;
+use pap_faults::plan::{ChaosProfile, FaultPlan};
+use pap_faults::runner::{ChaosExperiment, ChaosResult};
+use pap_simcpu::units::{Seconds, Watts};
+use pap_workloads::spec;
+use powerd::config::PolicyKind;
+
+const LIMIT: Watts = Watts(30.0);
+const DURATION: Seconds = Seconds(120.0);
+
+fn run(seed: u64, resilient: bool, plan: &FaultPlan) -> ChaosResult {
+    ChaosExperiment::new(chaos_platform(), PolicyKind::PowerShares, LIMIT)
+        .app("cactus", spec::CACTUS_BSSN, 70)
+        .app("lbm", spec::LBM, 50)
+        .app("gcc", spec::GCC, 50)
+        .app("leela", spec::LEELA, 30)
+        .duration(DURATION)
+        .plan(plan.clone())
+        .seed(seed)
+        .resilience(resilient)
+        .run()
+        .expect("chaos run")
+}
+
+fn main() -> ExitCode {
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed takes an integer");
+            }
+            other => {
+                eprintln!("unknown argument: {other} (usage: ext_faults [--seed N])");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let platform = chaos_platform();
+    let plan = FaultPlan::chaos(seed, &ChaosProfile::default(), DURATION, platform.num_cores);
+    println!(
+        "chaos schedule: seed {seed}, {} faults over {}s on {} ({} cores), {} cap\n",
+        plan.faults.len(),
+        DURATION.value(),
+        platform.name,
+        platform.num_cores,
+        LIMIT,
+    );
+
+    let resilient = run(seed, true, &plan);
+    let baseline = run(seed, false, &plan);
+    // Fault-free reference: the daemon's own transient regulation
+    // overshoot, so the chaos rows can be read against it.
+    let clean = run(seed, true, &FaultPlan::new());
+
+    let mut t = Table::new(
+        "Chaos under an identical fault schedule: resilient vs baseline",
+        &[
+            "stack",
+            "sustained viol",
+            "viol intervals",
+            "worst over (W)",
+            "mean pkg (W)",
+            "jain",
+            "starved",
+            "ladder moves",
+        ],
+    );
+    for (name, r) in [
+        ("resilient", &resilient),
+        ("baseline", &baseline),
+        ("no-fault ref", &clean),
+    ] {
+        t.row(vec![
+            name.into(),
+            r.sustained_violations.to_string(),
+            format!("{}/{}", r.violations, r.intervals),
+            f1(r.worst_over_watts),
+            f1(r.mean_power.value()),
+            format!("{:.3}", r.jain),
+            r.starved.to_string(),
+            r.transitions.len().to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    let mut lt = Table::new(
+        "Degradation ladder (resilient run)",
+        &["t (s)", "from", "to", "reason"],
+    );
+    for e in &resilient.transitions {
+        lt.row(vec![
+            f1(e.time.value()),
+            e.from.name().into(),
+            e.to.name().into(),
+            e.reason.into(),
+        ]);
+    }
+    println!("{lt}");
+
+    let mut at = Table::new(
+        "Share-normalized throughput (resilient run)",
+        &["app", "core", "shares", "retired", "retired/share"],
+    );
+    for a in &resilient.apps {
+        at.row(vec![
+            a.name.clone(),
+            a.core.to_string(),
+            a.shares.to_string(),
+            format!("{:.2e}", a.retired as f64),
+            format!("{:.2e}", a.normalized),
+        ]);
+    }
+    println!("{at}");
+
+    println!(
+        "injected: {:?}\nfinal ladder level reached: {}",
+        resilient.injected,
+        resilient
+            .transitions
+            .last()
+            .map(|e| e.to.name())
+            .unwrap_or("nominal"),
+    );
+
+    let baseline_misbehaved = baseline.sustained_violations > 0 || baseline.starved > 0;
+    println!(
+        "\nverdict: resilient {} ({} sustained violations); baseline {} ({} sustained, {} starved)",
+        if resilient.sustained_violations == 0 {
+            "HELD THE CAP"
+        } else {
+            "VIOLATED THE CAP"
+        },
+        resilient.sustained_violations,
+        if baseline_misbehaved {
+            "misbehaved as expected"
+        } else {
+            "unexpectedly survived"
+        },
+        baseline.sustained_violations,
+        baseline.starved,
+    );
+
+    if resilient.sustained_violations > 0 {
+        eprintln!("FAIL: the resilient stack sustained a package-cap violation under faults");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

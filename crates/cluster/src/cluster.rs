@@ -153,6 +153,25 @@ impl AppReport {
     }
 }
 
+/// What happened to one app when its node was quarantined.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequeueOutcome {
+    /// The app found a core on a healthy node.
+    Requeued {
+        /// App name.
+        app: String,
+        /// Where it landed.
+        placement: Placement,
+    },
+    /// No healthy node could take the app; it left the cluster.
+    Dropped {
+        /// App name.
+        app: String,
+        /// Why re-admission failed.
+        error: ClusterError,
+    },
+}
+
 /// A running cluster. Admission, departures, and the serial engine live
 /// here; [`crate::engine::run_parallel`] drives the same nodes
 /// concurrently.
@@ -162,6 +181,8 @@ pub struct Cluster {
     pub(crate) nodes: Vec<Node>,
     pub(crate) allocator: BudgetAllocator,
     pub(crate) placements: HashMap<String, usize>,
+    pub(crate) requests: HashMap<String, AppRequest>,
+    pub(crate) quarantined: Vec<bool>,
     pub(crate) intervals_run: u64,
     pub(crate) energy_j: f64,
     pub(crate) last_rollup: Option<ClusterRollup>,
@@ -202,6 +223,8 @@ impl Cluster {
             allocator: BudgetAllocator::new(cfg.cluster_cap),
             nodes,
             placements: HashMap::new(),
+            requests: HashMap::new(),
+            quarantined: vec![false; cfg.nodes],
             intervals_run: 0,
             energy_j: 0.0,
             last_rollup: None,
@@ -228,12 +251,13 @@ impl Cluster {
         });
         let mut last_err = None;
         for i in order {
-            if self.nodes[i].free_cores() == 0 {
+            if self.quarantined[i] || self.nodes[i].free_cores() == 0 {
                 continue;
             }
             match self.nodes[i].admit(req) {
                 Ok(core) => {
                     self.placements.insert(req.name.clone(), i);
+                    self.requests.insert(req.name.clone(), req.clone());
                     return Ok(Placement { node: i, core });
                 }
                 Err(e) => last_err = Some(e),
@@ -257,7 +281,61 @@ impl Cluster {
             .ok_or_else(|| ClusterError::UnknownApp { app: name.into() })?;
         let spec = self.nodes[node].depart(name)?;
         self.placements.remove(name);
+        self.requests.remove(name);
         Ok(spec)
+    }
+
+    /// Take an unhealthy node out of service: every resident app is
+    /// departed and requeued through the normal admission spill (which
+    /// skips quarantined nodes), and the node stops receiving
+    /// placements. Its budget claim dissolves at the next rebalance —
+    /// with no apps its share weight is zero and its ceiling is revoked
+    /// toward idle draw, so the allocator hands its power to healthy
+    /// nodes. Apps no healthy node can hold are reported as
+    /// [`RequeueOutcome::Dropped`] and leave the cluster.
+    pub fn quarantine_node(&mut self, node: usize) -> Result<Vec<RequeueOutcome>, ClusterError> {
+        if node >= self.nodes.len() {
+            return Err(ClusterError::NoNodes);
+        }
+        self.quarantined[node] = true;
+        let evicted: Vec<String> = self.nodes[node]
+            .apps()
+            .iter()
+            .map(|a| a.spec.name.clone())
+            .collect();
+        let mut outcomes = Vec::with_capacity(evicted.len());
+        for name in evicted {
+            let req = self
+                .requests
+                .get(&name)
+                .cloned()
+                .expect("every placed app has a recorded request");
+            self.depart(&name)?;
+            match self.admit(&req) {
+                Ok(placement) => outcomes.push(RequeueOutcome::Requeued {
+                    app: name,
+                    placement,
+                }),
+                Err(error) => outcomes.push(RequeueOutcome::Dropped { app: name, error }),
+            }
+        }
+        Ok(outcomes)
+    }
+
+    /// Return a quarantined node to service. Nothing moves back
+    /// proactively; the node simply becomes eligible for future
+    /// admissions and wins budget again once it holds apps.
+    pub fn restore_node(&mut self, node: usize) -> Result<(), ClusterError> {
+        if node >= self.nodes.len() {
+            return Err(ClusterError::NoNodes);
+        }
+        self.quarantined[node] = false;
+        Ok(())
+    }
+
+    /// Whether a node is currently quarantined.
+    pub fn is_node_quarantined(&self, node: usize) -> bool {
+        self.quarantined.get(node).copied().unwrap_or(false)
     }
 
     /// Serial reference engine: advance every node one control interval
@@ -487,6 +565,80 @@ mod tests {
         );
         let total: f64 = after.iter().map(|w| w.value()).sum();
         assert!(total <= 110.0 + 1e-6, "conservation, got {total}");
+    }
+
+    #[test]
+    fn quarantine_requeues_apps_and_returns_budget() {
+        let mut c = cluster(3, 255.0);
+        for i in 0..6 {
+            c.admit(&AppRequest::new(format!("a{i}"), 50, DemandClass::Moderate))
+                .unwrap();
+        }
+        c.run(4);
+        let victim_apps: Vec<String> = c.nodes[1]
+            .apps()
+            .iter()
+            .map(|a| a.spec.name.clone())
+            .collect();
+        assert!(!victim_apps.is_empty());
+
+        let outcomes = c.quarantine_node(1).unwrap();
+        assert_eq!(outcomes.len(), victim_apps.len());
+        for o in &outcomes {
+            match o {
+                RequeueOutcome::Requeued { placement, .. } => {
+                    assert_ne!(placement.node, 1, "requeue skips the sick node")
+                }
+                RequeueOutcome::Dropped { app, .. } => panic!("cluster had room for {app}"),
+            }
+        }
+        assert!(c.is_node_quarantined(1));
+        assert_eq!(c.nodes[1].busy_cores(), 0, "node fully evacuated");
+
+        // New arrivals avoid the quarantined node too.
+        let p = c
+            .admit(&AppRequest::new("fresh", 50, DemandClass::Light))
+            .unwrap();
+        assert_ne!(p.node, 1);
+
+        // The idle node's budget drains to its floor at rebalances and
+        // flows to the nodes now holding its apps.
+        c.run(8);
+        let caps = c.node_caps();
+        assert!(
+            caps[1].value() < caps[0].value() && caps[1].value() < caps[2].value(),
+            "quarantined node loses budget: {caps:?}"
+        );
+
+        // Restore: eligible again, wins placements and budget back.
+        c.restore_node(1).unwrap();
+        assert!(!c.is_node_quarantined(1));
+        let p = c
+            .admit(&AppRequest::new("back", 50, DemandClass::Moderate))
+            .unwrap();
+        assert_eq!(p.node, 1, "empty restored node is least saturated");
+    }
+
+    #[test]
+    fn quarantine_with_no_room_drops_apps() {
+        let mut c = cluster(2, 170.0);
+        for i in 0..20 {
+            c.admit(&AppRequest::new(format!("a{i}"), 10, DemandClass::Light))
+                .unwrap();
+        }
+        assert_eq!(c.free_cores(), 0);
+        let outcomes = c.quarantine_node(0).unwrap();
+        assert_eq!(outcomes.len(), 10);
+        assert!(
+            outcomes
+                .iter()
+                .all(|o| matches!(o, RequeueOutcome::Dropped { .. })),
+            "the other node is full, nothing can requeue"
+        );
+        // The dropped apps are really gone: their names are reusable.
+        c.restore_node(0).unwrap();
+        c.admit(&AppRequest::new("a0", 10, DemandClass::Light))
+            .unwrap();
     }
 
     #[test]

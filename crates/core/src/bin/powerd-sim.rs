@@ -17,6 +17,9 @@ use powerd::runner::Experiment;
 fn run(opts: &CliOptions) -> Result<(), String> {
     let platform = opts.platform_spec()?;
     let mut e = Experiment::new(platform, opts.policy, opts.limit).duration(opts.duration);
+    if let Some(seed) = opts.seed {
+        e = e.seed(seed);
+    }
     for app in &opts.apps {
         let profile = if app.profile == "cpuburn" {
             CPUBURN

@@ -38,6 +38,9 @@ pub struct CliOptions {
     pub apps: Vec<CliApp>,
     /// Emit the full telemetry trace as CSV on stdout.
     pub csv: bool,
+    /// Phase-generator seed (`None` = the runner's default, which
+    /// reproduces historical runs).
+    pub seed: Option<u64>,
 }
 
 impl CliOptions {
@@ -67,6 +70,8 @@ OPTIONS:
                                  e.g. --app web=leela:90:hp --app bg=cam4:10:lp
                                  PROFILE is a SPEC CPU2017 name or 'cpuburn'
     --duration <SECONDS>         measured duration (default: 60)
+    --seed <N>                   phase-generator seed for reproducible
+                                 runs (same seed = identical run)
     --csv                        dump the telemetry trace as CSV
     --help                       print this help
 ";
@@ -126,6 +131,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
     let mut duration = Seconds(60.0);
     let mut apps = Vec::new();
     let mut csv = false;
+    let mut seed = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -147,6 +153,10 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                 duration = Seconds(s);
             }
             "--app" => apps.push(parse_app(value("--app")?)?),
+            "--seed" => {
+                let v = value("--seed")?;
+                seed = Some(v.parse::<u64>().map_err(|_| format!("bad --seed '{v}'"))?);
+            }
             "--csv" => csv = true,
             other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
         }
@@ -164,6 +174,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         duration,
         apps,
         csv,
+        seed,
     })
 }
 
@@ -190,6 +201,8 @@ mod tests {
             "web=leela:90:hp",
             "--app",
             "bg=cam4:10:lp",
+            "--seed",
+            "1234",
             "--csv",
         ]))
         .unwrap();
@@ -197,6 +210,7 @@ mod tests {
         assert_eq!(o.policy, PolicyKind::FrequencyShares);
         assert_eq!(o.limit, Watts(45.0));
         assert_eq!(o.duration, Seconds(30.0));
+        assert_eq!(o.seed, Some(1234));
         assert!(o.csv);
         assert_eq!(o.apps.len(), 2);
         assert_eq!(o.apps[0].shares, 90);
@@ -214,6 +228,7 @@ mod tests {
         assert_eq!(o.apps[0].priority, Priority::High);
         assert_eq!(o.apps[0].profile, "gcc");
         assert_eq!(o.platform, "skylake");
+        assert_eq!(o.seed, None, "unseeded runs keep the historical default");
     }
 
     #[test]
@@ -261,6 +276,11 @@ mod tests {
             "x=gcc:50:mid"
         ]))
         .is_err());
+        assert!(parse(&sv(&[
+            "--policy", "rapl", "--limit", "50", "--app", "x=gcc", "--seed", "-3"
+        ]))
+        .unwrap_err()
+        .contains("bad --seed"));
         assert!(parse(&sv(&["--bogus"])).is_err());
         assert!(parse(&sv(&["--policy"]))
             .unwrap_err()

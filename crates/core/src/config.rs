@@ -387,6 +387,76 @@ mod tests {
             c.validate(10),
             Err(ConfigError::InvalidControlInterval { .. })
         ));
+
+        let mut c = DaemonConfig::new(PolicyKind::Priority, Watts(50.0), apps());
+        c.control_interval = Seconds(-1.0);
+        assert!(matches!(
+            c.validate(10),
+            Err(ConfigError::InvalidControlInterval { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite_power_limits() {
+        // A NaN or infinite limit must be caught here, not propagate into
+        // the controller arithmetic (NaN poisons every budget it touches).
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0] {
+            let c = DaemonConfig::new(PolicyKind::Priority, Watts(bad), apps());
+            match c.validate(10) {
+                // NaN != NaN, so match structurally instead of assert_eq.
+                Err(ConfigError::InvalidPowerLimit { limit }) => {
+                    assert!(limit.value().is_nan() || limit == Watts(bad));
+                }
+                other => panic!("limit {bad} must be rejected, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn config_error_messages_name_the_offender() {
+        // Every variant's Display output carries enough context to act on
+        // without a debugger: the app, the core, the limit, the range.
+        let cases: Vec<(ConfigError, &[&str])> = vec![
+            (
+                ConfigError::InvalidPowerLimit { limit: Watts(-5.0) },
+                &["invalid power limit", "-5"],
+            ),
+            (
+                ConfigError::PowerLimitOutsideRaplRange {
+                    limit: Watts(10.0),
+                    range: (Watts(20.0), Watts(85.0)),
+                },
+                &["RAPL range", "10", "20", "85"],
+            ),
+            (
+                ConfigError::InvalidControlInterval {
+                    interval: Seconds(0.0),
+                },
+                &["control interval", "positive"],
+            ),
+            (
+                ConfigError::CoreOutOfRange {
+                    app: "web".into(),
+                    core: 9,
+                    num_cores: 4,
+                },
+                &["'web'", "core 9", "4-core"],
+            ),
+            (
+                ConfigError::DuplicateCorePin { core: 2 },
+                &["core 2", "multiple apps"],
+            ),
+            (
+                ConfigError::ZeroShares { app: "bg".into() },
+                &["'bg'", "zero shares"],
+            ),
+        ];
+        for (err, needles) in cases {
+            let msg = err.to_string();
+            for needle in needles {
+                assert!(msg.contains(needle), "{msg:?} should mention {needle:?}");
+            }
+        }
     }
 
     #[test]

@@ -333,6 +333,31 @@ impl Daemon {
         self.expand(&out)
     }
 
+    /// Seed the controller's per-app targets from per-core frequencies
+    /// that are already programmed into the hardware, instead of
+    /// re-running the initial distribution. The resilience layer uses
+    /// this when it swaps policies mid-run (degradation-ladder moves):
+    /// the replacement daemon must redistribute *from the running
+    /// operating point*, because re-running the initial distribution
+    /// would briefly command the top-share app to the maximum P-state
+    /// and could overshoot the budget. Call after [`Daemon::initial`]
+    /// so per-policy internal state exists.
+    pub fn resume_from(&mut self, core_freqs: &[KiloHertz]) {
+        self.current = self
+            .config
+            .apps
+            .iter()
+            .map(|app| {
+                core_freqs
+                    .get(app.core)
+                    .copied()
+                    .unwrap_or(KiloHertz::ZERO)
+                    .max(self.ctx.grid.min())
+            })
+            .collect();
+        self.initialized = true;
+    }
+
     /// One control interval: redistribution + translation (§5.2 functions
     /// (ii) and (iii)) from a fresh telemetry sample.
     pub fn step(&mut self, sample: &Sample) -> ControlAction {

@@ -23,6 +23,11 @@
 //! ([`alpha`]). On Ryzen the daemon additionally clusters targets into
 //! the chip's three shared P-state slots ([`quantize`]).
 //!
+//! When telemetry can fail, [`resilience::ResilientDaemon`] wraps the
+//! daemon in a hysteretic degradation ladder (power shares → frequency
+//! shares → uniform last-good cap) driven by per-sensor health; the
+//! fault-injection harness in `pap_faults` exercises it.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -58,6 +63,7 @@ pub mod hwp;
 pub mod policy;
 pub mod quantize;
 pub mod report;
+pub mod resilience;
 pub mod runner;
 
 /// Convenient glob-import of the most used types.
@@ -65,6 +71,10 @@ pub mod prelude {
     pub use crate::config::{AppSpec, DaemonConfig, PolicyKind, Priority};
     pub use crate::daemon::{ControlAction, Daemon};
     pub use crate::policy::{Policy, PolicyCtx, PolicyInput, PolicyOutput};
+    pub use crate::resilience::{
+        CoreObservation, DegradationLevel, LadderEvent, Observation, ResilienceConfig,
+        ResilientDaemon, RetryPolicy,
+    };
     pub use crate::runner::{
         standalone_freq, AppResult, Experiment, ExperimentResult, LatencyExperiment, LatencyResult,
     };

@@ -1,0 +1,1132 @@
+//! Resilience layer: retries, sensor health, and the degradation ladder.
+//!
+//! The plain [`Daemon`] assumes every sensor read and MSR write succeeds.
+//! Production telemetry does not cooperate: `/dev/cpu/<n>/msr` reads
+//! return `EIO` transiently or permanently, frequency writes get dropped
+//! by buggy firmware, and energy counters glitch. The paper's own policy
+//! table is a built-in degradation ladder — power shares need per-core
+//! power telemetry, frequency shares need only package power, and a
+//! uniform cap needs nothing but a working actuator — so losing a sensor
+//! should cost *fairness precision*, never the power cap itself.
+//!
+//! [`ResilientDaemon`] wraps a [`Daemon`] and implements that ladder:
+//!
+//! 1. **Nominal** — the configured policy runs unchanged.
+//! 2. **FrequencyOnly** — per-core power (or performance-counter)
+//!    telemetry went unhealthy while the configured policy needs it; the
+//!    daemon swaps in frequency shares, which preserves proportionality
+//!    from package power alone.
+//! 3. **UniformCap** — package power is gone; the daemon stops trusting
+//!    any redistribution and pins every managed core to one conservative
+//!    frequency derived from the last trustworthy power reading. While
+//!    blind it never raises frequencies.
+//!
+//! Demotion and promotion both go through the hysteresis in
+//! [`HealthTracker`] (`demote_after` consecutive failures, `promote_after`
+//! consecutive successes), so a single bad interval cannot flap the
+//! policy. Transient gaps *before* a sensor is declared unhealthy hold
+//! the previous action rather than redistributing on stale data.
+//!
+//! The input is an [`Observation`]: a [`Sample`] where every reading is
+//! optional, produced by a fallible collector (the fault-injection
+//! harness in `pap_faults`, or a hardware backend that surfaces MSR
+//! errors). Write failures are reported back via
+//! [`ResilientDaemon::report_write_error`]; silently-dropped ("stuck")
+//! writes are detected by reading the request register back and comparing
+//! with what was commanded. A core whose write path stays broken is
+//! quarantined (parked) so it cannot free-run outside the controller.
+
+use pap_simcpu::freq::KiloHertz;
+use pap_simcpu::platform::PlatformSpec;
+use pap_simcpu::units::{Seconds, Watts};
+use pap_telemetry::counters::CoreRates;
+use pap_telemetry::health::{HealthTracker, SensorId};
+use pap_telemetry::sampler::{CoreSample, Sample};
+
+use crate::config::{DaemonConfig, PolicyKind};
+use crate::daemon::{ControlAction, Daemon, DaemonError};
+
+/// Bounded retry with exponential backoff for MSR-class operations.
+///
+/// In the simulation the backoff delays are *virtual* — a retry burst is
+/// orders of magnitude shorter than the 1 s control interval, so retries
+/// do not advance simulated time; [`RetryPolicy::total_backoff`] reports
+/// the wall-clock a hardware backend would have spent sleeping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Sleep before the first retry.
+    pub base_delay: Seconds,
+    /// Multiplier applied to the delay after each failed retry.
+    pub multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Seconds::from_micros(50.0),
+            multiplier: 4.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (the no-resilience baseline).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Run `op` up to `max_attempts` times, returning the first success
+    /// (or the last error) together with the number of attempts made.
+    pub fn run<T, E>(&self, mut op: impl FnMut() -> Result<T, E>) -> (Result<T, E>, u32) {
+        let attempts_allowed = self.max_attempts.max(1);
+        let mut attempt = 1;
+        loop {
+            match op() {
+                Ok(v) => return (Ok(v), attempt),
+                Err(e) if attempt >= attempts_allowed => return (Err(e), attempt),
+                Err(_) => attempt += 1,
+            }
+        }
+    }
+
+    /// Total backoff a hardware backend would sleep across `attempts`
+    /// attempts (no sleep before the first).
+    pub fn total_backoff(&self, attempts: u32) -> Seconds {
+        let mut total = 0.0;
+        let mut delay = self.base_delay.value();
+        for _ in 1..attempts {
+            total += delay;
+            delay *= self.multiplier;
+        }
+        Seconds(total)
+    }
+}
+
+/// One core's slice of a fallible telemetry observation. `None` means the
+/// read failed (after retries) or was rejected as implausible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreObservation {
+    /// Derived counter rates, if the fixed counters were readable.
+    pub rates: Option<CoreRates>,
+    /// Per-core power, if the platform exposes it and the read succeeded.
+    pub power: Option<Watts>,
+    /// Read-back of the frequency-request register, for stuck-write
+    /// detection.
+    pub requested: Option<KiloHertz>,
+}
+
+impl CoreObservation {
+    /// An observation where every read failed.
+    pub fn blind() -> CoreObservation {
+        CoreObservation {
+            rates: None,
+            power: None,
+            requested: None,
+        }
+    }
+}
+
+/// A [`Sample`] with failure: every reading is optional. Produced by a
+/// fallible collector each control interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Simulated time at the observation.
+    pub time: Seconds,
+    /// Control interval covered.
+    pub interval: Seconds,
+    /// Package power, if the package energy counter was readable and the
+    /// derived value plausible.
+    pub package_power: Option<Watts>,
+    /// Per-core slices (length = chip core count).
+    pub cores: Vec<CoreObservation>,
+    /// Retries spent per sensor while collecting (for health accounting).
+    pub retries: Vec<(SensorId, u64)>,
+}
+
+/// Where the daemon sits on the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DegradationLevel {
+    /// The configured policy runs with full telemetry.
+    Nominal,
+    /// Per-core telemetry lost: frequency shares substitute for the
+    /// configured policy (package power is still trusted).
+    FrequencyOnly,
+    /// Package power lost: one conservative uniform frequency for every
+    /// managed core, never raised while blind.
+    UniformCap,
+}
+
+impl DegradationLevel {
+    /// Short name used in reports and traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradationLevel::Nominal => "nominal",
+            DegradationLevel::FrequencyOnly => "freq-only",
+            DegradationLevel::UniformCap => "uniform-cap",
+        }
+    }
+}
+
+impl std::fmt::Display for DegradationLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One move on the degradation ladder, for traces and post-mortems.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderEvent {
+    /// Simulated time of the move.
+    pub time: Seconds,
+    /// Level before.
+    pub from: DegradationLevel,
+    /// Level after.
+    pub to: DegradationLevel,
+    /// Which telemetry change forced the move.
+    pub reason: &'static str,
+}
+
+/// Tuning for the resilience layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceConfig {
+    /// Retry policy for MSR-class reads and writes.
+    pub retry: RetryPolicy,
+    /// Consecutive failed intervals before a sensor is unhealthy.
+    pub demote_after: u32,
+    /// Consecutive healthy intervals before a sensor is trusted again.
+    pub promote_after: u32,
+    /// Safety factor applied when deriving the blind uniform frequency
+    /// from the last trustworthy power reading (< 1.0 biases low).
+    pub uniform_safety: f64,
+    /// Consecutive over-limit package readings tolerated before the
+    /// backstop overrides the policy with a proportional shed. Short
+    /// transients stay the policy's business; streaks mean its feedback
+    /// state is mis-calibrated for the chip and must not be waited out.
+    pub backstop_after: u32,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> ResilienceConfig {
+        ResilienceConfig {
+            retry: RetryPolicy::default(),
+            demote_after: 3,
+            promote_after: 5,
+            uniform_safety: 0.9,
+            backstop_after: 2,
+        }
+    }
+}
+
+/// A [`Daemon`] wrapped in the degradation ladder. See the module docs
+/// for the ladder itself.
+#[derive(Debug)]
+pub struct ResilientDaemon {
+    base: DaemonConfig,
+    platform: PlatformSpec,
+    rcfg: ResilienceConfig,
+    level: DegradationLevel,
+    /// The active policy engine; `None` at [`DegradationLevel::UniformCap`].
+    daemon: Option<Daemon>,
+    health: HealthTracker,
+    transitions: Vec<LadderEvent>,
+    app_cores: Vec<usize>,
+    last_action: Option<ControlAction>,
+    /// Per-core frequencies we last asked the hardware for.
+    last_commanded: Vec<KiloHertz>,
+    /// Last package power read while the package sensor was healthy.
+    last_good_pkg: Option<Watts>,
+    /// Consecutive trusted package readings above the limit. Feeds the
+    /// over-budget backstop; a missing reading neither extends nor
+    /// resets the streak (the blind-hold shed covers that case).
+    over_streak: u32,
+    /// Last *consistent* operating point: mean commanded kHz over the
+    /// managed cores paired with the package power measured while the
+    /// hardware was verifiably running those commands. Commanded
+    /// frequencies alone are not trustworthy — during a firmware
+    /// throttle (PROCHOT) the controller can wind them far above what
+    /// the chip executes while measured power stays low, and scaling
+    /// that pair would put the blind cap near maximum frequency.
+    anchor: Option<(f64, Watts)>,
+    /// The blind cap while at [`DegradationLevel::UniformCap`].
+    uniform_freq: KiloHertz,
+    /// Cores whose write failed (reported by the backend) since the last
+    /// step.
+    pending_write_errors: Vec<bool>,
+}
+
+impl ResilientDaemon {
+    /// Wrap `config` with the resilience layer. Both the configured
+    /// policy *and* its frequency-shares fallback are validated here, so
+    /// later ladder moves cannot fail.
+    pub fn new(
+        config: DaemonConfig,
+        platform: &PlatformSpec,
+        rcfg: ResilienceConfig,
+    ) -> Result<ResilientDaemon, DaemonError> {
+        let daemon = Daemon::new(config.clone(), platform)?;
+        // Pre-validate the fallback so transition() can expect() it.
+        Daemon::new(Self::fallback_config(&config), platform)?;
+        let app_cores: Vec<usize> = config.apps.iter().map(|a| a.core).collect();
+        let num_cores = platform.num_cores;
+        Ok(ResilientDaemon {
+            base: config,
+            platform: platform.clone(),
+            rcfg,
+            level: DegradationLevel::Nominal,
+            daemon: Some(daemon),
+            health: HealthTracker::new(rcfg.demote_after, rcfg.promote_after),
+            transitions: Vec::new(),
+            app_cores,
+            last_action: None,
+            last_commanded: vec![KiloHertz::ZERO; num_cores],
+            last_good_pkg: None,
+            over_streak: 0,
+            anchor: None,
+            uniform_freq: platform.grid.min(),
+            pending_write_errors: vec![false; num_cores],
+        })
+    }
+
+    fn fallback_config(base: &DaemonConfig) -> DaemonConfig {
+        let mut cfg = base.clone();
+        cfg.policy = PolicyKind::FrequencyShares;
+        cfg
+    }
+
+    /// The initial distribution, delegated to the configured policy.
+    pub fn initial(&mut self) -> ControlAction {
+        let action = self.daemon.as_mut().expect("nominal at start").initial();
+        self.commit(action)
+    }
+
+    /// Report that this interval's frequency write to `core` errored
+    /// (after the backend's retries). Counted against the core's
+    /// actuator health at the next [`ResilientDaemon::step`].
+    pub fn report_write_error(&mut self, core: usize) {
+        if let Some(slot) = self.pending_write_errors.get_mut(core) {
+            *slot = true;
+        }
+    }
+
+    /// Current position on the degradation ladder.
+    pub fn level(&self) -> DegradationLevel {
+        self.level
+    }
+
+    /// Every ladder move so far, in time order.
+    pub fn transitions(&self) -> &[LadderEvent] {
+        &self.transitions
+    }
+
+    /// The per-sensor health tracker.
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// Short name of the policy actually controlling cores right now.
+    pub fn active_policy(&self) -> &'static str {
+        match self.level {
+            DegradationLevel::Nominal => self.base.policy.name(),
+            DegradationLevel::FrequencyOnly => PolicyKind::FrequencyShares.name(),
+            DegradationLevel::UniformCap => "uniform-cap",
+        }
+    }
+
+    /// The configured (base) daemon config.
+    pub fn config(&self) -> &DaemonConfig {
+        &self.base
+    }
+
+    /// Whether `core`'s write path is currently quarantined.
+    pub fn is_quarantined(&self, core: usize) -> bool {
+        !self.health.is_healthy(SensorId::FreqActuator(core))
+    }
+
+    /// One control interval over a fallible observation.
+    pub fn step(&mut self, obs: &Observation) -> ControlAction {
+        self.observe_health(obs);
+        if self.health.is_healthy(SensorId::PackagePower) {
+            if let Some(p) = obs.package_power {
+                if p > self.base.power_limit {
+                    self.over_streak += 1;
+                } else {
+                    self.over_streak = 0;
+                }
+            }
+        }
+
+        let target = self.target_level();
+        if target != self.level {
+            self.transition(target, obs.time);
+        }
+
+        let action = match self.level {
+            DegradationLevel::UniformCap => self.uniform_action(obs),
+            _ => self.policy_action(obs),
+        };
+
+        if self.health.is_healthy(SensorId::PackagePower) {
+            if let Some(p) = obs.package_power {
+                self.last_good_pkg = Some(p);
+                // `obs` measures the interval driven by the *previous*
+                // command (pre-commit `last_commanded`), so this is the
+                // correctly-paired anchor — taken only when the hardware
+                // demonstrably ran what we asked for.
+                if self.commands_took_effect(obs) {
+                    self.anchor = Some((self.mean_commanded_khz(), p));
+                }
+            }
+        }
+        self.commit(action)
+    }
+
+    /// Whether every managed core's measured active frequency confirms
+    /// the previous command actually executed. A firmware override
+    /// (thermal clamp) shows up as active ≪ commanded even though the
+    /// write "succeeded"; observations taken under it must not anchor
+    /// the blind cap. Missing counters give no verdict (no anchor
+    /// update), matching the actuator-health rule above.
+    fn commands_took_effect(&self, obs: &Observation) -> bool {
+        if self.last_action.is_none() {
+            return false;
+        }
+        self.app_cores.iter().all(|&c| {
+            let commanded = self.last_commanded[c];
+            if commanded == KiloHertz::ZERO || self.is_quarantined(c) {
+                return false;
+            }
+            match &obs.cores[c].rates {
+                Some(r) => r.active_freq.0 as f64 >= 0.7 * commanded.0 as f64,
+                None => false,
+            }
+        })
+    }
+
+    fn mean_commanded_khz(&self) -> f64 {
+        self.app_cores
+            .iter()
+            .map(|&c| self.last_commanded[c].0)
+            .sum::<u64>() as f64
+            / self.app_cores.len().max(1) as f64
+    }
+
+    /// Feed this interval's read/write outcomes into the health tracker.
+    fn observe_health(&mut self, obs: &Observation) {
+        let t = obs.time;
+        self.health
+            .record(SensorId::PackagePower, obs.package_power.is_some(), t);
+        let commanded = self.last_action.is_some();
+        for &core in &self.app_cores {
+            let co = &obs.cores[core];
+            if self.platform.per_core_power {
+                self.health
+                    .record(SensorId::CorePower(core), co.power.is_some(), t);
+            }
+            self.health
+                .record(SensorId::CoreCounters(core), co.rates.is_some(), t);
+            // Actuator verdict: an explicit write error, or a read-back
+            // that disagrees with what we commanded (stuck write). No
+            // read-back, no verdict — absence of evidence is not failure.
+            let verdict = if self.pending_write_errors[core] {
+                Some(false)
+            } else if commanded {
+                co.requested.map(|rb| rb == self.last_commanded[core])
+            } else {
+                None
+            };
+            if let Some(ok) = verdict {
+                self.health.record(SensorId::FreqActuator(core), ok, t);
+            }
+        }
+        self.pending_write_errors.fill(false);
+        for &(sensor, n) in &obs.retries {
+            self.health.record_retries(sensor, n);
+        }
+    }
+
+    /// Where the ladder says we should be, given current sensor health.
+    fn target_level(&self) -> DegradationLevel {
+        if !self.health.is_healthy(SensorId::PackagePower) {
+            return DegradationLevel::UniformCap;
+        }
+        let per_core_lost = self.base.policy.needs_per_core_power()
+            && self
+                .app_cores
+                .iter()
+                .any(|&c| !self.health.is_healthy(SensorId::CorePower(c)));
+        let perf_lost = self.base.policy.needs_performance_feedback()
+            && self
+                .app_cores
+                .iter()
+                .any(|&c| !self.health.is_healthy(SensorId::CoreCounters(c)));
+        if per_core_lost || perf_lost {
+            DegradationLevel::FrequencyOnly
+        } else {
+            DegradationLevel::Nominal
+        }
+    }
+
+    /// Move to `target`, rebuilding the policy engine. The replacement
+    /// engine resumes from the currently-programmed frequencies so the
+    /// swap itself cannot overshoot the budget.
+    fn transition(&mut self, target: DegradationLevel, time: Seconds) {
+        let reason = match target {
+            DegradationLevel::UniformCap => "package power unhealthy",
+            DegradationLevel::FrequencyOnly => "per-core telemetry unhealthy",
+            DegradationLevel::Nominal => "telemetry healthy again",
+        };
+        self.transitions.push(LadderEvent {
+            time,
+            from: self.level,
+            to: target,
+            reason,
+        });
+        self.level = target;
+        match target {
+            DegradationLevel::UniformCap => {
+                self.daemon = None;
+                self.uniform_freq = self.blind_uniform_freq();
+            }
+            DegradationLevel::FrequencyOnly | DegradationLevel::Nominal => {
+                let cfg = if target == DegradationLevel::Nominal {
+                    self.base.clone()
+                } else {
+                    Self::fallback_config(&self.base)
+                };
+                let mut d = Daemon::new(cfg, &self.platform)
+                    .expect("ladder configs validated at construction");
+                // Build per-policy internal state, then overwrite the
+                // targets with what the hardware is actually running.
+                d.initial();
+                if self.last_action.is_some() {
+                    d.resume_from(&self.last_commanded);
+                }
+                self.daemon = Some(d);
+            }
+        }
+    }
+
+    /// The conservative frequency to pin managed cores at while blind:
+    /// scale the anchor's mean frequency by its power-to-limit ratio,
+    /// biased low by `uniform_safety`, floored at the grid minimum. The
+    /// anchor — not the raw last command — is the basis, because the
+    /// last command may be controller windup against a firmware clamp
+    /// (see the `anchor` field). Power grows superlinearly in frequency,
+    /// so the linear scale-down errs conservative. With no consistent
+    /// operating point ever observed there is nothing to extrapolate
+    /// from, and the only safe blind cap is the grid minimum.
+    fn blind_uniform_freq(&self) -> KiloHertz {
+        let grid = self.platform.grid;
+        if self.last_action.is_none() || self.app_cores.is_empty() {
+            return grid.min();
+        }
+        match self.anchor {
+            Some((mean_khz, pkg)) if pkg.value() > 0.0 => {
+                let scale = (self.base.power_limit.value() / pkg.value()).min(1.0)
+                    * self.rcfg.uniform_safety;
+                grid.floor(KiloHertz((mean_khz * scale) as u64))
+                    .max(grid.min())
+            }
+            _ => grid.min(),
+        }
+    }
+
+    /// Blind mode: one uniform frequency for every managed core. A stray
+    /// successful package reading is used only to step *down*.
+    fn uniform_action(&mut self, obs: &Observation) -> ControlAction {
+        if let Some(p) = obs.package_power {
+            if p > self.base.power_limit {
+                self.uniform_freq = self
+                    .platform
+                    .grid
+                    .step_down(self.uniform_freq)
+                    .max(self.platform.grid.min());
+            }
+        }
+        let n = self.platform.num_cores;
+        let mut freqs = vec![self.platform.grid.min(); n];
+        let mut parked = vec![true; n];
+        for &c in &self.app_cores {
+            freqs[c] = self.uniform_freq;
+            parked[c] = self.is_quarantined(c);
+        }
+        ControlAction { freqs, parked }
+    }
+
+    /// Anti-windup: `Some(achieved)` iff counter telemetry proves the
+    /// hardware did not execute the last command — some managed core ran
+    /// far below what we asked (firmware clamp, PROCHOT). Raising the
+    /// command further would only wind the controller up against the
+    /// clamp and unwind as a package-power overshoot when it lifts. The
+    /// returned vector is the per-core frequency the chip actually ran,
+    /// grid-rounded and capped at the command, for re-anchoring. The
+    /// 0.7 tolerance leaves normal turbo-ceiling gaps alone.
+    fn actuator_overridden(&self, obs: &Observation) -> Option<Vec<KiloHertz>> {
+        self.last_action.as_ref()?;
+        let mut overridden = false;
+        let mut achieved = self.last_commanded.clone();
+        for &c in &self.app_cores {
+            let commanded = self.last_commanded[c];
+            let rates = obs.cores[c].rates.as_ref()?;
+            if commanded == KiloHertz::ZERO {
+                continue;
+            }
+            if (rates.active_freq.0 as f64) < 0.7 * commanded.0 as f64 {
+                overridden = true;
+            }
+            achieved[c] = self
+                .platform
+                .grid
+                .round(rates.active_freq)
+                .clamp(self.platform.grid.min(), commanded);
+        }
+        overridden.then_some(achieved)
+    }
+
+    /// Full integrator reset after a detected override. The policy's
+    /// feedback state (per-app power limits, learned levels) was trained
+    /// against a chip that was not executing its commands, so it is
+    /// garbage: a power-shares engine, for example, inflates its per-app
+    /// limits to the per-core ceiling while the clamp suppresses the
+    /// watts, then needs many over-budget intervals to deflate them once
+    /// the clamp lifts. Rebuild the engine for the current ladder level
+    /// and seed only its frequency targets from the achieved operating
+    /// point; a stateful policy then falls back to its calibrated
+    /// *initial distribution* on the next step, re-entering the budget
+    /// envelope from below in one move instead of climbing from the
+    /// floor and winding its integrators up all over again.
+    fn reset_policy_state(&mut self, achieved: &[KiloHertz]) {
+        if self.daemon.is_none() {
+            return; // UniformCap carries no policy state to poison
+        }
+        let cfg = if self.level == DegradationLevel::Nominal {
+            self.base.clone()
+        } else {
+            Self::fallback_config(&self.base)
+        };
+        let mut d =
+            Daemon::new(cfg, &self.platform).expect("ladder configs validated at construction");
+        // Deliberately no `d.initial()`: leaving the per-policy state
+        // unprimed is what makes the next step re-run the initial
+        // distribution (every policy bootstraps when stepped unprimed).
+        d.resume_from(achieved);
+        self.daemon = Some(d);
+    }
+
+    /// Daemon-driven levels. Transient gaps (a required reading missing
+    /// while its sensor is still officially healthy) hold the previous
+    /// action instead of redistributing on stale data.
+    fn policy_action(&mut self, obs: &Observation) -> ControlAction {
+        // A firmware override re-anchors the controller on the achieved
+        // frequencies instead of stepping the policy: redistributing
+        // against an actuator that is not listening is pure windup.
+        if let Some(achieved) = self.actuator_overridden(obs) {
+            self.reset_policy_state(&achieved);
+            let mut action = self
+                .last_action
+                .clone()
+                .expect("override check requires a previous action");
+            action.freqs = achieved;
+            return self.quarantine_overlay(action);
+        }
+        let needs_per_core =
+            self.level == DegradationLevel::Nominal && self.base.policy.needs_per_core_power();
+        let complete = obs.package_power.is_some()
+            && (!needs_per_core || self.app_cores.iter().all(|&c| obs.cores[c].power.is_some()));
+        if !complete {
+            if let Some(prev) = &self.last_action {
+                let mut held = prev.clone();
+                // Blind while over budget: the last trusted package
+                // reading exceeded the limit, so replaying the same
+                // command verbatim just prolongs the violation until the
+                // ladder demotes. Shed power by the over-budget ratio on
+                // every held interval instead (power grows superlinearly
+                // in frequency, so the linear scale errs conservative);
+                // under-limit gaps still hold the action exactly.
+                if let Some(p) = self.last_good_pkg {
+                    if p > self.base.power_limit {
+                        let scale = self.base.power_limit.value() / p.value();
+                        let grid = self.platform.grid;
+                        for &c in &self.app_cores {
+                            let khz = (held.freqs[c].0 as f64 * scale) as u64;
+                            held.freqs[c] = grid.floor(KiloHertz(khz)).max(grid.min());
+                        }
+                    }
+                }
+                return self.quarantine_overlay(held);
+            }
+        }
+        let daemon = self.daemon.as_mut().expect("daemon present below uniform");
+        let action = if complete {
+            let sample = Self::backfill(obs, &self.last_commanded);
+            daemon.step(&sample)
+        } else {
+            // No previous action and an incomplete first observation:
+            // fall back to the initial distribution.
+            daemon.initial()
+        };
+        let action = self.backstop(action, obs);
+        self.quarantine_overlay(action)
+    }
+
+    /// Over-budget backstop. The paper's policies converge through
+    /// model-based feedback, and their integrators can legitimately take
+    /// several intervals to walk a mis-calibrated operating point (wrong
+    /// uncore estimate, post-fault re-entry) back under the limit. One
+    /// or two hot intervals are the policy's business; a *streak* of
+    /// trusted over-limit package readings means waiting the policy out
+    /// is indefensible, so cap its proposal core-by-core at the last
+    /// command scaled down by the over-budget ratio. Power grows
+    /// superlinearly in frequency, so the linear scale errs low; the
+    /// `min` keeps any deeper cut the policy already chose.
+    fn backstop(&self, mut action: ControlAction, obs: &Observation) -> ControlAction {
+        if self.over_streak < self.rcfg.backstop_after {
+            return action;
+        }
+        let Some(p) = obs.package_power else {
+            return action;
+        };
+        let scale = self.base.power_limit.value() / p.value();
+        let grid = self.platform.grid;
+        for &c in &self.app_cores {
+            let shed = grid
+                .floor(KiloHertz((self.last_commanded[c].0 as f64 * scale) as u64))
+                .max(grid.min());
+            action.freqs[c] = action.freqs[c].min(shed);
+        }
+        action
+    }
+
+    /// Park cores whose write path is quarantined (they would otherwise
+    /// free-run at a stale frequency outside the controller). Their
+    /// frequency request is left in place so the backend keeps probing
+    /// the write path and recovery is observable.
+    fn quarantine_overlay(&self, mut action: ControlAction) -> ControlAction {
+        for &c in &self.app_cores {
+            if self.is_quarantined(c) {
+                action.parked[c] = true;
+            }
+        }
+        action
+    }
+
+    /// Build a complete [`Sample`] from an observation, filling gaps the
+    /// active policy does not depend on with neutral values.
+    fn backfill(obs: &Observation, last_commanded: &[KiloHertz]) -> Sample {
+        let package = obs.package_power.expect("checked by caller");
+        let cores = obs
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(c, co)| CoreSample {
+                rates: co.rates.unwrap_or(CoreRates {
+                    active_freq: KiloHertz::ZERO,
+                    c0_residency: 0.0,
+                    ips: 0.0,
+                }),
+                power: co.power,
+                requested_freq: co.requested.unwrap_or(last_commanded[c]),
+            })
+            .collect();
+        Sample {
+            time: obs.time,
+            interval: obs.interval,
+            package_power: package,
+            cores_power: package,
+            cores,
+        }
+    }
+
+    fn commit(&mut self, action: ControlAction) -> ControlAction {
+        self.last_commanded = action.freqs.clone();
+        self.last_action = Some(action.clone());
+        action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AppSpec;
+
+    fn ryzen_like() -> PlatformSpec {
+        let mut p = PlatformSpec::ryzen();
+        p.shared_pstate_slots = None;
+        p
+    }
+
+    fn cfg(policy: PolicyKind) -> DaemonConfig {
+        DaemonConfig::new(
+            policy,
+            Watts(30.0),
+            vec![
+                AppSpec::new("a", 0).with_shares(70).with_baseline_ips(2e9),
+                AppSpec::new("b", 1).with_shares(30).with_baseline_ips(2e9),
+            ],
+        )
+    }
+
+    fn obs(
+        t: f64,
+        pkg: Option<f64>,
+        core_power: [Option<f64>; 2],
+        num_cores: usize,
+    ) -> Observation {
+        let cores = (0..num_cores)
+            .map(|c| CoreObservation {
+                rates: Some(CoreRates {
+                    active_freq: KiloHertz::from_mhz(2000),
+                    c0_residency: 1.0,
+                    ips: 1e9,
+                }),
+                power: core_power.get(c).copied().flatten().map(Watts),
+                requested: None, // no read-back in these unit tests
+            })
+            .collect();
+        Observation {
+            time: Seconds(t),
+            interval: Seconds(1.0),
+            package_power: pkg.map(Watts),
+            cores,
+            retries: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn retry_policy_counts_attempts() {
+        let r = RetryPolicy::default();
+        let mut fails = 2;
+        let (out, attempts) = r.run(|| -> Result<u32, ()> {
+            if fails > 0 {
+                fails -= 1;
+                Err(())
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(out, Ok(7));
+        assert_eq!(attempts, 3);
+
+        let (out, attempts) = r.run(|| -> Result<u32, ()> { Err(()) });
+        assert!(out.is_err());
+        assert_eq!(attempts, 3);
+
+        let none = RetryPolicy::none();
+        let (_, attempts) = none.run(|| -> Result<u32, ()> { Err(()) });
+        assert_eq!(attempts, 1);
+    }
+
+    #[test]
+    fn backoff_is_exponential() {
+        let r = RetryPolicy {
+            max_attempts: 4,
+            base_delay: Seconds(0.001),
+            multiplier: 2.0,
+        };
+        assert_eq!(r.total_backoff(1), Seconds(0.0));
+        assert!((r.total_backoff(3).value() - 0.003).abs() < 1e-12);
+        assert!((r.total_backoff(4).value() - 0.007).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_core_loss_demotes_to_frequency_shares_and_back() {
+        let plat = ryzen_like();
+        let mut rd = ResilientDaemon::new(
+            cfg(PolicyKind::PowerShares),
+            &plat,
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        rd.initial();
+        assert_eq!(rd.level(), DegradationLevel::Nominal);
+
+        let mut t = 1.0;
+        // Two failed intervals: still nominal (holds last action).
+        for _ in 0..2 {
+            rd.step(&obs(t, Some(25.0), [None, Some(3.0)], plat.num_cores));
+            t += 1.0;
+        }
+        assert_eq!(rd.level(), DegradationLevel::Nominal);
+        // Third consecutive failure demotes.
+        rd.step(&obs(t, Some(25.0), [None, Some(3.0)], plat.num_cores));
+        t += 1.0;
+        assert_eq!(rd.level(), DegradationLevel::FrequencyOnly);
+        assert_eq!(rd.active_policy(), "freq-shares");
+
+        // Recovery: five healthy intervals promote back.
+        for _ in 0..4 {
+            rd.step(&obs(t, Some(25.0), [Some(5.0), Some(3.0)], plat.num_cores));
+            t += 1.0;
+            assert_eq!(rd.level(), DegradationLevel::FrequencyOnly, "hysteresis");
+        }
+        rd.step(&obs(t, Some(25.0), [Some(5.0), Some(3.0)], plat.num_cores));
+        assert_eq!(rd.level(), DegradationLevel::Nominal);
+        assert_eq!(rd.transitions().len(), 2);
+    }
+
+    #[test]
+    fn package_loss_forces_uniform_cap_never_raised() {
+        let plat = ryzen_like();
+        let mut rd = ResilientDaemon::new(
+            cfg(PolicyKind::FrequencyShares),
+            &plat,
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        rd.initial();
+        let mut t = 1.0;
+        // Establish a healthy operating point.
+        for _ in 0..3 {
+            rd.step(&obs(t, Some(28.0), [Some(5.0), Some(3.0)], plat.num_cores));
+            t += 1.0;
+        }
+        // Lose package power.
+        let mut last = None;
+        for _ in 0..6 {
+            last = Some(rd.step(&obs(t, None, [Some(5.0), Some(3.0)], plat.num_cores)));
+            t += 1.0;
+        }
+        assert_eq!(rd.level(), DegradationLevel::UniformCap);
+        let a = last.unwrap();
+        assert_eq!(a.freqs[0], a.freqs[1], "uniform across managed cores");
+        assert!(!a.parked[0] && !a.parked[1]);
+        assert!(a.parked[2..].iter().all(|&p| p), "unmanaged cores sleep");
+        let blind = a.freqs[0];
+
+        // Blind intervals never raise the cap.
+        let a = rd.step(&obs(t, None, [None, None], plat.num_cores));
+        assert!(a.freqs[0] <= blind);
+        assert_eq!(rd.active_policy(), "uniform-cap");
+    }
+
+    #[test]
+    fn stray_over_limit_reading_steps_blind_cap_down() {
+        let plat = ryzen_like();
+        let mut rd = ResilientDaemon::new(
+            cfg(PolicyKind::FrequencyShares),
+            &plat,
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        rd.initial();
+        let mut t = 1.0;
+        for _ in 0..3 {
+            rd.step(&obs(t, Some(28.0), [None, None], plat.num_cores));
+            t += 1.0;
+        }
+        for _ in 0..3 {
+            rd.step(&obs(t, None, [None, None], plat.num_cores));
+            t += 1.0;
+        }
+        assert_eq!(rd.level(), DegradationLevel::UniformCap);
+        let before = rd.step(&obs(t, None, [None, None], plat.num_cores)).freqs[0];
+        t += 1.0;
+        // One spurious over-limit reading arrives while still unhealthy.
+        let after = rd
+            .step(&obs(t, Some(80.0), [None, None], plat.num_cores))
+            .freqs[0];
+        assert!(
+            after < before || before == plat.grid.min(),
+            "over-limit reading must step the blind cap down ({before} -> {after})"
+        );
+    }
+
+    #[test]
+    fn write_error_quarantines_and_readback_recovers() {
+        let plat = ryzen_like();
+        let mut rd = ResilientDaemon::new(
+            cfg(PolicyKind::FrequencyShares),
+            &plat,
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        rd.initial();
+        let mut t = 1.0;
+        for _ in 0..3 {
+            rd.report_write_error(1);
+            let a = rd.step(&obs(t, Some(25.0), [Some(5.0), Some(3.0)], plat.num_cores));
+            t += 1.0;
+            if rd.is_quarantined(1) {
+                assert!(a.parked[1], "quarantined core parks");
+            }
+        }
+        assert!(rd.is_quarantined(1));
+        assert_eq!(rd.level(), DegradationLevel::Nominal, "cap path unaffected");
+
+        // Read-backs that match the command prove recovery.
+        for _ in 0..5 {
+            let mut o = obs(t, Some(25.0), [Some(5.0), Some(3.0)], plat.num_cores);
+            for (c, co) in o.cores.iter_mut().enumerate() {
+                co.requested = Some(rd.last_commanded[c]);
+            }
+            rd.step(&o);
+            t += 1.0;
+        }
+        assert!(!rd.is_quarantined(1), "matching read-backs unpark the core");
+    }
+
+    #[test]
+    fn firmware_clamp_does_not_wind_the_controller_up() {
+        // A thermal clamp suppresses both power and the executed
+        // frequency. A naive controller chases the missing watts and
+        // winds its commands up to maximum — which unwinds as a package
+        // overshoot the instant the clamp lifts, and poisons the blind
+        // cap if package telemetry dies before recovery. The resilient
+        // daemon must instead re-anchor on what the chip actually ran.
+        let plat = ryzen_like();
+        let mut rd = ResilientDaemon::new(
+            cfg(PolicyKind::FrequencyShares),
+            &plat,
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        rd.initial();
+        let mut t = 1.0;
+        // Healthy, consistent intervals: active freq = what we commanded.
+        for _ in 0..3 {
+            let mut o = obs(t, Some(28.0), [Some(5.0), Some(3.0)], plat.num_cores);
+            for (c, co) in o.cores.iter_mut().enumerate() {
+                if let Some(r) = &mut co.rates {
+                    r.active_freq = rd.last_commanded[c];
+                }
+            }
+            rd.step(&o);
+            t += 1.0;
+        }
+        let anchored_mean = (rd.last_commanded[0].0 + rd.last_commanded[1].0) / 2;
+        let pre_clamp_max = rd.last_commanded[0].max(rd.last_commanded[1]);
+        // Firmware clamp: power collapses, chip executes the grid
+        // minimum regardless of commands. Re-anchoring alternates with a
+        // bounded one-step probe (active == commanded right after a
+        // re-anchor, so the clamp is momentarily undetectable) — what
+        // must never happen is a ratchet back toward maximum.
+        let mut reanchored = 0;
+        let mut clamp_max = KiloHertz::ZERO;
+        for _ in 0..6 {
+            let mut o = obs(t, Some(5.0), [Some(1.0), Some(1.0)], plat.num_cores);
+            for co in o.cores.iter_mut() {
+                if let Some(r) = &mut co.rates {
+                    r.active_freq = plat.grid.min();
+                }
+            }
+            let a = rd.step(&o);
+            if a.freqs[0] == plat.grid.min() && a.freqs[1] <= plat.grid.min() {
+                reanchored += 1;
+            }
+            clamp_max = clamp_max.max(a.freqs[0]).max(a.freqs[1]);
+            t += 1.0;
+        }
+        assert!(
+            reanchored >= 3,
+            "most clamped intervals must re-anchor on the achieved minimum, got {reanchored}/6"
+        );
+        assert!(
+            clamp_max.0 * 2 <= pre_clamp_max.0,
+            "probe steps must stay far below the pre-clamp command \
+             ({clamp_max} vs {pre_clamp_max})"
+        );
+        // Package telemetry dies mid-clamp: demote to the blind cap. The
+        // cap extrapolates from the pre-clamp anchor, never from any
+        // wound-up command.
+        let mut last = None;
+        for _ in 0..3 {
+            last = Some(rd.step(&obs(t, None, [None, None], plat.num_cores)));
+            t += 1.0;
+        }
+        assert_eq!(rd.level(), DegradationLevel::UniformCap);
+        let blind = last.unwrap().freqs[0];
+        assert!(
+            blind.0 <= anchored_mean,
+            "blind cap {blind} must not exceed the pre-clamp anchor ({anchored_mean} kHz)"
+        );
+    }
+
+    #[test]
+    fn over_budget_streak_trips_the_backstop() {
+        // A policy whose model is mis-calibrated for the chip can sit
+        // above the limit for many intervals while its integrators walk
+        // back down. The wrapper tolerates `backstop_after - 1` trusted
+        // over-limit readings, then caps the policy's proposal at the
+        // last command scaled by the over-budget ratio.
+        let plat = ryzen_like();
+        let mut rd = ResilientDaemon::new(
+            cfg(PolicyKind::FrequencyShares),
+            &plat,
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        rd.initial();
+        let consistent = |rd: &mut ResilientDaemon, t: f64, pkg: f64| {
+            let mut o = obs(t, Some(pkg), [Some(9.0), Some(7.0)], plat.num_cores);
+            for (c, co) in o.cores.iter_mut().enumerate() {
+                if let Some(r) = &mut co.rates {
+                    r.active_freq = rd.last_commanded[c];
+                }
+            }
+            rd.step(&o)
+        };
+        consistent(&mut rd, 1.0, 25.0); // under limit: streak stays 0
+        let a1 = consistent(&mut rd, 2.0, 40.0); // first hot reading: policy's call
+        let a2 = consistent(&mut rd, 3.0, 40.0); // second: backstop engages
+        for c in [0usize, 1] {
+            let shed = plat
+                .grid
+                .floor(KiloHertz((a1.freqs[c].0 as f64 * 30.0 / 40.0) as u64))
+                .max(plat.grid.min());
+            assert!(
+                a2.freqs[c] <= shed,
+                "core {c}: {} must be capped at the shed point {} after a \
+                 sustained over-budget streak",
+                a2.freqs[c],
+                shed
+            );
+        }
+    }
+
+    #[test]
+    fn transient_gap_holds_last_action() {
+        let plat = ryzen_like();
+        let mut rd = ResilientDaemon::new(
+            cfg(PolicyKind::FrequencyShares),
+            &plat,
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        let init = rd.initial();
+        // One missing package reading: hold, do not redistribute. The
+        // counters confirm the command executed, so the anti-windup
+        // override stays out of the way.
+        let mut o = obs(1.0, None, [None, None], plat.num_cores);
+        for (c, co) in o.cores.iter_mut().enumerate() {
+            if let Some(r) = &mut co.rates {
+                r.active_freq = rd.last_commanded[c];
+            }
+        }
+        let a = rd.step(&o);
+        assert_eq!(a.freqs, init.freqs, "single gap holds the last action");
+        assert_eq!(rd.level(), DegradationLevel::Nominal);
+    }
+
+    #[test]
+    fn prevalidates_fallback_config() {
+        // PowerShares on a per-core-power platform validates both the
+        // base and the frequency-shares fallback.
+        let plat = ryzen_like();
+        assert!(ResilientDaemon::new(
+            cfg(PolicyKind::PowerShares),
+            &plat,
+            ResilienceConfig::default()
+        )
+        .is_ok());
+        // An invalid base config is rejected outright.
+        let mut bad = cfg(PolicyKind::PowerShares);
+        bad.apps[0].shares = 0;
+        assert!(ResilientDaemon::new(bad, &plat, ResilienceConfig::default()).is_err());
+    }
+}

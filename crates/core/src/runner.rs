@@ -79,8 +79,12 @@ pub struct Experiment {
     control_interval: Seconds,
     tuning: ControllerTuning,
     phase_amplitude: f64,
+    seed: u64,
     entries: Vec<Entry>,
 }
+
+/// Default phase seed, kept for reproducibility with historical runs.
+const DEFAULT_PHASE_SEED: u64 = 0xC0FFEE;
 
 impl Experiment {
     /// Start building an experiment.
@@ -97,6 +101,7 @@ impl Experiment {
             control_interval: Seconds(1.0),
             tuning: ControllerTuning::default(),
             phase_amplitude: 0.1,
+            seed: DEFAULT_PHASE_SEED,
             entries: Vec::new(),
         }
     }
@@ -177,6 +182,14 @@ impl Experiment {
         self
     }
 
+    /// Seed for the per-app phase generators (each app derives its own
+    /// stream from this). Two runs with the same seed and configuration
+    /// are identical; the default reproduces historical runs.
+    pub fn seed(mut self, seed: u64) -> Experiment {
+        self.seed = seed;
+        self
+    }
+
     /// Run to completion.
     pub fn run(self) -> Result<ExperimentResult, String> {
         let mut config = DaemonConfig::new(
@@ -204,7 +217,7 @@ impl Experiment {
                     RunningApp::from_phased(
                         PhasedProfile::with_generated_phases(
                             e.profile,
-                            0xC0FFEE ^ (i as u64) << 8,
+                            self.seed ^ (i as u64) << 8,
                             self.phase_amplitude,
                         ),
                         true,
@@ -595,6 +608,34 @@ mod tests {
         assert!(
             lp_perf < hp_perf * 0.5,
             "LP ({lp_perf}) must be starved or heavily throttled vs HP ({hp_perf})"
+        );
+    }
+
+    #[test]
+    fn seeded_runs_reproduce_and_differ_across_seeds() {
+        let run = |seed: u64| {
+            Experiment::new(
+                PlatformSpec::skylake(),
+                PolicyKind::FrequencyShares,
+                Watts(45.0),
+            )
+            .app("cactus", spec::CACTUS_BSSN, Priority::High, 70)
+            .app("leela", spec::LEELA, Priority::High, 30)
+            .duration(Seconds(10.0))
+            .warmup(2)
+            .seed(seed)
+            .run()
+            .unwrap()
+        };
+        let (a, b, c) = (run(7), run(7), run(8));
+        assert_eq!(
+            a.mean_package_power, b.mean_package_power,
+            "same seed, same run"
+        );
+        assert_eq!(a.apps[0].mean_ips, b.apps[0].mean_ips);
+        assert_ne!(
+            a.apps[0].mean_ips, c.apps[0].mean_ips,
+            "different seed shifts the phase streams"
         );
     }
 

@@ -1,0 +1,72 @@
+//! Deterministic fault injection for the per-application power daemon.
+//!
+//! The simulator (`pap_simcpu`) is perfectly reliable: every MSR read
+//! succeeds, every frequency write lands, every energy counter ticks
+//! monotonically. Real power-management hardware is not. This crate
+//! makes the simulated platform *lie* in the ways real platforms lie —
+//! deterministically, from a seed — so the daemon's resilience layer
+//! ([`powerd::resilience`]) can be exercised and scored:
+//!
+//! * [`plan`] — [`plan::FaultPlan`]: a reproducible schedule of fault
+//!   windows and one-shot events ([`plan::FaultKind`]), either scripted
+//!   by hand or generated from a seed with [`plan::FaultPlan::chaos`].
+//! * [`chip`] — [`chip::FaultyChip`]: wraps a [`pap_simcpu::chip::Chip`]
+//!   behind fallible read/write hooks that consult the plan: transient
+//!   and persistent read errors, flaky (probabilistic) reads, stuck
+//!   frequency writes that are accepted but ineffective, per-core power
+//!   noise, energy-counter glitches and rollovers, and thermal
+//!   emergencies where firmware clamps the chip underneath the OS.
+//! * [`observe`] — [`observe::FaultObserver`]: a failure-aware sampler
+//!   producing [`powerd::resilience::Observation`]s, with per-sensor
+//!   snapshots, bounded retries and a plausibility screen.
+//! * [`runner`] — [`runner::ChaosExperiment`]: drives a workload mix
+//!   through a fault plan with either the resilient stack or a naïve
+//!   stale-fill baseline, and scores both on the *inner* chip's ground
+//!   truth (cap violations, Jain fairness, starvation).
+//!
+//! Everything is seeded: the same plan, seed and workload mix replay
+//! the exact same run, so chaos results are regression-testable.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chip;
+pub mod observe;
+pub mod plan;
+pub mod runner;
+
+use pap_simcpu::platform::PlatformSpec;
+
+/// The platform chaos runs default to: a Ryzen-derived server part with
+/// per-core power telemetry and fully independent per-core DVFS (no
+/// shared P-state slots), and no hardware RAPL — the daemon alone
+/// enforces the budget, which is exactly the regime where telemetry
+/// faults are dangerous.
+pub fn chaos_platform() -> PlatformSpec {
+    let mut p = PlatformSpec::ryzen();
+    p.name = "ryzen-server";
+    p.shared_pstate_slots = None;
+    p
+}
+
+/// Convenience re-exports of the crate's primary types.
+pub mod prelude {
+    pub use crate::chaos_platform;
+    pub use crate::chip::{FaultError, FaultyChip, InjectionStats};
+    pub use crate::observe::FaultObserver;
+    pub use crate::plan::{ChaosProfile, FaultKind, FaultPlan, FaultSpec};
+    pub use crate::runner::{ChaosAppResult, ChaosExperiment, ChaosResult};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_platform_has_independent_per_core_dvfs() {
+        let p = chaos_platform();
+        assert!(p.per_core_power);
+        assert!(p.shared_pstate_slots.is_none());
+        assert!(p.rapl.is_none(), "daemon-enforced cap, no hardware RAPL");
+    }
+}

@@ -1,0 +1,369 @@
+//! Reproducible fault schedules.
+//!
+//! A [`FaultPlan`] is a list of [`FaultSpec`] entries: *what* breaks
+//! ([`FaultKind`]), *when* it starts, and for *how long* (`None` =
+//! persistent until the end of the run). Plans are plain data — they can
+//! be scripted by tests that need an exact failure choreography, or
+//! generated pseudo-randomly from a seed via [`FaultPlan::chaos`] so a
+//! chaos bench is reproducible run-to-run.
+
+use pap_simcpu::units::Seconds;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One kind of injected failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Reads of the package energy MSR fail (`EIO`-style).
+    PkgEnergyReadError,
+    /// Reads of the package energy MSR fail *independently per attempt*
+    /// with probability `prob` — the flaky-bus failure mode that bounded
+    /// retry-with-backoff exists to absorb.
+    PkgEnergyFlaky {
+        /// Per-attempt failure probability.
+        prob: f64,
+    },
+    /// Reads of one core's energy MSR fail independently per attempt.
+    CoreEnergyFlaky {
+        /// Affected core.
+        core: usize,
+        /// Per-attempt failure probability.
+        prob: f64,
+    },
+    /// Reads of one core's energy MSR fail.
+    CoreEnergyReadError {
+        /// Affected core.
+        core: usize,
+    },
+    /// One core's energy readings jitter: each read is perturbed by a
+    /// uniform offset in `[-amp_watts, amp_watts]` joules, so a power
+    /// value derived over a 1 s interval moves by up to ±2·`amp_watts` W.
+    CoreEnergyNoise {
+        /// Affected core.
+        core: usize,
+        /// Jitter amplitude (joules per read ≈ watts over 1 s).
+        amp_watts: f64,
+    },
+    /// Reads of one core's fixed counters (APERF/MPERF/instructions) and
+    /// of its frequency-request register fail.
+    CounterReadError {
+        /// Affected core.
+        core: usize,
+    },
+    /// Frequency writes to one core error out (detectably).
+    FreqWriteError {
+        /// Affected core.
+        core: usize,
+    },
+    /// Frequency writes to one core are accepted but silently dropped:
+    /// the call succeeds, the register keeps its old value. Only a
+    /// read-back reveals the write did not take.
+    FreqWriteStuck {
+        /// Affected core.
+        core: usize,
+    },
+    /// One-shot: the package energy counter jumps forward by
+    /// `delta_units` raw units (2⁻¹⁴ J each) at `start`.
+    EnergyGlitch {
+        /// Raw counter units added.
+        delta_units: u32,
+    },
+    /// One-shot: the package energy counter takes a spurious
+    /// half-range jump at `start`, as if it wrapped mid-interval.
+    EnergyRollover,
+    /// Firmware thermal emergency: every core is clamped to the minimum
+    /// P-state for the duration; software requests are latched but
+    /// ineffective until it lifts.
+    ThermalEmergency,
+}
+
+/// A scheduled fault: kind + activation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// What breaks.
+    pub kind: FaultKind,
+    /// When it starts.
+    pub start: Seconds,
+    /// How long it lasts; `None` = persists to the end of the run.
+    /// Ignored by the one-shot kinds ([`FaultKind::EnergyGlitch`],
+    /// [`FaultKind::EnergyRollover`]), which fire once at `start`.
+    pub duration: Option<Seconds>,
+}
+
+impl FaultSpec {
+    /// Whether the fault window covers time `t`.
+    pub fn active_at(&self, t: Seconds) -> bool {
+        if t < self.start {
+            return false;
+        }
+        match self.duration {
+            None => true,
+            Some(d) => t.value() < self.start.value() + d.value(),
+        }
+    }
+}
+
+/// Knobs for [`FaultPlan::chaos`]: how many of each fault class to
+/// schedule. The default is a moderately hostile mix that exercises the
+/// whole degradation ladder in a ~2 minute run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosProfile {
+    /// Short (1–3 s) read-error windows on package or core energy,
+    /// mostly below the health tracker's demotion threshold.
+    pub transient_read_faults: usize,
+    /// Schedule a long window of probabilistically flaky package-energy
+    /// reads (retries rescue most of them).
+    pub flaky_reads: bool,
+    /// Schedule one long per-core energy outage (drives PowerShares →
+    /// FrequencyShares).
+    pub core_power_outage: bool,
+    /// Schedule one long package energy outage (drives any policy →
+    /// uniform cap).
+    pub package_outage: bool,
+    /// Stuck-write windows (writes accepted but dropped).
+    pub stuck_writes: usize,
+    /// Erroring-write windows.
+    pub write_errors: usize,
+    /// Cores with persistent energy-reading jitter.
+    pub noise_cores: usize,
+    /// One-shot energy-counter glitches.
+    pub glitches: usize,
+    /// Schedule one spurious counter rollover.
+    pub rollover: bool,
+    /// Thermal-emergency windows.
+    pub thermal_events: usize,
+}
+
+impl Default for ChaosProfile {
+    fn default() -> ChaosProfile {
+        ChaosProfile {
+            transient_read_faults: 6,
+            flaky_reads: true,
+            core_power_outage: true,
+            package_outage: true,
+            stuck_writes: 2,
+            write_errors: 1,
+            noise_cores: 2,
+            glitches: 2,
+            rollover: true,
+            thermal_events: 1,
+        }
+    }
+}
+
+/// A reproducible fault schedule.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Scheduled faults, in no particular order.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (a perfectly healthy machine).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Append a fault.
+    pub fn push(&mut self, kind: FaultKind, start: Seconds, duration: Option<Seconds>) {
+        self.faults.push(FaultSpec {
+            kind,
+            start,
+            duration,
+        });
+    }
+
+    /// Builder-style [`FaultPlan::push`].
+    pub fn with(mut self, kind: FaultKind, start: Seconds, duration: Option<Seconds>) -> FaultPlan {
+        self.push(kind, start, duration);
+        self
+    }
+
+    /// Faults active at time `t` (one-shots report active within their
+    /// window but fire only once; see [`FaultSpec::duration`]).
+    pub fn active_at(&self, t: Seconds) -> impl Iterator<Item = &FaultSpec> {
+        self.faults.iter().filter(move |f| f.active_at(t))
+    }
+
+    /// Generate a pseudo-random plan over `horizon` for a chip with
+    /// `num_cores` cores. Deterministic per `seed`: the same seed always
+    /// yields the same schedule, which is what makes a chaos bench a
+    /// regression test. Faults are placed in `[5 %, 85 %]` of the
+    /// horizon so the run starts clean and ends with room to recover.
+    pub fn chaos(
+        seed: u64,
+        profile: &ChaosProfile,
+        horizon: Seconds,
+        num_cores: usize,
+    ) -> FaultPlan {
+        assert!(num_cores > 0, "chaos plan needs at least one core");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = horizon.value();
+        let mut plan = FaultPlan::new();
+
+        for _ in 0..profile.transient_read_faults {
+            let start = Seconds(rng.gen_range(0.05..0.85) * h);
+            let dur = Some(Seconds(rng.gen_range(1.0..3.0)));
+            let kind = if rng.gen_bool(0.5) {
+                FaultKind::PkgEnergyReadError
+            } else {
+                FaultKind::CoreEnergyReadError {
+                    core: rng.gen_range(0..num_cores),
+                }
+            };
+            plan.push(kind, start, dur);
+        }
+        if profile.flaky_reads {
+            plan.push(
+                FaultKind::PkgEnergyFlaky {
+                    prob: rng.gen_range(0.2..0.4),
+                },
+                Seconds(rng.gen_range(0.05..0.15) * h),
+                Some(Seconds(rng.gen_range(0.20..0.35) * h)),
+            );
+            plan.push(
+                FaultKind::CoreEnergyFlaky {
+                    core: rng.gen_range(0..num_cores),
+                    prob: rng.gen_range(0.2..0.4),
+                },
+                Seconds(rng.gen_range(0.05..0.15) * h),
+                Some(Seconds(rng.gen_range(0.20..0.35) * h)),
+            );
+        }
+        if profile.core_power_outage {
+            plan.push(
+                FaultKind::CoreEnergyReadError {
+                    core: rng.gen_range(0..num_cores),
+                },
+                Seconds(rng.gen_range(0.10..0.20) * h),
+                Some(Seconds(rng.gen_range(0.15..0.25) * h)),
+            );
+        }
+        if profile.package_outage {
+            plan.push(
+                FaultKind::PkgEnergyReadError,
+                Seconds(rng.gen_range(0.45..0.55) * h),
+                Some(Seconds(rng.gen_range(0.15..0.20) * h)),
+            );
+        }
+        for _ in 0..profile.stuck_writes {
+            plan.push(
+                FaultKind::FreqWriteStuck {
+                    core: rng.gen_range(0..num_cores),
+                },
+                Seconds(rng.gen_range(0.05..0.75) * h),
+                Some(Seconds(rng.gen_range(6.0..12.0))),
+            );
+        }
+        for _ in 0..profile.write_errors {
+            plan.push(
+                FaultKind::FreqWriteError {
+                    core: rng.gen_range(0..num_cores),
+                },
+                Seconds(rng.gen_range(0.05..0.75) * h),
+                Some(Seconds(rng.gen_range(4.0..9.0))),
+            );
+        }
+        for _ in 0..profile.noise_cores {
+            plan.push(
+                FaultKind::CoreEnergyNoise {
+                    core: rng.gen_range(0..num_cores),
+                    amp_watts: rng.gen_range(0.05..0.25),
+                },
+                Seconds(0.0),
+                None,
+            );
+        }
+        for _ in 0..profile.glitches {
+            plan.push(
+                FaultKind::EnergyGlitch {
+                    // 64 J – 4096 J: far outside any plausible interval.
+                    delta_units: rng.gen_range(1u32 << 20..1u32 << 26),
+                },
+                Seconds(rng.gen_range(0.05..0.85) * h),
+                None,
+            );
+        }
+        if profile.rollover {
+            plan.push(
+                FaultKind::EnergyRollover,
+                Seconds(rng.gen_range(0.60..0.85) * h),
+                None,
+            );
+        }
+        for _ in 0..profile.thermal_events {
+            plan.push(
+                FaultKind::ThermalEmergency,
+                Seconds(rng.gen_range(0.25..0.40) * h),
+                Some(Seconds(rng.gen_range(2.0..5.0))),
+            );
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_respect_bounds() {
+        let s = FaultSpec {
+            kind: FaultKind::PkgEnergyReadError,
+            start: Seconds(10.0),
+            duration: Some(Seconds(5.0)),
+        };
+        assert!(!s.active_at(Seconds(9.99)));
+        assert!(s.active_at(Seconds(10.0)));
+        assert!(s.active_at(Seconds(14.99)));
+        assert!(!s.active_at(Seconds(15.0)));
+
+        let p = FaultSpec {
+            duration: None,
+            ..s
+        };
+        assert!(p.active_at(Seconds(1e6)), "persistent fault never ends");
+    }
+
+    #[test]
+    fn chaos_is_deterministic_per_seed() {
+        let profile = ChaosProfile::default();
+        let a = FaultPlan::chaos(42, &profile, Seconds(120.0), 8);
+        let b = FaultPlan::chaos(42, &profile, Seconds(120.0), 8);
+        assert_eq!(a, b);
+        let c = FaultPlan::chaos(43, &profile, Seconds(120.0), 8);
+        assert_ne!(a, c, "different seeds diverge");
+        assert!(a.faults.len() >= 10);
+    }
+
+    #[test]
+    fn chaos_faults_fit_the_horizon() {
+        let plan = FaultPlan::chaos(7, &ChaosProfile::default(), Seconds(100.0), 4);
+        for f in &plan.faults {
+            assert!(f.start.value() >= 0.0 && f.start.value() <= 85.0, "{f:?}");
+            if let FaultKind::CoreEnergyReadError { core }
+            | FaultKind::CoreEnergyFlaky { core, .. }
+            | FaultKind::CoreEnergyNoise { core, .. }
+            | FaultKind::CounterReadError { core }
+            | FaultKind::FreqWriteError { core }
+            | FaultKind::FreqWriteStuck { core } = f.kind
+            {
+                assert!(core < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn active_at_filters() {
+        let plan = FaultPlan::new()
+            .with(
+                FaultKind::PkgEnergyReadError,
+                Seconds(5.0),
+                Some(Seconds(2.0)),
+            )
+            .with(FaultKind::EnergyRollover, Seconds(50.0), None);
+        assert_eq!(plan.active_at(Seconds(6.0)).count(), 1);
+        assert_eq!(plan.active_at(Seconds(0.0)).count(), 0);
+        assert_eq!(plan.active_at(Seconds(60.0)).count(), 1);
+    }
+}

@@ -1,0 +1,285 @@
+//! Per-sensor health tracking with hysteresis.
+//!
+//! Production power daemons cannot assume their telemetry sources work:
+//! MSR reads fail transiently (an `EIO` from `/dev/cpu/<n>/msr`), stay
+//! broken after a microcode or driver fault, and frequency writes can be
+//! silently ignored. The resilience layer needs one place that answers
+//! "can I trust this sensor right now?" without flapping on a single
+//! bad read. [`HealthTracker`] keeps a [`SensorHealth`] record per
+//! [`SensorId`] and applies two-sided hysteresis: a sensor turns
+//! *unhealthy* only after `demote_after` consecutive failures, and turns
+//! *healthy* again only after `promote_after` consecutive successes.
+//! Every state change is recorded as a [`HealthEvent`] for traces and
+//! post-mortems.
+
+use std::collections::BTreeMap;
+
+use pap_simcpu::units::Seconds;
+
+/// Identifies one telemetry source or actuator the daemon depends on.
+///
+/// The variants mirror the paper's telemetry-requirements table: power
+/// shares need [`SensorId::CorePower`] (Ryzen energy MSRs), frequency
+/// shares need only [`SensorId::PackagePower`], and a plain uniform cap
+/// needs just a working [`SensorId::FreqActuator`] on each core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SensorId {
+    /// The package energy counter (package power derives from it).
+    PackagePower,
+    /// A per-core energy counter (per-core power; Ryzen only).
+    CorePower(usize),
+    /// A core's fixed counters (APERF/MPERF/TSC/instructions).
+    CoreCounters(usize),
+    /// A core's P-state write path (`IA32_PERF_CTL` or the AMD
+    /// equivalent); unhealthy when writes error or are accepted but
+    /// ineffective (stuck).
+    FreqActuator(usize),
+}
+
+impl std::fmt::Display for SensorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SensorId::PackagePower => write!(f, "pkg-power"),
+            SensorId::CorePower(c) => write!(f, "core{c}-power"),
+            SensorId::CoreCounters(c) => write!(f, "core{c}-counters"),
+            SensorId::FreqActuator(c) => write!(f, "core{c}-freq-wr"),
+        }
+    }
+}
+
+/// Health state of one sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorState {
+    /// Readings are trustworthy.
+    Healthy,
+    /// The sensor has failed often enough that consumers must stop
+    /// relying on it.
+    Unhealthy,
+}
+
+/// Counters and state for one sensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorHealth {
+    /// Current state after hysteresis.
+    pub state: SensorState,
+    /// Failures since the last success.
+    pub consecutive_failures: u32,
+    /// Successes since the last failure.
+    pub consecutive_successes: u32,
+    /// Total observations recorded.
+    pub total_observations: u64,
+    /// Total failed observations.
+    pub total_failures: u64,
+    /// Total retries spent on this sensor (recorded separately by the
+    /// retry layer; a success after two retries is one observation and
+    /// two retries).
+    pub total_retries: u64,
+    /// Healthy→unhealthy and unhealthy→healthy transitions.
+    pub transitions: u32,
+}
+
+impl SensorHealth {
+    fn new() -> SensorHealth {
+        SensorHealth {
+            state: SensorState::Healthy,
+            consecutive_failures: 0,
+            consecutive_successes: 0,
+            total_observations: 0,
+            total_failures: 0,
+            total_retries: 0,
+            transitions: 0,
+        }
+    }
+}
+
+/// One recorded health-state transition, for trace output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthEvent {
+    /// Simulated time of the transition.
+    pub time: Seconds,
+    /// The sensor that changed state.
+    pub sensor: SensorId,
+    /// The state it changed to.
+    pub to: SensorState,
+}
+
+/// Tracks health for any number of sensors with two-sided hysteresis.
+#[derive(Debug, Clone)]
+pub struct HealthTracker {
+    demote_after: u32,
+    promote_after: u32,
+    sensors: BTreeMap<SensorId, SensorHealth>,
+    events: Vec<HealthEvent>,
+}
+
+impl HealthTracker {
+    /// A tracker that declares a sensor unhealthy after `demote_after`
+    /// consecutive failures and healthy again after `promote_after`
+    /// consecutive successes. Both must be positive.
+    pub fn new(demote_after: u32, promote_after: u32) -> HealthTracker {
+        assert!(demote_after > 0 && promote_after > 0);
+        HealthTracker {
+            demote_after,
+            promote_after,
+            sensors: BTreeMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Record one observation of `sensor` at `time`. Returns the
+    /// transition event if this observation flipped the sensor's state.
+    pub fn record(&mut self, sensor: SensorId, ok: bool, time: Seconds) -> Option<HealthEvent> {
+        let demote_after = self.demote_after;
+        let promote_after = self.promote_after;
+        let h = self.sensors.entry(sensor).or_insert_with(SensorHealth::new);
+        h.total_observations += 1;
+        if ok {
+            h.consecutive_successes += 1;
+            h.consecutive_failures = 0;
+        } else {
+            h.total_failures += 1;
+            h.consecutive_failures += 1;
+            h.consecutive_successes = 0;
+        }
+        let next = match h.state {
+            SensorState::Healthy if h.consecutive_failures >= demote_after => {
+                SensorState::Unhealthy
+            }
+            SensorState::Unhealthy if h.consecutive_successes >= promote_after => {
+                SensorState::Healthy
+            }
+            same => same,
+        };
+        if next != h.state {
+            h.state = next;
+            h.transitions += 1;
+            let event = HealthEvent {
+                time,
+                sensor,
+                to: next,
+            };
+            self.events.push(event);
+            Some(event)
+        } else {
+            None
+        }
+    }
+
+    /// Credit `n` retries against `sensor`'s counters.
+    pub fn record_retries(&mut self, sensor: SensorId, n: u64) {
+        self.sensors
+            .entry(sensor)
+            .or_insert_with(SensorHealth::new)
+            .total_retries += n;
+    }
+
+    /// Whether `sensor` is currently healthy. Sensors never observed are
+    /// healthy: absence of evidence is not failure.
+    pub fn is_healthy(&self, sensor: SensorId) -> bool {
+        self.sensors
+            .get(&sensor)
+            .is_none_or(|h| h.state == SensorState::Healthy)
+    }
+
+    /// The full record for one sensor, if it has ever been observed.
+    pub fn sensor(&self, sensor: SensorId) -> Option<&SensorHealth> {
+        self.sensors.get(&sensor)
+    }
+
+    /// Every sensor observed so far, in [`SensorId`] order.
+    pub fn sensors(&self) -> impl Iterator<Item = (&SensorId, &SensorHealth)> {
+        self.sensors.iter()
+    }
+
+    /// All state transitions recorded, in time order.
+    pub fn events(&self) -> &[HealthEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Seconds = Seconds(1.0);
+
+    #[test]
+    fn unknown_sensor_is_healthy() {
+        let t = HealthTracker::new(3, 5);
+        assert!(t.is_healthy(SensorId::PackagePower));
+        assert!(t.sensor(SensorId::CorePower(2)).is_none());
+    }
+
+    #[test]
+    fn demotion_needs_consecutive_failures() {
+        let mut t = HealthTracker::new(3, 2);
+        let s = SensorId::CorePower(0);
+        // two failures, a success, two failures: never three in a row
+        for ok in [false, false, true, false, false] {
+            assert!(t.record(s, ok, T).is_none());
+        }
+        assert!(t.is_healthy(s));
+        let ev = t.record(s, false, T).expect("third consecutive failure");
+        assert_eq!(ev.to, SensorState::Unhealthy);
+        assert!(!t.is_healthy(s));
+        assert_eq!(t.events().len(), 1);
+    }
+
+    #[test]
+    fn promotion_needs_consecutive_successes() {
+        let mut t = HealthTracker::new(1, 3);
+        let s = SensorId::PackagePower;
+        t.record(s, false, T);
+        assert!(!t.is_healthy(s));
+        t.record(s, true, T);
+        t.record(s, true, T);
+        assert!(!t.is_healthy(s), "two of three successes");
+        t.record(s, false, T); // resets the streak
+        t.record(s, true, T);
+        t.record(s, true, T);
+        assert!(!t.is_healthy(s));
+        let ev = t.record(s, true, Seconds(9.0)).expect("third success");
+        assert_eq!(ev.to, SensorState::Healthy);
+        assert_eq!(ev.time, Seconds(9.0));
+        assert!(t.is_healthy(s));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = HealthTracker::new(2, 2);
+        let s = SensorId::FreqActuator(3);
+        t.record(s, false, T);
+        t.record(s, true, T);
+        t.record_retries(s, 4);
+        let h = t.sensor(s).unwrap();
+        assert_eq!(h.total_observations, 2);
+        assert_eq!(h.total_failures, 1);
+        assert_eq!(h.total_retries, 4);
+        assert_eq!(h.transitions, 0);
+    }
+
+    #[test]
+    fn sensors_iterate_in_order() {
+        let mut t = HealthTracker::new(1, 1);
+        t.record(SensorId::FreqActuator(1), true, T);
+        t.record(SensorId::PackagePower, true, T);
+        t.record(SensorId::CorePower(0), true, T);
+        let ids: Vec<SensorId> = t.sensors().map(|(id, _)| *id).collect();
+        assert_eq!(
+            ids,
+            vec![
+                SensorId::PackagePower,
+                SensorId::CorePower(0),
+                SensorId::FreqActuator(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SensorId::PackagePower.to_string(), "pkg-power");
+        assert_eq!(SensorId::CorePower(5).to_string(), "core5-power");
+        assert_eq!(SensorId::FreqActuator(2).to_string(), "core2-freq-wr");
+        assert_eq!(SensorId::CoreCounters(1).to_string(), "core1-counters");
+    }
+}

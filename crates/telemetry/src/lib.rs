@@ -6,6 +6,7 @@
 //! [`pap_simcpu::chip::Chip`]:
 //!
 //! * [`counters`] — delta/rate arithmetic over wrapping hardware counters;
+//! * [`health`] — per-sensor health tracking with hysteresis;
 //! * [`sampler`] — the stateful 1 Hz sampler;
 //! * [`trace`] — time-series recording and CSV export;
 //! * [`stats`] — means, percentiles and the box-plot five-number summary;
@@ -17,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub mod counters;
+pub mod health;
 pub mod histogram;
 pub mod rolling;
 pub mod rollup;
@@ -27,6 +29,7 @@ pub mod trace;
 /// Convenient glob-import of the most used types.
 pub mod prelude {
     pub use crate::counters::{core_rates, power_from_energy, CoreRates};
+    pub use crate::health::{HealthEvent, HealthTracker, SensorHealth, SensorId, SensorState};
     pub use crate::histogram::LogHistogram;
     pub use crate::rollup::{ClusterRollup, NodeTelemetry};
     pub use crate::sampler::{CoreSample, Sample, Sampler};

@@ -24,13 +24,22 @@ pub fn std_dev(values: &[f64]) -> f64 {
 }
 
 /// Linear-interpolated percentile (`p` in 0..=100); 0 for empty input.
+///
+/// NaN samples are ignored (a sensor dropout must not poison the whole
+/// summary); an all-NaN slice behaves like an empty one. Debug builds
+/// assert on NaN so the producing experiment is still caught in
+/// development.
 pub fn percentile(values: &[f64], p: f64) -> f64 {
-    if values.is_empty() {
+    debug_assert!(
+        values.iter().all(|v| !v.is_nan()),
+        "NaN sample fed to percentile"
+    );
+    debug_assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut v: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if v.is_empty() {
         return 0.0;
     }
-    debug_assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
-    let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
     let rank = p / 100.0 * (v.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -136,6 +145,16 @@ mod tests {
         let u = [4.0, 1.0, 3.0, 2.0];
         assert!((percentile(&u, 50.0) - 2.5).abs() < 1e-12);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "NaN sample"))]
+    fn percentile_survives_nan_in_release_and_asserts_in_debug() {
+        // Release builds filter NaN dropouts instead of panicking in
+        // sort; debug builds flag the producing experiment.
+        let v = [4.0, f64::NAN, 1.0, 3.0, f64::NAN, 2.0];
+        assert!((percentile(&v, 50.0) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile(&[f64::NAN, f64::NAN], 50.0), 0.0);
     }
 
     #[test]

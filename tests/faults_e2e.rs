@@ -1,0 +1,128 @@
+//! End-to-end: the full degradation ladder under a scripted fault plan.
+//!
+//! A power-shares daemon on the per-core-DVFS server platform is taken
+//! through both ladder legs by two scripted telemetry outages:
+//!
+//! * per-core power dark on one core during [10 s, 25 s) — the daemon
+//!   must demote to frequency shares (after `demote_after` consecutive
+//!   failures) and promote back (after `promote_after` healthy
+//!   intervals), not flap;
+//! * package power dark during [40 s, 55 s) — the daemon must fall to
+//!   the blind uniform cap and recover to nominal afterwards.
+//!
+//! The run is scored on the inner chip's ground-truth power: the
+//! package budget must hold (no sustained violation) through every
+//! transition, including the blind window.
+
+use pap_faults::chaos_platform;
+use pap_faults::plan::{FaultKind, FaultPlan};
+use pap_faults::runner::ChaosExperiment;
+use pap_simcpu::units::{Seconds, Watts};
+use pap_workloads::spec;
+use powerd::config::PolicyKind;
+use powerd::resilience::DegradationLevel;
+
+#[test]
+fn scripted_outages_walk_the_full_ladder_with_hysteresis() {
+    let plan = FaultPlan::new()
+        .with(
+            FaultKind::CoreEnergyReadError { core: 0 },
+            Seconds(10.0),
+            Some(Seconds(15.0)),
+        )
+        .with(
+            FaultKind::PkgEnergyReadError,
+            Seconds(40.0),
+            Some(Seconds(15.0)),
+        );
+    let r = ChaosExperiment::new(chaos_platform(), PolicyKind::PowerShares, Watts(30.0))
+        .app("cactus", spec::CACTUS_BSSN, 70)
+        .app("lbm", spec::LBM, 50)
+        .app("gcc", spec::GCC, 50)
+        .app("leela", spec::LEELA, 30)
+        .duration(Seconds(75.0))
+        .plan(plan)
+        .seed(7)
+        .run()
+        .unwrap();
+
+    // Exactly four moves: down and back up each leg, no flapping. With
+    // demote_after = 3 the demotions land 3 intervals into each outage;
+    // with promote_after = 5 the promotions land 5 intervals after it
+    // ends (the first post-outage read derives power over the dark span,
+    // so it already counts as healthy).
+    let seq: Vec<(DegradationLevel, DegradationLevel)> =
+        r.transitions.iter().map(|e| (e.from, e.to)).collect();
+    assert_eq!(
+        seq,
+        vec![
+            (DegradationLevel::Nominal, DegradationLevel::FrequencyOnly),
+            (DegradationLevel::FrequencyOnly, DegradationLevel::Nominal),
+            (DegradationLevel::Nominal, DegradationLevel::UniformCap),
+            (DegradationLevel::UniformCap, DegradationLevel::Nominal),
+        ],
+        "full ladder, one clean round trip per leg: {:?}",
+        r.transitions
+    );
+    let times: Vec<f64> = r.transitions.iter().map(|e| e.time.value()).collect();
+    assert!(
+        (12.0..=14.0).contains(&times[0]),
+        "demotion ~3 intervals into the core outage, got {times:?}"
+    );
+    assert!(
+        (29.0..=32.0).contains(&times[1]),
+        "promotion ~5 healthy intervals after it ends, got {times:?}"
+    );
+    assert!(
+        (42.0..=44.0).contains(&times[2]),
+        "uniform cap ~3 intervals into the package outage, got {times:?}"
+    );
+    assert!(
+        (59.0..=62.0).contains(&times[3]),
+        "recovery ~5 healthy intervals after it ends, got {times:?}"
+    );
+
+    // The budget holds through every leg, including the blind window.
+    assert_eq!(
+        r.sustained_violations, 0,
+        "cap must hold through the whole ladder: {r:?}"
+    );
+    // Fairness survives degradation (the policy substitutions keep
+    // proportionality; nobody is starved).
+    assert_eq!(r.starved, 0);
+    assert!(
+        r.jain > 0.6,
+        "graceful fairness degradation, jain {}",
+        r.jain
+    );
+}
+
+#[test]
+fn flapping_sensor_does_not_flap_the_ladder() {
+    // A sensor that fails 2-in-every-5 intervals never reaches 3
+    // consecutive failures, so hysteresis keeps the daemon nominal.
+    let mut plan = FaultPlan::new();
+    let mut t = 10.0;
+    while t < 50.0 {
+        plan.push(
+            FaultKind::CoreEnergyReadError { core: 0 },
+            Seconds(t),
+            Some(Seconds(2.0)),
+        );
+        t += 5.0;
+    }
+    let r = ChaosExperiment::new(chaos_platform(), PolicyKind::PowerShares, Watts(30.0))
+        .app("cactus", spec::CACTUS_BSSN, 70)
+        .app("leela", spec::LEELA, 30)
+        .duration(Seconds(60.0))
+        .plan(plan)
+        .seed(7)
+        .run()
+        .unwrap();
+    assert!(
+        r.transitions.is_empty(),
+        "sub-threshold flapping must not move the ladder: {:?}",
+        r.transitions
+    );
+    assert_eq!(r.sustained_violations, 0);
+}

@@ -2,6 +2,9 @@
 
 use proptest::prelude::*;
 
+use pap_faults::chaos_platform;
+use pap_faults::plan::{ChaosProfile, FaultPlan};
+use pap_faults::runner::ChaosExperiment;
 use per_app_power::prelude::*;
 use per_app_power::simcpu::rapl::EnergyCounter;
 use per_app_power::simcpu::units::Joules;
@@ -191,5 +194,76 @@ proptest! {
         let p = w.normalized_performance(KiloHertz::from_mhz(mhz), reference);
         prop_assert!(p <= 1.0 + 1e-12);
         prop_assert!(p > 0.0);
+    }
+}
+
+/// A bounded chaos profile: every knob at or below the default profile's
+/// hostility, so the schedule is survivable by construction (a plan that
+/// sticks the actuator on every core forever has no graceful answer).
+fn arb_chaos_profile() -> impl Strategy<Value = ChaosProfile> {
+    (
+        (
+            0usize..7,     // transient read faults
+            any::<bool>(), // flaky reads
+            any::<bool>(), // core power outage
+            any::<bool>(), // package outage
+            0usize..3,     // stuck writes
+            0usize..2,     // write errors
+        ),
+        (
+            0usize..3,     // noise cores
+            0usize..3,     // glitches
+            any::<bool>(), // rollover
+            0usize..2,     // thermal events
+        ),
+    )
+        .prop_map(
+            |(
+                (transient, flaky, core_out, pkg_out, stuck, werr),
+                (noise, glitch, roll, thermal),
+            )| {
+                ChaosProfile {
+                    transient_read_faults: transient,
+                    flaky_reads: flaky,
+                    core_power_outage: core_out,
+                    package_outage: pkg_out,
+                    stuck_writes: stuck,
+                    write_errors: werr,
+                    noise_cores: noise,
+                    glitches: glitch,
+                    rollover: roll,
+                    thermal_events: thermal,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The resilient daemon holds the package cap — zero *sustained*
+    /// ground-truth violations — under arbitrary bounded fault schedules,
+    /// and nobody is starved on the way down the degradation ladder.
+    #[test]
+    fn cap_holds_under_arbitrary_fault_schedules(
+        seed in 0u64..1_000_000,
+        profile in arb_chaos_profile(),
+    ) {
+        let platform = chaos_platform();
+        let plan = FaultPlan::chaos(seed, &profile, Seconds(60.0), platform.num_cores);
+        let r = ChaosExperiment::new(platform, PolicyKind::PowerShares, Watts(30.0))
+            .app("cactus", spec::CACTUS_BSSN, 70)
+            .app("gcc", spec::GCC, 50)
+            .app("leela", spec::LEELA, 30)
+            .duration(Seconds(60.0))
+            .plan(plan)
+            .seed(seed)
+            .run()
+            .expect("chaos run failed outright");
+        prop_assert_eq!(
+            r.sustained_violations, 0,
+            "seed {} profile {:?}: {:?}", seed, profile, r
+        );
+        prop_assert_eq!(r.starved, 0, "seed {}: {:?}", seed, r);
     }
 }
