@@ -113,20 +113,35 @@ pub fn node_cap_bounds(platform: &PlatformSpec) -> (Watts, Watts) {
 /// cap unused — a throttled node draws *at* its cap and keeps the full
 /// platform ceiling, so revocation only ever takes what demonstrably
 /// is not wanted.
+///
+/// A node whose daemon publishes a learned capacity prediction (its
+/// online power model's estimate of the maximum draw with every app
+/// core at the top P-state) additionally has its ceiling clamped to
+/// that prediction plus slack: budget above what the node's chip can
+/// physically spend is dead weight this round, and the water-fill hands
+/// it to nodes that can use it. Nodes without a prediction (naive
+/// translation, or the fit not yet confident) keep the measured-draw
+/// behaviour exactly.
 pub fn claims_from_rollup(platform: &PlatformSpec, rollup: &ClusterRollup) -> Vec<NodeClaim> {
     let (min, plat_max) = node_cap_bounds(platform);
     rollup
         .nodes
         .iter()
         .map(|n| {
+            let learned_max = match n.predicted_capacity {
+                Some(c) => {
+                    Watts((c.value() + REVOKE_SLACK_WATTS).clamp(min.value(), plat_max.value()))
+                }
+                None => plat_max,
+            };
             let unused = n.power_cap.value() - n.package_power.value();
             let max = if unused > REVOKE_SLACK_WATTS {
                 Watts(
                     (n.package_power.value() + REVOKE_SLACK_WATTS)
-                        .clamp(min.value(), plat_max.value()),
+                        .clamp(min.value(), learned_max.value()),
                 )
             } else {
-                plat_max
+                learned_max
             };
             NodeClaim {
                 node: n.node,
@@ -218,6 +233,7 @@ mod tests {
             num_cores: 10,
             total_shares: shares,
             total_ips: 1e10,
+            predicted_capacity: None,
         };
         let rollup = ClusterRollup::new(
             Seconds(1.0),
@@ -243,6 +259,48 @@ mod tests {
         assert!(
             caps[1] > caps[0],
             "surplus flows to the hungry node: {caps:?}"
+        );
+    }
+
+    #[test]
+    fn learned_capacity_clamps_the_ceiling() {
+        let platform = PlatformSpec::skylake();
+        let mk = |node, draw: f64, cap: f64, predicted: Option<f64>| NodeTelemetry {
+            node,
+            package_power: Watts(draw),
+            power_cap: Watts(cap),
+            busy_cores: 5,
+            num_cores: 10,
+            total_shares: 100.0,
+            total_ips: 1e10,
+            predicted_capacity: predicted.map(Watts),
+        };
+        let rollup = ClusterRollup::new(
+            Seconds(1.0),
+            vec![
+                // throttled at its cap, but its learned model says the
+                // chip tops out at 50 W — ceiling follows the model, not
+                // the 85 W platform maximum
+                mk(0, 44.5, 45.0, Some(50.0)),
+                // throttled with no prediction: full platform ceiling
+                mk(1, 44.5, 45.0, None),
+            ],
+        );
+        let claims = claims_from_rollup(&platform, &rollup);
+        assert_eq!(
+            claims[0].max,
+            Watts(54.0),
+            "ceiling = learned capacity + slack"
+        );
+        assert_eq!(claims[1].max, Watts(85.0), "no prediction, no clamp");
+
+        // measured-draw revocation still applies underneath the clamp
+        let light = ClusterRollup::new(Seconds(1.0), vec![mk(0, 20.0, 45.0, Some(50.0))]);
+        let claims = claims_from_rollup(&platform, &light);
+        assert_eq!(
+            claims[0].max,
+            Watts(24.0),
+            "draw-based revocation tighter than the learned clamp wins"
         );
     }
 

@@ -10,7 +10,7 @@ use std::fmt;
 use pap_simcpu::platform::PlatformSpec;
 use pap_simcpu::units::{Seconds, Watts};
 use pap_telemetry::rollup::{ClusterRollup, NodeTelemetry};
-use powerd::config::{AppSpec, PolicyKind};
+use powerd::config::{AppSpec, PolicyKind, TranslationKind};
 use powerd::daemon::DaemonError;
 
 use crate::admission::{AppRequest, Placement};
@@ -36,6 +36,11 @@ pub struct ClusterConfig {
     /// initial even split then stands for the whole run, which is the
     /// static RAPL-per-node baseline).
     pub rebalance_every: u64,
+    /// Which budget-to-frequency translation every node daemon uses.
+    /// Under [`TranslationKind::Online`] nodes also publish their
+    /// learned capacity predictions, which the allocator uses to clamp
+    /// claim ceilings at rebalance time.
+    pub translation: TranslationKind,
 }
 
 impl ClusterConfig {
@@ -50,6 +55,7 @@ impl ClusterConfig {
             control_interval: Seconds(1.0),
             tick: Seconds(0.001),
             rebalance_every: 4,
+            translation: TranslationKind::Naive,
         }
     }
 }
@@ -217,6 +223,10 @@ impl Cluster {
                     cfg.control_interval,
                     cfg.tick,
                 )
+                .map(|mut n| {
+                    n.set_translation(cfg.translation);
+                    n
+                })
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Cluster {

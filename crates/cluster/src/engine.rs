@@ -92,9 +92,10 @@ mod tests {
     use crate::cluster::ClusterConfig;
     use powerd::config::PolicyKind;
 
-    fn loaded_cluster() -> Cluster {
+    fn loaded_cluster_with(translation: powerd::config::TranslationKind) -> Cluster {
         let mut cfg = ClusterConfig::new(3, PolicyKind::FrequencyShares, Watts(150.0));
         cfg.rebalance_every = 2;
+        cfg.translation = translation;
         let mut c = Cluster::new(cfg).unwrap();
         for (i, demand) in [
             DemandClass::Heavy,
@@ -116,12 +117,11 @@ mod tests {
         c
     }
 
-    #[test]
-    fn parallel_matches_serial_exactly() {
-        let mut serial = loaded_cluster();
-        let mut parallel = loaded_cluster();
-        serial.run(7);
-        run_parallel(&mut parallel, 7);
+    fn loaded_cluster() -> Cluster {
+        loaded_cluster_with(powerd::config::TranslationKind::Naive)
+    }
+
+    fn assert_identical(serial: &Cluster, parallel: &Cluster) {
         assert_eq!(serial.intervals_run(), parallel.intervals_run());
         assert_eq!(serial.node_caps(), parallel.node_caps());
         assert_eq!(serial.reports(), parallel.reports());
@@ -132,6 +132,28 @@ mod tests {
         );
         assert_eq!(sr.total_power(), pr.total_power());
         assert_eq!(sr.total_ips(), pr.total_ips());
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let mut serial = loaded_cluster();
+        let mut parallel = loaded_cluster();
+        serial.run(7);
+        run_parallel(&mut parallel, 7);
+        assert_identical(&serial, &parallel);
+    }
+
+    #[test]
+    fn parallel_matches_serial_with_online_model() {
+        // The learned model lives inside each node and its capacity
+        // prediction flows to the arbiter through the telemetry
+        // roll-up, so serial equivalence must survive the online
+        // translation too.
+        let mut serial = loaded_cluster_with(powerd::config::TranslationKind::Online);
+        let mut parallel = loaded_cluster_with(powerd::config::TranslationKind::Online);
+        serial.run(9);
+        run_parallel(&mut parallel, 9);
+        assert_identical(&serial, &parallel);
     }
 
     #[test]

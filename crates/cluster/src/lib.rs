@@ -9,7 +9,10 @@
 //!   per-node caps via the same share-proportional water-fill and
 //!   min-funding revocation (`powerd::policy::minfund`) the node
 //!   daemons use one level down, rebalanced periodically from per-node
-//!   telemetry ([`pap_telemetry::rollup::ClusterRollup`]);
+//!   telemetry ([`pap_telemetry::rollup::ClusterRollup`]); when nodes
+//!   run the online learned translation, their published capacity
+//!   predictions clamp claim ceilings so budget a chip cannot
+//!   physically spend flows to nodes that can use it;
 //! * [`admission`] — dynamic admission and placement: apps arrive with
 //!   `(priority, shares, demand class)`, land on the least-saturated
 //!   node, spill to the next node when a chip's cores are full, and are

@@ -15,7 +15,7 @@ use pap_simcpu::units::{Seconds, Watts};
 use pap_telemetry::rollup::NodeTelemetry;
 use pap_telemetry::sampler::Sampler;
 use pap_workloads::engine::RunningApp;
-use powerd::config::{AppSpec, DaemonConfig, PolicyKind};
+use powerd::config::{AppSpec, DaemonConfig, PolicyKind, TranslationKind};
 use powerd::daemon::{ControlAction, Daemon, DaemonError};
 
 use crate::admission::AppRequest;
@@ -87,6 +87,23 @@ impl Node {
     /// The node's current power cap.
     pub fn cap(&self) -> Watts {
         self.cap
+    }
+
+    /// Select which budget-to-frequency translation the node's daemon
+    /// uses ([`TranslationKind::Naive`] is the paper's α model).
+    pub fn set_translation(&mut self, kind: TranslationKind) {
+        self.daemon.set_translation(kind);
+    }
+
+    /// The daemon's learned prediction of this node's maximum package
+    /// draw, when its online power model is confident. Only published
+    /// under [`TranslationKind::Online`] so that naive clusters arbitrate
+    /// exactly as before the learned model existed.
+    pub fn predicted_capacity(&self) -> Option<Watts> {
+        match self.daemon.translation() {
+            TranslationKind::Online => self.daemon.predicted_capacity(),
+            TranslationKind::Naive => None,
+        }
     }
 
     /// Cores with an app pinned.
@@ -203,6 +220,7 @@ impl Node {
             self.busy_cores(),
             self.total_shares(),
         )
+        .with_predicted_capacity(self.predicted_capacity())
     }
 }
 

@@ -14,28 +14,66 @@
 //! The model is wrong in general (power is super-linear in frequency) but,
 //! as the paper notes, the error shrinks as the system approaches the
 //! target power, and the closed loop absorbs the residual.
+//!
+//! Degenerate inputs (a non-positive `MaxPower`, a non-finite
+//! `PowerDelta`, zero available cores) yield a **zero delta** rather than
+//! NaN/inf: a daemon mis-wired at this level must hold frequencies
+//! steady, not command garbage. The first such input is logged once.
+
+use std::sync::Once;
 
 use pap_simcpu::freq::KiloHertz;
 use pap_simcpu::units::Watts;
 
+static DEGENERATE_ONCE: Once = Once::new();
+
+/// Log the first degenerate translation input ever seen (once per
+/// process: this is a wiring bug, not an operating condition, and a
+/// 1 Hz control loop must not spam the journal).
+fn note_degenerate(what: &str) {
+    DEGENERATE_ONCE.call_once(|| {
+        eprintln!("powerd: degenerate translation input ({what}); holding a zero delta");
+    });
+}
+
 /// `α = PowerDelta / MaxPower`. `power_delta` may be negative (over
-/// budget); `max_power` must be positive.
+/// budget). Returns `0.0` (logged once) when `max_power` is not
+/// positive or `power_delta` is not finite, so callers never see
+/// NaN/inf.
 pub fn alpha(power_delta: Watts, max_power: Watts) -> f64 {
     debug_assert!(max_power.value() > 0.0, "max power must be positive");
+    if !max_power.value().is_finite() || max_power.value() <= 0.0 {
+        note_degenerate("max_power <= 0");
+        return 0.0;
+    }
+    if !power_delta.value().is_finite() {
+        note_degenerate("non-finite power_delta");
+        return 0.0;
+    }
     power_delta.value() / max_power.value()
 }
 
 /// Total frequency (kHz, signed) to distribute or withdraw across the
-/// available (non-saturated) cores.
+/// available (non-saturated) cores. A non-finite `alpha` or zero
+/// `available_cores` yields `0.0`.
 pub fn frequency_delta_khz(alpha: f64, max_freq: KiloHertz, available_cores: usize) -> f64 {
+    if !alpha.is_finite() {
+        note_degenerate("non-finite alpha");
+        return 0.0;
+    }
     alpha * max_freq.khz() as f64 * available_cores as f64
 }
 
 /// Total normalized performance to distribute or withdraw across the
 /// available cores. `max_performance` is the per-core maximum in
 /// normalized units (1.0 when IPS is normalized to the standalone
-/// maximum-frequency baseline).
+/// maximum-frequency baseline). A non-finite `alpha` or
+/// `max_performance` yields `0.0`.
 pub fn performance_delta(alpha: f64, max_performance: f64, available_cores: usize) -> f64 {
+    if !alpha.is_finite() || !max_performance.is_finite() {
+        note_degenerate("non-finite alpha or max_performance");
+        return 0.0;
+    }
     alpha * max_performance * available_cores as f64
 }
 
@@ -65,6 +103,45 @@ mod tests {
         let d = performance_delta(0.5, 1.0, 4);
         assert!((d - 2.0).abs() < 1e-12);
         assert_eq!(performance_delta(0.5, 1.0, 0), 0.0);
+    }
+
+    #[test]
+    fn zero_available_cores_is_a_zero_delta() {
+        assert_eq!(frequency_delta_khz(0.3, KiloHertz::from_ghz(3.0), 0), 0.0);
+        assert_eq!(performance_delta(0.3, 1.0, 0), 0.0);
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        should_panic(expected = "max power must be positive")
+    )]
+    fn non_positive_max_power_is_a_zero_alpha() {
+        // Release builds (debug_asserts off): a zero delta, never inf.
+        assert_eq!(alpha(Watts(10.0), Watts(0.0)), 0.0);
+        assert_eq!(alpha(Watts(10.0), Watts(-5.0)), 0.0);
+        assert_eq!(alpha(Watts(10.0), Watts(f64::NAN)), 0.0);
+    }
+
+    #[test]
+    fn non_finite_power_delta_is_a_zero_alpha() {
+        assert_eq!(alpha(Watts(f64::NAN), Watts(85.0)), 0.0);
+        assert_eq!(alpha(Watts(f64::INFINITY), Watts(85.0)), 0.0);
+        assert_eq!(alpha(Watts(f64::NEG_INFINITY), Watts(85.0)), 0.0);
+    }
+
+    #[test]
+    fn non_finite_alpha_yields_zero_deltas() {
+        assert_eq!(
+            frequency_delta_khz(f64::NAN, KiloHertz::from_ghz(3.0), 8),
+            0.0
+        );
+        assert_eq!(
+            frequency_delta_khz(f64::INFINITY, KiloHertz::from_ghz(3.0), 8),
+            0.0
+        );
+        assert_eq!(performance_delta(f64::NAN, 1.0, 8), 0.0);
+        assert_eq!(performance_delta(0.1, f64::NAN, 8), 0.0);
     }
 
     #[test]

@@ -16,7 +16,9 @@ use powerd::runner::Experiment;
 
 fn run(opts: &CliOptions) -> Result<(), String> {
     let platform = opts.platform_spec()?;
-    let mut e = Experiment::new(platform, opts.policy, opts.limit).duration(opts.duration);
+    let mut e = Experiment::new(platform, opts.policy, opts.limit)
+        .duration(opts.duration)
+        .translation(opts.model);
     if let Some(seed) = opts.seed {
         e = e.seed(seed);
     }
@@ -61,6 +63,19 @@ fn run(opts: &CliOptions) -> Result<(), String> {
     }
     println!("{t}");
     println!("mean package power: {:.2}", result.mean_package_power);
+    let rms = result
+        .model
+        .prediction_rms_watts
+        .map(|w| format!("{w:.2} W"))
+        .unwrap_or_else(|| "n/a (fit not yet confident)".into());
+    println!(
+        "model[{}]: per-interval prediction rms {}, {} translation queries ({:.0}% naive fallback)",
+        opts.model.name(),
+        rms,
+        result.model.queries,
+        result.model.fallback_fraction() * 100.0,
+    );
+    println!("{}", powerd::report::model_table(&result.model));
     if opts.csv {
         print!("{}", result.trace.to_csv());
     }

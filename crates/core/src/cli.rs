@@ -8,7 +8,7 @@
 use pap_simcpu::platform::PlatformSpec;
 use pap_simcpu::units::{Seconds, Watts};
 
-use crate::config::{PolicyKind, Priority};
+use crate::config::{PolicyKind, Priority, TranslationKind};
 
 /// One `--app` argument: `name=PROFILE[:shares[:hp|lp]]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +41,9 @@ pub struct CliOptions {
     /// Phase-generator seed (`None` = the runner's default, which
     /// reproduces historical runs).
     pub seed: Option<u64>,
+    /// Budget-to-frequency translation model (default: the paper's
+    /// naïve α).
+    pub model: TranslationKind,
 }
 
 impl CliOptions {
@@ -72,6 +75,9 @@ OPTIONS:
     --duration <SECONDS>         measured duration (default: 60)
     --seed <N>                   phase-generator seed for reproducible
                                  runs (same seed = identical run)
+    --model <naive|online>       budget-to-frequency translation: the
+                                 paper's naive alpha model or the online
+                                 learned model (default: naive)
     --csv                        dump the telemetry trace as CSV
     --help                       print this help
 ";
@@ -132,6 +138,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
     let mut apps = Vec::new();
     let mut csv = false;
     let mut seed = None;
+    let mut model = TranslationKind::Naive;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -157,6 +164,11 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                 let v = value("--seed")?;
                 seed = Some(v.parse::<u64>().map_err(|_| format!("bad --seed '{v}'"))?);
             }
+            "--model" => {
+                let v = value("--model")?;
+                model = TranslationKind::parse(v)
+                    .ok_or_else(|| format!("bad --model '{v}' (naive|online)"))?;
+            }
             "--csv" => csv = true,
             other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
         }
@@ -175,6 +187,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         apps,
         csv,
         seed,
+        model,
     })
 }
 
@@ -229,6 +242,30 @@ mod tests {
         assert_eq!(o.apps[0].profile, "gcc");
         assert_eq!(o.platform, "skylake");
         assert_eq!(o.seed, None, "unseeded runs keep the historical default");
+        assert_eq!(
+            o.model,
+            TranslationKind::Naive,
+            "naive translation is the default"
+        );
+    }
+
+    #[test]
+    fn model_flag_selects_translation() {
+        let o = parse(&sv(&[
+            "--policy", "rapl", "--limit", "50", "--app", "x=gcc", "--model", "online",
+        ]))
+        .unwrap();
+        assert_eq!(o.model, TranslationKind::Online);
+        let o = parse(&sv(&[
+            "--policy", "rapl", "--limit", "50", "--app", "x=gcc", "--model", "naive",
+        ]))
+        .unwrap();
+        assert_eq!(o.model, TranslationKind::Naive);
+        assert!(parse(&sv(&[
+            "--policy", "rapl", "--limit", "50", "--app", "x=gcc", "--model", "magic",
+        ]))
+        .unwrap_err()
+        .contains("bad --model"));
     }
 
     #[test]

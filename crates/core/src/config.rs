@@ -4,6 +4,8 @@
 use pap_simcpu::platform::PlatformSpec;
 use pap_simcpu::units::{Seconds, Watts};
 
+pub use pap_model::TranslationKind;
+
 use crate::quantize::SlotSelector;
 
 /// A configuration rejected by [`DaemonConfig::validate`] /
@@ -234,6 +236,10 @@ pub struct DaemonConfig {
     pub saturation_aware: bool,
     /// Controller tuning (damping, deadband, slot selection).
     pub tuning: ControllerTuning,
+    /// Which budget-to-frequency translation the policies use: the
+    /// paper's naïve α model, or the online learned model (which itself
+    /// falls back to naïve α until its fits are trustworthy).
+    pub translation: TranslationKind,
 }
 
 impl DaemonConfig {
@@ -248,6 +254,7 @@ impl DaemonConfig {
             floor_low_priority: false,
             saturation_aware: true,
             tuning: ControllerTuning::default(),
+            translation: TranslationKind::Naive,
         }
     }
 

@@ -12,6 +12,9 @@
 //! [`ControlAction`]; the experiment runner (or a hardware backend)
 //! applies the action. This keeps every policy testable without a chip.
 
+use pap_model::{
+    ModelConfig, ModelSnapshot, NaiveAlpha, OnlineModel, TranslationKind, TranslationModel,
+};
 use pap_simcpu::freq::KiloHertz;
 use pap_simcpu::platform::PlatformSpec;
 use pap_telemetry::sampler::Sample;
@@ -138,6 +141,10 @@ pub struct Daemon {
     initialized: bool,
     /// Last programmed per-app frequency targets (policy state input).
     current: Vec<KiloHertz>,
+    /// Online power/performance model. Always fed from telemetry (so a
+    /// mid-run switch to [`TranslationKind::Online`] starts from warm
+    /// fits); only consulted for translation when the config selects it.
+    model: OnlineModel,
 }
 
 /// Platform-capability checks shared by construction and runtime
@@ -209,12 +216,54 @@ impl Daemon {
             shared_slots: platform.shared_pstate_slots,
             initialized: false,
             current: vec![KiloHertz::ZERO; n_apps],
+            model: OnlineModel::new(ModelConfig::default()),
         })
     }
 
     /// The configuration the daemon runs.
     pub fn config(&self) -> &DaemonConfig {
         &self.config
+    }
+
+    /// Switch the budget-to-frequency translation mid-run. Safe in both
+    /// directions: the online model keeps learning regardless of which
+    /// translation is selected, so a switch to `Online` starts from warm
+    /// fits, and a switch back to `Naive` is exactly the seed controller.
+    pub fn set_translation(&mut self, kind: TranslationKind) {
+        self.config.translation = kind;
+    }
+
+    /// The translation currently selected.
+    pub fn translation(&self) -> TranslationKind {
+        self.config.translation
+    }
+
+    /// Freeze (`false`) or resume (`true`) model learning. The resilience
+    /// layer freezes learning while power/counter telemetry is unhealthy
+    /// so backfilled or poisoned samples cannot corrupt the fits.
+    pub fn set_learning(&mut self, learning: bool) {
+        self.model.set_learning(learning);
+    }
+
+    /// Replace the model configuration, resetting all fits. Benchmarks
+    /// use this to pin the model into its never-confident (pure fallback)
+    /// regime.
+    pub fn set_model_config(&mut self, cfg: ModelConfig) {
+        self.model = OnlineModel::new(cfg);
+    }
+
+    /// Snapshot of the learned model state for reports.
+    pub fn model_snapshot(&self) -> ModelSnapshot {
+        self.model.snapshot()
+    }
+
+    /// Learned package power draw with every managed core at maximum
+    /// frequency — the node capacity estimate the cluster water-fill can
+    /// use in place of the static TDP. `None` until the package fit is
+    /// confident.
+    pub fn predicted_capacity(&self) -> Option<Watts> {
+        self.model
+            .predicted_capacity(self.config.apps.len(), self.ctx.grid.max())
     }
 
     /// Admit an application mid-run. The candidate configuration is
@@ -241,6 +290,7 @@ impl Daemon {
             .position(|a| a.name == name)
             .ok_or_else(|| DaemonError::UnknownApp { app: name.into() })?;
         let removed = self.config.apps.remove(idx);
+        self.model.forget_app(removed.core);
         self.reset_distribution();
         Ok(removed)
     }
@@ -365,15 +415,32 @@ impl Daemon {
             return self.initial();
         }
         let views = self.views(sample);
+
+        // Feed the online model before the policy acts on the sample.
+        // Learning happens regardless of the selected translation so a
+        // mid-run switch to `Online` has warm fits to draw on.
+        self.model.observe_sample(sample);
+        for view in &views {
+            if view.baseline_ips > 0.0 && view.ips > 0.0 && view.active_freq > KiloHertz::ZERO {
+                self.model
+                    .observe_app(view.core, view.active_freq, view.ips / view.baseline_ips);
+            }
+        }
+
+        let model: &dyn TranslationModel = match self.config.translation {
+            TranslationKind::Naive => &NaiveAlpha,
+            TranslationKind::Online => &self.model,
+        };
         let out = match self.engine.as_policy() {
             None => PolicyOutput::running(vec![self.ctx.grid.max(); self.config.apps.len()]),
-            Some(p) => p.step(
+            Some(p) => p.step_with(
                 &self.ctx,
                 &PolicyInput {
                     package_power: sample.package_power,
                     apps: &views,
                     current: &self.current,
                 },
+                model,
             ),
         };
         self.current = out.freqs.clone();

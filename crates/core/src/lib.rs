@@ -23,6 +23,11 @@
 //! ([`alpha`]). On Ryzen the daemon additionally clusters targets into
 //! the chip's three shared P-state slots ([`quantize`]).
 //!
+//! The translation step is pluggable: selecting
+//! [`config::TranslationKind::Online`] swaps the naïve α formula for the
+//! `pap_model` online learned power/performance model, which falls back
+//! to naïve α bit-for-bit whenever its fits are not yet trustworthy.
+//!
 //! When telemetry can fail, [`resilience::ResilientDaemon`] wraps the
 //! daemon in a hysteretic degradation ladder (power shares → frequency
 //! shares → uniform last-good cap) driven by per-sensor health; the
@@ -68,7 +73,7 @@ pub mod runner;
 
 /// Convenient glob-import of the most used types.
 pub mod prelude {
-    pub use crate::config::{AppSpec, DaemonConfig, PolicyKind, Priority};
+    pub use crate::config::{AppSpec, DaemonConfig, PolicyKind, Priority, TranslationKind};
     pub use crate::daemon::{ControlAction, Daemon};
     pub use crate::policy::{Policy, PolicyCtx, PolicyInput, PolicyOutput};
     pub use crate::resilience::{
@@ -78,4 +83,5 @@ pub mod prelude {
     pub use crate::runner::{
         standalone_freq, AppResult, Experiment, ExperimentResult, LatencyExperiment, LatencyResult,
     };
+    pub use pap_model::{ModelConfig, ModelSnapshot, TranslationModel};
 }

@@ -8,9 +8,9 @@
 //! empirically, the most stable (frequency does not move with program
 //! phase the way IPS does).
 
+use pap_model::{TranslationModel, TranslationQuery};
 use pap_simcpu::freq::KiloHertz;
 
-use crate::alpha::{alpha, frequency_delta_khz};
 use crate::policy::minfund::{distribute, initial_proportional, proportional_fill, Claim};
 use crate::policy::{useful_max, Policy, PolicyCtx, PolicyInput, PolicyOutput};
 
@@ -64,7 +64,12 @@ impl Policy for FrequencyShares {
     /// to the target, converts it to frequency, and distributes the
     /// frequency among non-saturated cores. The translation function
     /// converts the target frequencies into valid (quantized) frequencies."
-    fn step(&mut self, ctx: &PolicyCtx, input: &PolicyInput<'_>) -> PolicyOutput {
+    fn step_with(
+        &mut self,
+        ctx: &PolicyCtx,
+        input: &PolicyInput<'_>,
+        model: &dyn TranslationModel,
+    ) -> PolicyOutput {
         let err = ctx.limit - input.package_power;
         if err.abs() <= ctx.deadband {
             return PolicyOutput::running(input.current.to_vec());
@@ -103,8 +108,14 @@ impl Policy for FrequencyShares {
             return PolicyOutput::running(input.current.to_vec());
         }
 
-        let a = alpha(err, ctx.max_power);
-        let delta = frequency_delta_khz(a, ctx.grid.max(), available) * ctx.damping;
+        let delta = model.frequency_delta_khz(&TranslationQuery {
+            power_error: err,
+            max_power: ctx.max_power,
+            max_freq: ctx.grid.max(),
+            available,
+            max_performance: 1.0,
+            current: input.current,
+        }) * ctx.damping;
         // Re-run the distribution over the adjusted total: a proportional
         // water-fill keeps allocations share-proportional even after
         // saturated apps are revoked from the mix. The incremental scheme

@@ -18,6 +18,7 @@ pub mod power_shares;
 pub mod priority;
 pub mod single_core;
 
+use pap_model::{NaiveAlpha, TranslationModel};
 use pap_simcpu::freq::{FreqGrid, KiloHertz};
 use pap_simcpu::units::Watts;
 
@@ -124,8 +125,20 @@ pub trait Policy {
     /// Initial distribution when applications start.
     fn initial(&mut self, ctx: &PolicyCtx, apps: &[AppView]) -> PolicyOutput;
 
-    /// Redistribution + translation for one control interval.
-    fn step(&mut self, ctx: &PolicyCtx, input: &PolicyInput<'_>) -> PolicyOutput;
+    /// Redistribution + translation for one control interval, with the
+    /// budget-to-frequency translation answered by `model`.
+    fn step_with(
+        &mut self,
+        ctx: &PolicyCtx,
+        input: &PolicyInput<'_>,
+        model: &dyn TranslationModel,
+    ) -> PolicyOutput;
+
+    /// Redistribution + translation under the paper's naïve α
+    /// translation (seed behaviour).
+    fn step(&mut self, ctx: &PolicyCtx, input: &PolicyInput<'_>) -> PolicyOutput {
+        self.step_with(ctx, input, &NaiveAlpha)
+    }
 }
 
 /// Saturation-aware upper bound for raising an app's frequency: if the

@@ -11,9 +11,9 @@
 //! policy can over- and under-shoot where frequency shares hold steady —
 //! the instability the paper reports in Figure 10.
 
+use pap_model::{TranslationModel, TranslationQuery};
 use pap_simcpu::freq::KiloHertz;
 
-use crate::alpha::{alpha, performance_delta};
 use crate::policy::minfund::{initial_proportional, proportional_fill, Claim};
 use crate::policy::{Policy, PolicyCtx, PolicyInput, PolicyOutput};
 
@@ -80,7 +80,12 @@ impl Policy for PerformanceShares {
     /// by first converting the difference in current power and the power
     /// limit into a performance value and then distributing it among
     /// non-saturated cores."
-    fn step(&mut self, ctx: &PolicyCtx, input: &PolicyInput<'_>) -> PolicyOutput {
+    fn step_with(
+        &mut self,
+        ctx: &PolicyCtx,
+        input: &PolicyInput<'_>,
+        model: &dyn TranslationModel,
+    ) -> PolicyOutput {
         if self.perf_limits.len() != input.apps.len() {
             // Daemon skipped initial(); bootstrap now.
             let apps = input.apps.to_vec();
@@ -109,8 +114,14 @@ impl Policy for PerformanceShares {
                 })
                 .count();
             if available > 0 {
-                let a = alpha(err, ctx.max_power);
-                let delta = performance_delta(a, MAX_PERFORMANCE, available) * ctx.damping;
+                let delta = model.performance_delta(&TranslationQuery {
+                    power_error: err,
+                    max_power: ctx.max_power,
+                    max_freq: ctx.grid.max(),
+                    available,
+                    max_performance: MAX_PERFORMANCE,
+                    current: input.current,
+                }) * ctx.damping;
                 // Water-fill the adjusted total so the per-app limits stay
                 // share-proportional under saturation.
                 let total: f64 = claims.iter().map(|c| c.current).sum::<f64>() + delta;

@@ -8,6 +8,7 @@
 //! frequencies (and hence performance) for high- and low-demand
 //! applications.
 
+use pap_model::TranslationModel;
 use pap_simcpu::freq::KiloHertz;
 use pap_simcpu::units::Watts;
 
@@ -97,7 +98,12 @@ impl Policy for PowerShares {
     /// distributing the difference in current power and the power limit
     /// among non-saturated cores"; translation adjusts frequencies from
     /// per-core power feedback against the calculated limits.
-    fn step(&mut self, ctx: &PolicyCtx, input: &PolicyInput<'_>) -> PolicyOutput {
+    fn step_with(
+        &mut self,
+        ctx: &PolicyCtx,
+        input: &PolicyInput<'_>,
+        model: &dyn TranslationModel,
+    ) -> PolicyOutput {
         if self.power_limits.len() != input.apps.len() {
             let apps = input.apps.to_vec();
             return self.initial(ctx, &apps);
@@ -120,7 +126,9 @@ impl Policy for PowerShares {
             self.power_limits = proportional_fill(total, &claims).allocations;
         }
 
-        // Per-core servo: move each app's frequency by its own power error.
+        // Per-core servo: move each app's frequency by its own power
+        // error. A trusted learned per-core power curve supplies the
+        // actuation gain; otherwise the configured static gain is used.
         let freqs = input
             .apps
             .iter()
@@ -131,7 +139,10 @@ impl Policy for PowerShares {
                     .power
                     .unwrap_or(Watts(limit)) // no telemetry -> assume on target
                     .value();
-                let correction = (limit - measured) * self.gain_khz_per_watt * ctx.damping;
+                let gain = model
+                    .khz_per_watt(app.core, cur)
+                    .unwrap_or(self.gain_khz_per_watt);
+                let correction = (limit - measured) * gain * ctx.damping;
                 let target = cur.khz() as f64 + correction;
                 ctx.grid.round(KiloHertz(target.max(0.0) as u64))
             })

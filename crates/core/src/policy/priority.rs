@@ -16,9 +16,9 @@
 //! the absence of a separate proportional share policy, all HP and all LP
 //! applications run at the same P-states").
 
+use pap_model::{TranslationModel, TranslationQuery};
 use pap_simcpu::freq::KiloHertz;
 
-use crate::alpha::{alpha, frequency_delta_khz};
 use crate::config::Priority;
 use crate::policy::{Policy, PolicyCtx, PolicyInput, PolicyOutput};
 
@@ -91,15 +91,28 @@ impl PriorityPolicy {
         PolicyOutput { freqs, parked }
     }
 
-    /// Per-core level move from the α model, damped, at least one grid
-    /// step so the controller cannot stall short of the target.
-    fn level_step(&self, ctx: &PolicyCtx, err_watts: f64, class_size: usize) -> u64 {
+    /// Per-core level move from the translation model, damped, at least
+    /// one grid step so the controller cannot stall short of the target.
+    fn level_step(
+        &self,
+        ctx: &PolicyCtx,
+        err_watts: f64,
+        class_size: usize,
+        current: &[KiloHertz],
+        model: &dyn TranslationModel,
+    ) -> u64 {
         if class_size == 0 {
             return 0;
         }
-        let a = alpha(pap_simcpu::units::Watts(err_watts.abs()), ctx.max_power);
-        let per_core =
-            frequency_delta_khz(a, ctx.grid.max(), class_size) * ctx.damping / class_size as f64;
+        let total = model.frequency_delta_khz(&TranslationQuery {
+            power_error: pap_simcpu::units::Watts(err_watts.abs()),
+            max_power: ctx.max_power,
+            max_freq: ctx.grid.max(),
+            available: class_size,
+            max_performance: 1.0,
+            current,
+        });
+        let per_core = total * ctx.damping / class_size as f64;
         (per_core as u64).max(ctx.grid.step().khz())
     }
 }
@@ -126,7 +139,12 @@ impl Policy for PriorityPolicy {
         self.render(apps)
     }
 
-    fn step(&mut self, ctx: &PolicyCtx, input: &PolicyInput<'_>) -> PolicyOutput {
+    fn step_with(
+        &mut self,
+        ctx: &PolicyCtx,
+        input: &PolicyInput<'_>,
+        model: &dyn TranslationModel,
+    ) -> PolicyOutput {
         if self.hp_level == KiloHertz::ZERO {
             let apps = input.apps.to_vec();
             return self.initial(ctx, &apps);
@@ -148,7 +166,7 @@ impl Policy for PriorityPolicy {
             // Over budget: take from LP first.
             let lp_active = n_lp > 0 && !self.lp_parked;
             if lp_active && self.lp_level > ctx.grid.min() {
-                let step = self.level_step(ctx, err.value(), n_lp);
+                let step = self.level_step(ctx, err.value(), n_lp, input.current, model);
                 self.lp_level = ctx
                     .grid
                     .round(KiloHertz(self.lp_level.khz().saturating_sub(step)));
@@ -161,7 +179,7 @@ impl Policy for PriorityPolicy {
                 self.intervals_since_flip = 0;
             } else if n_hp > 0 {
                 // Nothing left to take from LP: throttle HP.
-                let step = self.level_step(ctx, err.value(), n_hp);
+                let step = self.level_step(ctx, err.value(), n_hp, input.current, model);
                 self.hp_level = ctx
                     .grid
                     .round(KiloHertz(self.hp_level.khz().saturating_sub(step)));
@@ -169,7 +187,7 @@ impl Policy for PriorityPolicy {
         } else {
             // Headroom: satisfy HP fully before LP sees anything.
             if self.hp_level < ctx.grid.max() && n_hp > 0 {
-                let step = self.level_step(ctx, err.value(), n_hp);
+                let step = self.level_step(ctx, err.value(), n_hp, input.current, model);
                 self.hp_level = ctx
                     .grid
                     .round((self.hp_level + KiloHertz(step)).min(ctx.grid.max()));
@@ -184,7 +202,7 @@ impl Policy for PriorityPolicy {
                     self.intervals_since_flip = 0;
                 }
             } else if n_lp > 0 && self.lp_level < ctx.grid.max() {
-                let step = self.level_step(ctx, err.value(), n_lp);
+                let step = self.level_step(ctx, err.value(), n_lp, input.current, model);
                 self.lp_level = ctx
                     .grid
                     .round((self.lp_level + KiloHertz(step)).min(ctx.grid.max()));

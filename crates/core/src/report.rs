@@ -53,6 +53,54 @@ pub fn f3(v: f64) -> String {
     format!("{v:.3}")
 }
 
+/// Render a learned-model snapshot ([`Daemon::model_snapshot`]) as a
+/// report table: the package power curve, per-core curves and per-app
+/// scalability fits with their confidence state and drift-reset counts.
+///
+/// [`Daemon::model_snapshot`]: crate::daemon::Daemon::model_snapshot
+pub fn model_table(snap: &pap_model::ModelSnapshot) -> Table {
+    let rms = snap
+        .prediction_rms_watts
+        .map(|w| format!("{w:.2} W"))
+        .unwrap_or_else(|| "n/a".into());
+    let mut t = Table::new(
+        format!(
+            "learned model: {} queries, {:.0}% fallback, prediction rms {}",
+            snap.queries,
+            snap.fallback_fraction() * 100.0,
+            rms
+        ),
+        &["fit", "obs", "residual_rms", "confident", "resets"],
+    );
+    let flag = |b: bool| if b { "yes" } else { "no" }.to_string();
+    t.row(vec![
+        "package".into(),
+        snap.package.observations.to_string(),
+        f3(snap.package.residual_rms_watts),
+        flag(snap.package.confident),
+        snap.package.resets.to_string(),
+    ]);
+    for (core, fit) in &snap.cores {
+        t.row(vec![
+            format!("core{core}"),
+            fit.observations.to_string(),
+            f3(fit.residual_rms_watts),
+            flag(fit.confident),
+            fit.resets.to_string(),
+        ]);
+    }
+    for app in &snap.apps {
+        t.row(vec![
+            format!("app@core{}", app.core),
+            app.fit.observations.to_string(),
+            f3(app.fit.residual_rms),
+            flag(app.fit.confident),
+            app.fit.resets.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Format a float with 1 decimal for table cells.
 pub fn f1(v: f64) -> String {
     format!("{v:.1}")

@@ -348,6 +348,12 @@ impl ResilientDaemon {
         !self.health.is_healthy(SensorId::FreqActuator(core))
     }
 
+    /// Learned-model state of the active inner daemon. `None` at
+    /// [`DegradationLevel::UniformCap`], which runs no policy engine.
+    pub fn model_snapshot(&self) -> Option<pap_model::ModelSnapshot> {
+        self.daemon.as_ref().map(|d| d.model_snapshot())
+    }
+
     /// One control interval over a fallible observation.
     pub fn step(&mut self, obs: &Observation) -> ControlAction {
         self.observe_health(obs);
@@ -662,7 +668,23 @@ impl ResilientDaemon {
                 return self.quarantine_overlay(held);
             }
         }
+        // Gate model learning on telemetry trust: the backfilled sample
+        // below substitutes neutral values for failed reads, and folding
+        // those (or readings from sensors the tracker already declared
+        // unhealthy) into the learned power curves would corrupt them.
+        // Frozen fits stay valid and thaw when telemetry recovers.
+        let learn = self.health.is_healthy(SensorId::PackagePower)
+            && obs.package_power.is_some()
+            && self.app_cores.iter().all(|&c| {
+                self.health.is_healthy(SensorId::CoreCounters(c)) && obs.cores[c].rates.is_some()
+            })
+            && (!self.platform.per_core_power
+                || self
+                    .app_cores
+                    .iter()
+                    .all(|&c| self.health.is_healthy(SensorId::CorePower(c))));
         let daemon = self.daemon.as_mut().expect("daemon present below uniform");
+        daemon.set_learning(learn);
         let action = if complete {
             let sample = Self::backfill(obs, &self.last_commanded);
             daemon.step(&sample)
@@ -1111,6 +1133,75 @@ mod tests {
         let a = rd.step(&o);
         assert_eq!(a.freqs, init.freqs, "single gap holds the last action");
         assert_eq!(rd.level(), DegradationLevel::Nominal);
+    }
+
+    #[test]
+    fn telemetry_outage_does_not_corrupt_learned_curve() {
+        // A partial counter outage is the nastiest case for the online
+        // model: with core 0's counters gone, the backfilled sample pairs
+        // core 1's effective GHz with *both* cores' package watts — a
+        // plausible-looking but wrong observation. The health gate must
+        // freeze learning for the whole outage window (including the
+        // intervals before the tracker formally demotes the sensor) and
+        // thaw it on recovery.
+        let plat = ryzen_like();
+        let mut rd = ResilientDaemon::new(
+            cfg(PolicyKind::FrequencyShares),
+            &plat,
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        rd.initial();
+        // Observations where the chip verifiably runs what was commanded,
+        // so the anti-windup override (which rebuilds the engine and its
+        // model) stays out of the way.
+        let consistent = |rd: &mut ResilientDaemon, t: f64| {
+            let mut o = obs(t, Some(25.0), [Some(5.0), Some(3.0)], plat.num_cores);
+            for (c, co) in o.cores.iter_mut().enumerate() {
+                if let Some(r) = &mut co.rates {
+                    r.active_freq = rd.last_commanded[c];
+                }
+            }
+            o
+        };
+        let mut t = 1.0;
+        for _ in 0..15 {
+            let o = consistent(&mut rd, t);
+            rd.step(&o);
+            t += 1.0;
+        }
+        let before = rd.model_snapshot().unwrap().package;
+        assert!(before.observations >= 10, "healthy window must feed fits");
+
+        // Outage: core 0's counters fail for 10 intervals while package
+        // power keeps reporting.
+        for _ in 0..10 {
+            let mut o = consistent(&mut rd, t);
+            o.cores[0].rates = None;
+            rd.step(&o);
+            t += 1.0;
+        }
+        let during = rd.model_snapshot().unwrap().package;
+        assert_eq!(
+            during.observations, before.observations,
+            "no sample from the outage window may enter the fit"
+        );
+        assert_eq!(
+            during.theta, before.theta,
+            "coefficients frozen bit-for-bit"
+        );
+
+        // Recovery thaws learning.
+        for _ in 0..8 {
+            let o = consistent(&mut rd, t);
+            rd.step(&o);
+            t += 1.0;
+        }
+        let after = rd.model_snapshot().unwrap().package;
+        assert!(
+            after.observations > before.observations,
+            "learning must resume once telemetry is healthy again"
+        );
     }
 
     #[test]

@@ -20,6 +20,8 @@ use pap_workloads::latency::{ClosedLoopService, ServiceConfig};
 use pap_workloads::phases::PhasedProfile;
 use pap_workloads::profile::WorkloadProfile;
 
+use pap_model::{ModelSnapshot, TranslationKind};
+
 use crate::config::{AppSpec, ControllerTuning, DaemonConfig, PolicyKind, Priority};
 use crate::daemon::{ControlAction, Daemon};
 
@@ -59,6 +61,9 @@ pub struct ExperimentResult {
     pub mean_package_power: Watts,
     /// The full telemetry trace (warm-up already trimmed).
     pub trace: Trace,
+    /// Final state of the daemon's online learned model (fed regardless
+    /// of which translation the run selected).
+    pub model: ModelSnapshot,
 }
 
 struct Entry {
@@ -78,6 +83,7 @@ pub struct Experiment {
     saturation_aware: bool,
     control_interval: Seconds,
     tuning: ControllerTuning,
+    translation: TranslationKind,
     phase_amplitude: f64,
     seed: u64,
     entries: Vec<Entry>,
@@ -100,6 +106,7 @@ impl Experiment {
             saturation_aware: true,
             control_interval: Seconds(1.0),
             tuning: ControllerTuning::default(),
+            translation: TranslationKind::Naive,
             phase_amplitude: 0.1,
             seed: DEFAULT_PHASE_SEED,
             entries: Vec::new(),
@@ -171,6 +178,12 @@ impl Experiment {
         self
     }
 
+    /// Select the budget-to-frequency translation (naïve α by default).
+    pub fn translation(mut self, kind: TranslationKind) -> Experiment {
+        self.translation = kind;
+        self
+    }
+
     /// Program-phase amplitude applied to every workload (±fractional
     /// swing of CPI/stall/capacitance, deterministic per app). Defaults to
     /// 0.1 — the mild wobble real SPEC benchmarks exhibit, which is what
@@ -201,6 +214,7 @@ impl Experiment {
         config.saturation_aware = self.saturation_aware;
         config.control_interval = self.control_interval;
         config.tuning = self.tuning;
+        config.translation = self.translation;
 
         let mut chip = Chip::new(self.platform.clone());
         if self.policy == PolicyKind::RaplNative {
@@ -294,6 +308,7 @@ impl Experiment {
             apps: results,
             mean_package_power: trace.mean_package_power(),
             trace,
+            model: daemon.model_snapshot(),
         })
     }
 }

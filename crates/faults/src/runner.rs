@@ -30,7 +30,7 @@ use pap_telemetry::stats::jain;
 use pap_workloads::engine::RunningApp;
 use pap_workloads::phases::PhasedProfile;
 use pap_workloads::profile::WorkloadProfile;
-use powerd::config::{AppSpec, DaemonConfig, PolicyKind, Priority};
+use powerd::config::{AppSpec, DaemonConfig, PolicyKind, Priority, TranslationKind};
 use powerd::daemon::{ControlAction, Daemon};
 use powerd::resilience::{
     LadderEvent, Observation, ResilienceConfig, ResilientDaemon, RetryPolicy,
@@ -109,6 +109,7 @@ pub struct ChaosExperiment {
     seed: u64,
     resilience: bool,
     rcfg: ResilienceConfig,
+    translation: TranslationKind,
     warmup_intervals: usize,
     slack: Watts,
     grace: usize,
@@ -128,6 +129,7 @@ impl ChaosExperiment {
             seed: 42,
             resilience: true,
             rcfg: ResilienceConfig::default(),
+            translation: TranslationKind::Naive,
             warmup_intervals: 5,
             slack: Watts(2.0),
             grace: 5,
@@ -186,13 +188,20 @@ impl ChaosExperiment {
         self
     }
 
+    /// Select the budget-to-frequency translation (naïve α by default).
+    pub fn translation(mut self, kind: TranslationKind) -> Self {
+        self.translation = kind;
+        self
+    }
+
     /// Run to completion.
     pub fn run(self) -> Result<ChaosResult, String> {
-        let config = DaemonConfig::new(
+        let mut config = DaemonConfig::new(
             self.policy,
             self.limit,
             self.entries.iter().map(|e| e.spec.clone()).collect(),
         );
+        config.translation = self.translation;
         let num_cores = self.platform.num_cores;
         let interval = config.control_interval;
 

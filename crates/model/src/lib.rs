@@ -1,0 +1,37 @@
+//! # pap-model — online power/performance model learning
+//!
+//! The *Per-Application Power Delivery* controllers translate a watt
+//! error into a frequency (or performance) delta with a deliberately
+//! naïve linear model, `α = ΔP/P_max`, and let the closed loop absorb
+//! the modelling error over several control intervals. That costs
+//! convergence time and overshoot at every budget retarget. This crate
+//! learns better translations *online*, from the telemetry the daemon
+//! already samples:
+//!
+//! * [`power::PowerCurveEstimator`] — recursive-least-squares fit of
+//!   power vs. frequency on a quadratic basis (matching V²f physics),
+//!   per package and per core;
+//! * [`scalability::ScalabilityEstimator`] — per-app linear fit of
+//!   normalized performance vs. frequency;
+//! * [`translate::OnlineModel`] — the two estimators behind the
+//!   [`translate::TranslationModel`] seam, with confidence gating
+//!   (observation count, frequency spread, residual variance), drift
+//!   detection (windowed residual test that resets a fit on workload
+//!   phase change), and a hard fallback to the paper's naïve α
+//!   arithmetic ([`translate::NaiveAlpha`]) whenever a fit is not
+//!   trusted — so behaviour is never worse than the seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod power;
+pub mod rls;
+pub mod scalability;
+pub mod translate;
+
+pub use power::{CurveSnapshot, EstimatorConfig, PowerCurveEstimator};
+pub use scalability::{ScalabilityConfig, ScalabilityEstimator, ScalabilitySnapshot};
+pub use translate::{
+    AppFitSnapshot, ModelConfig, ModelSnapshot, NaiveAlpha, OnlineModel, TranslationKind,
+    TranslationModel, TranslationQuery,
+};

@@ -1,0 +1,376 @@
+//! Online power-vs-frequency curve estimation.
+//!
+//! CMOS dynamic power is `P = C_eff·V²·f` with `V` roughly affine in
+//! `f`, so power is close to quadratic-plus in frequency over a chip's
+//! operating range. [`PowerCurveEstimator`] fits `P ≈ θ₀ + θ₁f + θ₂f²`
+//! (frequency in GHz, power in watts) with recursive least squares and
+//! answers the two questions the translation layer asks:
+//!
+//! * `predict(f)` — expected power at an operating point (used by
+//!   `clusterd` for learned node-capacity curves);
+//! * `slope_w_per_ghz(f)` — the local marginal cost `dP/df = θ₁ + 2θ₂f`;
+//! * `delta_ghz_for_watts(f, ΔP)` — the exact frequency move that
+//!   absorbs a watt error on the fitted curve (used to turn a watt
+//!   error into a frequency delta in one step).
+//!
+//! The fit is only *trusted* when the confidence gate passes: enough
+//! observations, enough frequency spread actually seen (a settled
+//! control loop sits at one point, and a slope fitted there is
+//! garbage), a small recent residual and a physically sane (positive)
+//! slope. A windowed drift test resets the fit when the workload
+//! changes phase and the old curve stops predicting.
+
+use crate::rls::Rls;
+
+/// Tunables for one power-curve fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorConfig {
+    /// RLS forgetting factor λ (1.0 = never forget).
+    pub forgetting: f64,
+    /// Observations required before the fit can be trusted.
+    pub min_observations: u64,
+    /// Maximum recent residual RMS (watts) for the fit to be trusted.
+    pub max_residual_watts: f64,
+    /// Minimum frequency spread (GHz) seen since the last reset: the
+    /// slope is only identifiable once the loop has actually moved.
+    pub min_spread_ghz: f64,
+    /// Minimum trusted marginal cost (W/GHz); a smaller or negative
+    /// fitted slope is physically implausible and forces fallback.
+    pub min_slope_w_per_ghz: f64,
+    /// Recent-residual window length (sizes the residual RMS used by
+    /// the confidence gate).
+    pub drift_window: usize,
+    /// An observation is a drift outlier when its squared prediction
+    /// error exceeds this multiple of the long-run mean squared
+    /// residual as of the start of the outlier run.
+    pub drift_factor: f64,
+    /// Residual floor (watts): prediction errors below this never
+    /// count as outliers, so a near-perfect fit is not reset by
+    /// harmless noise.
+    pub drift_floor_watts: f64,
+    /// Consecutive outliers that constitute a phase change and reset
+    /// the fit.
+    pub drift_streak: usize,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> EstimatorConfig {
+        EstimatorConfig {
+            forgetting: 0.995,
+            min_observations: 10,
+            max_residual_watts: 3.0,
+            min_spread_ghz: 0.15,
+            min_slope_w_per_ghz: 0.2,
+            drift_window: 12,
+            drift_factor: 25.0,
+            drift_floor_watts: 0.75,
+            drift_streak: 4,
+        }
+    }
+}
+
+impl EstimatorConfig {
+    /// A gate that can never pass: the estimator keeps learning but is
+    /// never trusted, so every query falls back to the naïve model.
+    /// Used to prove the fallback path is bit-identical to the seed.
+    pub fn never_confident() -> EstimatorConfig {
+        EstimatorConfig {
+            min_observations: u64::MAX,
+            ..EstimatorConfig::default()
+        }
+    }
+}
+
+/// Reportable state of one power-curve fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurveSnapshot {
+    /// Fitted `[θ₀, θ₁, θ₂]` of `P = θ₀ + θ₁f + θ₂f²` (f in GHz).
+    pub theta: [f64; 3],
+    /// Observations accepted since the last reset.
+    pub observations: u64,
+    /// Recent residual RMS in watts (∞ before any observation).
+    pub residual_rms_watts: f64,
+    /// Frequency spread (GHz) seen since the last reset.
+    pub spread_ghz: f64,
+    /// Whether the confidence gate currently passes.
+    pub confident: bool,
+    /// Drift resets since construction.
+    pub resets: u64,
+}
+
+/// One online quadratic power-vs-frequency fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerCurveEstimator {
+    cfg: EstimatorConfig,
+    rls: Rls<3>,
+    f_lo: f64,
+    f_hi: f64,
+    resets: u64,
+    outlier_streak: usize,
+    streak_baseline: f64,
+}
+
+impl PowerCurveEstimator {
+    /// A fresh estimator with the given tunables.
+    pub fn new(cfg: EstimatorConfig) -> PowerCurveEstimator {
+        PowerCurveEstimator {
+            rls: Rls::new(cfg.forgetting, cfg.drift_window),
+            cfg,
+            f_lo: f64::INFINITY,
+            f_hi: f64::NEG_INFINITY,
+            resets: 0,
+            outlier_streak: 0,
+            streak_baseline: 0.0,
+        }
+    }
+
+    /// Fold in one observation of `watts` drawn at `f_ghz`. Implausible
+    /// samples (non-finite, non-positive, or a zero/absurd frequency —
+    /// what a backfilled telemetry outage produces) are rejected rather
+    /// than folded into the fit. Returns the a-priori prediction
+    /// residual for accepted samples.
+    pub fn observe(&mut self, f_ghz: f64, watts: f64) -> Option<f64> {
+        if !f_ghz.is_finite() || !watts.is_finite() {
+            return None;
+        }
+        if f_ghz <= 1e-3 || f_ghz > 1e3 || watts <= 0.0 || watts > 1e4 {
+            return None;
+        }
+        if self.update_drift(watts - self.predict(f_ghz)) {
+            self.rls.reset();
+            self.f_lo = f64::INFINITY;
+            self.f_hi = f64::NEG_INFINITY;
+            self.resets += 1;
+            self.outlier_streak = 0;
+        }
+        let resid = self.rls.observe([1.0, f_ghz, f_ghz * f_ghz], watts);
+        self.f_lo = self.f_lo.min(f_ghz);
+        self.f_hi = self.f_hi.max(f_ghz);
+        Some(resid)
+    }
+
+    /// Advance the phase-change detector with one a-priori prediction
+    /// error; true when the fit should be reset. The outlier baseline
+    /// is frozen at the start of a run, so a genuine phase jump keeps
+    /// counting even while the EWMA chases the new level.
+    fn update_drift(&mut self, pred_err: f64) -> bool {
+        if self.rls.observations() < self.cfg.drift_window as u64 {
+            return false;
+        }
+        let floor = self.cfg.drift_floor_watts * self.cfg.drift_floor_watts;
+        let sq = pred_err * pred_err;
+        let baseline = if self.outlier_streak == 0 {
+            self.rls.long_mean_sq().max(floor)
+        } else {
+            self.streak_baseline
+        };
+        if sq > self.cfg.drift_factor * baseline {
+            if self.outlier_streak == 0 {
+                self.streak_baseline = baseline;
+            }
+            self.outlier_streak += 1;
+        } else {
+            self.outlier_streak = 0;
+        }
+        self.outlier_streak >= self.cfg.drift_streak
+    }
+
+    /// Expected watts at `f_ghz` under the current fit.
+    pub fn predict(&self, f_ghz: f64) -> f64 {
+        self.rls.predict([1.0, f_ghz, f_ghz * f_ghz])
+    }
+
+    /// Local marginal power cost `dP/df` in W/GHz at `f_ghz`.
+    pub fn slope_w_per_ghz(&self, f_ghz: f64) -> f64 {
+        let t = self.rls.theta();
+        t[1] + 2.0 * t[2] * f_ghz
+    }
+
+    /// [`PowerCurveEstimator::slope_w_per_ghz`] with the query point
+    /// clamped into the frequency range actually observed, so the
+    /// slope is never read off an extrapolated tail of the parabola.
+    pub fn slope_at_clamped(&self, f_ghz: f64) -> f64 {
+        self.slope_w_per_ghz(f_ghz.clamp(self.f_lo, self.f_hi))
+    }
+
+    /// Exact inversion of the fitted curve: the frequency move (GHz,
+    /// signed like `delta_watts`) from `from_ghz` that changes predicted
+    /// power by `delta_watts`. Unlike a one-step linearization at
+    /// `from_ghz` — whose slope is the steepest point of a downward
+    /// move, so large sheds get under-corrected — this solves the
+    /// quadratic for the target power directly. `None` when the target
+    /// is unreachable on the fitted parabola (negative discriminant) or
+    /// the solution is on the wrong side; the caller then linearizes.
+    pub fn delta_ghz_for_watts(&self, from_ghz: f64, delta_watts: f64) -> Option<f64> {
+        let [t0, t1, t2] = self.rls.theta();
+        let target = self.predict(from_ghz) + delta_watts;
+        let x = if t2.abs() < 1e-9 {
+            if t1.abs() < 1e-9 {
+                return None;
+            }
+            (target - t0) / t1
+        } else {
+            let disc = t1 * t1 - 4.0 * t2 * (t0 - target);
+            if disc < 0.0 {
+                return None;
+            }
+            // Of the two roots, the one nearest the operating point is
+            // on the branch the loop actually moves along.
+            let r1 = (-t1 + disc.sqrt()) / (2.0 * t2);
+            let r2 = (-t1 - disc.sqrt()) / (2.0 * t2);
+            if (r1 - from_ghz).abs() <= (r2 - from_ghz).abs() {
+                r1
+            } else {
+                r2
+            }
+        };
+        let delta = x - from_ghz;
+        if !delta.is_finite() || delta * delta_watts < 0.0 {
+            return None;
+        }
+        Some(delta)
+    }
+
+    /// Frequency spread (GHz) seen since the last reset.
+    pub fn spread_ghz(&self) -> f64 {
+        if self.f_hi >= self.f_lo {
+            self.f_hi - self.f_lo
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether the fit passes the confidence gate and may be used in
+    /// place of the naïve translation.
+    pub fn confident(&self) -> bool {
+        self.rls.observations() >= self.cfg.min_observations
+            && self.spread_ghz() >= self.cfg.min_spread_ghz
+            && self.rls.residual_rms() <= self.cfg.max_residual_watts
+            && self.slope_at_clamped(0.5 * (self.f_lo + self.f_hi)) >= self.cfg.min_slope_w_per_ghz
+    }
+
+    /// Observations accepted since the last reset.
+    pub fn observations(&self) -> u64 {
+        self.rls.observations()
+    }
+
+    /// Recent residual RMS in watts.
+    pub fn residual_rms(&self) -> f64 {
+        self.rls.residual_rms()
+    }
+
+    /// Drift resets since construction.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Reportable state of the fit.
+    pub fn snapshot(&self) -> CurveSnapshot {
+        CurveSnapshot {
+            theta: self.rls.theta(),
+            observations: self.rls.observations(),
+            residual_rms_watts: self.rls.residual_rms(),
+            spread_ghz: self.spread_ghz(),
+            confident: self.confident(),
+            resets: self.resets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad(f: f64) -> f64 {
+        3.0 + 2.0 * f + 1.4 * f * f
+    }
+
+    fn trained() -> PowerCurveEstimator {
+        let mut e = PowerCurveEstimator::new(EstimatorConfig::default());
+        for i in 0..60 {
+            let f = 1.0 + (i % 20) as f64 * 0.1;
+            e.observe(f, quad(f));
+        }
+        e
+    }
+
+    #[test]
+    fn learns_quadratic_curve_and_slope() {
+        let e = trained();
+        assert!(e.confident());
+        assert!((e.predict(2.0) - quad(2.0)).abs() < 0.05);
+        // dP/df at 2.0 GHz: 2 + 2·1.4·2 = 7.6
+        assert!((e.slope_w_per_ghz(2.0) - 7.6).abs() < 0.2);
+    }
+
+    #[test]
+    fn not_confident_without_spread() {
+        let mut e = PowerCurveEstimator::new(EstimatorConfig::default());
+        for _ in 0..100 {
+            e.observe(2.0, quad(2.0));
+        }
+        assert!(
+            !e.confident(),
+            "settled loop at one point must not be trusted"
+        );
+    }
+
+    #[test]
+    fn rejects_poisoned_samples() {
+        let mut e = trained();
+        let before = e.snapshot();
+        assert!(e.observe(0.0, 25.0).is_none(), "zero frequency");
+        assert!(e.observe(2.0, f64::NAN).is_none(), "NaN watts");
+        assert!(e.observe(f64::INFINITY, 25.0).is_none(), "inf frequency");
+        assert!(e.observe(2.0, -5.0).is_none(), "negative watts");
+        assert_eq!(
+            e.snapshot(),
+            before,
+            "rejected samples must not touch the fit"
+        );
+    }
+
+    #[test]
+    fn phase_change_resets_fit() {
+        let mut e = trained();
+        assert_eq!(e.resets(), 0);
+        // New phase: +30 W offset — the old curve mispredicts wildly.
+        for i in 0..40 {
+            let f = 1.0 + (i % 20) as f64 * 0.1;
+            e.observe(f, quad(f) + 30.0);
+            if e.resets() > 0 {
+                break;
+            }
+        }
+        assert!(
+            e.resets() >= 1,
+            "drift test should reset on a 30 W phase jump"
+        );
+    }
+
+    #[test]
+    fn inversion_absorbs_the_exact_watt_error() {
+        let e = trained();
+        for err in [5.0, -4.0, 0.5] {
+            let d = e.delta_ghz_for_watts(2.0, err).unwrap();
+            assert_eq!(d > 0.0, err > 0.0, "delta sign follows the error");
+            assert!(
+                (e.predict(2.0 + d) - e.predict(2.0) - err).abs() < 1e-6,
+                "moving by the returned delta changes power by {err}"
+            );
+        }
+        // An unreachable shed (below the parabola's minimum) refuses
+        // rather than answering nonsense.
+        assert!(e.delta_ghz_for_watts(2.0, -500.0).is_none());
+    }
+
+    #[test]
+    fn never_confident_config_never_trusts() {
+        let mut e = PowerCurveEstimator::new(EstimatorConfig::never_confident());
+        for i in 0..500 {
+            let f = 1.0 + (i % 20) as f64 * 0.1;
+            e.observe(f, quad(f));
+        }
+        assert!(!e.confident());
+    }
+}

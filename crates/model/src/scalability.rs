@@ -1,0 +1,236 @@
+//! Per-app IPS-vs-frequency scalability estimation.
+//!
+//! How much performance a frequency change buys differs per workload:
+//! a compute-bound app scales almost linearly with the clock while a
+//! memory-bound one barely moves (Conoci et al.). The performance-
+//! shares policy translates a watt error into a *performance* delta,
+//! so it needs `d(perf)/df` per app. [`ScalabilityEstimator`] fits
+//! `perf ≈ θ₀ + θ₁·f` (frequency in GHz, performance normalized to the
+//! app's baseline IPS) and exposes the slope once the fit is
+//! identifiable — same confidence idea as the power curve: enough
+//! observations, enough frequency spread, small residual, and a
+//! non-negative slope.
+
+use crate::rls::Rls;
+
+/// Tunables for one scalability fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalabilityConfig {
+    /// RLS forgetting factor λ.
+    pub forgetting: f64,
+    /// Observations required before the slope can be trusted.
+    pub min_observations: u64,
+    /// Maximum recent residual RMS (normalized-performance units).
+    pub max_residual: f64,
+    /// Minimum frequency spread (GHz) seen since the last reset.
+    pub min_spread_ghz: f64,
+    /// Recent-residual window length (sizes the residual RMS used by
+    /// the confidence gate).
+    pub drift_window: usize,
+    /// An observation is a drift outlier when its squared prediction
+    /// error exceeds this multiple of the long-run mean squared
+    /// residual as of the start of the outlier run.
+    pub drift_factor: f64,
+    /// Residual floor below which prediction errors never count as
+    /// outliers.
+    pub drift_floor: f64,
+    /// Consecutive outliers that constitute a phase change and reset
+    /// the fit.
+    pub drift_streak: usize,
+}
+
+impl Default for ScalabilityConfig {
+    fn default() -> ScalabilityConfig {
+        ScalabilityConfig {
+            forgetting: 0.995,
+            min_observations: 8,
+            max_residual: 0.15,
+            min_spread_ghz: 0.1,
+            drift_window: 12,
+            drift_factor: 25.0,
+            drift_floor: 0.05,
+            drift_streak: 4,
+        }
+    }
+}
+
+impl ScalabilityConfig {
+    /// A gate that can never pass (see
+    /// [`crate::power::EstimatorConfig::never_confident`]).
+    pub fn never_confident() -> ScalabilityConfig {
+        ScalabilityConfig {
+            min_observations: u64::MAX,
+            ..ScalabilityConfig::default()
+        }
+    }
+}
+
+/// Reportable state of one scalability fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalabilitySnapshot {
+    /// Fitted `[θ₀, θ₁]` of `perf = θ₀ + θ₁·f` (f in GHz).
+    pub theta: [f64; 2],
+    /// Observations accepted since the last reset.
+    pub observations: u64,
+    /// Recent residual RMS (normalized-performance units).
+    pub residual_rms: f64,
+    /// Whether the confidence gate currently passes.
+    pub confident: bool,
+    /// Drift resets since construction.
+    pub resets: u64,
+}
+
+/// One online linear performance-vs-frequency fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalabilityEstimator {
+    cfg: ScalabilityConfig,
+    rls: Rls<2>,
+    f_lo: f64,
+    f_hi: f64,
+    resets: u64,
+    outlier_streak: usize,
+    streak_baseline: f64,
+}
+
+impl ScalabilityEstimator {
+    /// A fresh estimator with the given tunables.
+    pub fn new(cfg: ScalabilityConfig) -> ScalabilityEstimator {
+        ScalabilityEstimator {
+            rls: Rls::new(cfg.forgetting, cfg.drift_window),
+            cfg,
+            f_lo: f64::INFINITY,
+            f_hi: f64::NEG_INFINITY,
+            resets: 0,
+            outlier_streak: 0,
+            streak_baseline: 0.0,
+        }
+    }
+
+    /// Fold in one observation of normalized performance `perf` at
+    /// `f_ghz`. Implausible samples are rejected. Returns the a-priori
+    /// residual for accepted samples.
+    pub fn observe(&mut self, f_ghz: f64, perf: f64) -> Option<f64> {
+        if !f_ghz.is_finite() || !perf.is_finite() {
+            return None;
+        }
+        if f_ghz <= 1e-3 || f_ghz > 1e3 || perf <= 0.0 || perf > 1e3 {
+            return None;
+        }
+        if self.update_drift(perf - self.predict(f_ghz)) {
+            self.rls.reset();
+            self.f_lo = f64::INFINITY;
+            self.f_hi = f64::NEG_INFINITY;
+            self.resets += 1;
+            self.outlier_streak = 0;
+        }
+        let resid = self.rls.observe([1.0, f_ghz], perf);
+        self.f_lo = self.f_lo.min(f_ghz);
+        self.f_hi = self.f_hi.max(f_ghz);
+        Some(resid)
+    }
+
+    /// Advance the phase-change detector with one a-priori prediction
+    /// error; true when the fit should be reset (same frozen-baseline
+    /// outlier-streak test as the power curve's).
+    fn update_drift(&mut self, pred_err: f64) -> bool {
+        if self.rls.observations() < self.cfg.drift_window as u64 {
+            return false;
+        }
+        let floor = self.cfg.drift_floor * self.cfg.drift_floor;
+        let sq = pred_err * pred_err;
+        let baseline = if self.outlier_streak == 0 {
+            self.rls.long_mean_sq().max(floor)
+        } else {
+            self.streak_baseline
+        };
+        if sq > self.cfg.drift_factor * baseline {
+            if self.outlier_streak == 0 {
+                self.streak_baseline = baseline;
+            }
+            self.outlier_streak += 1;
+        } else {
+            self.outlier_streak = 0;
+        }
+        self.outlier_streak >= self.cfg.drift_streak
+    }
+
+    /// Expected normalized performance at `f_ghz`.
+    pub fn predict(&self, f_ghz: f64) -> f64 {
+        self.rls.predict([1.0, f_ghz])
+    }
+
+    /// Fitted `d(perf)/df` in normalized-performance units per GHz.
+    pub fn slope_per_ghz(&self) -> f64 {
+        self.rls.theta()[1]
+    }
+
+    /// Whether the fit passes the confidence gate.
+    pub fn confident(&self) -> bool {
+        let spread = if self.f_hi >= self.f_lo {
+            self.f_hi - self.f_lo
+        } else {
+            0.0
+        };
+        self.rls.observations() >= self.cfg.min_observations
+            && spread >= self.cfg.min_spread_ghz
+            && self.rls.residual_rms() <= self.cfg.max_residual
+            && self.slope_per_ghz() >= 0.0
+    }
+
+    /// Observations accepted since the last reset.
+    pub fn observations(&self) -> u64 {
+        self.rls.observations()
+    }
+
+    /// Reportable state of the fit.
+    pub fn snapshot(&self) -> ScalabilitySnapshot {
+        ScalabilitySnapshot {
+            theta: self.rls.theta(),
+            observations: self.rls.observations(),
+            residual_rms: self.rls.residual_rms(),
+            confident: self.confident(),
+            resets: self.resets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_linear_scalability() {
+        let mut e = ScalabilityEstimator::new(ScalabilityConfig::default());
+        // A compute-bound app: perf = 0.1 + 0.4·f
+        for i in 0..40 {
+            let f = 1.0 + (i % 16) as f64 * 0.1;
+            e.observe(f, 0.1 + 0.4 * f);
+        }
+        assert!(e.confident());
+        assert!(
+            (e.slope_per_ghz() - 0.4).abs() < 0.02,
+            "{}",
+            e.slope_per_ghz()
+        );
+    }
+
+    #[test]
+    fn memory_bound_app_gets_flat_slope() {
+        let mut e = ScalabilityEstimator::new(ScalabilityConfig::default());
+        for i in 0..40 {
+            let f = 1.0 + (i % 16) as f64 * 0.1;
+            e.observe(f, 0.8 + 0.01 * f);
+        }
+        assert!(e.confident());
+        assert!(e.slope_per_ghz() < 0.05);
+    }
+
+    #[test]
+    fn rejects_poisoned_samples() {
+        let mut e = ScalabilityEstimator::new(ScalabilityConfig::default());
+        assert!(e.observe(0.0, 0.5).is_none());
+        assert!(e.observe(2.0, f64::NAN).is_none());
+        assert!(e.observe(2.0, 0.0).is_none());
+        assert_eq!(e.observations(), 0);
+    }
+}

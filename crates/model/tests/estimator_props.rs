@@ -1,0 +1,97 @@
+//! Property tests for the online estimators: on any physically
+//! plausible quadratic power curve the fit converges, is trusted, and
+//! inverts correctly — and noise within the confidence gate's residual
+//! budget does not break any of it.
+
+use pap_model::{EstimatorConfig, PowerCurveEstimator, ScalabilityConfig, ScalabilityEstimator};
+use proptest::prelude::*;
+
+/// A plausible package curve `P = t0 + t1·f + t2·f²` (f in total GHz):
+/// idle floor, positive linear term, super-linear growth.
+fn curve() -> impl Strategy<Value = (f64, f64, f64)> {
+    (3.0f64..15.0, 0.5f64..4.0, 0.2f64..1.5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sweeping any plausible quadratic makes the fit confident and
+    /// accurate: predictions and slopes match the ground truth.
+    #[test]
+    fn estimator_converges_on_quadratic_curves(
+        (t0, t1, t2) in curve(),
+        noise in proptest::collection::vec(-0.2f64..0.2, 60),
+    ) {
+        let p = |f: f64| t0 + t1 * f + t2 * f * f;
+        let mut e = PowerCurveEstimator::new(EstimatorConfig::default());
+        for (i, n) in noise.iter().enumerate() {
+            let f = 4.0 + (i % 20) as f64 * 0.2; // 4.0..7.8 total GHz
+            e.observe(f, p(f) + n);
+        }
+        prop_assert!(e.confident(), "snapshot: {:?}", e.snapshot());
+        for f in [4.5, 6.0, 7.5] {
+            prop_assert!(
+                (e.predict(f) - p(f)).abs() < 1.0,
+                "predict({f}) = {} vs true {}",
+                e.predict(f),
+                p(f)
+            );
+            let true_slope = t1 + 2.0 * t2 * f;
+            prop_assert!(
+                (e.slope_w_per_ghz(f) - true_slope).abs() < 0.3 * true_slope + 0.3,
+                "slope({f}) = {} vs true {true_slope}",
+                e.slope_w_per_ghz(f)
+            );
+        }
+    }
+
+    /// The exact inversion round-trips: moving by the returned delta
+    /// changes the predicted power by the requested amount.
+    #[test]
+    fn inversion_round_trips(
+        (t0, t1, t2) in curve(),
+        err in -6.0f64..6.0,
+    ) {
+        let p = |f: f64| t0 + t1 * f + t2 * f * f;
+        let mut e = PowerCurveEstimator::new(EstimatorConfig::default());
+        for i in 0..60 {
+            let f = 4.0 + (i % 20) as f64 * 0.2;
+            e.observe(f, p(f));
+        }
+        if let Some(d) = e.delta_ghz_for_watts(6.0, err) {
+            prop_assert!(
+                (e.predict(6.0 + d) - e.predict(6.0) - err).abs() < 1e-6,
+                "delta {d} absorbs {err} W"
+            );
+            prop_assert!(d * err >= 0.0, "delta sign follows the error");
+        } else {
+            // Refusal is only legitimate when the target power is off
+            // the fitted parabola entirely.
+            let vertex_w = e.predict(-e.snapshot().theta[1] / (2.0 * e.snapshot().theta[2]));
+            prop_assert!(
+                e.predict(6.0) + err < vertex_w + 1e-6,
+                "inversion refused a reachable target"
+            );
+        }
+    }
+
+    /// The scalability fit recovers any positive linear perf/GHz law.
+    #[test]
+    fn scalability_converges_on_linear_laws(
+        slope in 0.05f64..0.5,
+        intercept in 0.0f64..0.3,
+        noise in proptest::collection::vec(-0.01f64..0.01, 40),
+    ) {
+        let mut e = ScalabilityEstimator::new(ScalabilityConfig::default());
+        for (i, n) in noise.iter().enumerate() {
+            let f = 1.0 + (i % 16) as f64 * 0.15;
+            e.observe(f, intercept + slope * f + n);
+        }
+        prop_assert!(e.confident(), "snapshot: {:?}", e.snapshot());
+        prop_assert!(
+            (e.slope_per_ghz() - slope).abs() < 0.1 * slope + 0.02,
+            "slope {} vs true {slope}",
+            e.slope_per_ghz()
+        );
+    }
+}

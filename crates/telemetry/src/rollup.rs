@@ -31,6 +31,12 @@ pub struct NodeTelemetry {
     pub total_shares: f64,
     /// Aggregate retired instructions per second across all cores.
     pub total_ips: f64,
+    /// The node daemon's learned prediction of its maximum package draw
+    /// (every app core at the top P-state), when its online power model
+    /// is confident. `None` when the node runs the naive translation or
+    /// the fit is not yet trustworthy; the cluster allocator then falls
+    /// back to the platform ceiling.
+    pub predicted_capacity: Option<Watts>,
 }
 
 impl NodeTelemetry {
@@ -52,7 +58,15 @@ impl NodeTelemetry {
             num_cores: sample.cores.len(),
             total_shares,
             total_ips: sample.cores.iter().map(|c| c.rates.ips).sum(),
+            predicted_capacity: None,
         }
+    }
+
+    /// Attach the daemon's learned capacity prediction (the sampler
+    /// cannot know it; only the node's daemon can).
+    pub fn with_predicted_capacity(mut self, capacity: Option<Watts>) -> NodeTelemetry {
+        self.predicted_capacity = capacity;
+        self
     }
 
     /// Occupied fraction of the node's cores.
@@ -166,6 +180,7 @@ mod tests {
             num_cores: 8,
             total_shares: shares,
             total_ips: 1e9 * busy as f64,
+            predicted_capacity: None,
         }
     }
 

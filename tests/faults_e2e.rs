@@ -126,3 +126,37 @@ fn flapping_sensor_does_not_flap_the_ladder() {
     );
     assert_eq!(r.sustained_violations, 0);
 }
+
+#[test]
+fn online_model_holds_the_cap_under_chaos() {
+    // The online learned translation must not make chaos worse: with a
+    // counter outage (which poisons backfilled samples) and a package
+    // outage (which blinds the controller), the health gate freezes
+    // learning through both windows and the budget holds exactly as it
+    // does under the naive translation.
+    use powerd::config::TranslationKind;
+    let plan = FaultPlan::new()
+        .with(
+            FaultKind::CounterReadError { core: 0 },
+            Seconds(15.0),
+            Some(Seconds(10.0)),
+        )
+        .with(
+            FaultKind::PkgEnergyReadError,
+            Seconds(40.0),
+            Some(Seconds(10.0)),
+        );
+    let r = ChaosExperiment::new(chaos_platform(), PolicyKind::FrequencyShares, Watts(30.0))
+        .app("cactus", spec::CACTUS_BSSN, 70)
+        .app("lbm", spec::LBM, 50)
+        .app("leela", spec::LEELA, 30)
+        .duration(Seconds(70.0))
+        .plan(plan)
+        .translation(TranslationKind::Online)
+        .seed(11)
+        .run()
+        .unwrap();
+    assert_eq!(r.sustained_violations, 0, "{r:?}");
+    assert_eq!(r.starved, 0);
+    assert!(r.jain > 0.6, "jain {}", r.jain);
+}
