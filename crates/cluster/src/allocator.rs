@@ -41,6 +41,16 @@ pub struct NodeClaim {
     pub current: Watts,
 }
 
+impl NodeClaim {
+    /// Whether this round's ceiling sits below the platform ceiling —
+    /// i.e. part of the node's claim was revoked, by draw-based
+    /// revocation or a learned-capacity clamp. Drives the decision
+    /// trace's revocation events.
+    pub fn is_revoked(&self, platform: &PlatformSpec) -> bool {
+        self.max < node_cap_bounds(platform).1
+    }
+}
+
 /// The cluster-level arbiter. Pure: [`rebalance`](BudgetAllocator::rebalance)
 /// maps (cap, claims) to per-node caps with no internal state, which is
 /// what makes the parallel engine's serial-equivalence and the

@@ -12,9 +12,10 @@ use pap_simcpu::units::{Seconds, Watts};
 use pap_telemetry::rollup::{ClusterRollup, NodeTelemetry};
 use powerd::config::{AppSpec, PolicyKind, TranslationKind};
 use powerd::daemon::DaemonError;
+use powerd::obs::{DecisionEvent, DecisionRecord, DecisionTrace};
 
 use crate::admission::{AppRequest, Placement};
-use crate::allocator::{claims_from_rollup, node_cap_bounds, BudgetAllocator};
+use crate::allocator::{claims_from_rollup, node_cap_bounds, BudgetAllocator, NodeClaim};
 use crate::node::Node;
 
 /// Everything needed to bring up a cluster.
@@ -192,6 +193,10 @@ pub struct Cluster {
     pub(crate) intervals_run: u64,
     pub(crate) energy_j: f64,
     pub(crate) last_rollup: Option<ClusterRollup>,
+    /// Decision-trace observer: one record with `source = "cluster"` per
+    /// rebalance round. `None` (the default) keeps observability
+    /// strictly off-path.
+    pub(crate) observer: Option<DecisionTrace>,
 }
 
 impl Cluster {
@@ -238,8 +243,25 @@ impl Cluster {
             intervals_run: 0,
             energy_j: 0.0,
             last_rollup: None,
+            observer: None,
             cfg,
         })
+    }
+
+    /// Attach a decision-trace observer; each subsequent rebalance round
+    /// appends one [`DecisionRecord`] with `source = "cluster"`.
+    pub fn attach_observer(&mut self, trace: DecisionTrace) {
+        self.observer = Some(trace);
+    }
+
+    /// The attached decision trace, if any.
+    pub fn observer(&self) -> Option<&DecisionTrace> {
+        self.observer.as_ref()
+    }
+
+    /// Detach and return the decision trace (e.g. at end of run).
+    pub fn take_observer(&mut self) -> Option<DecisionTrace> {
+        self.observer.take()
     }
 
     /// Place an arriving app on the least-saturated node with a free
@@ -373,8 +395,22 @@ impl Cluster {
     }
 
     pub(crate) fn apply_rebalance(&mut self, rollup: &ClusterRollup) {
+        let started = self.observer.as_ref().map(|_| std::time::Instant::now());
         let claims = claims_from_rollup(&self.cfg.platform, rollup);
         let caps = self.allocator.rebalance(&claims);
+        if self.observer.is_some() {
+            let record = rebalance_record(
+                &self.cfg,
+                rollup,
+                &claims,
+                &caps,
+                self.intervals_run,
+                started,
+            );
+            if let Some(obs) = self.observer.as_mut() {
+                obs.push(record);
+            }
+        }
         for (node, cap) in self.nodes.iter_mut().zip(caps) {
             node.retarget(cap)
                 .expect("allocator output stays within platform bounds");
@@ -454,6 +490,51 @@ impl Cluster {
             .collect();
         out.sort_by(|a, b| a.name.cmp(&b.name));
         out
+    }
+}
+
+/// Build the decision record for one rebalance round. Shared by the
+/// serial engine ([`Cluster::apply_rebalance`]) and the parallel
+/// arbiter in [`crate::engine`], so both produce identical records for
+/// identical rounds. `intervals_run` is the post-increment interval
+/// count, which both engines hold when rebalancing.
+pub(crate) fn rebalance_record(
+    cfg: &ClusterConfig,
+    rollup: &ClusterRollup,
+    claims: &[NodeClaim],
+    caps: &[Watts],
+    intervals_run: u64,
+    started: Option<std::time::Instant>,
+) -> DecisionRecord {
+    let mut events = Vec::new();
+    for ((claim, cap), tel) in claims.iter().zip(caps).zip(&rollup.nodes) {
+        if claim.is_revoked(&cfg.platform) {
+            events.push(DecisionEvent::Revocation {
+                node: claim.node,
+                ceiling: claim.max,
+                draw: tel.package_power,
+            });
+        }
+        if *cap != claim.current {
+            events.push(DecisionEvent::Retarget {
+                node: claim.node,
+                from: claim.current,
+                to: *cap,
+            });
+        }
+    }
+    DecisionRecord {
+        time: Seconds(intervals_run as f64 * cfg.control_interval.value()),
+        source: "cluster",
+        policy: cfg.policy.name(),
+        level: None,
+        budget: cfg.cluster_cap,
+        measured: Some(rollup.total_power()),
+        translation: cfg.translation.name(),
+        model_confident: rollup.nodes.iter().any(|n| n.predicted_capacity.is_some()),
+        apps: Vec::new(),
+        events,
+        latency: Seconds(started.map_or(0.0, |s| s.elapsed().as_secs_f64())),
     }
 }
 

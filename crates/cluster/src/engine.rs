@@ -14,7 +14,7 @@ use pap_simcpu::units::Watts;
 use pap_telemetry::rollup::{ClusterRollup, NodeTelemetry};
 
 use crate::allocator::claims_from_rollup;
-use crate::cluster::Cluster;
+use crate::cluster::{rebalance_record, Cluster};
 
 /// Advance the whole cluster `intervals` control intervals with one
 /// worker thread per node. Equivalent to `cluster.run(intervals)`,
@@ -33,6 +33,7 @@ pub fn run_parallel(cluster: &mut Cluster, intervals: u64) {
     let mut intervals_run = cluster.intervals_run;
     let mut energy_j = cluster.energy_j;
     let mut last_rollup = None;
+    let mut observer = cluster.observer.take();
 
     crossbeam::thread::scope(|s| {
         for (i, node) in cluster.nodes.iter_mut().enumerate() {
@@ -69,7 +70,19 @@ pub fn run_parallel(cluster: &mut Cluster, intervals: u64) {
             intervals_run += 1;
             energy_j += rollup.total_power().value() * cfg.control_interval.value();
             if cfg.rebalance_every > 0 && intervals_run.is_multiple_of(cfg.rebalance_every) {
-                let new_caps = allocator.rebalance(&claims_from_rollup(&cfg.platform, &rollup));
+                let started = observer.as_ref().map(|_| std::time::Instant::now());
+                let claims = claims_from_rollup(&cfg.platform, &rollup);
+                let new_caps = allocator.rebalance(&claims);
+                if let Some(obs) = observer.as_mut() {
+                    obs.push(rebalance_record(
+                        &cfg,
+                        &rollup,
+                        &claims,
+                        &new_caps,
+                        intervals_run,
+                        started,
+                    ));
+                }
                 for (slot, cap) in caps.iter().zip(new_caps) {
                     *slot.lock().expect("cap slot") = Some(cap);
                 }
@@ -83,6 +96,7 @@ pub fn run_parallel(cluster: &mut Cluster, intervals: u64) {
     cluster.intervals_run = intervals_run;
     cluster.energy_j = energy_j;
     cluster.last_rollup = last_rollup.or(cluster.last_rollup.take());
+    cluster.observer = observer;
 }
 
 #[cfg(test)]

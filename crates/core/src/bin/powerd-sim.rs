@@ -18,7 +18,8 @@ fn run(opts: &CliOptions) -> Result<(), String> {
     let platform = opts.platform_spec()?;
     let mut e = Experiment::new(platform, opts.policy, opts.limit)
         .duration(opts.duration)
-        .translation(opts.model);
+        .translation(opts.model)
+        .observe(opts.trace_out.is_some() || opts.metrics);
     if let Some(seed) = opts.seed {
         e = e.seed(seed);
     }
@@ -78,6 +79,18 @@ fn run(opts: &CliOptions) -> Result<(), String> {
     println!("{}", powerd::report::model_table(&result.model));
     if opts.csv {
         print!("{}", result.trace.to_csv());
+    }
+    if let Some(decisions) = &result.decisions {
+        if let Some(path) = &opts.trace_out {
+            std::fs::write(path, decisions.to_jsonl())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("decision trace: {} records -> {path}", decisions.len());
+        }
+        if opts.metrics {
+            if let Some(metrics) = decisions.metrics() {
+                print!("{}", metrics.expose());
+            }
+        }
     }
     Ok(())
 }

@@ -44,6 +44,11 @@ pub struct CliOptions {
     /// Budget-to-frequency translation model (default: the paper's
     /// naïve α).
     pub model: TranslationKind,
+    /// Write the per-interval decision trace as JSONL to this path.
+    pub trace_out: Option<String>,
+    /// Print aggregated control metrics (Prometheus text format) on
+    /// stdout after the run.
+    pub metrics: bool,
 }
 
 impl CliOptions {
@@ -79,6 +84,11 @@ OPTIONS:
                                  paper's naive alpha model or the online
                                  learned model (default: naive)
     --csv                        dump the telemetry trace as CSV
+    --trace-out <PATH>           write the per-interval decision trace
+                                 (one JSON record per control interval)
+                                 to PATH as JSONL
+    --metrics                    print aggregated control metrics in
+                                 Prometheus text format after the run
     --help                       print this help
 ";
 
@@ -139,6 +149,8 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
     let mut csv = false;
     let mut seed = None;
     let mut model = TranslationKind::Naive;
+    let mut trace_out = None;
+    let mut metrics = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -170,6 +182,8 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                     .ok_or_else(|| format!("bad --model '{v}' (naive|online)"))?;
             }
             "--csv" => csv = true,
+            "--trace-out" => trace_out = Some(value("--trace-out")?.clone()),
+            "--metrics" => metrics = true,
             other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
         }
     }
@@ -188,6 +202,8 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         csv,
         seed,
         model,
+        trace_out,
+        metrics,
     })
 }
 
@@ -266,6 +282,43 @@ mod tests {
         ]))
         .unwrap_err()
         .contains("bad --model"));
+    }
+
+    #[test]
+    fn observability_flags() {
+        let o = parse(&sv(&[
+            "--policy",
+            "rapl",
+            "--limit",
+            "50",
+            "--app",
+            "x=gcc",
+            "--trace-out",
+            "/tmp/decisions.jsonl",
+            "--metrics",
+        ]))
+        .unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("/tmp/decisions.jsonl"));
+        assert!(o.metrics);
+
+        let o = parse(&sv(&[
+            "--policy", "rapl", "--limit", "50", "--app", "x=gcc",
+        ]))
+        .unwrap();
+        assert_eq!(o.trace_out, None, "tracing is opt-in");
+        assert!(!o.metrics, "metrics are opt-in");
+
+        assert!(parse(&sv(&[
+            "--policy",
+            "rapl",
+            "--limit",
+            "50",
+            "--app",
+            "x=gcc",
+            "--trace-out",
+        ]))
+        .unwrap_err()
+        .contains("needs a value"));
     }
 
     #[test]

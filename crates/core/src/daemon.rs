@@ -20,12 +20,13 @@ use pap_simcpu::platform::PlatformSpec;
 use pap_telemetry::sampler::Sample;
 
 use crate::config::{AppSpec, ConfigError, DaemonConfig, PolicyKind};
+use crate::obs::{AppDecision, DecisionEvent, DecisionRecord, DecisionTrace};
 use crate::policy::frequency_shares::FrequencyShares;
 use crate::policy::performance_shares::PerformanceShares;
 use crate::policy::power_shares::PowerShares;
 use crate::policy::priority::PriorityPolicy;
-use crate::policy::{AppView, Policy, PolicyCtx, PolicyInput, PolicyOutput};
-use pap_simcpu::units::Watts;
+use crate::policy::{useful_max, AppView, Policy, PolicyCtx, PolicyInput, PolicyOutput};
+use pap_simcpu::units::{Seconds, Watts};
 
 /// Why a daemon could not be built or reconfigured. Wraps
 /// [`ConfigError`] for static config problems and adds the
@@ -56,6 +57,14 @@ pub enum DaemonError {
         /// The requested app name.
         app: String,
     },
+    /// A telemetry sample carried fewer cores than an app's pin
+    /// (malformed telemetry, fault injection, cluster replay).
+    ShortSample {
+        /// Minimum core count the configured app set needs.
+        expected: usize,
+        /// Core count the sample actually carried.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for DaemonError {
@@ -74,6 +83,10 @@ impl std::fmt::Display for DaemonError {
                 "performance shares need an offline IPS baseline for app '{app}'"
             ),
             DaemonError::UnknownApp { app } => write!(f, "no app named '{app}' under control"),
+            DaemonError::ShortSample { expected, got } => write!(
+                f,
+                "telemetry sample carries {got} cores but the app set needs at least {expected}"
+            ),
         }
     }
 }
@@ -141,10 +154,16 @@ pub struct Daemon {
     initialized: bool,
     /// Last programmed per-app frequency targets (policy state input).
     current: Vec<KiloHertz>,
+    /// Last programmed per-app park flags, so a degraded hold on a
+    /// malformed sample re-emits the full previous operating point.
+    current_parked: Vec<bool>,
     /// Online power/performance model. Always fed from telemetry (so a
     /// mid-run switch to [`TranslationKind::Online`] starts from warm
     /// fits); only consulted for translation when the config selects it.
     model: OnlineModel,
+    /// Decision-trace observer. `None` (the default) keeps observability
+    /// strictly off-path: no record building, no timing.
+    observer: Option<DecisionTrace>,
 }
 
 /// Platform-capability checks shared by construction and runtime
@@ -216,8 +235,26 @@ impl Daemon {
             shared_slots: platform.shared_pstate_slots,
             initialized: false,
             current: vec![KiloHertz::ZERO; n_apps],
+            current_parked: vec![false; n_apps],
             model: OnlineModel::new(ModelConfig::default()),
+            observer: None,
         })
+    }
+
+    /// Attach a decision-trace observer; subsequent control intervals
+    /// append one [`DecisionRecord`] each. Replaces any previous observer.
+    pub fn attach_observer(&mut self, trace: DecisionTrace) {
+        self.observer = Some(trace);
+    }
+
+    /// The attached decision trace, if any.
+    pub fn observer(&self) -> Option<&DecisionTrace> {
+        self.observer.as_ref()
+    }
+
+    /// Detach and return the decision trace (e.g. at end of run).
+    pub fn take_observer(&mut self) -> Option<DecisionTrace> {
+        self.observer.take()
     }
 
     /// The configuration the daemon runs.
@@ -312,17 +349,22 @@ impl Daemon {
     /// for the old app set and must be rebuilt.
     fn reset_distribution(&mut self) {
         self.current = vec![KiloHertz::ZERO; self.config.apps.len()];
+        self.current_parked = vec![false; self.config.apps.len()];
         self.initialized = false;
     }
 
-    /// Build app views from a telemetry sample.
-    fn views(&self, sample: &Sample) -> Vec<AppView> {
+    /// Build app views from a telemetry sample. Fails (instead of
+    /// panicking) when the sample carries fewer cores than an app's pin.
+    fn views(&self, sample: &Sample) -> Result<Vec<AppView>, DaemonError> {
         self.config
             .apps
             .iter()
             .map(|app| {
-                let cs = &sample.cores[app.core];
-                AppView {
+                let cs = sample.cores.get(app.core).ok_or(DaemonError::ShortSample {
+                    expected: app.core + 1,
+                    got: sample.cores.len(),
+                })?;
+                Ok(AppView {
                     core: app.core,
                     shares: app.shares as f64,
                     priority: app.priority,
@@ -330,7 +372,7 @@ impl Daemon {
                     power: cs.power,
                     ips: cs.rates.ips,
                     baseline_ips: app.baseline_ips,
-                }
+                })
             })
             .collect()
     }
@@ -341,8 +383,15 @@ impl Daemon {
         let mut freqs = vec![self.ctx.grid.min(); self.num_cores];
         let mut parked = vec![true; self.num_cores]; // unmanaged cores sleep
         for (i, app) in self.config.apps.iter().enumerate() {
-            freqs[app.core] = self.ctx.grid.round(out.freqs[i]);
-            parked[app.core] = out.parked[i];
+            // Config validation pins every app below the platform core
+            // count, but a defensive get keeps a stale config from
+            // panicking the control loop.
+            let (Some(fslot), Some(pslot)) = (freqs.get_mut(app.core), parked.get_mut(app.core))
+            else {
+                continue;
+            };
+            *fslot = self.ctx.grid.round(out.freqs[i]);
+            *pslot = out.parked[i];
         }
         if let Some(slots) = self.shared_slots {
             freqs = self
@@ -380,6 +429,7 @@ impl Daemon {
             }
         };
         self.current = out.freqs.clone();
+        self.current_parked = out.parked.clone();
         self.expand(&out)
     }
 
@@ -393,28 +443,58 @@ impl Daemon {
     /// and could overshoot the budget. Call after [`Daemon::initial`]
     /// so per-policy internal state exists.
     pub fn resume_from(&mut self, core_freqs: &[KiloHertz]) {
+        // `round` both clamps into [min, max] and snaps to the P-state
+        // grid: a firmware-clamped (off-grid) operating point must not
+        // poison `self.current` with a frequency the hardware cannot
+        // hold.
         self.current = self
             .config
             .apps
             .iter()
             .map(|app| {
-                core_freqs
-                    .get(app.core)
-                    .copied()
-                    .unwrap_or(KiloHertz::ZERO)
-                    .max(self.ctx.grid.min())
+                self.ctx
+                    .grid
+                    .round(core_freqs.get(app.core).copied().unwrap_or(KiloHertz::ZERO))
             })
             .collect();
+        self.current_parked = vec![false; self.config.apps.len()];
         self.initialized = true;
+    }
+
+    /// Last programmed per-app frequency targets (one per configured
+    /// app, in config order).
+    pub fn current_targets(&self) -> &[KiloHertz] {
+        &self.current
+    }
+
+    /// Whether the online model's package fit is currently confident.
+    pub fn model_confident(&self) -> bool {
+        self.model.package_confident()
     }
 
     /// One control interval: redistribution + translation (§5.2 functions
     /// (ii) and (iii)) from a fresh telemetry sample.
+    ///
+    /// A malformed sample (fewer cores than an app's pin) no longer
+    /// panics: the daemon holds the previous operating point, traces the
+    /// error when an observer is attached, and recovers on the next
+    /// healthy sample. Use [`Daemon::try_step`] to see the error itself.
     pub fn step(&mut self, sample: &Sample) -> ControlAction {
-        if !self.initialized {
-            return self.initial();
+        match self.try_step(sample) {
+            Ok(action) => action,
+            Err(err) => self.degraded_hold(sample, &err),
         }
-        let views = self.views(sample);
+    }
+
+    /// Fallible variant of [`Daemon::step`]: returns the typed error a
+    /// malformed sample produces instead of degrading silently. Daemon
+    /// state (policy, model) is untouched on error.
+    pub fn try_step(&mut self, sample: &Sample) -> Result<ControlAction, DaemonError> {
+        if !self.initialized {
+            return Ok(self.initial());
+        }
+        let started = self.observer.as_ref().map(|_| std::time::Instant::now());
+        let views = self.views(sample)?;
 
         // Feed the online model before the policy acts on the sample.
         // Learning happens regardless of the selected translation so a
@@ -443,8 +523,131 @@ impl Daemon {
                 model,
             ),
         };
+
+        // Saturation detection compares the *previous* interval's targets
+        // with what the cores achieved; observer-only, so it must run
+        // before `current` is overwritten.
+        let events = if self.observer.is_some() {
+            self.saturation_events(&views)
+        } else {
+            Vec::new()
+        };
+
         self.current = out.freqs.clone();
-        self.expand(&out)
+        self.current_parked = out.parked.clone();
+        let action = self.expand(&out);
+        if self.observer.is_some() {
+            let record = self.build_record(
+                sample.time,
+                Some(sample.package_power),
+                &out,
+                &action,
+                events,
+                started,
+            );
+            if let Some(obs) = self.observer.as_mut() {
+                obs.push(record);
+            }
+        }
+        Ok(action)
+    }
+
+    /// Hold the previous operating point when a sample is malformed: the
+    /// chip keeps its last-programmed targets, the error becomes a trace
+    /// event, and the loop survives to the next healthy sample.
+    fn degraded_hold(&mut self, sample: &Sample, err: &DaemonError) -> ControlAction {
+        let out = PolicyOutput {
+            freqs: self.current.clone(),
+            parked: self.current_parked.clone(),
+        };
+        let action = self.expand(&out);
+        if self.observer.is_some() {
+            let mut events = Vec::new();
+            if let DaemonError::ShortSample { expected, got } = *err {
+                events.push(DecisionEvent::ShortSample { expected, got });
+            }
+            events.push(DecisionEvent::Held {
+                reason: "malformed sample",
+            });
+            let record = self.build_record(
+                sample.time,
+                Some(sample.package_power),
+                &out,
+                &action,
+                events,
+                None,
+            );
+            if let Some(obs) = self.observer.as_mut() {
+                obs.push(record);
+            }
+        }
+        action
+    }
+
+    /// Cores whose achieved frequency saturated below the previous
+    /// interval's target — the paper's "useful max" ceiling. Called only
+    /// when an observer is attached.
+    fn saturation_events(&self, views: &[AppView]) -> Vec<DecisionEvent> {
+        views
+            .iter()
+            .zip(&self.current)
+            .filter(|(view, &target)| {
+                target > KiloHertz::ZERO
+                    && view.active_freq > KiloHertz::ZERO
+                    && useful_max(&self.ctx.grid, target, view.active_freq) < target
+            })
+            .map(|(view, &target)| DecisionEvent::Saturated {
+                core: view.core,
+                target,
+                achieved: view.active_freq,
+            })
+            .collect()
+    }
+
+    /// Assemble one [`DecisionRecord`] for the interval. Only called when
+    /// an observer is attached.
+    fn build_record(
+        &self,
+        time: Seconds,
+        measured: Option<Watts>,
+        out: &PolicyOutput,
+        action: &ControlAction,
+        events: Vec<DecisionEvent>,
+        started: Option<std::time::Instant>,
+    ) -> DecisionRecord {
+        let apps = self
+            .config
+            .apps
+            .iter()
+            .enumerate()
+            .map(|(i, app)| {
+                let requested = out.freqs.get(i).copied().unwrap_or(KiloHertz::ZERO);
+                AppDecision {
+                    core: app.core,
+                    requested,
+                    quantized: self.ctx.grid.round(requested),
+                    granted: action
+                        .freqs
+                        .get(app.core)
+                        .copied()
+                        .unwrap_or(KiloHertz::ZERO),
+                    parked: out.parked.get(i).copied().unwrap_or(false),
+                }
+            })
+            .collect();
+        DecisionRecord {
+            time,
+            source: "daemon",
+            policy: self.config.policy.name(),
+            level: None,
+            budget: self.config.power_limit,
+            measured,
+            translation: self.config.translation.name(),
+            model_confident: self.model.package_confident(),
+            apps,
+            events,
+            latency: Seconds(started.map_or(0.0, |s| s.elapsed().as_secs_f64())),
+        }
     }
 }
 

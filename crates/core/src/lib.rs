@@ -33,6 +33,11 @@
 //! shares → uniform last-good cap) driven by per-sensor health; the
 //! fault-injection harness in `pap_faults` exercises it.
 //!
+//! Every control layer can additionally emit an off-path decision trace
+//! ([`obs`]): per-interval [`obs::DecisionRecord`]s with JSONL and
+//! Prometheus-style metric sinks, for post-morteming chaos runs and
+//! cluster rebalances without re-running with printlns.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -65,6 +70,7 @@ pub mod daemon;
 pub mod governor;
 pub mod hw;
 pub mod hwp;
+pub mod obs;
 pub mod policy;
 pub mod quantize;
 pub mod report;
@@ -75,6 +81,7 @@ pub mod runner;
 pub mod prelude {
     pub use crate::config::{AppSpec, DaemonConfig, PolicyKind, Priority, TranslationKind};
     pub use crate::daemon::{ControlAction, Daemon};
+    pub use crate::obs::{AppDecision, DecisionEvent, DecisionRecord, DecisionTrace};
     pub use crate::policy::{Policy, PolicyCtx, PolicyInput, PolicyOutput};
     pub use crate::resilience::{
         CoreObservation, DegradationLevel, LadderEvent, Observation, ResilienceConfig,

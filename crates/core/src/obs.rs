@@ -1,0 +1,466 @@
+//! Control-plane decision tracing.
+//!
+//! Chip-side telemetry (`pap_telemetry::trace`) records what the hardware
+//! did; this module records *why the controller did what it did*. Each
+//! control interval the daemon (and the resilience ladder and cluster
+//! arbiter above it) can emit one [`DecisionRecord`]: the budget it was
+//! enforcing, the power it measured, every app's frequency target before
+//! and after quantization and slot clustering, which translation answered
+//! the budget-to-frequency query and whether the learned model was
+//! confident, plus discrete [`DecisionEvent`]s — short samples, actuator
+//! overrides, ladder transitions, revocations.
+//!
+//! Observability is strictly **off-path**: every hook in the controllers
+//! is guarded by "is an observer attached?", so with sinks disabled the
+//! emitted `ControlAction` stream is bit-identical to a build without
+//! this module (enforced by a regression test and the `ext_obs` bench).
+//!
+//! Two sinks consume a trace: [`DecisionTrace::to_jsonl`] renders one
+//! JSON object per line for post-mortems, and an optional shared
+//! [`ControlMetrics`] registry aggregates counters and latency/overshoot
+//! histograms for a Prometheus-style exposition.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use pap_simcpu::freq::KiloHertz;
+use pap_simcpu::units::{Seconds, Watts};
+use pap_telemetry::metrics::ControlMetrics;
+
+/// One app's frequency decision within a control interval, at each stage
+/// of the actuation funnel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppDecision {
+    /// Core the app is pinned to.
+    pub core: usize,
+    /// Raw policy output, before any quantization.
+    pub requested: KiloHertz,
+    /// After rounding to the platform's P-state grid.
+    pub quantized: KiloHertz,
+    /// Final per-core command, after shared-slot clustering (Ryzen).
+    pub granted: KiloHertz,
+    /// Whether the app's core was parked this interval.
+    pub parked: bool,
+}
+
+/// A discrete control-plane event attached to a [`DecisionRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecisionEvent {
+    /// A telemetry sample carried fewer cores than an app's pin.
+    ShortSample {
+        /// Minimum core count the app set needs.
+        expected: usize,
+        /// Core count the sample actually carried.
+        got: usize,
+    },
+    /// A core's achieved frequency saturated below its target.
+    Saturated {
+        /// The saturated core.
+        core: usize,
+        /// The commanded target.
+        target: KiloHertz,
+        /// What the core actually achieved.
+        achieved: KiloHertz,
+    },
+    /// The degradation ladder moved.
+    LadderTransition {
+        /// Level before the move.
+        from: &'static str,
+        /// Level after the move.
+        to: &'static str,
+        /// Why the ladder moved.
+        reason: &'static str,
+    },
+    /// The over-limit backstop rescaled the action.
+    Backstop {
+        /// Consecutive over-limit intervals that triggered it.
+        streak: u32,
+    },
+    /// The previous action was held/reused instead of recomputed.
+    Held {
+        /// Why the action was held.
+        reason: &'static str,
+    },
+    /// An external agent moved the actuators; policy state was reset.
+    ActuatorOverride,
+    /// The cluster allocator revoked part of a node's unused claim.
+    Revocation {
+        /// Node whose claim was revoked.
+        node: usize,
+        /// The reduced claim ceiling.
+        ceiling: Watts,
+        /// The node's measured draw that justified revocation.
+        draw: Watts,
+    },
+    /// The cluster allocator retargeted a node's power cap.
+    Retarget {
+        /// The retargeted node.
+        node: usize,
+        /// Previous cap.
+        from: Watts,
+        /// New cap.
+        to: Watts,
+    },
+}
+
+impl DecisionEvent {
+    /// Short kind tag used as the JSON `kind` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DecisionEvent::ShortSample { .. } => "short_sample",
+            DecisionEvent::Saturated { .. } => "saturated",
+            DecisionEvent::LadderTransition { .. } => "ladder_transition",
+            DecisionEvent::Backstop { .. } => "backstop",
+            DecisionEvent::Held { .. } => "held",
+            DecisionEvent::ActuatorOverride => "actuator_override",
+            DecisionEvent::Revocation { .. } => "revocation",
+            DecisionEvent::Retarget { .. } => "retarget",
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(out, "{{\"kind\":\"{}\"", self.kind());
+        match self {
+            DecisionEvent::ShortSample { expected, got } => {
+                let _ = write!(out, ",\"expected\":{expected},\"got\":{got}");
+            }
+            DecisionEvent::Saturated {
+                core,
+                target,
+                achieved,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"core\":{core},\"target_khz\":{},\"achieved_khz\":{}",
+                    target.khz(),
+                    achieved.khz()
+                );
+            }
+            DecisionEvent::LadderTransition { from, to, reason } => {
+                let _ = write!(
+                    out,
+                    ",\"from\":\"{from}\",\"to\":\"{to}\",\"reason\":\"{reason}\""
+                );
+            }
+            DecisionEvent::Backstop { streak } => {
+                let _ = write!(out, ",\"streak\":{streak}");
+            }
+            DecisionEvent::Held { reason } => {
+                let _ = write!(out, ",\"reason\":\"{reason}\"");
+            }
+            DecisionEvent::ActuatorOverride => {}
+            DecisionEvent::Revocation {
+                node,
+                ceiling,
+                draw,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{node},\"ceiling_w\":{},\"draw_w\":{}",
+                    ceiling.value(),
+                    draw.value()
+                );
+            }
+            DecisionEvent::Retarget { node, from, to } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{node},\"from_w\":{},\"to_w\":{}",
+                    from.value(),
+                    to.value()
+                );
+            }
+        }
+        out.push('}');
+    }
+}
+
+/// One control interval's complete decision: what was commanded, under
+/// which budget and translation, and which events accompanied it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRecord {
+    /// Simulated time of the interval.
+    pub time: Seconds,
+    /// Emitting layer: `"daemon"`, `"resilience"` or `"cluster"`.
+    pub source: &'static str,
+    /// Active policy short name.
+    pub policy: &'static str,
+    /// Degradation-ladder level, when the resilience layer emits.
+    pub level: Option<&'static str>,
+    /// Enforced power budget.
+    pub budget: Watts,
+    /// Measured package power, when a sample was available.
+    pub measured: Option<Watts>,
+    /// Translation answering budget-to-frequency queries.
+    pub translation: &'static str,
+    /// Whether the online model's package fit was confident.
+    pub model_confident: bool,
+    /// Per-app decisions through the actuation funnel.
+    pub apps: Vec<AppDecision>,
+    /// Discrete events this interval.
+    pub events: Vec<DecisionEvent>,
+    /// Wall-clock cost of computing the decision.
+    pub latency: Seconds,
+}
+
+impl DecisionRecord {
+    /// Render as one JSON object (no trailing newline). Hand-rolled —
+    /// every field is a number, bool or static identifier, so no escaping
+    /// is needed and the repo stays free of a serialization dependency.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            "{{\"time_s\":{},\"source\":\"{}\",\"policy\":\"{}\"",
+            self.time.value(),
+            self.source,
+            self.policy
+        );
+        match self.level {
+            Some(l) => {
+                let _ = write!(out, ",\"level\":\"{l}\"");
+            }
+            None => out.push_str(",\"level\":null"),
+        }
+        let _ = write!(out, ",\"budget_w\":{}", self.budget.value());
+        match self.measured {
+            Some(w) => {
+                let _ = write!(out, ",\"measured_w\":{}", w.value());
+            }
+            None => out.push_str(",\"measured_w\":null"),
+        }
+        let _ = write!(
+            out,
+            ",\"translation\":\"{}\",\"model_confident\":{}",
+            self.translation, self.model_confident
+        );
+        out.push_str(",\"apps\":[");
+        for (i, a) in self.apps.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"core\":{},\"requested_khz\":{},\"quantized_khz\":{},\"granted_khz\":{},\"parked\":{}}}",
+                a.core,
+                a.requested.khz(),
+                a.quantized.khz(),
+                a.granted.khz(),
+                a.parked
+            );
+        }
+        out.push_str("],\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            e.write_json(&mut out);
+        }
+        let _ = write!(out, "],\"latency_s\":{}}}", self.latency.value());
+        out
+    }
+}
+
+/// An in-memory decision log plus an optional metrics registry. Attach
+/// one to a [`Daemon`](crate::daemon::Daemon), a
+/// [`ResilientDaemon`](crate::resilience::ResilientDaemon) or a cluster,
+/// and every pushed record both accumulates for the JSONL sink and bumps
+/// the shared [`ControlMetrics`].
+#[derive(Debug, Clone, Default)]
+pub struct DecisionTrace {
+    records: Vec<DecisionRecord>,
+    metrics: Option<Arc<ControlMetrics>>,
+}
+
+impl DecisionTrace {
+    /// A trace with no metrics registry (JSONL sink only).
+    pub fn new() -> DecisionTrace {
+        DecisionTrace::default()
+    }
+
+    /// A trace that also bumps a shared metrics registry on every push.
+    pub fn with_metrics(metrics: Arc<ControlMetrics>) -> DecisionTrace {
+        DecisionTrace {
+            records: Vec::new(),
+            metrics: Some(metrics),
+        }
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&ControlMetrics> {
+        self.metrics.as_deref()
+    }
+
+    /// Append a record, updating the metrics registry when attached.
+    pub fn push(&mut self, record: DecisionRecord) {
+        if let Some(m) = &self.metrics {
+            m.decisions.inc();
+            m.decision_latency.record(record.latency.value());
+            if let Some(p) = record.measured {
+                let over = p.value() - record.budget.value();
+                if over > 0.0 {
+                    m.overshoot_watts.record(over);
+                }
+            }
+            for ev in &record.events {
+                match ev {
+                    DecisionEvent::ShortSample { .. } => m.short_samples.inc(),
+                    DecisionEvent::Saturated { .. } => m.saturations.inc(),
+                    DecisionEvent::LadderTransition { .. } => m.ladder_transitions.inc(),
+                    DecisionEvent::Backstop { .. } => m.backstops.inc(),
+                    DecisionEvent::Held { .. } => m.held_actions.inc(),
+                    DecisionEvent::ActuatorOverride => m.actuator_overrides.inc(),
+                    DecisionEvent::Revocation { .. } => m.revocations.inc(),
+                    DecisionEvent::Retarget { .. } => m.retargets.inc(),
+                }
+            }
+            if record.source == "cluster" {
+                m.rebalances.inc();
+            }
+        }
+        self.records.push(record);
+    }
+
+    /// All recorded decisions.
+    pub fn records(&self) -> &[DecisionRecord] {
+        &self.records
+    }
+
+    /// Number of recorded decisions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no decisions have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Render the whole trace as JSONL: one record per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> DecisionRecord {
+        DecisionRecord {
+            time: Seconds(3.0),
+            source: "daemon",
+            policy: "freq-shares",
+            level: None,
+            budget: Watts(40.0),
+            measured: Some(Watts(43.5)),
+            translation: "naive",
+            model_confident: false,
+            apps: vec![AppDecision {
+                core: 0,
+                requested: KiloHertz(2_133_333),
+                quantized: KiloHertz::from_mhz(2100),
+                granted: KiloHertz::from_mhz(2100),
+                parked: false,
+            }],
+            events: vec![DecisionEvent::Saturated {
+                core: 0,
+                target: KiloHertz::from_mhz(3000),
+                achieved: KiloHertz::from_mhz(2400),
+            }],
+            latency: Seconds(1.5e-6),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_fields() {
+        let json = record().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        for needle in [
+            "\"time_s\":3",
+            "\"source\":\"daemon\"",
+            "\"policy\":\"freq-shares\"",
+            "\"level\":null",
+            "\"budget_w\":40",
+            "\"measured_w\":43.5",
+            "\"model_confident\":false",
+            "\"requested_khz\":2133333",
+            "\"quantized_khz\":2100000",
+            "\"kind\":\"saturated\"",
+            "\"achieved_khz\":2400000",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // Balanced braces: a cheap well-formedness check without a JSON
+        // parser in the dependency tree.
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close, "{json}");
+    }
+
+    #[test]
+    fn jsonl_one_line_per_record() {
+        let mut t = DecisionTrace::new();
+        t.push(record());
+        t.push(record());
+        let jsonl = t.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn push_updates_metrics() {
+        let m = Arc::new(ControlMetrics::new());
+        let mut t = DecisionTrace::with_metrics(Arc::clone(&m));
+        t.push(record()); // 43.5 W measured vs 40 W budget → 3.5 W over
+        let m = t.metrics().unwrap();
+        assert_eq!(m.decisions.get(), 1);
+        assert_eq!(m.saturations.get(), 1);
+        assert_eq!(m.overshoot_watts.count(), 1);
+        let p50 = m.overshoot_watts.percentile(50.0);
+        assert!((p50 - 3.5).abs() / 3.5 < 0.05, "p50 {p50}");
+        assert_eq!(m.decision_latency.count(), 1);
+    }
+
+    #[test]
+    fn event_kinds_are_distinct() {
+        let events = [
+            DecisionEvent::ShortSample {
+                expected: 2,
+                got: 1,
+            },
+            DecisionEvent::Saturated {
+                core: 0,
+                target: KiloHertz::ZERO,
+                achieved: KiloHertz::ZERO,
+            },
+            DecisionEvent::LadderTransition {
+                from: "nominal",
+                to: "frequency-only",
+                reason: "telemetry loss",
+            },
+            DecisionEvent::Backstop { streak: 3 },
+            DecisionEvent::Held { reason: "gap" },
+            DecisionEvent::ActuatorOverride,
+            DecisionEvent::Revocation {
+                node: 1,
+                ceiling: Watts(30.0),
+                draw: Watts(22.0),
+            },
+            DecisionEvent::Retarget {
+                node: 1,
+                from: Watts(40.0),
+                to: Watts(30.0),
+            },
+        ];
+        let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), events.len());
+    }
+}

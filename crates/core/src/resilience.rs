@@ -45,6 +45,7 @@ use pap_telemetry::sampler::{CoreSample, Sample};
 
 use crate::config::{DaemonConfig, PolicyKind};
 use crate::daemon::{ControlAction, Daemon, DaemonError};
+use crate::obs::{AppDecision, DecisionEvent, DecisionRecord, DecisionTrace};
 
 /// Bounded retry with exponential backoff for MSR-class operations.
 ///
@@ -258,6 +259,14 @@ pub struct ResilientDaemon {
     /// Cores whose write failed (reported by the backend) since the last
     /// step.
     pending_write_errors: Vec<bool>,
+    /// Decision-trace observer. Lives here rather than on the inner
+    /// daemon because ladder moves rebuild that daemon from scratch.
+    /// `None` (the default) keeps observability strictly off-path.
+    observer: Option<DecisionTrace>,
+    /// Events noted by this interval's control path, drained into the
+    /// interval's [`DecisionRecord`]. Always empty when no observer is
+    /// attached ([`ResilientDaemon::note`] is a no-op then).
+    pending_events: Vec<DecisionEvent>,
 }
 
 impl ResilientDaemon {
@@ -290,7 +299,33 @@ impl ResilientDaemon {
             anchor: None,
             uniform_freq: platform.grid.min(),
             pending_write_errors: vec![false; num_cores],
+            observer: None,
+            pending_events: Vec::new(),
         })
+    }
+
+    /// Attach a decision-trace observer; each subsequent step appends one
+    /// [`DecisionRecord`] with `source = "resilience"`.
+    pub fn attach_observer(&mut self, trace: DecisionTrace) {
+        self.observer = Some(trace);
+    }
+
+    /// The attached decision trace, if any.
+    pub fn observer(&self) -> Option<&DecisionTrace> {
+        self.observer.as_ref()
+    }
+
+    /// Detach and return the decision trace (e.g. at end of run).
+    pub fn take_observer(&mut self) -> Option<DecisionTrace> {
+        self.observer.take()
+    }
+
+    /// Queue an event for this interval's record; no-op when no observer
+    /// is attached (keeping the hooks off-path).
+    fn note(&mut self, event: DecisionEvent) {
+        if self.observer.is_some() {
+            self.pending_events.push(event);
+        }
     }
 
     fn fallback_config(base: &DaemonConfig) -> DaemonConfig {
@@ -356,6 +391,7 @@ impl ResilientDaemon {
 
     /// One control interval over a fallible observation.
     pub fn step(&mut self, obs: &Observation) -> ControlAction {
+        let started = self.observer.as_ref().map(|_| std::time::Instant::now());
         self.observe_health(obs);
         if self.health.is_healthy(SensorId::PackagePower) {
             if let Some(p) = obs.package_power {
@@ -389,7 +425,58 @@ impl ResilientDaemon {
                 }
             }
         }
-        self.commit(action)
+        let action = self.commit(action);
+        if self.observer.is_some() {
+            let record = self.build_record(obs, &action, started);
+            if let Some(obs) = self.observer.as_mut() {
+                obs.push(record);
+            }
+        } else {
+            self.pending_events.clear();
+        }
+        action
+    }
+
+    /// Assemble one [`DecisionRecord`] for the interval, draining the
+    /// events noted along the control path. Only called with an observer
+    /// attached.
+    fn build_record(
+        &mut self,
+        obs: &Observation,
+        action: &ControlAction,
+        started: Option<std::time::Instant>,
+    ) -> DecisionRecord {
+        let events = std::mem::take(&mut self.pending_events);
+        // At this layer quantization and clustering already happened
+        // inside the inner daemon (or do not apply, at UniformCap), so
+        // the funnel stages coincide.
+        let apps = self
+            .app_cores
+            .iter()
+            .map(|&c| {
+                let f = action.freqs.get(c).copied().unwrap_or(KiloHertz::ZERO);
+                AppDecision {
+                    core: c,
+                    requested: f,
+                    quantized: f,
+                    granted: f,
+                    parked: action.parked.get(c).copied().unwrap_or(false),
+                }
+            })
+            .collect();
+        DecisionRecord {
+            time: obs.time,
+            source: "resilience",
+            policy: self.active_policy(),
+            level: Some(self.level.name()),
+            budget: self.base.power_limit,
+            measured: obs.package_power,
+            translation: self.base.translation.name(),
+            model_confident: self.daemon.as_ref().is_some_and(|d| d.model_confident()),
+            apps,
+            events,
+            latency: Seconds(started.map_or(0.0, |s| s.elapsed().as_secs_f64())),
+        }
     }
 
     /// Whether every managed core's measured active frequency confirms
@@ -491,6 +578,11 @@ impl ResilientDaemon {
             time,
             from: self.level,
             to: target,
+            reason,
+        });
+        self.note(DecisionEvent::LadderTransition {
+            from: self.level.name(),
+            to: target.name(),
             reason,
         });
         self.level = target;
@@ -633,6 +725,7 @@ impl ResilientDaemon {
         // frequencies instead of stepping the policy: redistributing
         // against an actuator that is not listening is pure windup.
         if let Some(achieved) = self.actuator_overridden(obs) {
+            self.note(DecisionEvent::ActuatorOverride);
             self.reset_policy_state(&achieved);
             let mut action = self
                 .last_action
@@ -648,6 +741,7 @@ impl ResilientDaemon {
         if !complete {
             if let Some(prev) = &self.last_action {
                 let mut held = prev.clone();
+                let mut reason = "telemetry gap";
                 // Blind while over budget: the last trusted package
                 // reading exceeded the limit, so replaying the same
                 // command verbatim just prolongs the violation until the
@@ -657,6 +751,7 @@ impl ResilientDaemon {
                 // under-limit gaps still hold the action exactly.
                 if let Some(p) = self.last_good_pkg {
                     if p > self.base.power_limit {
+                        reason = "blind-hold shed";
                         let scale = self.base.power_limit.value() / p.value();
                         let grid = self.platform.grid;
                         for &c in &self.app_cores {
@@ -665,6 +760,7 @@ impl ResilientDaemon {
                         }
                     }
                 }
+                self.note(DecisionEvent::Held { reason });
                 return self.quarantine_overlay(held);
             }
         }
@@ -707,13 +803,16 @@ impl ResilientDaemon {
     /// command scaled down by the over-budget ratio. Power grows
     /// superlinearly in frequency, so the linear scale errs low; the
     /// `min` keeps any deeper cut the policy already chose.
-    fn backstop(&self, mut action: ControlAction, obs: &Observation) -> ControlAction {
+    fn backstop(&mut self, mut action: ControlAction, obs: &Observation) -> ControlAction {
         if self.over_streak < self.rcfg.backstop_after {
             return action;
         }
         let Some(p) = obs.package_power else {
             return action;
         };
+        self.note(DecisionEvent::Backstop {
+            streak: self.over_streak,
+        });
         let scale = self.base.power_limit.value() / p.value();
         let grid = self.platform.grid;
         for &c in &self.app_cores {

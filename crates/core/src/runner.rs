@@ -22,8 +22,13 @@ use pap_workloads::profile::WorkloadProfile;
 
 use pap_model::{ModelSnapshot, TranslationKind};
 
+use std::sync::Arc;
+
+use pap_telemetry::metrics::ControlMetrics;
+
 use crate::config::{AppSpec, ControllerTuning, DaemonConfig, PolicyKind, Priority};
 use crate::daemon::{ControlAction, Daemon};
+use crate::obs::DecisionTrace;
 
 /// The standalone frequency the paper normalizes against: the app running
 /// alone at 85 W, i.e. at its single-active-core opportunistic limit
@@ -64,6 +69,10 @@ pub struct ExperimentResult {
     /// Final state of the daemon's online learned model (fed regardless
     /// of which translation the run selected).
     pub model: ModelSnapshot,
+    /// Per-interval decision trace with aggregated control metrics —
+    /// `Some` only when the experiment was built with
+    /// [`observe(true)`](Experiment::observe).
+    pub decisions: Option<DecisionTrace>,
 }
 
 struct Entry {
@@ -86,6 +95,7 @@ pub struct Experiment {
     translation: TranslationKind,
     phase_amplitude: f64,
     seed: u64,
+    observe: bool,
     entries: Vec<Entry>,
 }
 
@@ -109,6 +119,7 @@ impl Experiment {
             translation: TranslationKind::Naive,
             phase_amplitude: 0.1,
             seed: DEFAULT_PHASE_SEED,
+            observe: false,
             entries: Vec::new(),
         }
     }
@@ -203,6 +214,15 @@ impl Experiment {
         self
     }
 
+    /// Record a per-interval [`DecisionTrace`] (with aggregated
+    /// [`ControlMetrics`]) during the run. Off by default; when off the
+    /// daemon takes no timestamps and the control output is bit-identical
+    /// to a run without observability compiled in at all.
+    pub fn observe(mut self, on: bool) -> Experiment {
+        self.observe = on;
+        self
+    }
+
     /// Run to completion.
     pub fn run(self) -> Result<ExperimentResult, String> {
         let mut config = DaemonConfig::new(
@@ -222,6 +242,9 @@ impl Experiment {
                 .map_err(|e| e.to_string())?;
         }
         let mut daemon = Daemon::new(config, &self.platform)?;
+        if self.observe {
+            daemon.attach_observer(DecisionTrace::with_metrics(Arc::new(ControlMetrics::new())));
+        }
         let mut apps: Vec<RunningApp> = self
             .entries
             .iter()
@@ -309,6 +332,7 @@ impl Experiment {
             mean_package_power: trace.mean_package_power(),
             trace,
             model: daemon.model_snapshot(),
+            decisions: daemon.take_observer(),
         })
     }
 }

@@ -250,6 +250,14 @@ impl OnlineModel {
         self.learning = on;
     }
 
+    /// Whether the package power fit has enough spread to be trusted —
+    /// the gate [`TranslationModel`] queries use before preferring the
+    /// learned curve over the naïve fallback. Cheap enough to sample
+    /// every interval for decision tracing.
+    pub fn package_confident(&self) -> bool {
+        self.package.confident()
+    }
+
     /// Whether observations are currently folded into the fits.
     pub fn learning(&self) -> bool {
         self.learning

@@ -85,6 +85,27 @@ impl LogHistogram {
         self.min_value * (self.log_step * self.counts.len() as f64).exp()
     }
 
+    /// Rebuild a histogram from raw parts. Used by the lock-free
+    /// [`crate::metrics::AtomicLogHistogram`] to snapshot its atomic
+    /// buckets into a queryable histogram with the same geometry.
+    pub(crate) fn from_parts(
+        min_value: f64,
+        log_step: f64,
+        counts: Vec<u64>,
+        underflow: u64,
+        overflow: u64,
+        total: u64,
+    ) -> LogHistogram {
+        LogHistogram {
+            min_value,
+            log_step,
+            counts,
+            underflow,
+            overflow,
+            total,
+        }
+    }
+
     /// Merge another histogram with identical geometry.
     ///
     /// # Panics

@@ -12,6 +12,8 @@
 //! * [`stats`] — means, percentiles and the box-plot five-number summary;
 //! * [`rolling`] — online EWMA / sliding-window / Welford estimators;
 //! * [`histogram`] — log-bucketed latency histograms;
+//! * [`metrics`] — lock-free counters/histograms with Prometheus-style
+//!   exposition for the control plane;
 //! * [`rollup`] — multi-node aggregation for cluster-level arbitration.
 
 #![warn(missing_docs)]
@@ -20,6 +22,7 @@
 pub mod counters;
 pub mod health;
 pub mod histogram;
+pub mod metrics;
 pub mod rolling;
 pub mod rollup;
 pub mod sampler;
@@ -31,6 +34,7 @@ pub mod prelude {
     pub use crate::counters::{core_rates, power_from_energy, CoreRates};
     pub use crate::health::{HealthEvent, HealthTracker, SensorHealth, SensorId, SensorState};
     pub use crate::histogram::LogHistogram;
+    pub use crate::metrics::{AtomicLogHistogram, ControlMetrics, Counter};
     pub use crate::rollup::{ClusterRollup, NodeTelemetry};
     pub use crate::sampler::{CoreSample, Sample, Sampler};
     pub use crate::stats::BoxStats;

@@ -1,0 +1,350 @@
+//! Lock-free control-plane metrics.
+//!
+//! The decision trace (see `powerd::obs`) answers *why* the controller
+//! did what it did; this module answers *how often* and *how fast*.
+//! [`Counter`] and [`AtomicLogHistogram`] are shared-nothing atomics a
+//! control loop can bump from any thread without taking a lock, and
+//! [`ControlMetrics`] groups the fixed set of control-plane series with a
+//! Prometheus-style text exposition. The histogram reuses the bucket
+//! geometry and percentile machinery of [`LogHistogram`] so both sinks
+//! report identical quantiles.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::histogram::LogHistogram;
+
+/// A monotonically increasing event counter (relaxed atomics — counts are
+/// for reporting, not synchronization).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free variant of [`LogHistogram`]: identical log-spaced bucket
+/// geometry, but atomic buckets so concurrent recorders never contend on
+/// a lock. Queries go through [`AtomicLogHistogram::snapshot`], which
+/// materializes a plain [`LogHistogram`] and reuses its percentile code.
+#[derive(Debug)]
+pub struct AtomicLogHistogram {
+    min_value: f64,
+    log_step: f64,
+    counts: Vec<AtomicU64>,
+    underflow: AtomicU64,
+    overflow: AtomicU64,
+    total: AtomicU64,
+}
+
+impl AtomicLogHistogram {
+    /// Create a histogram spanning `[min_value, max_value]` with
+    /// `buckets` log-spaced buckets.
+    ///
+    /// # Panics
+    /// Panics unless `0 < min_value < max_value` and `buckets >= 1`.
+    pub fn new(min_value: f64, max_value: f64, buckets: usize) -> AtomicLogHistogram {
+        assert!(min_value > 0.0 && max_value > min_value && buckets >= 1);
+        AtomicLogHistogram {
+            min_value,
+            log_step: (max_value / min_value).ln() / buckets as f64,
+            counts: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
+            underflow: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value. Non-finite values are dropped (a poisoned timer
+    /// must not poison the distribution).
+    pub fn record(&self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.total.fetch_add(1, Ordering::Relaxed);
+        if value < self.min_value {
+            self.underflow.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let idx = ((value / self.min_value).ln() / self.log_step) as usize;
+        match self.counts.get(idx) {
+            Some(c) => c.fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Materialize the current counts into a plain [`LogHistogram`]
+    /// (same geometry) for percentile queries and merging.
+    pub fn snapshot(&self) -> LogHistogram {
+        LogHistogram::from_parts(
+            self.min_value,
+            self.log_step,
+            self.counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            self.underflow.load(Ordering::Relaxed),
+            self.overflow.load(Ordering::Relaxed),
+            self.total.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Approximate percentile via [`LogHistogram::percentile`] on a
+    /// snapshot; 0 when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        self.snapshot().percentile(p)
+    }
+}
+
+/// The fixed set of control-plane series: event counters plus decision
+/// latency and budget-overshoot histograms. All methods take `&self`, so
+/// one instance can sit behind an `Arc` and be bumped from the daemon,
+/// the resilience ladder and the cluster arbiter concurrently.
+#[derive(Debug)]
+pub struct ControlMetrics {
+    /// Control decisions recorded (one per control interval).
+    pub decisions: Counter,
+    /// Malformed samples carrying fewer cores than an app's pin.
+    pub short_samples: Counter,
+    /// Intervals where a core's achieved frequency saturated below its
+    /// target (the paper's "useful max" ceiling).
+    pub saturations: Counter,
+    /// Actions held/reused instead of recomputed (telemetry gaps,
+    /// actuator overrides, short samples).
+    pub held_actions: Counter,
+    /// Backstop engagements (sustained over-limit streaks).
+    pub backstops: Counter,
+    /// Degradation-ladder transitions.
+    pub ladder_transitions: Counter,
+    /// Actuator-override detections (external agent moved the knobs).
+    pub actuator_overrides: Counter,
+    /// Cluster power-claim revocations (min-funding style).
+    pub revocations: Counter,
+    /// Cluster node cap retargets.
+    pub retargets: Counter,
+    /// Cluster rebalance rounds.
+    pub rebalances: Counter,
+    /// Decision computation latency in seconds (10 ns .. 1 s).
+    pub decision_latency: AtomicLogHistogram,
+    /// Measured power above budget, in watts, recorded only on overshoot
+    /// intervals (10 mW .. 1 kW).
+    pub overshoot_watts: AtomicLogHistogram,
+}
+
+impl ControlMetrics {
+    /// A zeroed registry.
+    pub fn new() -> ControlMetrics {
+        ControlMetrics {
+            decisions: Counter::new(),
+            short_samples: Counter::new(),
+            saturations: Counter::new(),
+            held_actions: Counter::new(),
+            backstops: Counter::new(),
+            ladder_transitions: Counter::new(),
+            actuator_overrides: Counter::new(),
+            revocations: Counter::new(),
+            retargets: Counter::new(),
+            rebalances: Counter::new(),
+            decision_latency: AtomicLogHistogram::new(1e-8, 1.0, 400),
+            overshoot_watts: AtomicLogHistogram::new(1e-2, 1e3, 200),
+        }
+    }
+
+    /// Prometheus-style text exposition of every series. Histograms are
+    /// rendered as summaries (p50/p90/p99 quantile gauges plus `_count`).
+    pub fn expose(&self) -> String {
+        let mut out = String::new();
+        let counters: [(&str, &str, &Counter); 10] = [
+            (
+                "pap_decisions_total",
+                "Control decisions recorded.",
+                &self.decisions,
+            ),
+            (
+                "pap_short_samples_total",
+                "Malformed samples shorter than an app's core pin.",
+                &self.short_samples,
+            ),
+            (
+                "pap_saturations_total",
+                "Cores saturated below their frequency target.",
+                &self.saturations,
+            ),
+            (
+                "pap_held_actions_total",
+                "Actions held instead of recomputed.",
+                &self.held_actions,
+            ),
+            (
+                "pap_backstops_total",
+                "Backstop engagements on over-limit streaks.",
+                &self.backstops,
+            ),
+            (
+                "pap_ladder_transitions_total",
+                "Degradation-ladder transitions.",
+                &self.ladder_transitions,
+            ),
+            (
+                "pap_actuator_overrides_total",
+                "External actuator overrides detected.",
+                &self.actuator_overrides,
+            ),
+            (
+                "pap_revocations_total",
+                "Cluster power-claim revocations.",
+                &self.revocations,
+            ),
+            (
+                "pap_retargets_total",
+                "Cluster node cap retargets.",
+                &self.retargets,
+            ),
+            (
+                "pap_rebalances_total",
+                "Cluster rebalance rounds.",
+                &self.rebalances,
+            ),
+        ];
+        for (name, help, c) in counters {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        let summaries: [(&str, &str, &AtomicLogHistogram); 2] = [
+            (
+                "pap_decision_latency_seconds",
+                "Control decision computation latency.",
+                &self.decision_latency,
+            ),
+            (
+                "pap_budget_overshoot_watts",
+                "Measured power above budget on overshoot intervals.",
+                &self.overshoot_watts,
+            ),
+        ];
+        for (name, help, h) in summaries {
+            let snap = h.snapshot();
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for q in [50.0, 90.0, 99.0] {
+                let _ = writeln!(
+                    out,
+                    "{name}{{quantile=\"{}\"}} {:.9}",
+                    q / 100.0,
+                    snap.percentile(q)
+                );
+            }
+            let _ = writeln!(out, "{name}_count {}", snap.count());
+        }
+        out
+    }
+}
+
+impl Default for ControlMetrics {
+    fn default() -> ControlMetrics {
+        ControlMetrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_increments() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn atomic_histogram_matches_plain_histogram() {
+        let atomic = AtomicLogHistogram::new(1e-5, 100.0, 800);
+        let mut plain = LogHistogram::new(1e-5, 100.0, 800);
+        for i in 1..=1000 {
+            let v = i as f64 / 1000.0;
+            atomic.record(v);
+            plain.record(v);
+        }
+        assert_eq!(atomic.count(), plain.count());
+        for p in [1.0, 25.0, 50.0, 90.0, 99.0] {
+            assert_eq!(atomic.percentile(p), plain.percentile(p), "p{p}");
+        }
+        // Snapshots merge with plain histograms of the same geometry.
+        let mut merged = atomic.snapshot();
+        merged.merge(&plain);
+        assert_eq!(merged.count(), 2000);
+    }
+
+    #[test]
+    fn atomic_histogram_drops_non_finite() {
+        let h = AtomicLogHistogram::new(1.0, 10.0, 4);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(2.0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let m = Arc::new(ControlMetrics::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        m.decisions.inc();
+                        m.decision_latency.record(1e-6 * (1 + i % 10) as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.decisions.get(), 4000);
+        assert_eq!(m.decision_latency.count(), 4000);
+    }
+
+    #[test]
+    fn exposition_format() {
+        let m = ControlMetrics::new();
+        m.decisions.add(7);
+        m.overshoot_watts.record(2.5);
+        let text = m.expose();
+        assert!(text.contains("# TYPE pap_decisions_total counter"));
+        assert!(text.contains("pap_decisions_total 7"));
+        assert!(text.contains("pap_budget_overshoot_watts{quantile=\"0.5\"}"));
+        assert!(text.contains("pap_budget_overshoot_watts_count 1"));
+        // Every non-comment line is "name[{labels}] value".
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "malformed line: {line}");
+        }
+    }
+}

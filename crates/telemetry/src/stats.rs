@@ -26,15 +26,18 @@ pub fn std_dev(values: &[f64]) -> f64 {
 /// Linear-interpolated percentile (`p` in 0..=100); 0 for empty input.
 ///
 /// NaN samples are ignored (a sensor dropout must not poison the whole
-/// summary); an all-NaN slice behaves like an empty one. Debug builds
-/// assert on NaN so the producing experiment is still caught in
-/// development.
+/// summary); an all-NaN slice behaves like an empty one. Out-of-range `p`
+/// is clamped to `[0, 100]` — a `p > 100` would otherwise compute a rank
+/// past the end of the slice and panic even in release builds. Debug
+/// builds assert on both NaN and out-of-range `p` so the producing
+/// experiment is still caught in development.
 pub fn percentile(values: &[f64], p: f64) -> f64 {
     debug_assert!(
         values.iter().all(|v| !v.is_nan()),
         "NaN sample fed to percentile"
     );
     debug_assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let p = p.clamp(0.0, 100.0);
     let mut v: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
     if v.is_empty() {
         return 0.0;
@@ -155,6 +158,17 @@ mod tests {
         let v = [4.0, f64::NAN, 1.0, 3.0, f64::NAN, 2.0];
         assert!((percentile(&v, 50.0) - 2.5).abs() < 1e-12);
         assert_eq!(percentile(&[f64::NAN, f64::NAN], 50.0), 0.0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "out of range"))]
+    fn percentile_clamps_out_of_range_p_in_release_and_asserts_in_debug() {
+        // Before the clamp, p > 100 computed a rank past the end of the
+        // slice and release builds panicked on the index; now it behaves
+        // like p = 100 (and negative p like p = 0).
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 150.0), 4.0);
+        assert_eq!(percentile(&v, -5.0), 1.0);
     }
 
     #[test]

@@ -103,8 +103,17 @@ impl Trace {
     }
 
     /// Render as CSV: header plus one row per sample.
+    ///
+    /// The column count is sized from the *maximum* core count across all
+    /// samples — traces whose samples disagree (mid-run admission on a
+    /// cluster node) stay rectangular, with absent cores padded as `-`.
     pub fn to_csv(&self) -> String {
-        let ncores = self.samples.first().map_or(0, |s| s.cores.len());
+        let ncores = self
+            .samples
+            .iter()
+            .map(|s| s.cores.len())
+            .max()
+            .unwrap_or(0);
         let mut out = String::from("time_s,pkg_w,cores_w");
         for c in 0..ncores {
             let _ = write!(out, ",c{c}_mhz,c{c}_ips,c{c}_w");
@@ -118,15 +127,20 @@ impl Trace {
                 s.package_power.value(),
                 s.cores_power.value()
             );
-            for cs in &s.cores {
-                let _ = write!(
-                    out,
-                    ",{},{:.0},{}",
-                    cs.rates.active_freq.mhz(),
-                    cs.rates.ips,
-                    cs.power
-                        .map_or_else(|| "-".to_string(), |p| format!("{:.3}", p.value()))
-                );
+            for c in 0..ncores {
+                match s.cores.get(c) {
+                    Some(cs) => {
+                        let _ = write!(
+                            out,
+                            ",{},{:.0},{}",
+                            cs.rates.active_freq.mhz(),
+                            cs.rates.ips,
+                            cs.power
+                                .map_or_else(|| "-".to_string(), |p| format!("{:.3}", p.value()))
+                        );
+                    }
+                    None => out.push_str(",-,-,-"),
+                }
             }
             out.push('\n');
         }
@@ -205,5 +219,31 @@ mod tests {
         );
         let row = lines.next().unwrap();
         assert!(row.starts_with("1.000,40.500,30.500,2000,1000000000,-"));
+    }
+
+    #[test]
+    fn csv_ragged_core_counts_stay_rectangular() {
+        // Mid-run admission: a later sample carries more cores than the
+        // first. The header must be sized from the max core count and
+        // short rows padded, so every row has the same column count.
+        let mut wide = sample(2.0, 50.0, 1500, 5e8);
+        wide.cores.push(wide.cores[0].clone());
+        wide.cores.push(wide.cores[0].clone());
+
+        let mut t = Trace::new();
+        t.push(sample(1.0, 40.0, 2000, 1e9)); // 1 core
+        t.push(wide); // 3 cores
+        let csv = t.to_csv();
+
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.ends_with("c2_mhz,c2_ips,c2_w"), "header: {header}");
+        let ncols = header.split(',').count();
+        for row in lines {
+            assert_eq!(row.split(',').count(), ncols, "ragged row: {row}");
+        }
+        // The short row is padded with placeholders for the absent cores.
+        let short = csv.lines().nth(1).unwrap();
+        assert!(short.ends_with(",-,-,-,-,-,-"), "short row: {short}");
     }
 }
