@@ -1,0 +1,150 @@
+//! A counting global allocator for zero-allocation assertions.
+//!
+//! The control hot path promises **zero heap allocations per
+//! steady-state step** (DESIGN.md §11). That promise is only worth
+//! having if it is machine-checked, so the `ext_hotpath` bench binary
+//! and the golden-replay suite install [`CountingAlloc`] as their
+//! `#[global_allocator]` and assert the per-thread allocation count does
+//! not move across a step.
+//!
+//! Counts are **per-thread** (plain `thread_local!` cells), so the
+//! multi-threaded test harness and parallel sweeps don't bleed
+//! allocations into each other's measurements. The counters themselves
+//! are `Cell`s with const initializers: reading or bumping them never
+//! allocates, so the allocator cannot recurse.
+//!
+//! ```
+//! use pap_alloccount::AllocCounter;
+//! // (In a binary this would be `#[global_allocator] static A: CountingAlloc = CountingAlloc;`.)
+//! let before = AllocCounter::snapshot();
+//! let v: Vec<u64> = Vec::with_capacity(32);
+//! drop(v);
+//! let after = AllocCounter::snapshot();
+//! // Under the counting allocator `after.allocs - before.allocs` would be 1.
+//! assert!(after.allocs >= before.allocs);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+    static REALLOCS: Cell<u64> = const { Cell::new(0) };
+    static PANIC_ON_ALLOC: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Debugging aid: make the *next* allocation event on this thread panic
+/// (the flag clears itself first, so the panic machinery can allocate).
+/// Run with `RUST_BACKTRACE=1` to see exactly where a hot path allocates.
+pub fn panic_on_alloc(enabled: bool) {
+    PANIC_ON_ALLOC.with(|c| c.set(enabled));
+}
+
+fn trip(kind: &str, size: usize) {
+    if PANIC_ON_ALLOC.with(|c| c.replace(false)) {
+        panic!("unexpected heap {kind} of {size} bytes on a no-alloc path");
+    }
+}
+
+/// A `#[global_allocator]` that forwards to [`System`] and counts
+/// allocations per thread.
+pub struct CountingAlloc;
+
+// SAFETY: pure pass-through to `System`; the thread-local bookkeeping is
+// const-initialized `Cell`s, which never allocate, so there is no
+// re-entrancy into the allocator.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        trip("alloc", layout.size());
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        BYTES.with(|c| c.set(c.get() + layout.size() as u64));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        trip("realloc", new_size);
+        REALLOCS.with(|c| c.set(c.get() + 1));
+        if new_size > layout.size() {
+            BYTES.with(|c| c.set(c.get() + (new_size - layout.size()) as u64));
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        trip("alloc_zeroed", layout.size());
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        BYTES.with(|c| c.set(c.get() + layout.size() as u64));
+        System.alloc_zeroed(layout)
+    }
+}
+
+/// A point-in-time reading of this thread's allocation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocCounter {
+    /// Heap allocations (`alloc` + `alloc_zeroed`) on this thread.
+    pub allocs: u64,
+    /// Grow-only byte volume requested on this thread.
+    pub bytes: u64,
+    /// `realloc` calls on this thread (a growing `Vec` shows up here).
+    pub reallocs: u64,
+}
+
+impl AllocCounter {
+    /// Read the current thread's counters.
+    pub fn snapshot() -> AllocCounter {
+        AllocCounter {
+            allocs: ALLOCS.with(|c| c.get()),
+            bytes: BYTES.with(|c| c.get()),
+            reallocs: REALLOCS.with(|c| c.get()),
+        }
+    }
+
+    /// Allocation events since `earlier` (allocs + reallocs): the number
+    /// that must be **zero** across a steady-state control step.
+    pub fn events_since(&self, earlier: &AllocCounter) -> u64 {
+        (self.allocs - earlier.allocs) + (self.reallocs - earlier.reallocs)
+    }
+
+    /// Bytes requested since `earlier`.
+    pub fn bytes_since(&self, earlier: &AllocCounter) -> u64 {
+        self.bytes - earlier.bytes
+    }
+}
+
+/// Count the allocation events (allocs + reallocs) performed by `f` on
+/// the current thread.
+pub fn count_events<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = AllocCounter::snapshot();
+    let r = f();
+    let after = AllocCounter::snapshot();
+    (r, after.events_since(&before))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Note: the test binary does NOT install CountingAlloc (unit tests
+    // here only check counter plumbing; the end-to-end behaviour is
+    // exercised by the hotpath suite, which does install it).
+    #[test]
+    fn snapshot_is_monotone() {
+        let a = AllocCounter::snapshot();
+        let b = AllocCounter::snapshot();
+        assert_eq!(b.events_since(&a), 0);
+        assert_eq!(b.bytes_since(&a), 0);
+    }
+
+    #[test]
+    fn count_events_returns_value() {
+        let (v, _) = count_events(|| 41 + 1);
+        assert_eq!(v, 42);
+    }
+}

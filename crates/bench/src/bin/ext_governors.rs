@@ -7,6 +7,7 @@
 //! saturates the queue, `ondemand` races to max under load, and
 //! `conservative` lags bursts.
 
+use pap_bench::sweep::{self, Threads};
 use pap_bench::{f1, Table};
 use pap_simcpu::chip::Chip;
 use pap_simcpu::platform::PlatformSpec;
@@ -80,8 +81,10 @@ fn main() {
         "Extension: cpufreq governors on a bursty single-core service (40 users)",
         &["governor", "p90_ms", "pkg_w", "throughput_rps"],
     );
-    for (name, gov) in governors {
-        let (p90, pkg, x) = run(gov);
+    let results = sweep::run(Threads::from_env(), governors.to_vec(), |(name, gov)| {
+        (name, run(gov))
+    });
+    for (name, (p90, pkg, x)) in results {
         t.row(vec![name.into(), f1(p90), f1(pkg), f1(x)]);
     }
     println!("{t}");

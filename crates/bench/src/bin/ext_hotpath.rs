@@ -1,0 +1,386 @@
+//! Extension: hot-path memory discipline bench (DESIGN.md §11).
+//!
+//! Installs a counting global allocator and drives every policy's
+//! steady-state control loop (observer detached, naive and online
+//! translation) through `Daemon::step_view`, proving **zero heap
+//! allocations per step** and measuring steps/sec for both the borrowed
+//! view path and the owning `step()` path.
+//!
+//! Exits non-zero if any scenario allocates in steady state, or if the
+//! zero-alloc view path is more than 10 % slower than the allocating
+//! owned path (the view path exists to be faster; falling behind the
+//! baseline it replaces is a regression). Results land in
+//! `results/BENCH_hotpath.json` for CI to archive.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use pap_alloccount::{AllocCounter, CountingAlloc};
+use pap_bench::{f1, Table};
+use pap_model::TranslationKind;
+use pap_simcpu::freq::KiloHertz;
+use pap_simcpu::platform::PlatformSpec;
+use pap_simcpu::units::{Seconds, Watts};
+use pap_telemetry::counters::CoreRates;
+use pap_telemetry::sampler::{CoreSample, Sample};
+use powerd::config::{AppSpec, DaemonConfig, PolicyKind, Priority};
+use powerd::daemon::Daemon;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Steps to run before measuring (fills scratch capacities and the
+/// online model's observation windows).
+const WARMUP: usize = 300;
+/// Distinct pre-synthesized telemetry samples cycled during the run.
+const SAMPLE_CYCLE: usize = 512;
+/// Timing trials per path; the best (fastest) trial is reported so a
+/// scheduler hiccup on a shared CI runner can't fail the perf gate.
+/// Allocation counting spans *all* view-path trials.
+const TRIALS: usize = 3;
+
+fn skylake_apps() -> Vec<AppSpec> {
+    vec![
+        AppSpec::new("a0", 0)
+            .with_shares(70)
+            .with_priority(Priority::High)
+            .with_baseline_ips(2.4e9),
+        AppSpec::new("a1", 1)
+            .with_shares(30)
+            .with_priority(Priority::Low)
+            .with_baseline_ips(1.8e9),
+        AppSpec::new("a2", 2)
+            .with_shares(50)
+            .with_priority(Priority::High)
+            .with_baseline_ips(2.0e9),
+        AppSpec::new("a3", 3)
+            .with_shares(10)
+            .with_priority(Priority::Low)
+            .with_baseline_ips(1.5e9),
+    ]
+}
+
+fn ryzen_apps() -> Vec<AppSpec> {
+    (0..6)
+        .map(|i| {
+            AppSpec::new(format!("r{i}"), i)
+                .with_shares(10 + 15 * i as u32)
+                .with_baseline_ips(2.0e9)
+        })
+        .collect()
+}
+
+fn baseline_for(apps: &[AppSpec], core: usize) -> Option<f64> {
+    apps.iter().find(|a| a.core == core).map(|a| a.baseline_ips)
+}
+
+/// Deterministic synthetic telemetry, same regime as the golden-replay
+/// suite: package power quadratic in total managed GHz, centered so it
+/// crosses the limit both ways; per-core power on Ryzen only.
+fn synth_freq(i: usize, c: usize, platform: &PlatformSpec) -> KiloHertz {
+    let lo = platform.grid.min().khz();
+    let hi = platform.grid.max().khz();
+    let span_steps = (hi - lo) / 100_000;
+    let k = (i as u64 * 13 + c as u64 * 7) % span_steps.max(1);
+    KiloHertz(lo + k * 100_000)
+}
+
+fn synth_sample(i: usize, platform: &PlatformSpec, apps: &[AppSpec], limit: Watts) -> Sample {
+    let total_ghz: f64 = (0..platform.num_cores)
+        .filter(|&c| baseline_for(apps, c).is_some())
+        .map(|c| synth_freq(i, c, platform).ghz())
+        .sum();
+    let t0 = apps.len() as f64 * (platform.grid.min().ghz() + platform.grid.max().ghz()) / 2.0;
+    let wobble = (((i * 37) % 17) as f64 - 8.0) * 0.25;
+    let pkg =
+        limit.value() + 1.2 * (total_ghz - t0) + 0.18 * (total_ghz * total_ghz - t0 * t0) + wobble;
+    let cores = (0..platform.num_cores)
+        .map(|c| {
+            let managed = baseline_for(apps, c);
+            let freq = if managed.is_some() {
+                synth_freq(i, c, platform)
+            } else {
+                KiloHertz::ZERO
+            };
+            let ips = managed.map_or(0.0, |b| b * (0.1 + 0.3 * freq.ghz()));
+            let power = if platform.per_core_power {
+                Some(Watts(1.5 + 2.2 * freq.ghz() + ((i + c) % 5) as f64 * 0.3))
+            } else {
+                None
+            };
+            CoreSample {
+                rates: CoreRates {
+                    active_freq: freq,
+                    c0_residency: 1.0,
+                    ips,
+                },
+                power,
+                requested_freq: freq,
+            }
+        })
+        .collect();
+    Sample {
+        time: Seconds((i + 1) as f64),
+        interval: Seconds(1.0),
+        package_power: Watts(pkg),
+        cores_power: Watts((pkg - 10.0).max(0.0)),
+        cores,
+    }
+}
+
+struct ScenarioResult {
+    name: String,
+    policy: &'static str,
+    translation: &'static str,
+    steps: usize,
+    alloc_events: u64,
+    alloc_bytes: u64,
+    steps_per_sec_view: f64,
+    steps_per_sec_owned: f64,
+}
+
+fn make_daemon(
+    policy: PolicyKind,
+    platform: &PlatformSpec,
+    apps: &[AppSpec],
+    translation: TranslationKind,
+    limit: Watts,
+) -> Daemon {
+    let mut config = DaemonConfig::new(policy, limit, apps.to_vec());
+    config.translation = translation;
+    Daemon::new(config, platform).expect("valid bench config")
+}
+
+/// Run one scenario: warm up, then measure the zero-alloc view path and
+/// (on a fresh daemon, same telemetry) the owning path.
+fn run_scenario(
+    name: &str,
+    policy: PolicyKind,
+    platform: &PlatformSpec,
+    apps: &[AppSpec],
+    translation: TranslationKind,
+    steps: usize,
+) -> ScenarioResult {
+    let limit = Watts(45.0);
+    let samples: Vec<Sample> = (0..SAMPLE_CYCLE)
+        .map(|i| synth_sample(i, platform, apps, limit))
+        .collect();
+
+    // View path: steady-state allocation count plus throughput.
+    let mut d = make_daemon(policy, platform, apps, translation, limit);
+    d.initial();
+    for i in 0..WARMUP {
+        d.step_view(&samples[i % SAMPLE_CYCLE]);
+    }
+    let before = AllocCounter::snapshot();
+    let mut view_secs = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let started = Instant::now();
+        for i in 0..steps {
+            d.step_view(&samples[(WARMUP + i) % SAMPLE_CYCLE]);
+        }
+        view_secs = view_secs.min(started.elapsed().as_secs_f64());
+    }
+    let after = AllocCounter::snapshot();
+
+    // Owned path: identical telemetry, fresh daemon, `step()` clones the
+    // action out of the arena every interval.
+    let mut d = make_daemon(policy, platform, apps, translation, limit);
+    d.initial();
+    for i in 0..WARMUP {
+        d.step(&samples[i % SAMPLE_CYCLE]);
+    }
+    let mut owned_secs = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let started = Instant::now();
+        for i in 0..steps {
+            d.step(&samples[(WARMUP + i) % SAMPLE_CYCLE]);
+        }
+        owned_secs = owned_secs.min(started.elapsed().as_secs_f64());
+    }
+
+    ScenarioResult {
+        name: name.to_string(),
+        policy: policy_label(policy),
+        translation: match translation {
+            TranslationKind::Naive => "naive",
+            TranslationKind::Online => "online",
+        },
+        steps,
+        alloc_events: after.events_since(&before),
+        alloc_bytes: after.bytes_since(&before),
+        steps_per_sec_view: steps as f64 / view_secs,
+        steps_per_sec_owned: steps as f64 / owned_secs,
+    }
+}
+
+fn policy_label(policy: PolicyKind) -> &'static str {
+    match policy {
+        PolicyKind::RaplNative => "rapl",
+        PolicyKind::Priority => "priority",
+        PolicyKind::PowerShares => "power-shares",
+        PolicyKind::FrequencyShares => "freq-shares",
+        PolicyKind::PerformanceShares => "perf-shares",
+    }
+}
+
+fn scenarios() -> Vec<(&'static str, PolicyKind, PlatformSpec, Vec<AppSpec>)> {
+    vec![
+        (
+            "skylake_priority",
+            PolicyKind::Priority,
+            PlatformSpec::skylake(),
+            skylake_apps(),
+        ),
+        (
+            "skylake_freq",
+            PolicyKind::FrequencyShares,
+            PlatformSpec::skylake(),
+            skylake_apps(),
+        ),
+        (
+            "skylake_perf",
+            PolicyKind::PerformanceShares,
+            PlatformSpec::skylake(),
+            skylake_apps(),
+        ),
+        (
+            "skylake_rapl",
+            PolicyKind::RaplNative,
+            PlatformSpec::skylake(),
+            skylake_apps(),
+        ),
+        (
+            "ryzen_power",
+            PolicyKind::PowerShares,
+            PlatformSpec::ryzen(),
+            ryzen_apps(),
+        ),
+        (
+            "ryzen_freq",
+            PolicyKind::FrequencyShares,
+            PlatformSpec::ryzen(),
+            ryzen_apps(),
+        ),
+    ]
+}
+
+fn json_report(results: &[ScenarioResult]) -> String {
+    let mut s = String::from("{\n  \"bench\": \"hotpath\",\n");
+    let _ = writeln!(
+        s,
+        "  \"warmup_steps\": {WARMUP},\n  \"timing_trials\": {TRIALS},\n  \"scenarios\": ["
+    );
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"policy\": \"{}\", \"translation\": \"{}\", \
+             \"steps\": {}, \"alloc_events\": {}, \"alloc_bytes\": {}, \
+             \"steps_per_sec_view\": {:.1}, \"steps_per_sec_owned\": {:.1}}}{}",
+            r.name,
+            r.policy,
+            r.translation,
+            r.steps,
+            r.alloc_events,
+            r.alloc_bytes,
+            r.steps_per_sec_view,
+            r.steps_per_sec_owned,
+            if i + 1 == results.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() -> ExitCode {
+    let mut steps = 20_000usize;
+    let mut out_path = String::from("results/BENCH_hotpath.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--steps" => {
+                steps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--steps takes a positive integer");
+            }
+            "--out" => out_path = args.next().expect("--out takes a path"),
+            other => panic!("unknown argument {other:?} (supported: --steps N, --out PATH)"),
+        }
+    }
+
+    let mut results = Vec::new();
+    for translation in [TranslationKind::Naive, TranslationKind::Online] {
+        for (name, policy, platform, apps) in scenarios() {
+            results.push(run_scenario(
+                name,
+                policy,
+                &platform,
+                &apps,
+                translation,
+                steps,
+            ));
+        }
+    }
+
+    let mut t = Table::new(
+        format!("Hot-path memory discipline ({steps} steady-state steps per scenario)"),
+        &[
+            "scenario",
+            "policy",
+            "translation",
+            "allocs",
+            "ksteps_view",
+            "ksteps_owned",
+            "view_gain_%",
+        ],
+    );
+    let mut failures = Vec::new();
+    for r in &results {
+        let gain = (r.steps_per_sec_view / r.steps_per_sec_owned - 1.0) * 100.0;
+        t.row(vec![
+            r.name.clone(),
+            r.policy.into(),
+            r.translation.into(),
+            r.alloc_events.to_string(),
+            f1(r.steps_per_sec_view / 1e3),
+            f1(r.steps_per_sec_owned / 1e3),
+            f1(gain),
+        ]);
+        if r.alloc_events > 0 {
+            failures.push(format!(
+                "{}/{}: {} heap allocation events ({} bytes) in steady state",
+                r.name, r.translation, r.alloc_events, r.alloc_bytes
+            ));
+        }
+        if r.steps_per_sec_view < 0.9 * r.steps_per_sec_owned {
+            failures.push(format!(
+                "{}/{}: view path {:.0} steps/s is >10% below the owned path {:.0} steps/s",
+                r.name, r.translation, r.steps_per_sec_view, r.steps_per_sec_owned
+            ));
+        }
+    }
+    println!("{t}");
+
+    let json = json_report(&results);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, &json).expect("write bench report");
+    println!("Report written to {out_path}");
+
+    if failures.is_empty() {
+        println!(
+            "PASS: zero heap allocations per steady-state step across every \
+             policy and translation; borrowed view path at or above the \
+             owned path's throughput."
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -5,6 +5,7 @@
 //! governor: deeper states save idle power but charge wake latency on
 //! every burst; the governor picks per-pattern.
 
+use pap_bench::sweep::{self, Threads};
 use pap_bench::{f1, f3, Table};
 use pap_simcpu::chip::Chip;
 use pap_simcpu::cstate::CState;
@@ -81,17 +82,23 @@ fn main() {
             "wake_vs_idle_%",
         ],
     );
+    let mut jobs = Vec::new();
     for (label, busy, idle) in patterns {
         for fixed in [Some(CState::C1), Some(CState::C3), Some(CState::C6), None] {
-            let (w, wake_us, state) = run(busy, idle, fixed);
-            t.row(vec![
-                label.into(),
-                state,
-                f3(w),
-                f1(wake_us),
-                f1(wake_us / idle * 100.0),
-            ]);
+            jobs.push((label, busy, idle, fixed));
         }
+    }
+    let results = sweep::run(Threads::from_env(), jobs, |(label, busy, idle, fixed)| {
+        (label, idle, run(busy, idle, fixed))
+    });
+    for (label, idle, (w, wake_us, state)) in results {
+        t.row(vec![
+            label.into(),
+            state,
+            f3(w),
+            f1(wake_us),
+            f1(wake_us / idle * 100.0),
+        ]);
     }
     println!("{t}");
     println!(

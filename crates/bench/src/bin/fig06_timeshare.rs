@@ -7,6 +7,7 @@
 //! individual apps' draws, so power moves proportionally with resident
 //! time.
 
+use pap_bench::sweep::{Sweep, Threads};
 use pap_bench::{f1, f3, Table};
 use pap_simcpu::freq::KiloHertz;
 use pap_simcpu::platform::PlatformSpec;
@@ -39,47 +40,43 @@ fn main() {
         ],
     );
 
+    // Each cell simulates one share mix and returns its finished row;
+    // the sweep engine keeps the rows in insertion order.
+    let row = |hd_share: String, ld_share: String, tasks: Vec<ShareTask>| {
+        let platform = platform.clone();
+        move || {
+            let core = TimeSharedCore::new(tasks, period);
+            let sim = core.simulate(&platform.power, f, Seconds(60.0));
+            vec![
+                hd_share,
+                ld_share,
+                f3(sim.average_power.value()),
+                f3(core.time_weighted_power(&platform.power, f).value()),
+            ]
+        }
+    };
+    let mut sweep = Sweep::new();
     // Solo 100 % runs.
-    for (name, profile) in [("cactusBSSN", &hd), ("gcc", &ld)] {
-        let core = TimeSharedCore::new(vec![task(profile, 1.0)], period);
-        let sim = core.simulate(&platform.power, f, Seconds(60.0));
-        let hd_share = if name == "cactusBSSN" { "100" } else { "0" };
-        let ld_share = if name == "gcc" { "100" } else { "0" };
-        t.row(vec![
-            hd_share.into(),
-            ld_share.into(),
-            f3(sim.average_power.value()),
-            f3(core.time_weighted_power(&platform.power, f).value()),
-        ]);
-    }
-
+    sweep.add(row("100".into(), "0".into(), vec![task(&hd, 1.0)]));
+    sweep.add(row("0".into(), "100".into(), vec![task(&ld, 1.0)]));
     // LD fixed at 50 %, HD swept.
     for hd_pct in [10, 20, 30, 40, 50] {
-        let core = TimeSharedCore::new(
-            vec![task(&hd, hd_pct as f64 / 100.0), task(&ld, 0.5)],
-            period,
-        );
-        let sim = core.simulate(&platform.power, f, Seconds(60.0));
-        t.row(vec![
+        sweep.add(row(
             format!("{hd_pct}"),
             "50".into(),
-            f3(sim.average_power.value()),
-            f3(core.time_weighted_power(&platform.power, f).value()),
-        ]);
+            vec![task(&hd, hd_pct as f64 / 100.0), task(&ld, 0.5)],
+        ));
     }
     // HD fixed at 50 %, LD swept.
     for ld_pct in [10, 20, 30, 40] {
-        let core = TimeSharedCore::new(
-            vec![task(&hd, 0.5), task(&ld, ld_pct as f64 / 100.0)],
-            period,
-        );
-        let sim = core.simulate(&platform.power, f, Seconds(60.0));
-        t.row(vec![
+        sweep.add(row(
             "50".into(),
             format!("{ld_pct}"),
-            f3(sim.average_power.value()),
-            f3(core.time_weighted_power(&platform.power, f).value()),
-        ]);
+            vec![task(&hd, 0.5), task(&ld, ld_pct as f64 / 100.0)],
+        ));
+    }
+    for r in sweep.run(Threads::from_env()) {
+        t.row(r);
     }
     println!("{t}");
 

@@ -9,7 +9,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use std::sync::Mutex;
+pub mod sweep;
 
 use pap_simcpu::chip::Chip;
 use pap_simcpu::freq::KiloHertz;
@@ -103,42 +103,17 @@ pub fn run_fixed(
 
 /// Map `f` over `items` on worker threads (sweeps are embarrassingly
 /// parallel); results come back in input order.
+///
+/// Thin wrapper over the [`sweep`] engine with the thread mode taken
+/// from `PAP_SWEEP_THREADS` (see [`sweep::Threads::from_env`]), so every
+/// binary's sweep can be forced serial for byte-identity checks.
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let n = items.len();
-    if n <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
-    let queue = crossbeam::queue::SegQueue::new();
-    for item in items.into_iter().enumerate() {
-        queue.push(item);
-    }
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| {
-                while let Some((i, item)) = queue.pop() {
-                    let r = f(item);
-                    results.lock().expect("poisoned sweep results")[i] = Some(r);
-                }
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    results
-        .into_inner()
-        .expect("poisoned sweep results")
-        .into_iter()
-        .map(|r| r.expect("missing sweep result"))
-        .collect()
+    sweep::run(sweep::Threads::from_env(), items, f)
 }
 
 #[cfg(test)]

@@ -1,0 +1,47 @@
+//! Serial-vs-parallel byte-identity for sweep-engine binaries.
+//!
+//! The sweep engine promises deterministic input-ordered collection, so
+//! forcing a binary serial (`PAP_SWEEP_THREADS=serial`) must produce
+//! *byte-identical* stdout to a multi-threaded run. This drives real
+//! ported binaries end to end — any nondeterminism in cell scheduling,
+//! result collection, or table rendering shows up as a diff.
+
+use std::process::Command;
+
+fn stdout_with_threads(bin: &str, threads: &str) -> Vec<u8> {
+    let out = Command::new(bin)
+        .env("PAP_SWEEP_THREADS", threads)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} exited with {:?} under PAP_SWEEP_THREADS={threads}:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn assert_serial_parallel_identical(bin: &str) {
+    let serial = stdout_with_threads(bin, "serial");
+    let parallel = stdout_with_threads(bin, "4");
+    assert_eq!(
+        serial, parallel,
+        "{bin}: parallel sweep output differs from serial"
+    );
+}
+
+#[test]
+fn ext_governors_serial_parallel_identical() {
+    assert_serial_parallel_identical(env!("CARGO_BIN_EXE_ext_governors"));
+}
+
+#[test]
+fn fig06_timeshare_serial_parallel_identical() {
+    assert_serial_parallel_identical(env!("CARGO_BIN_EXE_fig06_timeshare"));
+}
+
+#[test]
+fn ext_idle_states_serial_parallel_identical() {
+    assert_serial_parallel_identical(env!("CARGO_BIN_EXE_ext_idle_states"));
+}

@@ -25,7 +25,10 @@ use crate::policy::frequency_shares::FrequencyShares;
 use crate::policy::performance_shares::PerformanceShares;
 use crate::policy::power_shares::PowerShares;
 use crate::policy::priority::PriorityPolicy;
-use crate::policy::{useful_max, AppView, Policy, PolicyCtx, PolicyInput, PolicyOutput};
+use crate::policy::{
+    useful_max, AppView, Policy, PolicyCtx, PolicyInput, PolicyOutput, PolicyScratch,
+};
+use crate::quantize::SlotScratch;
 use pap_simcpu::units::{Seconds, Watts};
 
 /// Why a daemon could not be built or reconfigured. Wraps
@@ -121,6 +124,70 @@ pub struct ControlAction {
     pub parked: Vec<bool>,
 }
 
+impl ControlAction {
+    /// Borrowed view of this action.
+    pub fn view(&self) -> ActionView<'_> {
+        ActionView {
+            freqs: &self.freqs,
+            parked: &self.parked,
+        }
+    }
+}
+
+/// Borrowed view of one control interval's decision, pointing into the
+/// daemon's reusable scratch buffers (DESIGN.md §11). This is what the
+/// allocation-free hot path ([`Daemon::step_view`]) hands out; sinks
+/// that need to retain the decision past the next step call
+/// [`ActionView::to_owned`] — that copy is the *only* per-interval
+/// allocation, and it is the caller's explicit choice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActionView<'a> {
+    /// Requested frequency for every core (length = chip core count).
+    pub freqs: &'a [KiloHertz],
+    /// Park flag for every core.
+    pub parked: &'a [bool],
+}
+
+impl ActionView<'_> {
+    /// Copy the borrowed decision into an owned [`ControlAction`].
+    pub fn to_owned(&self) -> ControlAction {
+        ControlAction {
+            freqs: self.freqs.to_vec(),
+            parked: self.parked.to_vec(),
+        }
+    }
+}
+
+/// Reusable per-interval buffers owned by the daemon: app views, the
+/// policy output, policy/quantizer scratch, and the per-core action.
+/// Pre-sized at construction so the steady-state control step performs
+/// zero heap allocations.
+#[derive(Debug)]
+struct StepScratch {
+    views: Vec<AppView>,
+    out: PolicyOutput,
+    policy: PolicyScratch,
+    slots: SlotScratch,
+    action_freqs: Vec<KiloHertz>,
+    action_parked: Vec<bool>,
+}
+
+impl StepScratch {
+    fn new(napps: usize, ncores: usize, slots: Option<usize>) -> StepScratch {
+        StepScratch {
+            views: Vec::with_capacity(napps),
+            out: PolicyOutput {
+                freqs: Vec::with_capacity(napps),
+                parked: Vec::with_capacity(napps),
+            },
+            policy: PolicyScratch::with_capacity(napps),
+            slots: SlotScratch::with_capacity(ncores, slots.unwrap_or(0)),
+            action_freqs: Vec::with_capacity(ncores),
+            action_parked: Vec::with_capacity(ncores),
+        }
+    }
+}
+
 #[derive(Debug)]
 enum Engine {
     RaplNative,
@@ -164,6 +231,8 @@ pub struct Daemon {
     /// Decision-trace observer. `None` (the default) keeps observability
     /// strictly off-path: no record building, no timing.
     observer: Option<DecisionTrace>,
+    /// Reusable per-interval buffers (DESIGN.md §11).
+    scratch: StepScratch,
 }
 
 /// Platform-capability checks shared by construction and runtime
@@ -238,6 +307,7 @@ impl Daemon {
             current_parked: vec![false; n_apps],
             model: OnlineModel::new(ModelConfig::default()),
             observer: None,
+            scratch: StepScratch::new(n_apps, platform.num_cores, platform.shared_pstate_slots),
         })
     }
 
@@ -308,10 +378,15 @@ impl Daemon {
     /// next control interval re-runs the initial distribution over the
     /// new app set (§5.2 function (i)), exactly as at daemon start.
     pub fn add_app(&mut self, app: AppSpec) -> Result<(), DaemonError> {
-        let mut candidate = self.config.clone();
-        candidate.apps.push(app);
-        check_capabilities(&candidate, &self.platform)?;
-        self.config = candidate;
+        // Validate against `&self` directly: push the candidate app and
+        // pop it back off on rejection, instead of cloning the whole
+        // configuration. Validation only reads the config, so the
+        // push/pop pair is externally atomic.
+        self.config.apps.push(app);
+        if let Err(err) = check_capabilities(&self.config, &self.platform) {
+            self.config.apps.pop();
+            return Err(err);
+        }
         self.reset_distribution();
         Ok(())
     }
@@ -336,10 +411,15 @@ impl Daemon {
     /// allocator retargets node budgets every rebalance). Validated
     /// against the platform's RAPL range; on error nothing changes.
     pub fn retarget_budget(&mut self, limit: Watts) -> Result<(), DaemonError> {
-        let mut candidate = self.config.clone();
-        candidate.power_limit = limit;
-        candidate.validate_on(&self.platform)?;
-        self.config = candidate;
+        // Swap the new limit in, validate against `&self`, and swap back
+        // on rejection — no whole-config clone on this (per-rebalance)
+        // path.
+        let previous = self.config.power_limit;
+        self.config.power_limit = limit;
+        if let Err(err) = self.config.validate_on(&self.platform) {
+            self.config.power_limit = previous;
+            return Err(err.into());
+        }
         self.ctx.limit = limit;
         Ok(())
     }
@@ -348,74 +428,124 @@ impl Daemon {
     /// per-app policy state (previous targets, per-app limits) is sized
     /// for the old app set and must be rebuilt.
     fn reset_distribution(&mut self) {
-        self.current = vec![KiloHertz::ZERO; self.config.apps.len()];
-        self.current_parked = vec![false; self.config.apps.len()];
+        self.current.clear();
+        self.current.resize(self.config.apps.len(), KiloHertz::ZERO);
+        self.current_parked.clear();
+        self.current_parked.resize(self.config.apps.len(), false);
         self.initialized = false;
     }
 
-    /// Build app views from a telemetry sample. Fails (instead of
-    /// panicking) when the sample carries fewer cores than an app's pin.
-    fn views(&self, sample: &Sample) -> Result<Vec<AppView>, DaemonError> {
-        self.config
-            .apps
-            .iter()
-            .map(|app| {
-                let cs = sample.cores.get(app.core).ok_or(DaemonError::ShortSample {
-                    expected: app.core + 1,
-                    got: sample.cores.len(),
-                })?;
-                Ok(AppView {
-                    core: app.core,
-                    shares: app.shares as f64,
-                    priority: app.priority,
-                    active_freq: cs.rates.active_freq,
-                    power: cs.power,
-                    ips: cs.rates.ips,
-                    baseline_ips: app.baseline_ips,
-                })
-            })
-            .collect()
+    /// Build app views from a telemetry sample into the scratch arena.
+    /// Fails (instead of panicking) when the sample carries fewer cores
+    /// than an app's pin.
+    fn views_compute(&mut self, sample: &Sample) -> Result<(), DaemonError> {
+        let Daemon {
+            ref config,
+            ref mut scratch,
+            ..
+        } = *self;
+        scratch.views.clear();
+        for app in &config.apps {
+            let cs = sample.cores.get(app.core).ok_or(DaemonError::ShortSample {
+                expected: app.core + 1,
+                got: sample.cores.len(),
+            })?;
+            scratch.views.push(AppView {
+                core: app.core,
+                shares: app.shares as f64,
+                priority: app.priority,
+                active_freq: cs.rates.active_freq,
+                power: cs.power,
+                ips: cs.rates.ips,
+                baseline_ips: app.baseline_ips,
+            });
+        }
+        Ok(())
     }
 
-    /// Expand a per-app policy output into a per-core [`ControlAction`],
-    /// quantizing and (on Ryzen) clustering to the shared P-state slots.
-    fn expand(&self, out: &PolicyOutput) -> ControlAction {
-        let mut freqs = vec![self.ctx.grid.min(); self.num_cores];
-        let mut parked = vec![true; self.num_cores]; // unmanaged cores sleep
-        for (i, app) in self.config.apps.iter().enumerate() {
+    /// Expand the per-app policy output in `scratch.out` into the
+    /// per-core action buffers, quantizing and (on Ryzen) clustering to
+    /// the shared P-state slots. Allocation-free.
+    fn expand_compute(&mut self) {
+        let Daemon {
+            ref config,
+            ref ctx,
+            num_cores,
+            shared_slots,
+            ref mut scratch,
+            ..
+        } = *self;
+        let StepScratch {
+            ref out,
+            ref mut slots,
+            ref mut action_freqs,
+            ref mut action_parked,
+            ..
+        } = *scratch;
+        action_freqs.clear();
+        action_freqs.resize(num_cores, ctx.grid.min());
+        action_parked.clear();
+        action_parked.resize(num_cores, true); // unmanaged cores sleep
+        for (i, app) in config.apps.iter().enumerate() {
             // Config validation pins every app below the platform core
             // count, but a defensive get keeps a stale config from
             // panicking the control loop.
-            let (Some(fslot), Some(pslot)) = (freqs.get_mut(app.core), parked.get_mut(app.core))
-            else {
+            let (Some(fslot), Some(pslot)) = (
+                action_freqs.get_mut(app.core),
+                action_parked.get_mut(app.core),
+            ) else {
                 continue;
             };
-            *fslot = self.ctx.grid.round(out.freqs[i]);
+            *fslot = ctx.grid.round(out.freqs[i]);
             *pslot = out.parked[i];
         }
-        if let Some(slots) = self.shared_slots {
-            freqs = self
-                .config
+        if let Some(n) = shared_slots {
+            config
                 .tuning
                 .slot_selector
-                .select(&freqs, slots, &self.ctx.grid);
+                .select_in_place(action_freqs, n, &ctx.grid, slots);
         }
-        ControlAction { freqs, parked }
+    }
+
+    /// Borrowed view of the most recently computed action (the daemon's
+    /// scratch buffers).
+    fn action_view(&self) -> ActionView<'_> {
+        ActionView {
+            freqs: &self.scratch.action_freqs,
+            parked: &self.scratch.action_parked,
+        }
     }
 
     /// The initial distribution (§5.2 function (i)): called once before
     /// the applications start. No telemetry is needed.
     pub fn initial(&mut self) -> ControlAction {
+        self.initial_compute();
+        self.action_view().to_owned()
+    }
+
+    /// Cold-path core of [`Daemon::initial`]: runs the policy's initial
+    /// distribution into the scratch buffers.
+    fn initial_compute(&mut self) {
         self.initialized = true;
-        let out = match self.engine.as_policy() {
-            None => PolicyOutput::running(vec![self.ctx.grid.max(); self.config.apps.len()]),
-            Some(p) => {
-                // Initial views carry only static configuration.
-                let views: Vec<AppView> = self
-                    .config
-                    .apps
-                    .iter()
-                    .map(|app| AppView {
+        {
+            let Daemon {
+                ref config,
+                ref ctx,
+                ref mut engine,
+                ref mut scratch,
+                ..
+            } = *self;
+            match engine.as_policy() {
+                None => {
+                    scratch.out.freqs.clear();
+                    scratch.out.freqs.resize(config.apps.len(), ctx.grid.max());
+                    scratch.out.parked.clear();
+                    scratch.out.parked.resize(config.apps.len(), false);
+                }
+                Some(p) => {
+                    // Initial views carry only static configuration.
+                    scratch.views.clear();
+                    scratch.views.extend(config.apps.iter().map(|app| AppView {
                         core: app.core,
                         shares: app.shares as f64,
                         priority: app.priority,
@@ -423,14 +553,17 @@ impl Daemon {
                         power: None,
                         ips: 0.0,
                         baseline_ips: app.baseline_ips,
-                    })
-                    .collect();
-                p.initial(&self.ctx, &views)
+                    }));
+                    scratch.out = p.initial(ctx, &scratch.views);
+                }
             }
-        };
-        self.current = out.freqs.clone();
-        self.current_parked = out.parked.clone();
-        self.expand(&out)
+        }
+        self.current.clear();
+        self.current.extend_from_slice(&self.scratch.out.freqs);
+        self.current_parked.clear();
+        self.current_parked
+            .extend_from_slice(&self.scratch.out.parked);
+        self.expand_compute();
     }
 
     /// Seed the controller's per-app targets from per-core frequencies
@@ -447,17 +580,20 @@ impl Daemon {
         // grid: a firmware-clamped (off-grid) operating point must not
         // poison `self.current` with a frequency the hardware cannot
         // hold.
-        self.current = self
-            .config
-            .apps
-            .iter()
-            .map(|app| {
-                self.ctx
-                    .grid
-                    .round(core_freqs.get(app.core).copied().unwrap_or(KiloHertz::ZERO))
-            })
-            .collect();
-        self.current_parked = vec![false; self.config.apps.len()];
+        let Daemon {
+            ref config,
+            ref ctx,
+            ref mut current,
+            ref mut current_parked,
+            ..
+        } = *self;
+        current.clear();
+        current.extend(config.apps.iter().map(|app| {
+            ctx.grid
+                .round(core_freqs.get(app.core).copied().unwrap_or(KiloHertz::ZERO))
+        }));
+        current_parked.clear();
+        current_parked.resize(config.apps.len(), false);
         self.initialized = true;
     }
 
@@ -480,68 +616,117 @@ impl Daemon {
     /// error when an observer is attached, and recovers on the next
     /// healthy sample. Use [`Daemon::try_step`] to see the error itself.
     pub fn step(&mut self, sample: &Sample) -> ControlAction {
-        match self.try_step(sample) {
-            Ok(action) => action,
-            Err(err) => self.degraded_hold(sample, &err),
-        }
+        self.step_view(sample).to_owned()
     }
 
     /// Fallible variant of [`Daemon::step`]: returns the typed error a
     /// malformed sample produces instead of degrading silently. Daemon
     /// state (policy, model) is untouched on error.
     pub fn try_step(&mut self, sample: &Sample) -> Result<ControlAction, DaemonError> {
+        self.step_compute(sample)?;
+        Ok(self.action_view().to_owned())
+    }
+
+    /// Allocation-free variant of [`Daemon::step`]: the returned
+    /// [`ActionView`] borrows the daemon's scratch buffers and is valid
+    /// until the next control call. Steady state performs zero heap
+    /// allocations (observer detached); sinks that must retain the
+    /// decision call [`ActionView::to_owned`].
+    pub fn step_view(&mut self, sample: &Sample) -> ActionView<'_> {
+        if let Err(err) = self.step_compute(sample) {
+            self.hold_compute(sample, &err);
+        }
+        self.action_view()
+    }
+
+    /// Fallible, allocation-free variant of [`Daemon::step`].
+    pub fn try_step_view(&mut self, sample: &Sample) -> Result<ActionView<'_>, DaemonError> {
+        self.step_compute(sample)?;
+        Ok(self.action_view())
+    }
+
+    /// One control interval computed into the scratch buffers.
+    fn step_compute(&mut self, sample: &Sample) -> Result<(), DaemonError> {
         if !self.initialized {
-            return Ok(self.initial());
+            self.initial_compute();
+            return Ok(());
         }
         let started = self.observer.as_ref().map(|_| std::time::Instant::now());
-        let views = self.views(sample)?;
+        self.views_compute(sample)?;
 
         // Feed the online model before the policy acts on the sample.
         // Learning happens regardless of the selected translation so a
         // mid-run switch to `Online` has warm fits to draw on.
         self.model.observe_sample(sample);
-        for view in &views {
+        for view in &self.scratch.views {
             if view.baseline_ips > 0.0 && view.ips > 0.0 && view.active_freq > KiloHertz::ZERO {
                 self.model
                     .observe_app(view.core, view.active_freq, view.ips / view.baseline_ips);
             }
         }
 
-        let model: &dyn TranslationModel = match self.config.translation {
-            TranslationKind::Naive => &NaiveAlpha,
-            TranslationKind::Online => &self.model,
-        };
-        let out = match self.engine.as_policy() {
-            None => PolicyOutput::running(vec![self.ctx.grid.max(); self.config.apps.len()]),
-            Some(p) => p.step_with(
-                &self.ctx,
-                &PolicyInput {
-                    package_power: sample.package_power,
-                    apps: &views,
-                    current: &self.current,
-                },
-                model,
-            ),
-        };
+        {
+            let Daemon {
+                ref config,
+                ref ctx,
+                ref mut engine,
+                ref current,
+                ref model,
+                ref mut scratch,
+                ..
+            } = *self;
+            let StepScratch {
+                ref views,
+                ref mut out,
+                ref mut policy,
+                ..
+            } = *scratch;
+            let translation: &dyn TranslationModel = match config.translation {
+                TranslationKind::Naive => &NaiveAlpha,
+                TranslationKind::Online => model,
+            };
+            match engine.as_policy() {
+                None => {
+                    out.freqs.clear();
+                    out.freqs.resize(config.apps.len(), ctx.grid.max());
+                    out.parked.clear();
+                    out.parked.resize(config.apps.len(), false);
+                }
+                Some(p) => p.step_into(
+                    ctx,
+                    &PolicyInput {
+                        package_power: sample.package_power,
+                        apps: views,
+                        current,
+                    },
+                    translation,
+                    policy,
+                    out,
+                ),
+            }
+        }
 
         // Saturation detection compares the *previous* interval's targets
         // with what the cores achieved; observer-only, so it must run
         // before `current` is overwritten.
         let events = if self.observer.is_some() {
-            self.saturation_events(&views)
+            self.saturation_events(&self.scratch.views)
         } else {
             Vec::new()
         };
 
-        self.current = out.freqs.clone();
-        self.current_parked = out.parked.clone();
-        let action = self.expand(&out);
+        self.current.clear();
+        self.current.extend_from_slice(&self.scratch.out.freqs);
+        self.current_parked.clear();
+        self.current_parked
+            .extend_from_slice(&self.scratch.out.parked);
+        self.expand_compute();
         if self.observer.is_some() {
             let record = self.build_record(
                 sample.time,
                 Some(sample.package_power),
-                &out,
-                &action,
+                &self.scratch.out,
+                self.action_view(),
                 events,
                 started,
             );
@@ -549,18 +734,21 @@ impl Daemon {
                 obs.push(record);
             }
         }
-        Ok(action)
+        Ok(())
     }
 
     /// Hold the previous operating point when a sample is malformed: the
     /// chip keeps its last-programmed targets, the error becomes a trace
     /// event, and the loop survives to the next healthy sample.
-    fn degraded_hold(&mut self, sample: &Sample, err: &DaemonError) -> ControlAction {
-        let out = PolicyOutput {
-            freqs: self.current.clone(),
-            parked: self.current_parked.clone(),
-        };
-        let action = self.expand(&out);
+    fn hold_compute(&mut self, sample: &Sample, err: &DaemonError) {
+        self.scratch.out.freqs.clear();
+        self.scratch.out.freqs.extend_from_slice(&self.current);
+        self.scratch.out.parked.clear();
+        self.scratch
+            .out
+            .parked
+            .extend_from_slice(&self.current_parked);
+        self.expand_compute();
         if self.observer.is_some() {
             let mut events = Vec::new();
             if let DaemonError::ShortSample { expected, got } = *err {
@@ -572,8 +760,8 @@ impl Daemon {
             let record = self.build_record(
                 sample.time,
                 Some(sample.package_power),
-                &out,
-                &action,
+                &self.scratch.out,
+                self.action_view(),
                 events,
                 None,
             );
@@ -581,7 +769,6 @@ impl Daemon {
                 obs.push(record);
             }
         }
-        action
     }
 
     /// Cores whose achieved frequency saturated below the previous
@@ -611,7 +798,7 @@ impl Daemon {
         time: Seconds,
         measured: Option<Watts>,
         out: &PolicyOutput,
-        action: &ControlAction,
+        action: ActionView<'_>,
         events: Vec<DecisionEvent>,
         started: Option<std::time::Instant>,
     ) -> DecisionRecord {
@@ -872,22 +1059,18 @@ mod tests {
             .collect();
         let cfg = DaemonConfig::new(PolicyKind::FrequencyShares, Watts(45.0), apps);
         let mut d = Daemon::new(cfg, &PlatformSpec::ryzen()).unwrap();
+        // One reusable buffer dedups in place for both checks.
+        let mut buf = Vec::new();
         let a = d.initial();
-        let mut distinct: Vec<KiloHertz> = a.freqs.clone();
-        distinct.sort();
-        distinct.dedup();
         assert!(
-            distinct.len() <= 3,
-            "8 share levels must cluster into 3 slots, got {distinct:?}"
+            crate::quantize::distinct_levels_with(&a.freqs, &mut buf) <= 3,
+            "8 share levels must cluster into 3 slots, got {buf:?}"
         );
 
         // and after a step too
         let s = sample(60.0, &[3400, 3000, 2500, 2200, 2000, 1500, 1000, 800], 8);
         let a = d.step(&s);
-        let mut distinct: Vec<KiloHertz> = a.freqs.clone();
-        distinct.sort();
-        distinct.dedup();
-        assert!(distinct.len() <= 3);
+        assert!(crate::quantize::distinct_levels_with(&a.freqs, &mut buf) <= 3);
     }
 
     #[test]

@@ -11,8 +11,10 @@
 use pap_model::{TranslationModel, TranslationQuery};
 use pap_simcpu::freq::KiloHertz;
 
-use crate::policy::minfund::{distribute, initial_proportional, proportional_fill, Claim};
-use crate::policy::{useful_max, Policy, PolicyCtx, PolicyInput, PolicyOutput};
+use crate::policy::minfund::{
+    distribute_into, initial_proportional, proportional_fill_into, Claim,
+};
+use crate::policy::{useful_max, Policy, PolicyCtx, PolicyInput, PolicyOutput, PolicyScratch};
 
 /// The frequency-shares policy. Stateless beyond the trait's contract:
 /// the "current allocation" lives in the daemon's programmed targets.
@@ -64,22 +66,24 @@ impl Policy for FrequencyShares {
     /// to the target, converts it to frequency, and distributes the
     /// frequency among non-saturated cores. The translation function
     /// converts the target frequencies into valid (quantized) frequencies."
-    fn step_with(
+    fn step_into(
         &mut self,
         ctx: &PolicyCtx,
         input: &PolicyInput<'_>,
         model: &dyn TranslationModel,
-    ) -> PolicyOutput {
+        scratch: &mut PolicyScratch,
+        out: &mut PolicyOutput,
+    ) {
         let err = ctx.limit - input.package_power;
         if err.abs() <= ctx.deadband {
-            return PolicyOutput::running(input.current.to_vec());
+            out.set_running(input.current.iter().copied());
+            return;
         }
 
-        let claims: Vec<Claim> = input
-            .apps
-            .iter()
-            .zip(input.current)
-            .map(|(app, &cur)| {
+        scratch.claims.clear();
+        scratch
+            .claims
+            .extend(input.apps.iter().zip(input.current).map(|(app, &cur)| {
                 let max = if self.saturation_aware && err.value() > 0.0 {
                     useful_max(&ctx.grid, cur, app.active_freq)
                 } else {
@@ -91,10 +95,10 @@ impl Policy for FrequencyShares {
                     ctx.grid.min().khz() as f64,
                     max.khz() as f64,
                 )
-            })
-            .collect();
+            }));
 
-        let available = claims
+        let available = scratch
+            .claims
             .iter()
             .filter(|c| {
                 if err.value() > 0.0 {
@@ -105,7 +109,8 @@ impl Policy for FrequencyShares {
             })
             .count();
         if available == 0 {
-            return PolicyOutput::running(input.current.to_vec());
+            out.set_running(input.current.iter().copied());
+            return;
         }
 
         let delta = model.frequency_delta_khz(&TranslationQuery {
@@ -120,19 +125,27 @@ impl Policy for FrequencyShares {
         // water-fill keeps allocations share-proportional even after
         // saturated apps are revoked from the mix. The incremental scheme
         // (the paper's literal formulation) is retained for ablation.
-        let dist = if self.incremental {
-            distribute(delta, &claims)
+        if self.incremental {
+            distribute_into(
+                delta,
+                &scratch.claims,
+                &mut scratch.alloc,
+                &mut scratch.saturated,
+            );
         } else {
-            let total: f64 = claims.iter().map(|c| c.current).sum::<f64>() + delta;
-            proportional_fill(total, &claims)
-        };
+            let total: f64 = scratch.claims.iter().map(|c| c.current).sum::<f64>() + delta;
+            proportional_fill_into(total, &scratch.claims, &mut scratch.alloc);
+        }
 
-        PolicyOutput::running(
-            dist.allocations
-                .into_iter()
-                .map(|khz| ctx.grid.round(KiloHertz(khz.max(0.0) as u64)))
-                .collect(),
-        )
+        out.freqs.clear();
+        out.freqs.extend(
+            scratch
+                .alloc
+                .iter()
+                .map(|&khz| ctx.grid.round(KiloHertz(khz.max(0.0) as u64))),
+        );
+        out.parked.clear();
+        out.parked.resize(out.freqs.len(), false);
     }
 }
 

@@ -52,16 +52,33 @@ pub struct Distribution {
 /// Positive `delta` adds resource (claims saturate at `max`); negative
 /// `delta` withdraws it (claims saturate at `min`).
 pub fn distribute(delta: f64, claims: &[Claim]) -> Distribution {
-    let mut alloc: Vec<f64> = claims.iter().map(|c| c.current).collect();
+    let mut alloc = Vec::new();
+    let mut saturated = Vec::new();
+    let unplaced = distribute_into(delta, claims, &mut alloc, &mut saturated);
+    Distribution {
+        allocations: alloc,
+        unplaced,
+    }
+}
+
+/// Allocation-free core of [`distribute`]: writes the new allocations
+/// into `alloc` (cleared first) and uses `saturated` as scratch, both
+/// reused across calls on the hot path. Returns the unplaced residual.
+pub fn distribute_into(
+    delta: f64,
+    claims: &[Claim],
+    alloc: &mut Vec<f64>,
+    saturated: &mut Vec<bool>,
+) -> f64 {
+    alloc.clear();
+    alloc.extend(claims.iter().map(|c| c.current));
     if claims.is_empty() || delta == 0.0 {
-        return Distribution {
-            allocations: alloc,
-            unplaced: delta,
-        };
+        return delta;
     }
 
     let mut remaining = delta;
-    let mut saturated = vec![false; claims.len()];
+    saturated.clear();
+    saturated.resize(claims.len(), false);
     // Each pass either places all the remainder or saturates at least one
     // claim, so the loop terminates in at most `claims.len()` passes.
     for _ in 0..claims.len() {
@@ -71,7 +88,7 @@ pub fn distribute(delta: f64, claims: &[Claim]) -> Distribution {
         }
         let total_share: f64 = claims
             .iter()
-            .zip(&saturated)
+            .zip(saturated.iter())
             .filter(|(_, &s)| !s)
             .map(|(c, _)| c.share)
             .sum();
@@ -100,10 +117,7 @@ pub fn distribute(delta: f64, claims: &[Claim]) -> Distribution {
         }
     }
 
-    Distribution {
-        allocations: alloc,
-        unplaced: remaining,
-    }
+    remaining
 }
 
 /// Allocate a target `total` across claims so that allocations are
@@ -130,25 +144,30 @@ pub fn distribute(delta: f64, claims: &[Claim]) -> Distribution {
 /// assert!((d.allocations[1] - 1500.0).abs() < 1e-6);
 /// ```
 pub fn proportional_fill(total: f64, claims: &[Claim]) -> Distribution {
+    let mut alloc = Vec::new();
+    let unplaced = proportional_fill_into(total, claims, &mut alloc);
+    Distribution {
+        allocations: alloc,
+        unplaced,
+    }
+}
+
+/// Allocation-free core of [`proportional_fill`]: writes the water-fill
+/// result into `alloc` (cleared first) and returns the unplaced residual.
+pub fn proportional_fill_into(total: f64, claims: &[Claim], alloc: &mut Vec<f64>) -> f64 {
+    alloc.clear();
     if claims.is_empty() {
-        return Distribution {
-            allocations: Vec::new(),
-            unplaced: total,
-        };
+        return total;
     }
     let sum_min: f64 = claims.iter().map(|c| c.min).sum();
     let sum_max: f64 = claims.iter().map(|c| c.max).sum();
     if total <= sum_min {
-        return Distribution {
-            allocations: claims.iter().map(|c| c.min).collect(),
-            unplaced: total - sum_min,
-        };
+        alloc.extend(claims.iter().map(|c| c.min));
+        return total - sum_min;
     }
     if total >= sum_max {
-        return Distribution {
-            allocations: claims.iter().map(|c| c.max).collect(),
-            unplaced: total - sum_max,
-        };
+        alloc.extend(claims.iter().map(|c| c.max));
+        return total - sum_max;
     }
     // Σ clamp(λ·share, min, max) is continuous and non-decreasing in λ;
     // bisect λ between 0 and the value that maxes every claim.
@@ -173,13 +192,12 @@ pub fn proportional_fill(total: f64, claims: &[Claim]) -> Distribution {
         }
     }
     let lambda = 0.5 * (lo + hi);
-    Distribution {
-        allocations: claims
+    alloc.extend(
+        claims
             .iter()
-            .map(|c| (lambda * c.share).clamp(c.min, c.max))
-            .collect(),
-        unplaced: 0.0,
-    }
+            .map(|c| (lambda * c.share).clamp(c.min, c.max)),
+    );
+    0.0
 }
 
 /// Proportional *initial* split (§5.2 initial distribution functions): the

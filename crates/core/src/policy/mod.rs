@@ -23,6 +23,7 @@ use pap_simcpu::freq::{FreqGrid, KiloHertz};
 use pap_simcpu::units::Watts;
 
 use crate::config::Priority;
+use crate::policy::minfund::Claim;
 
 /// Telemetry view of one application, refreshed every control interval.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,7 +99,7 @@ pub struct PolicyInput<'a> {
 
 /// A policy decision: one frequency target and park flag per app, in app
 /// order.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PolicyOutput {
     /// Frequency targets (ignored for parked apps).
     pub freqs: Vec<KiloHertz>,
@@ -115,6 +116,41 @@ impl PolicyOutput {
             parked: vec![false; n],
         }
     }
+
+    /// Refill in place as "all running": frequencies from the iterator,
+    /// nothing parked. Reuses the existing buffers (no allocation once
+    /// capacity is established).
+    pub fn set_running<I: IntoIterator<Item = KiloHertz>>(&mut self, freqs: I) {
+        self.freqs.clear();
+        self.freqs.extend(freqs);
+        self.parked.clear();
+        self.parked.resize(self.freqs.len(), false);
+    }
+}
+
+/// Reusable buffers for [`Policy::step_into`] (DESIGN.md §11): claim,
+/// allocation, and saturation vectors whose capacity survives across
+/// control intervals so the steady-state step allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyScratch {
+    /// Claim list for min-funding revocation.
+    pub claims: Vec<Claim>,
+    /// Allocation output for [`minfund::distribute_into`] /
+    /// [`minfund::proportional_fill_into`].
+    pub alloc: Vec<f64>,
+    /// Saturation flags for [`minfund::distribute_into`].
+    pub saturated: Vec<bool>,
+}
+
+impl PolicyScratch {
+    /// Scratch pre-sized for `napps` applications.
+    pub fn with_capacity(napps: usize) -> PolicyScratch {
+        PolicyScratch {
+            claims: Vec::with_capacity(napps),
+            alloc: Vec::with_capacity(napps),
+            saturated: Vec::with_capacity(napps),
+        }
+    }
 }
 
 /// A differential power-delivery policy.
@@ -125,14 +161,33 @@ pub trait Policy {
     /// Initial distribution when applications start.
     fn initial(&mut self, ctx: &PolicyCtx, apps: &[AppView]) -> PolicyOutput;
 
+    /// Redistribution + translation for one control interval, written
+    /// into `out` using `scratch` for intermediates. This is the hot
+    /// path: implementations must not allocate once `scratch`/`out` (and
+    /// any internal state) have reached steady-state capacity.
+    fn step_into(
+        &mut self,
+        ctx: &PolicyCtx,
+        input: &PolicyInput<'_>,
+        model: &dyn TranslationModel,
+        scratch: &mut PolicyScratch,
+        out: &mut PolicyOutput,
+    );
+
     /// Redistribution + translation for one control interval, with the
-    /// budget-to-frequency translation answered by `model`.
+    /// budget-to-frequency translation answered by `model`. Convenience
+    /// wrapper over [`Policy::step_into`] with fresh buffers.
     fn step_with(
         &mut self,
         ctx: &PolicyCtx,
         input: &PolicyInput<'_>,
         model: &dyn TranslationModel,
-    ) -> PolicyOutput;
+    ) -> PolicyOutput {
+        let mut scratch = PolicyScratch::default();
+        let mut out = PolicyOutput::default();
+        self.step_into(ctx, input, model, &mut scratch, &mut out);
+        out
+    }
 
     /// Redistribution + translation under the paper's naïve α
     /// translation (seed behaviour).

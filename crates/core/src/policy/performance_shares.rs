@@ -14,8 +14,8 @@
 use pap_model::{TranslationModel, TranslationQuery};
 use pap_simcpu::freq::KiloHertz;
 
-use crate::policy::minfund::{initial_proportional, proportional_fill, Claim};
-use crate::policy::{Policy, PolicyCtx, PolicyInput, PolicyOutput};
+use crate::policy::minfund::{initial_proportional, proportional_fill_into, Claim};
+use crate::policy::{Policy, PolicyCtx, PolicyInput, PolicyOutput, PolicyScratch};
 
 /// Per-core maximum normalized performance (IPS is normalized to the
 /// standalone maximum-frequency baseline, so 1.0 by construction).
@@ -80,16 +80,18 @@ impl Policy for PerformanceShares {
     /// by first converting the difference in current power and the power
     /// limit into a performance value and then distributing it among
     /// non-saturated cores."
-    fn step_with(
+    fn step_into(
         &mut self,
         ctx: &PolicyCtx,
         input: &PolicyInput<'_>,
         model: &dyn TranslationModel,
-    ) -> PolicyOutput {
+        scratch: &mut PolicyScratch,
+        out: &mut PolicyOutput,
+    ) {
         if self.perf_limits.len() != input.apps.len() {
-            // Daemon skipped initial(); bootstrap now.
-            let apps = input.apps.to_vec();
-            return self.initial(ctx, &apps);
+            // Daemon skipped initial(); bootstrap now (cold path).
+            *out = self.initial(ctx, input.apps);
+            return;
         }
 
         let err = ctx.limit - input.package_power;
@@ -97,13 +99,16 @@ impl Policy for PerformanceShares {
 
         // Redistribute the power error as performance budget.
         if err.abs() > ctx.deadband {
-            let claims: Vec<Claim> = input
-                .apps
-                .iter()
-                .zip(&self.perf_limits)
-                .map(|(app, &cur)| Claim::new(app.shares, cur, min_perf, MAX_PERFORMANCE))
-                .collect();
-            let available = claims
+            scratch.claims.clear();
+            scratch.claims.extend(
+                input
+                    .apps
+                    .iter()
+                    .zip(&self.perf_limits)
+                    .map(|(app, &cur)| Claim::new(app.shares, cur, min_perf, MAX_PERFORMANCE)),
+            );
+            let available = scratch
+                .claims
                 .iter()
                 .filter(|c| {
                     if err.value() > 0.0 {
@@ -124,26 +129,27 @@ impl Policy for PerformanceShares {
                 }) * ctx.damping;
                 // Water-fill the adjusted total so the per-app limits stay
                 // share-proportional under saturation.
-                let total: f64 = claims.iter().map(|c| c.current).sum::<f64>() + delta;
-                self.perf_limits = proportional_fill(total, &claims).allocations;
+                let total: f64 = scratch.claims.iter().map(|c| c.current).sum::<f64>() + delta;
+                proportional_fill_into(total, &scratch.claims, &mut self.perf_limits);
             }
         }
 
         // Translate: servo each app's frequency toward its performance
         // limit using measured normalized IPS as feedback.
-        let freqs = input
-            .apps
-            .iter()
-            .zip(input.current)
-            .zip(&self.perf_limits)
-            .map(|((app, &cur), &limit)| {
-                let measured = app.normalized_perf();
-                let correction = (limit - measured) * self.servo_gain * ctx.grid.max().khz() as f64;
-                let target = cur.khz() as f64 + correction;
-                ctx.grid.round(KiloHertz(target.max(0.0) as u64))
-            })
-            .collect();
-        PolicyOutput::running(freqs)
+        out.set_running(
+            input
+                .apps
+                .iter()
+                .zip(input.current)
+                .zip(&self.perf_limits)
+                .map(|((app, &cur), &limit)| {
+                    let measured = app.normalized_perf();
+                    let correction =
+                        (limit - measured) * self.servo_gain * ctx.grid.max().khz() as f64;
+                    let target = cur.khz() as f64 + correction;
+                    ctx.grid.round(KiloHertz(target.max(0.0) as u64))
+                }),
+        );
     }
 }
 

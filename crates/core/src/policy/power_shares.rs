@@ -12,8 +12,8 @@ use pap_model::TranslationModel;
 use pap_simcpu::freq::KiloHertz;
 use pap_simcpu::units::Watts;
 
-use crate::policy::minfund::{proportional_fill, Claim};
-use crate::policy::{Policy, PolicyCtx, PolicyInput, PolicyOutput};
+use crate::policy::minfund::{proportional_fill_into, Claim};
+use crate::policy::{Policy, PolicyCtx, PolicyInput, PolicyOutput, PolicyScratch};
 
 /// The power-shares policy. Stateful: carries per-app power limits.
 #[derive(Debug, Clone)]
@@ -98,56 +98,61 @@ impl Policy for PowerShares {
     /// distributing the difference in current power and the power limit
     /// among non-saturated cores"; translation adjusts frequencies from
     /// per-core power feedback against the calculated limits.
-    fn step_with(
+    fn step_into(
         &mut self,
         ctx: &PolicyCtx,
         input: &PolicyInput<'_>,
         model: &dyn TranslationModel,
-    ) -> PolicyOutput {
+        scratch: &mut PolicyScratch,
+        out: &mut PolicyOutput,
+    ) {
         if self.power_limits.len() != input.apps.len() {
-            let apps = input.apps.to_vec();
-            return self.initial(ctx, &apps);
+            // Daemon skipped initial(); bootstrap now (cold path).
+            *out = self.initial(ctx, input.apps);
+            return;
         }
 
         let err = ctx.limit - input.package_power;
         if err.abs() > ctx.deadband {
-            let claims: Vec<Claim> = input
-                .apps
-                .iter()
-                .zip(&self.power_limits)
-                .map(|(app, &cur)| {
-                    Claim::new(app.shares, cur, self.core_min_power, self.core_max_power)
-                })
-                .collect();
+            scratch.claims.clear();
+            scratch.claims.extend(
+                input
+                    .apps
+                    .iter()
+                    .zip(&self.power_limits)
+                    .map(|(app, &cur)| {
+                        Claim::new(app.shares, cur, self.core_min_power, self.core_max_power)
+                    }),
+            );
             // Water-fill the adjusted total so per-app power limits stay
             // share-proportional under saturation.
             let total: f64 =
-                claims.iter().map(|c| c.current).sum::<f64>() + err.value() * ctx.damping;
-            self.power_limits = proportional_fill(total, &claims).allocations;
+                scratch.claims.iter().map(|c| c.current).sum::<f64>() + err.value() * ctx.damping;
+            proportional_fill_into(total, &scratch.claims, &mut self.power_limits);
         }
 
         // Per-core servo: move each app's frequency by its own power
         // error. A trusted learned per-core power curve supplies the
         // actuation gain; otherwise the configured static gain is used.
-        let freqs = input
-            .apps
-            .iter()
-            .zip(input.current)
-            .zip(&self.power_limits)
-            .map(|((app, &cur), &limit)| {
-                let measured = app
-                    .power
-                    .unwrap_or(Watts(limit)) // no telemetry -> assume on target
-                    .value();
-                let gain = model
-                    .khz_per_watt(app.core, cur)
-                    .unwrap_or(self.gain_khz_per_watt);
-                let correction = (limit - measured) * gain * ctx.damping;
-                let target = cur.khz() as f64 + correction;
-                ctx.grid.round(KiloHertz(target.max(0.0) as u64))
-            })
-            .collect();
-        PolicyOutput::running(freqs)
+        out.set_running(
+            input
+                .apps
+                .iter()
+                .zip(input.current)
+                .zip(&self.power_limits)
+                .map(|((app, &cur), &limit)| {
+                    let measured = app
+                        .power
+                        .unwrap_or(Watts(limit)) // no telemetry -> assume on target
+                        .value();
+                    let gain = model
+                        .khz_per_watt(app.core, cur)
+                        .unwrap_or(self.gain_khz_per_watt);
+                    let correction = (limit - measured) * gain * ctx.damping;
+                    let target = cur.khz() as f64 + correction;
+                    ctx.grid.round(KiloHertz(target.max(0.0) as u64))
+                }),
+        );
     }
 }
 

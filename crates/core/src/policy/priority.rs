@@ -20,7 +20,7 @@ use pap_model::{TranslationModel, TranslationQuery};
 use pap_simcpu::freq::KiloHertz;
 
 use crate::config::Priority;
-use crate::policy::{Policy, PolicyCtx, PolicyInput, PolicyOutput};
+use crate::policy::{Policy, PolicyCtx, PolicyInput, PolicyOutput, PolicyScratch};
 
 /// The priority policy.
 #[derive(Debug, Clone)]
@@ -77,18 +77,22 @@ impl PriorityPolicy {
     }
 
     fn render(&self, apps: &[crate::policy::AppView]) -> PolicyOutput {
-        let freqs = apps
-            .iter()
-            .map(|a| match a.priority {
-                Priority::High => self.hp_level,
-                Priority::Low => self.lp_level,
-            })
-            .collect();
-        let parked = apps
-            .iter()
-            .map(|a| a.priority == Priority::Low && self.lp_parked)
-            .collect();
-        PolicyOutput { freqs, parked }
+        let mut out = PolicyOutput::default();
+        self.render_into(apps, &mut out);
+        out
+    }
+
+    fn render_into(&self, apps: &[crate::policy::AppView], out: &mut PolicyOutput) {
+        out.freqs.clear();
+        out.freqs.extend(apps.iter().map(|a| match a.priority {
+            Priority::High => self.hp_level,
+            Priority::Low => self.lp_level,
+        }));
+        out.parked.clear();
+        out.parked.extend(
+            apps.iter()
+                .map(|a| a.priority == Priority::Low && self.lp_parked),
+        );
     }
 
     /// Per-core level move from the translation model, damped, at least
@@ -139,15 +143,23 @@ impl Policy for PriorityPolicy {
         self.render(apps)
     }
 
-    fn step_with(
+    fn step_into(
         &mut self,
         ctx: &PolicyCtx,
         input: &PolicyInput<'_>,
         model: &dyn TranslationModel,
-    ) -> PolicyOutput {
+        _scratch: &mut PolicyScratch,
+        out: &mut PolicyOutput,
+    ) {
         if self.hp_level == KiloHertz::ZERO {
-            let apps = input.apps.to_vec();
-            return self.initial(ctx, &apps);
+            // Daemon skipped initial(); bootstrap now (same state updates
+            // as `initial`, rendered into the caller's buffer).
+            self.hp_level = ctx.grid.max();
+            self.lp_level = ctx.grid.min();
+            self.lp_parked = !self.floor_low_priority;
+            self.intervals_since_flip = u32::MAX;
+            self.render_into(input.apps, out);
+            return;
         }
         let n_hp = input
             .apps
@@ -159,7 +171,8 @@ impl Policy for PriorityPolicy {
 
         let err = ctx.limit - input.package_power;
         if err.abs() <= ctx.deadband {
-            return self.render(input.apps);
+            self.render_into(input.apps, out);
+            return;
         }
 
         if err.value() < 0.0 {
@@ -211,7 +224,7 @@ impl Policy for PriorityPolicy {
 
         self.hp_level = self.hp_level.clamp(ctx.grid.min(), ctx.grid.max());
         self.lp_level = self.lp_level.clamp(ctx.grid.min(), ctx.grid.max());
-        self.render(input.apps)
+        self.render_into(input.apps, out);
     }
 }
 

@@ -29,10 +29,111 @@ pub enum SlotSelector {
 impl SlotSelector {
     /// Apply the selector to a target vector.
     pub fn select(self, targets: &[KiloHertz], slots: usize, grid: &FreqGrid) -> Vec<KiloHertz> {
+        let mut out = targets.to_vec();
+        let mut scratch = SlotScratch::default();
+        self.select_in_place(&mut out, slots, grid, &mut scratch);
+        out
+    }
+
+    /// Apply the selector to `freqs` in place, using `scratch` for every
+    /// intermediate. Allocation-free once `scratch` has reached capacity.
+    pub fn select_in_place(
+        self,
+        freqs: &mut [KiloHertz],
+        slots: usize,
+        grid: &FreqGrid,
+        scratch: &mut SlotScratch,
+    ) {
+        scratch.targets.clear();
+        scratch.targets.extend_from_slice(freqs);
+        // Split the borrow: the clustering core reads scratch.targets via
+        // a raw re-borrow while mutating the remaining scratch fields.
+        let SlotScratch {
+            ref targets,
+            ref mut order,
+            ref mut xs,
+            ref mut ps,
+            ref mut ps2,
+            ref mut dp,
+            ref mut cut,
+            ref mut boundaries,
+            ref mut level_of_sorted,
+            ref mut levels,
+            ..
+        } = *scratch;
         match self {
-            SlotSelector::DpMean => cluster_to_slots(targets, slots, grid, ClusterStrategy::Mean),
-            SlotSelector::DpFloor => cluster_to_slots(targets, slots, grid, ClusterStrategy::Floor),
-            SlotSelector::Greedy => greedy_cluster(targets, slots, grid),
+            SlotSelector::DpMean => cluster_into(
+                targets,
+                slots,
+                grid,
+                ClusterStrategy::Mean,
+                order,
+                xs,
+                ps,
+                ps2,
+                dp,
+                cut,
+                boundaries,
+                level_of_sorted,
+                freqs,
+            ),
+            SlotSelector::DpFloor => cluster_into(
+                targets,
+                slots,
+                grid,
+                ClusterStrategy::Floor,
+                order,
+                xs,
+                ps,
+                ps2,
+                dp,
+                cut,
+                boundaries,
+                level_of_sorted,
+                freqs,
+            ),
+            SlotSelector::Greedy => greedy_into(targets, slots, grid, levels, freqs),
+        }
+    }
+}
+
+/// Reusable buffers for [`SlotSelector::select_in_place`] /
+/// [`cluster_to_slots`]: the DP tables and index vectors of the 1-D
+/// k-clustering, reused across control intervals (DESIGN.md §11).
+#[derive(Debug, Clone, Default)]
+pub struct SlotScratch {
+    targets: Vec<KiloHertz>,
+    order: Vec<usize>,
+    xs: Vec<f64>,
+    ps: Vec<f64>,
+    ps2: Vec<f64>,
+    /// Flattened `(k+1) × (n+1)` DP cost table, row stride `n+1`.
+    dp: Vec<f64>,
+    /// Flattened backtrack table, same layout as `dp`.
+    cut: Vec<usize>,
+    boundaries: Vec<usize>,
+    level_of_sorted: Vec<KiloHertz>,
+    levels: Vec<KiloHertz>,
+    /// Buffer for [`distinct_levels_with`].
+    pub distinct: Vec<KiloHertz>,
+}
+
+impl SlotScratch {
+    /// Scratch pre-sized for `n` targets clustered into `slots` levels.
+    pub fn with_capacity(n: usize, slots: usize) -> SlotScratch {
+        let k = slots.min(n);
+        SlotScratch {
+            targets: Vec::with_capacity(n),
+            order: Vec::with_capacity(n),
+            xs: Vec::with_capacity(n),
+            ps: Vec::with_capacity(n + 1),
+            ps2: Vec::with_capacity(n + 1),
+            dp: Vec::with_capacity((k + 1) * (n + 1)),
+            cut: Vec::with_capacity((k + 1) * (n + 1)),
+            boundaries: Vec::with_capacity(k + 1),
+            level_of_sorted: Vec::with_capacity(n),
+            levels: Vec::with_capacity(slots),
+            distinct: Vec::with_capacity(n),
         }
     }
 }
@@ -78,19 +179,64 @@ pub fn cluster_to_slots(
     grid: &FreqGrid,
     strategy: ClusterStrategy,
 ) -> Vec<KiloHertz> {
+    let mut scratch = SlotScratch::default();
+    let mut out = vec![KiloHertz::ZERO; targets.len()];
+    cluster_into(
+        targets,
+        slots,
+        grid,
+        strategy,
+        &mut scratch.order,
+        &mut scratch.xs,
+        &mut scratch.ps,
+        &mut scratch.ps2,
+        &mut scratch.dp,
+        &mut scratch.cut,
+        &mut scratch.boundaries,
+        &mut scratch.level_of_sorted,
+        &mut out,
+    );
+    out
+}
+
+/// Allocation-free core of [`cluster_to_slots`]: identical arithmetic
+/// over caller-provided buffers (the DP tables are the flattened
+/// row-major equivalents of the former vec-of-vecs), writing one level
+/// per target into `out`.
+#[allow(clippy::too_many_arguments)]
+fn cluster_into(
+    targets: &[KiloHertz],
+    slots: usize,
+    grid: &FreqGrid,
+    strategy: ClusterStrategy,
+    order: &mut Vec<usize>,
+    xs: &mut Vec<f64>,
+    ps: &mut Vec<f64>,
+    ps2: &mut Vec<f64>,
+    dp: &mut Vec<f64>,
+    cut: &mut Vec<usize>,
+    boundaries: &mut Vec<usize>,
+    level_of_sorted: &mut Vec<KiloHertz>,
+    out: &mut [KiloHertz],
+) {
     assert!(!targets.is_empty(), "no targets to cluster");
     assert!(slots >= 1, "need at least one slot");
+    assert_eq!(out.len(), targets.len(), "output length mismatch");
     let n = targets.len();
     let k = slots.min(n);
 
     // Sort indices by target value; clusters are contiguous in this order.
-    let mut order: Vec<usize> = (0..n).collect();
+    order.clear();
+    order.extend(0..n);
     order.sort_by_key(|&i| targets[i]);
-    let xs: Vec<f64> = order.iter().map(|&i| targets[i].khz() as f64).collect();
+    xs.clear();
+    xs.extend(order.iter().map(|&i| targets[i].khz() as f64));
 
     // Prefix sums for O(1) interval cost (sum of squared error to mean).
-    let mut ps = vec![0.0; n + 1];
-    let mut ps2 = vec![0.0; n + 1];
+    ps.clear();
+    ps.resize(n + 1, 0.0);
+    ps2.clear();
+    ps2.resize(n + 1, 0.0);
     for i in 0..n {
         ps[i + 1] = ps[i] + xs[i];
         ps2[i + 1] = ps2[i] + xs[i] * xs[i];
@@ -103,18 +249,22 @@ pub fn cluster_to_slots(
         (s2 - s * s / m).max(0.0)
     };
 
-    // dp[j][i] = min cost of clustering xs[0..i] into j clusters.
+    // dp[j][i] = min cost of clustering xs[0..i] into j clusters, stored
+    // row-major with stride n+1.
     let inf = f64::INFINITY;
-    let mut dp = vec![vec![inf; n + 1]; k + 1];
-    let mut cut = vec![vec![0usize; n + 1]; k + 1];
-    dp[0][0] = 0.0;
+    let stride = n + 1;
+    dp.clear();
+    dp.resize((k + 1) * stride, inf);
+    cut.clear();
+    cut.resize((k + 1) * stride, 0);
+    dp[0] = 0.0;
     for j in 1..=k {
         for i in j..=n {
             for a in (j - 1)..i {
-                let c = dp[j - 1][a] + cost(a, i);
-                if c < dp[j][i] {
-                    dp[j][i] = c;
-                    cut[j][i] = a;
+                let c = dp[(j - 1) * stride + a] + cost(a, i);
+                if c < dp[j * stride + i] {
+                    dp[j * stride + i] = c;
+                    cut[j * stride + i] = a;
                 }
             }
         }
@@ -122,19 +272,20 @@ pub fn cluster_to_slots(
 
     // Use however many clusters are cheapest (fewer clusters never beat
     // more in SSE, but equal-cost with fewer distinct levels is fine).
-    let mut boundaries = Vec::with_capacity(k + 1);
+    boundaries.clear();
     let mut i = n;
     let mut j = k;
     boundaries.push(n);
     while j > 0 {
-        i = cut[j][i];
+        i = cut[j * stride + i];
         boundaries.push(i);
         j -= 1;
     }
     boundaries.reverse();
 
     // Representative level per cluster.
-    let mut level_of_sorted = vec![KiloHertz::ZERO; n];
+    level_of_sorted.clear();
+    level_of_sorted.resize(n, KiloHertz::ZERO);
     for w in boundaries.windows(2) {
         let (a, b) = (w[0], w[1]);
         if a == b {
@@ -153,39 +304,48 @@ pub fn cluster_to_slots(
     }
 
     // Map back to input order.
-    let mut out = vec![KiloHertz::ZERO; n];
     for (sorted_pos, &orig_idx) in order.iter().enumerate() {
         out[orig_idx] = level_of_sorted[sorted_pos];
     }
-    out
 }
 
 /// Naive alternative: snap each target to the nearest of `slots` levels
 /// spaced evenly over the grid. Used as the ablation baseline for the DP
 /// selector.
 pub fn greedy_cluster(targets: &[KiloHertz], slots: usize, grid: &FreqGrid) -> Vec<KiloHertz> {
+    let mut levels = Vec::new();
+    let mut out = vec![KiloHertz::ZERO; targets.len()];
+    greedy_into(targets, slots, grid, &mut levels, &mut out);
+    out
+}
+
+/// Allocation-free core of [`greedy_cluster`].
+fn greedy_into(
+    targets: &[KiloHertz],
+    slots: usize,
+    grid: &FreqGrid,
+    levels: &mut Vec<KiloHertz>,
+    out: &mut [KiloHertz],
+) {
     assert!(slots >= 1);
+    assert_eq!(out.len(), targets.len(), "output length mismatch");
     let lo = grid.min().khz() as f64;
     let hi = grid.max().khz() as f64;
-    let levels: Vec<KiloHertz> = (0..slots)
-        .map(|i| {
-            let f = if slots == 1 {
-                hi
-            } else {
-                lo + (hi - lo) * i as f64 / (slots - 1) as f64
-            };
-            grid.round(KiloHertz(f as u64))
-        })
-        .collect();
-    targets
-        .iter()
-        .map(|t| {
-            *levels
-                .iter()
-                .min_by_key(|l| l.khz().abs_diff(t.khz()))
-                .expect("non-empty levels")
-        })
-        .collect()
+    levels.clear();
+    levels.extend((0..slots).map(|i| {
+        let f = if slots == 1 {
+            hi
+        } else {
+            lo + (hi - lo) * i as f64 / (slots - 1) as f64
+        };
+        grid.round(KiloHertz(f as u64))
+    }));
+    for (o, t) in out.iter_mut().zip(targets) {
+        *o = *levels
+            .iter()
+            .min_by_key(|l| l.khz().abs_diff(t.khz()))
+            .expect("non-empty levels");
+    }
 }
 
 /// Sum of squared error (in MHz²) between targets and assigned levels;
@@ -203,10 +363,18 @@ pub fn sse_mhz(targets: &[KiloHertz], assigned: &[KiloHertz]) -> f64 {
 
 /// Count distinct levels in an assignment.
 pub fn distinct_levels(assigned: &[KiloHertz]) -> usize {
-    let mut v: Vec<KiloHertz> = assigned.to_vec();
-    v.sort();
-    v.dedup();
-    v.len()
+    let mut v = Vec::new();
+    distinct_levels_with(assigned, &mut v)
+}
+
+/// Count distinct levels using a caller-provided buffer: sort + dedup in
+/// place, no allocation once the buffer's capacity covers the input.
+pub fn distinct_levels_with(assigned: &[KiloHertz], scratch: &mut Vec<KiloHertz>) -> usize {
+    scratch.clear();
+    scratch.extend_from_slice(assigned);
+    scratch.sort();
+    scratch.dedup();
+    scratch.len()
 }
 
 #[cfg(test)]

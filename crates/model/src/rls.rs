@@ -60,9 +60,19 @@ impl<const N: usize> Rls<N> {
     }
 
     /// Clear the fit back to its initial state (parameters, covariance
-    /// and residual history).
+    /// and residual history). Allocation-free: drift resets happen on
+    /// the control hot path, so the residual window's buffer is kept
+    /// and merely emptied.
     pub fn reset(&mut self) {
-        *self = Rls::new(self.forgetting, self.window_len);
+        self.theta = [0.0; N];
+        self.p = [[0.0; N]; N];
+        for (i, row) in self.p.iter_mut().enumerate() {
+            row[i] = P0;
+        }
+        self.observations = 0;
+        self.long_ms = 0.0;
+        self.window.clear();
+        self.next = 0;
     }
 
     /// Fold in one observation `y ≈ xᵀθ`. Returns the a-priori

@@ -390,16 +390,18 @@ impl OnlineModel {
 
     /// Mean scalability slope over apps with trusted fits.
     fn trusted_perf_slope(&self) -> Option<f64> {
-        let slopes: Vec<f64> = self
-            .apps
-            .values()
-            .filter(|e| e.confident())
-            .map(|e| e.slope_per_ghz().max(0.0))
-            .collect();
-        if slopes.is_empty() {
+        // Streaming mean (no intermediate Vec): this sits on the control
+        // hot path via performance_delta.
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for e in self.apps.values().filter(|e| e.confident()) {
+            sum += e.slope_per_ghz().max(0.0);
+            count += 1;
+        }
+        if count == 0 {
             return None;
         }
-        Some(slopes.iter().sum::<f64>() / slopes.len() as f64)
+        Some(sum / count as f64)
     }
 }
 

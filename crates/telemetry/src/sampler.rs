@@ -40,6 +40,26 @@ pub struct Sample {
     pub cores: Vec<CoreSample>,
 }
 
+impl Sample {
+    /// An empty sample, suitable as the reusable target of
+    /// [`Sampler::sample_into`].
+    pub fn empty() -> Sample {
+        Sample {
+            time: Seconds(0.0),
+            interval: Seconds(0.0),
+            package_power: Watts(0.0),
+            cores_power: Watts(0.0),
+            cores: Vec::new(),
+        }
+    }
+}
+
+impl Default for Sample {
+    fn default() -> Sample {
+        Sample::empty()
+    }
+}
+
 /// Stateful sampler over a chip.
 #[derive(Debug, Clone)]
 pub struct Sampler {
@@ -68,15 +88,30 @@ impl Sampler {
     /// Take a sample covering the interval since the previous call (or
     /// construction). Returns `None` if no simulated time has passed.
     pub fn sample(&mut self, chip: &Chip) -> Option<Sample> {
+        let mut out = Sample::empty();
+        out.cores.reserve(chip.num_cores());
+        if self.sample_into(chip, &mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Buffer-reusing variant of [`Sampler::sample`]: writes the sample
+    /// into `out`, reusing its `cores` allocation. Returns `false` (and
+    /// leaves `out` untouched) if no simulated time has passed. Once
+    /// `out.cores` has reached the chip's core count this performs no
+    /// heap allocation.
+    pub fn sample_into(&mut self, chip: &Chip, out: &mut Sample) -> bool {
         let now = chip.now();
         let dt = now - self.prev_time;
         if dt.value() <= 0.0 {
-            return None;
+            return false;
         }
         let base = chip.spec().base_freq;
         let per_core_power = chip.spec().per_core_power;
 
-        let mut cores = Vec::with_capacity(chip.num_cores());
+        out.cores.clear();
         for c in 0..chip.num_cores() {
             let counters = chip.counters(c);
             let rates = core_rates(self.prev_counters[c], counters, dt, base);
@@ -89,7 +124,7 @@ impl Sampler {
                 None
             };
             self.prev_counters[c] = counters;
-            cores.push(CoreSample {
+            out.cores.push(CoreSample {
                 rates,
                 power,
                 requested_freq: chip.requested_freq(c),
@@ -98,17 +133,14 @@ impl Sampler {
 
         let pkg_raw = chip.package_energy_raw();
         let cores_raw = chip.cores_energy_raw();
-        let sample = Sample {
-            time: now,
-            interval: dt,
-            package_power: power_from_energy(self.prev_pkg_energy, pkg_raw, dt),
-            cores_power: power_from_energy(self.prev_cores_energy, cores_raw, dt),
-            cores,
-        };
+        out.time = now;
+        out.interval = dt;
+        out.package_power = power_from_energy(self.prev_pkg_energy, pkg_raw, dt);
+        out.cores_power = power_from_energy(self.prev_cores_energy, cores_raw, dt);
         self.prev_pkg_energy = pkg_raw;
         self.prev_cores_energy = cores_raw;
         self.prev_time = now;
-        Some(sample)
+        true
     }
 }
 
@@ -180,6 +212,28 @@ mod tests {
         let s2 = sampler.sample(&chip).unwrap();
         assert!(s2.package_power < s1.package_power);
         assert_eq!(s2.cores[0].rates.ips, 0.0);
+    }
+
+    #[test]
+    fn sample_into_reuses_buffer_and_matches_sample() {
+        let (mut chip, sampler) = run_chip(PlatformSpec::skylake());
+        let mut a = sampler.clone();
+        let mut b = sampler;
+        let mut out = Sample::empty();
+        assert!(!b.sample_into(&chip, &mut out), "no time passed");
+
+        chip.run_ticks(500, Seconds(0.001));
+        let owned = a.sample(&chip).unwrap();
+        assert!(b.sample_into(&chip, &mut out));
+        assert_eq!(out, owned);
+
+        // A second interval must overwrite, not append, the cores buffer.
+        let cap = out.cores.capacity();
+        chip.run_ticks(500, Seconds(0.001));
+        let owned2 = a.sample(&chip).unwrap();
+        assert!(b.sample_into(&chip, &mut out));
+        assert_eq!(out, owned2);
+        assert_eq!(out.cores.capacity(), cap, "steady state must not realloc");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! of the paper's published turbostat logs (time, package power, then
 //! per-core frequency/IPS/power triples).
 
-use std::fmt::Write as _;
+use std::io::{self, Write};
 
 use pap_simcpu::units::{Seconds, Watts};
 
@@ -102,49 +102,56 @@ impl Trace {
         Seconds(self.samples.iter().map(|s| s.interval.value()).sum())
     }
 
-    /// Render as CSV: header plus one row per sample.
+    /// Render as CSV into a `String` (thin wrapper over
+    /// [`Trace::write_csv`]).
+    pub fn to_csv(&self) -> String {
+        let mut out = Vec::new();
+        self.write_csv(&mut out)
+            .expect("writing CSV to a Vec cannot fail");
+        String::from_utf8(out).expect("CSV output is ASCII")
+    }
+
+    /// Stream as CSV into any [`io::Write`]: header plus one row per
+    /// sample, without materialising the whole document in memory.
     ///
     /// The column count is sized from the *maximum* core count across all
     /// samples — traces whose samples disagree (mid-run admission on a
     /// cluster node) stay rectangular, with absent cores padded as `-`.
-    pub fn to_csv(&self) -> String {
+    pub fn write_csv<W: Write>(&self, mut out: W) -> io::Result<()> {
         let ncores = self
             .samples
             .iter()
             .map(|s| s.cores.len())
             .max()
             .unwrap_or(0);
-        let mut out = String::from("time_s,pkg_w,cores_w");
+        out.write_all(b"time_s,pkg_w,cores_w")?;
         for c in 0..ncores {
-            let _ = write!(out, ",c{c}_mhz,c{c}_ips,c{c}_w");
+            write!(out, ",c{c}_mhz,c{c}_ips,c{c}_w")?;
         }
-        out.push('\n');
+        out.write_all(b"\n")?;
         for s in &self.samples {
-            let _ = write!(
+            write!(
                 out,
                 "{:.3},{:.3},{:.3}",
                 s.time.value(),
                 s.package_power.value(),
                 s.cores_power.value()
-            );
+            )?;
             for c in 0..ncores {
                 match s.cores.get(c) {
                     Some(cs) => {
-                        let _ = write!(
-                            out,
-                            ",{},{:.0},{}",
-                            cs.rates.active_freq.mhz(),
-                            cs.rates.ips,
-                            cs.power
-                                .map_or_else(|| "-".to_string(), |p| format!("{:.3}", p.value()))
-                        );
+                        write!(out, ",{},{:.0},", cs.rates.active_freq.mhz(), cs.rates.ips)?;
+                        match cs.power {
+                            Some(p) => write!(out, "{:.3}", p.value())?,
+                            None => out.write_all(b"-")?,
+                        }
                     }
-                    None => out.push_str(",-,-,-"),
+                    None => out.write_all(b",-,-,-")?,
                 }
             }
-            out.push('\n');
+            out.write_all(b"\n")?;
         }
-        out
+        Ok(())
     }
 }
 
@@ -219,6 +226,16 @@ mod tests {
         );
         let row = lines.next().unwrap();
         assert!(row.starts_with("1.000,40.500,30.500,2000,1000000000,-"));
+    }
+
+    #[test]
+    fn write_csv_matches_to_csv() {
+        let mut t = Trace::new();
+        t.push(sample(1.0, 40.5, 2000, 1e9));
+        t.push(sample(2.0, 41.5, 1800, 9e8));
+        let mut streamed = Vec::new();
+        t.write_csv(&mut streamed).unwrap();
+        assert_eq!(String::from_utf8(streamed).unwrap(), t.to_csv());
     }
 
     #[test]
