@@ -15,7 +15,7 @@ use pap_simcpu::platform::PlatformSpec;
 use pap_simcpu::units::{Seconds, Watts};
 use pap_telemetry::sampler::Sampler;
 use pap_workloads::engine::RunningApp;
-use pap_workloads::latency::ServiceConfig;
+use pap_workloads::latency::{DemandShape, ServiceConfig};
 use pap_workloads::spec;
 use pap_workloads::traces::{LoadTrace, TracedService};
 use powerd::config::{AppSpec, DaemonConfig, PolicyKind, Priority};
@@ -41,6 +41,7 @@ fn run(policy: PolicyKind, limit: f64) -> (PhaseStats, PhaseStats) {
         users: 200,
         mean_think: Seconds(0.5),
         mean_service_cycles: 20.0e6,
+        demand: DemandShape::Exponential,
         capacitance: 0.55,
         seed: 77,
     };

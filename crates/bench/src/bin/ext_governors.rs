@@ -13,7 +13,7 @@ use pap_simcpu::chip::Chip;
 use pap_simcpu::platform::PlatformSpec;
 use pap_simcpu::units::Seconds;
 use pap_telemetry::sampler::Sampler;
-use pap_workloads::latency::{ClosedLoopService, ServiceConfig};
+use pap_workloads::latency::{ClosedLoopService, DemandShape, ServiceConfig};
 use powerd::governor::Governor;
 
 fn run(gov: Governor) -> (f64, f64, f64) {
@@ -23,6 +23,7 @@ fn run(gov: Governor) -> (f64, f64, f64) {
         users: 40,
         mean_think: Seconds(0.4),
         mean_service_cycles: 18.0e6,
+        demand: DemandShape::Exponential,
         capacitance: 0.8,
         seed: 42,
     };

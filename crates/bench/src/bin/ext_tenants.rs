@@ -1,0 +1,144 @@
+//! Extension: multi-tenant SLO scenarios (DESIGN.md §12).
+//!
+//! Runs every `pap-tenants` library scenario under all three control
+//! modes — the SLO-aware share controller, static shares, and native
+//! RAPL — as one parallel sweep, then:
+//!
+//! - proves the sweep is **byte-reproducible**: the scorecard JSONL
+//!   from the `PAP_SWEEP_THREADS`-controlled parallel run must equal a
+//!   serial rerun exactly;
+//! - gates on the headline result: in every scenario the SLO-aware
+//!   controller must beat both static shares and RAPL on
+//!   attainment-per-watt (same budget, same workload, same seed);
+//! - writes `results/BENCH_tenants.json` for CI to archive.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use pap_bench::sweep::{self, Threads};
+use pap_bench::{f1, f3, Table};
+use pap_tenants::prelude::*;
+
+fn jobs() -> Vec<(&'static str, ControlMode)> {
+    let mut out = Vec::new();
+    for name in names() {
+        for mode in ControlMode::ALL {
+            out.push((*name, mode));
+        }
+    }
+    out
+}
+
+fn run_cell((name, mode): (&'static str, ControlMode)) -> SloScorecard {
+    by_name(name).expect("library scenario").run(mode)
+}
+
+fn json_report(cards: &[SloScorecard], reproducible: bool) -> String {
+    let mut out = String::from("{\n  \"bench\": \"ext_tenants\",\n");
+    let _ = writeln!(out, "  \"reproducible_across_threads\": {reproducible},");
+    out.push_str("  \"runs\": [\n");
+    for (i, c) in cards.iter().enumerate() {
+        let comma = if i + 1 < cards.len() { "," } else { "" };
+        let _ = writeln!(out, "    {}{comma}", c.summary_json());
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let mut out_path = String::from("results/BENCH_tenants.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out takes a path"),
+            other => panic!("unknown argument {other:?} (supported: --out PATH)"),
+        }
+    }
+
+    // The sweep under the environment's thread policy, then a serial
+    // rerun: scorecards must match byte-for-byte or the scenario layer
+    // has a scheduling-dependent code path.
+    let cards = sweep::run(Threads::from_env(), jobs(), run_cell);
+    let serial = sweep::run(Threads::Serial, jobs(), run_cell);
+    let parallel_bytes: String = cards.iter().map(|c| c.to_jsonl()).collect();
+    let serial_bytes: String = serial.iter().map(|c| c.to_jsonl()).collect();
+    let reproducible = parallel_bytes == serial_bytes;
+
+    let mut t = Table::new(
+        "Multi-tenant SLO scenarios: attainment per watt by control mode".to_string(),
+        &[
+            "scenario",
+            "mode",
+            "attainment",
+            "att_per_w",
+            "jain",
+            "batch_gips",
+            "mean_w",
+            "dropped",
+        ],
+    );
+    for c in &cards {
+        let dropped: u64 = c.tenants.iter().map(|ten| ten.dropped).sum();
+        t.row(vec![
+            c.scenario.to_string(),
+            c.mode.to_string(),
+            f3(c.attainment()),
+            f3(c.attainment_per_watt()),
+            f3(c.jain()),
+            f3(c.batch_gips()),
+            f1(c.mean_package_w),
+            dropped.to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    let mut failures = Vec::new();
+    if !reproducible {
+        failures.push(
+            "scorecards differ between the parallel and serial sweeps \
+             (scenario runs must not depend on PAP_SWEEP_THREADS)"
+                .to_string(),
+        );
+    }
+    for name in names() {
+        let by_mode = |mode: ControlMode| {
+            cards
+                .iter()
+                .find(|c| c.scenario == *name && c.mode == mode.name())
+                .expect("every cell ran")
+        };
+        let aware = by_mode(ControlMode::SloAware);
+        let stat = by_mode(ControlMode::StaticShares);
+        let rapl = by_mode(ControlMode::RaplNative);
+        for (rival, label) in [(stat, "static-shares"), (rapl, "rapl")] {
+            if aware.attainment_per_watt() <= rival.attainment_per_watt() {
+                failures.push(format!(
+                    "{name}: slo-aware attainment/W {:.4} does not beat {label} {:.4}",
+                    aware.attainment_per_watt(),
+                    rival.attainment_per_watt()
+                ));
+            }
+        }
+    }
+
+    let json = json_report(&cards, reproducible);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, &json).expect("write bench report");
+    println!("Report written to {out_path}");
+
+    if failures.is_empty() {
+        println!(
+            "PASS: SLO-aware share control beats static shares and RAPL on \
+             attainment-per-watt in every scenario; sweep byte-reproducible \
+             across thread counts."
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

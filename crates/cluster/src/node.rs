@@ -15,6 +15,7 @@ use pap_simcpu::units::{Seconds, Watts};
 use pap_telemetry::rollup::NodeTelemetry;
 use pap_telemetry::sampler::Sampler;
 use pap_workloads::engine::RunningApp;
+use pap_workloads::traces::LoadTrace;
 use powerd::config::{AppSpec, DaemonConfig, PolicyKind, TranslationKind};
 use powerd::daemon::{ControlAction, Daemon, DaemonError};
 
@@ -27,6 +28,11 @@ pub struct ResidentApp {
     pub spec: AppSpec,
     /// The simulated workload.
     pub engine: RunningApp,
+    /// Optional offered-load trace modulating the app's demand over
+    /// time (utilization and retired instructions scale by the trace's
+    /// intensity at the node's simulated clock). `None` = steady
+    /// full-demand, the historical behaviour.
+    pub trace: Option<LoadTrace>,
 }
 
 /// One cluster node: chip + daemon + resident apps.
@@ -136,6 +142,17 @@ impl Node {
     /// unchanged. The app starts at the next control interval, when the
     /// daemon re-runs its initial distribution over the new app set.
     pub fn admit(&mut self, req: &AppRequest) -> Result<usize, DaemonError> {
+        self.admit_traced(req, None)
+    }
+
+    /// [`Node::admit`], with an optional offered-load trace attached:
+    /// the app's demand follows `trace` (diurnal, bursty, piecewise)
+    /// instead of running flat out.
+    pub fn admit_traced(
+        &mut self,
+        req: &AppRequest,
+        trace: Option<LoadTrace>,
+    ) -> Result<usize, DaemonError> {
         let core = (0..self.platform.num_cores)
             .find(|&c| self.apps.iter().all(|a| a.spec.core != c))
             .ok_or_else(|| {
@@ -154,6 +171,7 @@ impl Node {
         self.apps.push(ResidentApp {
             spec,
             engine: RunningApp::looping(profile),
+            trace,
         });
         Ok(core)
     }
@@ -199,9 +217,18 @@ impl Node {
                 }
                 let f = self.chip.effective_freq(core);
                 let out = app.engine.advance(self.tick, f);
-                self.chip.set_load(core, out.load).expect("core in range");
+                let (load, instructions) = match &app.trace {
+                    Some(trace) => {
+                        let s = trace.intensity(self.chip.now()).clamp(0.0, 1.0);
+                        let mut load = out.load;
+                        load.utilization *= s;
+                        (load, (out.instructions as f64 * s) as u64)
+                    }
+                    None => (out.load, out.instructions),
+                };
+                self.chip.set_load(core, load).expect("core in range");
                 self.chip
-                    .add_instructions(core, out.instructions)
+                    .add_instructions(core, instructions)
                     .expect("core in range");
             }
             self.chip.tick(self.tick);
@@ -327,6 +354,31 @@ mod tests {
             "25 W cap must bite: {before} -> {after}"
         );
         assert!(n.retarget(Watts(5.0)).is_err(), "below RAPL floor rejected");
+    }
+
+    #[test]
+    fn traced_app_demand_follows_the_trace() {
+        let mut low = node();
+        low.admit_traced(
+            &AppRequest::new("t", 100, DemandClass::Heavy),
+            Some(LoadTrace::Flat(0.2)),
+        )
+        .unwrap();
+        low.advance_interval();
+        let throttled = low.advance_interval();
+
+        let mut full = node();
+        full.admit(&AppRequest::new("t", 100, DemandClass::Heavy))
+            .unwrap();
+        full.advance_interval();
+        let flat_out = full.advance_interval();
+
+        assert!(
+            throttled.total_ips < flat_out.total_ips * 0.5,
+            "a 0.2-intensity trace must cut retirement: {} vs {}",
+            throttled.total_ips,
+            flat_out.total_ips
+        );
     }
 
     #[test]

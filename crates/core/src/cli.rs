@@ -28,14 +28,18 @@ pub struct CliApp {
 pub struct CliOptions {
     /// Platform: `skylake` or `ryzen`.
     pub platform: String,
-    /// Policy to run.
-    pub policy: PolicyKind,
-    /// Package power limit.
-    pub limit: Watts,
+    /// Policy to run. Required unless `--scenario` is given (scenarios
+    /// carry their own policy per control mode).
+    pub policy: Option<PolicyKind>,
+    /// Package power limit. Required unless `--scenario` is given.
+    pub limit: Option<Watts>,
     /// Simulated measurement duration.
     pub duration: Seconds,
     /// Applications.
     pub apps: Vec<CliApp>,
+    /// Run a named multi-tenant scenario from the `pap-tenants` library
+    /// instead of an ad-hoc `--app` list.
+    pub scenario: Option<String>,
     /// Emit the full telemetry trace as CSV on stdout.
     pub csv: bool,
     /// Phase-generator seed (`None` = the runner's default, which
@@ -68,9 +72,14 @@ powerd-sim — per-application power delivery on a simulated socket
 
 USAGE:
     powerd-sim --policy <POLICY> --limit <WATTS> --app <SPEC>... [OPTIONS]
+    powerd-sim --scenario <NAME> [OPTIONS]
 
 OPTIONS:
     --platform <skylake|ryzen>   platform model (default: skylake)
+    --scenario <NAME>            run a named multi-tenant scenario from
+                                 the pap-tenants library (see the binary's
+                                 error output for the names); --policy,
+                                 --limit and --app are then not required
     --policy <POLICY>            rapl | priority | power-shares |
                                  freq-shares | perf-shares
     --limit <WATTS>              package power limit, e.g. 45
@@ -151,6 +160,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
     let mut model = TranslationKind::Naive;
     let mut trace_out = None;
     let mut metrics = false;
+    let mut scenario = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -182,16 +192,27 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                     .ok_or_else(|| format!("bad --model '{v}' (naive|online)"))?;
             }
             "--csv" => csv = true,
+            "--scenario" => scenario = Some(value("--scenario")?.clone()),
             "--trace-out" => trace_out = Some(value("--trace-out")?.clone()),
             "--metrics" => metrics = true,
             other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
         }
     }
 
-    let policy = policy.ok_or_else(|| format!("--policy is required\n\n{USAGE}"))?;
-    let limit = limit.ok_or_else(|| format!("--limit is required\n\n{USAGE}"))?;
-    if apps.is_empty() {
-        return Err(format!("at least one --app is required\n\n{USAGE}"));
+    if scenario.is_none() {
+        if policy.is_none() {
+            return Err(format!("--policy is required\n\n{USAGE}"));
+        }
+        if limit.is_none() {
+            return Err(format!("--limit is required\n\n{USAGE}"));
+        }
+        if apps.is_empty() {
+            return Err(format!("at least one --app is required\n\n{USAGE}"));
+        }
+    } else if !apps.is_empty() {
+        return Err(format!(
+            "--scenario and --app are mutually exclusive\n\n{USAGE}"
+        ));
     }
     Ok(CliOptions {
         platform,
@@ -199,6 +220,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         limit,
         duration,
         apps,
+        scenario,
         csv,
         seed,
         model,
@@ -236,8 +258,8 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(o.platform, "ryzen");
-        assert_eq!(o.policy, PolicyKind::FrequencyShares);
-        assert_eq!(o.limit, Watts(45.0));
+        assert_eq!(o.policy, Some(PolicyKind::FrequencyShares));
+        assert_eq!(o.limit, Some(Watts(45.0)));
         assert_eq!(o.duration, Seconds(30.0));
         assert_eq!(o.seed, Some(1234));
         assert!(o.csv);
@@ -332,6 +354,36 @@ mod tests {
         assert!(parse(&sv(&["--policy", "rapl", "--limit", "50"]))
             .unwrap_err()
             .contains("--app"));
+    }
+
+    #[test]
+    fn scenario_mode_relaxes_required_args() {
+        let o = parse(&sv(&["--scenario", "diurnal-flash"])).unwrap();
+        assert_eq!(o.scenario.as_deref(), Some("diurnal-flash"));
+        assert_eq!(o.policy, None);
+        assert_eq!(o.limit, None);
+        assert!(o.apps.is_empty());
+
+        // Scenario plus explicit policy/limit overrides still parses.
+        let o = parse(&sv(&[
+            "--scenario",
+            "churn",
+            "--limit",
+            "40",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(o.limit, Some(Watts(40.0)));
+        assert_eq!(o.seed, Some(9));
+
+        // Ad-hoc apps and library scenarios cannot be mixed.
+        assert!(parse(&sv(&["--scenario", "churn", "--app", "x=gcc"]))
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert!(parse(&sv(&["--scenario"]))
+            .unwrap_err()
+            .contains("needs a value"));
     }
 
     #[test]

@@ -231,6 +231,10 @@ pub struct Daemon {
     /// Decision-trace observer. `None` (the default) keeps observability
     /// strictly off-path: no record building, no timing.
     observer: Option<DecisionTrace>,
+    /// Events raised between control intervals (share retargets, churn)
+    /// to be attached to the next record. Only populated while an
+    /// observer is attached.
+    pending_events: Vec<DecisionEvent>,
     /// Reusable per-interval buffers (DESIGN.md §11).
     scratch: StepScratch,
 }
@@ -307,6 +311,7 @@ impl Daemon {
             current_parked: vec![false; n_apps],
             model: OnlineModel::new(ModelConfig::default()),
             observer: None,
+            pending_events: Vec::new(),
             scratch: StepScratch::new(n_apps, platform.num_cores, platform.shared_pstate_slots),
         })
     }
@@ -405,6 +410,35 @@ impl Daemon {
         self.model.forget_app(removed.core);
         self.reset_distribution();
         Ok(removed)
+    }
+
+    /// Change an application's shares mid-run, returning the previous
+    /// value. Unlike membership changes this needs no distribution
+    /// reset: shares are read from the config on every control interval,
+    /// so the next step simply divides the budget under the new weights.
+    /// Zero shares are rejected (a zero-weight app would be starved out
+    /// of every share-based division), as is an unknown app; on error
+    /// nothing changes.
+    pub fn retarget_shares(&mut self, name: &str, shares: u32) -> Result<u32, DaemonError> {
+        if shares == 0 {
+            return Err(ConfigError::ZeroShares { app: name.into() }.into());
+        }
+        let app = self
+            .config
+            .apps
+            .iter_mut()
+            .find(|a| a.name == name)
+            .ok_or_else(|| DaemonError::UnknownApp { app: name.into() })?;
+        let core = app.core;
+        let previous = std::mem::replace(&mut app.shares, shares);
+        if self.observer.is_some() && previous != shares {
+            self.pending_events.push(DecisionEvent::ShareRetarget {
+                core,
+                from: previous,
+                to: shares,
+            });
+        }
+        Ok(previous)
     }
 
     /// Change the enforced package power budget mid-run (the cluster
@@ -710,7 +744,9 @@ impl Daemon {
         // with what the cores achieved; observer-only, so it must run
         // before `current` is overwritten.
         let events = if self.observer.is_some() {
-            self.saturation_events(&self.scratch.views)
+            let mut events = std::mem::take(&mut self.pending_events);
+            events.extend(self.saturation_events(&self.scratch.views));
+            events
         } else {
             Vec::new()
         };
@@ -965,6 +1001,36 @@ mod tests {
             d.remove_app("nope").unwrap_err(),
             DaemonError::UnknownApp { .. }
         ));
+    }
+
+    #[test]
+    fn retarget_shares_shifts_the_division() {
+        let cfg = DaemonConfig::new(PolicyKind::FrequencyShares, Watts(50.0), skylake_apps());
+        let mut d = Daemon::new(cfg, &PlatformSpec::skylake()).unwrap();
+        d.initial();
+        let s = sample(55.0, &[3000, 3000], 10);
+        let before = d.step(&s);
+        // Flip the weighting toward the second app; the very next step
+        // divides under the new weights — no reset, no re-init.
+        assert_eq!(d.retarget_shares("ld", 90).unwrap(), 30);
+        assert_eq!(d.retarget_shares("hd", 10).unwrap(), 70);
+        let after = d.step(&s);
+        assert!(
+            after.freqs[1] >= before.freqs[1] && after.freqs[0] <= before.freqs[0],
+            "boosted app must not lose frequency: {:?} -> {:?}",
+            before.freqs,
+            after.freqs
+        );
+
+        assert!(matches!(
+            d.retarget_shares("nope", 50).unwrap_err(),
+            DaemonError::UnknownApp { .. }
+        ));
+        assert!(matches!(
+            d.retarget_shares("hd", 0).unwrap_err(),
+            DaemonError::Config(ConfigError::ZeroShares { .. })
+        ));
+        assert_eq!(d.config().apps[0].shares, 10, "failed calls change nothing");
     }
 
     #[test]

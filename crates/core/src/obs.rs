@@ -101,6 +101,16 @@ pub enum DecisionEvent {
         /// New cap.
         to: Watts,
     },
+    /// An app's shares were retargeted mid-run (SLO controller
+    /// boost/shed, tenant churn).
+    ShareRetarget {
+        /// Core of the retargeted app.
+        core: usize,
+        /// Previous shares.
+        from: u32,
+        /// New shares.
+        to: u32,
+    },
 }
 
 impl DecisionEvent {
@@ -115,6 +125,7 @@ impl DecisionEvent {
             DecisionEvent::ActuatorOverride => "actuator_override",
             DecisionEvent::Revocation { .. } => "revocation",
             DecisionEvent::Retarget { .. } => "retarget",
+            DecisionEvent::ShareRetarget { .. } => "share_retarget",
         }
     }
 
@@ -168,6 +179,9 @@ impl DecisionEvent {
                     from.value(),
                     to.value()
                 );
+            }
+            DecisionEvent::ShareRetarget { core, from, to } => {
+                let _ = write!(out, ",\"core\":{core},\"from\":{from},\"to\":{to}");
             }
         }
         out.push('}');
@@ -311,6 +325,7 @@ impl DecisionTrace {
                     DecisionEvent::ActuatorOverride => m.actuator_overrides.inc(),
                     DecisionEvent::Revocation { .. } => m.revocations.inc(),
                     DecisionEvent::Retarget { .. } => m.retargets.inc(),
+                    DecisionEvent::ShareRetarget { .. } => m.share_retargets.inc(),
                 }
             }
             if record.source == "cluster" {
@@ -456,6 +471,11 @@ mod tests {
                 node: 1,
                 from: Watts(40.0),
                 to: Watts(30.0),
+            },
+            DecisionEvent::ShareRetarget {
+                core: 2,
+                from: 50,
+                to: 80,
             },
         ];
         let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();

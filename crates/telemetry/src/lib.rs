@@ -14,6 +14,8 @@
 //! * [`histogram`] — log-bucketed latency histograms;
 //! * [`metrics`] — lock-free counters/histograms with Prometheus-style
 //!   exposition for the control plane;
+//! * [`slo`] — SLO targets, windowed attainment tracking and the Jain
+//!   fairness index for multi-tenant scoring;
 //! * [`rollup`] — multi-node aggregation for cluster-level arbitration.
 
 #![warn(missing_docs)]
@@ -26,6 +28,7 @@ pub mod metrics;
 pub mod rolling;
 pub mod rollup;
 pub mod sampler;
+pub mod slo;
 pub mod stats;
 pub mod trace;
 
@@ -37,6 +40,7 @@ pub mod prelude {
     pub use crate::metrics::{AtomicLogHistogram, ControlMetrics, Counter};
     pub use crate::rollup::{ClusterRollup, NodeTelemetry};
     pub use crate::sampler::{CoreSample, Sample, Sampler};
+    pub use crate::slo::{jain_index, SloTarget, SloTracker};
     pub use crate::stats::BoxStats;
     pub use crate::trace::Trace;
 }

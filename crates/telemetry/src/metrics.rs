@@ -147,6 +147,8 @@ pub struct ControlMetrics {
     pub retargets: Counter,
     /// Cluster rebalance rounds.
     pub rebalances: Counter,
+    /// Per-app share retargets (SLO controller boosts/sheds).
+    pub share_retargets: Counter,
     /// Decision computation latency in seconds (10 ns .. 1 s).
     pub decision_latency: AtomicLogHistogram,
     /// Measured power above budget, in watts, recorded only on overshoot
@@ -168,6 +170,7 @@ impl ControlMetrics {
             revocations: Counter::new(),
             retargets: Counter::new(),
             rebalances: Counter::new(),
+            share_retargets: Counter::new(),
             decision_latency: AtomicLogHistogram::new(1e-8, 1.0, 400),
             overshoot_watts: AtomicLogHistogram::new(1e-2, 1e3, 200),
         }
@@ -177,7 +180,7 @@ impl ControlMetrics {
     /// rendered as summaries (p50/p90/p99 quantile gauges plus `_count`).
     pub fn expose(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, &str, &Counter); 10] = [
+        let counters: [(&str, &str, &Counter); 11] = [
             (
                 "pap_decisions_total",
                 "Control decisions recorded.",
@@ -227,6 +230,11 @@ impl ControlMetrics {
                 "pap_rebalances_total",
                 "Cluster rebalance rounds.",
                 &self.rebalances,
+            ),
+            (
+                "pap_share_retargets_total",
+                "Per-app share retargets (SLO controller boosts/sheds).",
+                &self.share_retargets,
             ),
         ];
         for (name, help, c) in counters {

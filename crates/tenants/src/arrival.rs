@@ -1,0 +1,168 @@
+//! Arrival traces: diurnal base load plus flash crowds.
+//!
+//! A tenant's offered load is a base [`LoadTrace`] (diurnal, bursty,
+//! flat, piecewise) with zero or more [`FlashCrowd`] boosts layered on
+//! top — the trapezoid-shaped surges (a news event, a sale) that make
+//! production serving traffic spiky in a way a smooth diurnal curve
+//! never is. The composed [`ArrivalTrace`] stays in `[0, 1]` and is
+//! total on every input, matching the hardened `LoadTrace::intensity`
+//! contract.
+
+use pap_simcpu::units::Seconds;
+use pap_workloads::traces::LoadTrace;
+
+/// A trapezoid-shaped load surge: ramp up over `ramp`, hold for `hold`,
+/// decay back over `decay`, adding up to `boost` intensity at the top.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashCrowd {
+    /// When the surge starts.
+    pub start: Seconds,
+    /// Linear ramp-up duration.
+    pub ramp: Seconds,
+    /// Time spent at full boost.
+    pub hold: Seconds,
+    /// Linear decay duration.
+    pub decay: Seconds,
+    /// Added intensity at the plateau (may push the composed trace into
+    /// clamping — a crowd on top of peak load saturates, as it should).
+    pub boost: f64,
+}
+
+impl FlashCrowd {
+    /// The crowd's added intensity at time `t` (0 outside the surge;
+    /// degenerate durations are treated as instantaneous edges).
+    pub fn boost_at(&self, t: Seconds) -> f64 {
+        let t = t.value();
+        if !(t.is_finite() && self.boost.is_finite()) {
+            return 0.0;
+        }
+        let ramp = self.ramp.value().max(0.0);
+        let hold = self.hold.value().max(0.0);
+        let decay = self.decay.value().max(0.0);
+        let rel = t - self.start.value();
+        if rel < 0.0 || rel > ramp + hold + decay {
+            0.0
+        } else if rel < ramp {
+            self.boost * rel / ramp
+        } else if rel <= ramp + hold {
+            self.boost
+        } else if decay > 0.0 {
+            self.boost * (1.0 - (rel - ramp - hold) / decay)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A base load trace plus layered flash crowds; the composed intensity
+/// is clamped into `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTrace {
+    /// The base curve.
+    pub base: LoadTrace,
+    /// Surges added on top.
+    pub crowds: Vec<FlashCrowd>,
+}
+
+impl ArrivalTrace {
+    /// Constant base intensity, no crowds.
+    pub fn flat(v: f64) -> ArrivalTrace {
+        ArrivalTrace {
+            base: LoadTrace::Flat(v),
+            crowds: Vec::new(),
+        }
+    }
+
+    /// Sinusoidal diurnal base, no crowds.
+    pub fn diurnal(mean: f64, swing: f64, period: Seconds) -> ArrivalTrace {
+        ArrivalTrace {
+            base: LoadTrace::Diurnal {
+                mean,
+                swing,
+                period,
+            },
+            crowds: Vec::new(),
+        }
+    }
+
+    /// Layer a flash crowd on top.
+    pub fn with_crowd(mut self, crowd: FlashCrowd) -> ArrivalTrace {
+        self.crowds.push(crowd);
+        self
+    }
+
+    /// Composed intensity at `t`, clamped into `[0, 1]`.
+    pub fn intensity(&self, t: Seconds) -> f64 {
+        let mut v = self.base.intensity(t);
+        for c in &self.crowds {
+            v += c.boost_at(t);
+        }
+        if v.is_finite() {
+            v.clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trapezoid_shape() {
+        let c = FlashCrowd {
+            start: Seconds(10.0),
+            ramp: Seconds(2.0),
+            hold: Seconds(4.0),
+            decay: Seconds(4.0),
+            boost: 0.6,
+        };
+        assert_eq!(c.boost_at(Seconds(9.9)), 0.0);
+        assert!((c.boost_at(Seconds(11.0)) - 0.3).abs() < 1e-12);
+        assert_eq!(c.boost_at(Seconds(13.0)), 0.6);
+        assert!((c.boost_at(Seconds(18.0)) - 0.3).abs() < 1e-12);
+        assert_eq!(c.boost_at(Seconds(20.1)), 0.0);
+    }
+
+    #[test]
+    fn crowd_layers_on_base_and_clamps() {
+        let tr = ArrivalTrace::flat(0.7).with_crowd(FlashCrowd {
+            start: Seconds(5.0),
+            ramp: Seconds(1.0),
+            hold: Seconds(2.0),
+            decay: Seconds(1.0),
+            boost: 0.6,
+        });
+        assert!((tr.intensity(Seconds(0.0)) - 0.7).abs() < 1e-12);
+        assert_eq!(tr.intensity(Seconds(6.5)), 1.0, "clamped at saturation");
+        assert!((tr.intensity(Seconds(20.0)) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_total() {
+        let c = FlashCrowd {
+            start: Seconds(0.0),
+            ramp: Seconds(0.0),
+            hold: Seconds(0.0),
+            decay: Seconds(0.0),
+            boost: f64::NAN,
+        };
+        assert_eq!(c.boost_at(Seconds(0.0)), 0.0);
+        let tr = ArrivalTrace::flat(0.5).with_crowd(c);
+        for t in [f64::NAN, f64::INFINITY, -1.0e9, 0.0] {
+            let v = tr.intensity(Seconds(t));
+            assert!(v.is_finite() && (0.0..=1.0).contains(&v));
+        }
+        // Zero-duration crowd contributes nothing but never panics.
+        let spike = FlashCrowd {
+            start: Seconds(3.0),
+            ramp: Seconds(0.0),
+            hold: Seconds(0.0),
+            decay: Seconds(0.0),
+            boost: 0.5,
+        };
+        assert_eq!(spike.boost_at(Seconds(3.0)), 0.5, "instantaneous hold");
+        assert_eq!(spike.boost_at(Seconds(3.0001)), 0.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! `powerd-sim` — run the per-application power-delivery daemon against a
+//! simulated socket from the command line.
+//!
+//! Two modes. The classic ad-hoc experiment:
+//!
+//! ```sh
+//! powerd-sim --policy freq-shares --limit 45 \
+//!     --app web=leela:90:hp --app bg=cpuburn:10:lp --duration 60
+//! ```
+//!
+//! and named multi-tenant scenarios from the `pap-tenants` library,
+//! compared across all three control modes:
+//!
+//! ```sh
+//! powerd-sim --scenario diurnal-flash [--limit 45] [--seed 7] [--metrics]
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use pap_simcpu::units::Watts;
+use pap_telemetry::metrics::ControlMetrics;
+use pap_tenants::prelude::*;
+use pap_workloads::burn::CPUBURN;
+use pap_workloads::spec;
+use powerd::cli::{self, CliOptions};
+use powerd::report::{f1, f3, Table};
+use powerd::runner::Experiment;
+
+fn run_experiment(opts: &CliOptions) -> Result<(), String> {
+    let platform = opts.platform_spec()?;
+    let policy = opts.policy.expect("cli validated policy");
+    let limit = opts.limit.expect("cli validated limit");
+    let mut e = Experiment::new(platform, policy, limit)
+        .duration(opts.duration)
+        .translation(opts.model)
+        .observe(opts.trace_out.is_some() || opts.metrics);
+    if let Some(seed) = opts.seed {
+        e = e.seed(seed);
+    }
+    for app in &opts.apps {
+        let profile = if app.profile == "cpuburn" {
+            CPUBURN
+        } else {
+            spec::by_name(&app.profile)
+                .ok_or_else(|| format!("unknown profile '{}'", app.profile))?
+        };
+        e = e.app(app.name.clone(), profile, app.priority, app.shares);
+    }
+    let result = e.run()?;
+
+    let mut t = Table::new(
+        format!(
+            "powerd-sim: {} at {} on {}",
+            policy.name(),
+            limit,
+            opts.platform
+        ),
+        &[
+            "app",
+            "core",
+            "mean_mhz",
+            "norm_perf",
+            "core_w",
+            "starved_%",
+        ],
+    );
+    for a in &result.apps {
+        t.row(vec![
+            a.name.clone(),
+            a.core.to_string(),
+            f1(a.mean_freq_mhz),
+            f3(a.norm_perf),
+            a.mean_power
+                .map(|w| f3(w.value()))
+                .unwrap_or_else(|| "-".into()),
+            f1(a.starved_fraction * 100.0),
+        ]);
+    }
+    println!("{t}");
+    println!("mean package power: {:.2}", result.mean_package_power);
+    let rms = result
+        .model
+        .prediction_rms_watts
+        .map(|w| format!("{w:.2} W"))
+        .unwrap_or_else(|| "n/a (fit not yet confident)".into());
+    println!(
+        "model[{}]: per-interval prediction rms {}, {} translation queries ({:.0}% naive fallback)",
+        opts.model.name(),
+        rms,
+        result.model.queries,
+        result.model.fallback_fraction() * 100.0,
+    );
+    println!("{}", powerd::report::model_table(&result.model));
+    if opts.csv {
+        print!("{}", result.trace.to_csv());
+    }
+    if let Some(decisions) = &result.decisions {
+        if let Some(path) = &opts.trace_out {
+            std::fs::write(path, decisions.to_jsonl())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("decision trace: {} records -> {path}", decisions.len());
+        }
+        if opts.metrics {
+            if let Some(metrics) = decisions.metrics() {
+                print!("{}", metrics.expose());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run_scenario(opts: &CliOptions, name: &str) -> Result<(), String> {
+    let mut scenario = by_name(name).ok_or_else(|| {
+        format!(
+            "unknown scenario '{name}' (available: {})",
+            names().join(", ")
+        )
+    })?;
+    if let Some(limit) = opts.limit {
+        scenario.limit = limit;
+    }
+    if let Some(seed) = opts.seed {
+        scenario.seed = seed;
+    }
+    scenario.duration = opts.duration;
+
+    println!(
+        "scenario '{}': {} ({} tenants, {} cores, {} budget, seed {:#x})",
+        scenario.name,
+        scenario.description,
+        scenario.tenants.len(),
+        scenario.total_cores(),
+        Watts(scenario.limit.value()),
+        scenario.seed,
+    );
+
+    let mut jsonl = String::new();
+    let mut prom = String::new();
+    let mut summary = Table::new(
+        format!("scenario '{}' across control modes", scenario.name),
+        &[
+            "mode",
+            "attainment",
+            "att_per_w",
+            "jain",
+            "batch_gips",
+            "mean_w",
+        ],
+    );
+    for mode in ControlMode::ALL {
+        let metrics = opts.metrics.then(|| Arc::new(ControlMetrics::new()));
+        let (card, trace) = if opts.metrics || opts.trace_out.is_some() {
+            scenario.run_observed(mode, metrics.clone())
+        } else {
+            (scenario.run(mode), None)
+        };
+
+        let mut t = Table::new(
+            format!("{} / {}", scenario.name, mode.name()),
+            &[
+                "tenant",
+                "class",
+                "attainment",
+                "tail_ms",
+                "target_ms",
+                "goodput",
+                "mean_w",
+                "shares",
+            ],
+        );
+        for ten in &card.tenants {
+            t.row(vec![
+                ten.name.to_string(),
+                if ten.batch { "batch" } else { "service" }.to_string(),
+                f3(ten.attainment),
+                f1(ten.tail_ms),
+                f1(ten.target_ms),
+                f1(ten.goodput),
+                f3(ten.mean_power_w),
+                f1(ten.mean_shares),
+            ]);
+        }
+        println!("{t}");
+        summary.row(vec![
+            mode.name().to_string(),
+            f3(card.attainment()),
+            f3(card.attainment_per_watt()),
+            f3(card.jain()),
+            f3(card.batch_gips()),
+            f3(card.mean_package_w),
+        ]);
+        jsonl.push_str(&card.to_jsonl());
+        if opts.metrics {
+            prom.push_str(&card.prometheus());
+        }
+        if let (true, Some(trace)) = (mode == ControlMode::SloAware, &trace) {
+            eprintln!("slo-aware decision trace: {} records", trace.len());
+            if let Some(m) = metrics.as_deref() {
+                if opts.metrics {
+                    prom.push_str(&m.expose());
+                }
+            }
+            let _ = trace;
+        }
+    }
+    println!("{summary}");
+    if let Some(path) = &opts.trace_out {
+        std::fs::write(path, &jsonl).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("scorecards: -> {path}");
+    }
+    if opts.metrics {
+        print!("{prom}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match &opts.scenario {
+        Some(name) => run_scenario(&opts, &name.clone()),
+        None => run_experiment(&opts),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # pap-tenants: multi-tenant trace-driven serving scenarios
+//!
+//! The scenario layer above `powerd`: deterministic, seeded
+//! compositions of many tenants — latency-sensitive services with
+//! heavy-tailed demand, batch tenants soaking residual power, diurnal
+//! and flash-crowd arrival traces, tenant churn — running against the
+//! simulated socket under a package power budget.
+//!
+//! Three pieces:
+//!
+//! - [`scenario`]: the [`Scenario`](scenario::Scenario) library and run
+//!   loop (1 ms workload ticks, 1 s control intervals, warm-up excluded
+//!   from scoring), runnable under three [`ControlMode`]s
+//!   (`slo-aware`, `static-shares`, `rapl`).
+//! - [`slo`]: the [`SloController`](slo::SloController) share market —
+//!   integer 1:1 share transfers from batch (then relaxed services) to
+//!   tenants whose measured tails approach their SLO targets; total
+//!   shares are conserved exactly.
+//! - [`scorecard`]: the per-tenant [`SloScorecard`](scorecard::SloScorecard)
+//!   (attainment, attainment-per-watt, Jain fairness, batch goodput)
+//!   with JSONL and Prometheus sinks.
+//!
+//! Everything is deterministic for a fixed scenario seed: per-tenant
+//! RNG streams derive from it, so a scenario run is byte-reproducible
+//! regardless of how a sweep schedules it across threads (the
+//! `ext_tenants` bench asserts exactly that).
+
+pub mod arrival;
+pub mod scenario;
+pub mod scorecard;
+pub mod slo;
+pub mod tenant;
+
+pub use scenario::ControlMode;
+
+/// Convenience re-exports for scenario drivers.
+pub mod prelude {
+    pub use crate::arrival::{ArrivalTrace, FlashCrowd};
+    pub use crate::scenario::{by_name, names, ControlMode, Scenario};
+    pub use crate::scorecard::{SloScorecard, TenantScore};
+    pub use crate::slo::{ShareChange, ShareView, SloController, SloControllerConfig};
+    pub use crate::tenant::{TenantLoad, TenantSpec};
+}

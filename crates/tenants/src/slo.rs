@@ -1,0 +1,327 @@
+//! SLO-aware share control: boost pressured tenants, shed from batch.
+//!
+//! The daemon's share policies divide the package budget proportionally
+//! to static weights; this controller closes the loop between measured
+//! tail latency and those weights. Each control interval it sees one
+//! [`ShareView`] per daemon app (one per tenant core) carrying the
+//! owning tenant's SLO *pressure* (measured tail over target, from
+//! [`pap_telemetry::slo::SloTracker`]) and plans integer share
+//! transfers: apps whose pressure exceeds the high watermark are funded
+//! one share point at a time from batch apps first, then from service
+//! apps comfortably under their targets. Transfers are strictly 1:1
+//! between apps, so the total share pool is conserved exactly — the
+//! controller reweights the division of the budget, it never inflates
+//! the currency. The planner is a pure function of its inputs, which is
+//! what makes the conservation property proptestable.
+
+/// One daemon app's view going into the planner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShareView {
+    /// Caller-side identifier (index into the app list); echoed back in
+    /// [`ShareChange`].
+    pub id: usize,
+    /// Current shares.
+    pub shares: u32,
+    /// Owning tenant's SLO pressure (tail/target). Batch apps carry 0.
+    pub pressure: f64,
+    /// Whether the app belongs to the batch class.
+    pub batch: bool,
+}
+
+/// A planned share retarget for one app.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShareChange {
+    /// The app's `id` from its [`ShareView`].
+    pub id: usize,
+    /// Shares before.
+    pub from: u32,
+    /// Shares after.
+    pub to: u32,
+}
+
+/// Planner configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloControllerConfig {
+    /// Pressure at or above which an app is boosted (e.g. 0.9: act
+    /// *before* the SLO is violated).
+    pub high: f64,
+    /// Pressure at or below which a service app may donate shares.
+    pub low: f64,
+    /// Maximum points granted to one app per planning round.
+    pub step: u32,
+    /// Floor no app is shed below (the daemon rejects zero shares, and
+    /// a starved batch class could never recover).
+    pub min_shares: u32,
+    /// Ceiling no app is boosted above.
+    pub max_shares: u32,
+}
+
+impl Default for SloControllerConfig {
+    fn default() -> SloControllerConfig {
+        SloControllerConfig {
+            high: 0.9,
+            low: 0.6,
+            step: 10,
+            min_shares: 5,
+            max_shares: 200,
+        }
+    }
+}
+
+/// The share-market planner. Stateless between rounds: all history
+/// lives in the measured pressures.
+#[derive(Debug, Clone, Default)]
+pub struct SloController {
+    cfg: SloControllerConfig,
+}
+
+impl SloController {
+    /// A controller with the given thresholds.
+    pub fn new(cfg: SloControllerConfig) -> SloController {
+        SloController { cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> SloControllerConfig {
+        self.cfg
+    }
+
+    /// Plan one round of share transfers. Returns only apps whose
+    /// shares actually change; the sum of shares over the returned
+    /// changes (and a fortiori over all apps) is conserved exactly.
+    /// Deterministic: ties break on `id`.
+    pub fn plan(&self, views: &[ShareView]) -> Vec<ShareChange> {
+        let cfg = self.cfg;
+        let mut shares: Vec<u32> = views.iter().map(|v| v.shares).collect();
+
+        // Receivers: pressured service apps with headroom, most
+        // pressured first.
+        let mut receivers: Vec<usize> = (0..views.len())
+            .filter(|&i| {
+                !views[i].batch
+                    && views[i].pressure.is_finite()
+                    && views[i].pressure >= cfg.high
+                    && views[i].shares < cfg.max_shares
+            })
+            .collect();
+        receivers.sort_by(|&a, &b| {
+            views[b]
+                .pressure
+                .partial_cmp(&views[a].pressure)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(views[a].id.cmp(&views[b].id))
+        });
+
+        // Donors: batch apps above the floor first (largest holdings
+        // first, so shedding spreads), then comfortable service apps
+        // (least pressured first).
+        let mut batch_donors: Vec<usize> = (0..views.len())
+            .filter(|&i| views[i].batch && views[i].shares > cfg.min_shares)
+            .collect();
+        batch_donors.sort_by(|&a, &b| {
+            views[b]
+                .shares
+                .cmp(&views[a].shares)
+                .then(views[a].id.cmp(&views[b].id))
+        });
+        let mut relaxed_donors: Vec<usize> = (0..views.len())
+            .filter(|&i| {
+                !views[i].batch
+                    && views[i].pressure.is_finite()
+                    && views[i].pressure <= cfg.low
+                    && views[i].shares > cfg.min_shares
+            })
+            .collect();
+        relaxed_donors.sort_by(|&a, &b| {
+            views[a]
+                .pressure
+                .partial_cmp(&views[b].pressure)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(views[a].id.cmp(&views[b].id))
+        });
+        // Transfer one point at a time, round-robin *within* a tier so
+        // no single donor is drained while peers sit untouched — but
+        // batch donors are exhausted to the floor before any relaxed
+        // service gives up a point.
+        let tiers = [batch_donors, relaxed_donors];
+        let mut cursors = [0usize; 2];
+        for &r in &receivers {
+            let want = cfg.step.min(cfg.max_shares - shares[r]);
+            let mut granted = 0;
+            for (ti, tier) in tiers.iter().enumerate() {
+                let mut exhausted = 0;
+                while granted < want && exhausted < tier.len() {
+                    let d = tier[cursors[ti] % tier.len()];
+                    cursors[ti] += 1;
+                    if d != r && shares[d] > cfg.min_shares {
+                        shares[d] -= 1;
+                        shares[r] += 1;
+                        granted += 1;
+                        exhausted = 0;
+                    } else {
+                        exhausted += 1;
+                    }
+                }
+                if granted >= want {
+                    break;
+                }
+            }
+        }
+
+        views
+            .iter()
+            .zip(&shares)
+            .filter(|(v, &s)| v.shares != s)
+            .map(|(v, &s)| ShareChange {
+                id: v.id,
+                from: v.shares,
+                to: s,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(views: &[ShareView], changes: &[ShareChange]) -> (u64, u64) {
+        let before: u64 = views.iter().map(|v| v.shares as u64).sum();
+        let mut after = before;
+        for c in changes {
+            after = after - c.from as u64 + c.to as u64;
+        }
+        (before, after)
+    }
+
+    #[test]
+    fn boosts_pressured_from_batch_first() {
+        let ctl = SloController::default();
+        let views = [
+            ShareView {
+                id: 0,
+                shares: 60,
+                pressure: 1.2,
+                batch: false,
+            },
+            ShareView {
+                id: 1,
+                shares: 60,
+                pressure: 0.3,
+                batch: false,
+            },
+            ShareView {
+                id: 2,
+                shares: 40,
+                pressure: 0.0,
+                batch: true,
+            },
+        ];
+        let changes = ctl.plan(&views);
+        let boosted = changes.iter().find(|c| c.id == 0).expect("boost");
+        assert_eq!(boosted.to, 70, "full step granted");
+        let batch = changes.iter().find(|c| c.id == 2).expect("shed");
+        assert_eq!(batch.to, 30, "batch funds the whole boost");
+        assert!(
+            !changes.iter().any(|c| c.id == 1),
+            "relaxed service untouched while batch has points"
+        );
+        let (before, after) = total(&views, &changes);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn sheds_from_relaxed_service_when_batch_dry() {
+        let ctl = SloController::new(SloControllerConfig {
+            step: 6,
+            ..SloControllerConfig::default()
+        });
+        let views = [
+            ShareView {
+                id: 0,
+                shares: 50,
+                pressure: 1.5,
+                batch: false,
+            },
+            ShareView {
+                id: 1,
+                shares: 50,
+                pressure: 0.2,
+                batch: false,
+            },
+            ShareView {
+                id: 2,
+                shares: 5,
+                pressure: 0.0,
+                batch: true,
+            }, // at the floor
+        ];
+        let changes = ctl.plan(&views);
+        assert!(
+            changes.iter().any(|c| c.id == 1 && c.to == 44),
+            "relaxed service donates: {changes:?}"
+        );
+        assert!(!changes.iter().any(|c| c.id == 2), "floored batch spared");
+        let (before, after) = total(&views, &changes);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn no_donors_means_no_changes() {
+        let ctl = SloController::default();
+        // Everyone pressured, nobody below low, batch at floor.
+        let views = [
+            ShareView {
+                id: 0,
+                shares: 80,
+                pressure: 1.1,
+                batch: false,
+            },
+            ShareView {
+                id: 1,
+                shares: 5,
+                pressure: 0.0,
+                batch: true,
+            },
+        ];
+        assert!(ctl.plan(&views).is_empty());
+        assert!(ctl.plan(&[]).is_empty());
+    }
+
+    #[test]
+    fn respects_bounds_and_non_finite_pressure() {
+        let ctl = SloController::new(SloControllerConfig {
+            max_shares: 65,
+            ..SloControllerConfig::default()
+        });
+        let views = [
+            ShareView {
+                id: 0,
+                shares: 60,
+                pressure: f64::MAX,
+                batch: false,
+            },
+            ShareView {
+                id: 1,
+                shares: 60,
+                pressure: f64::NAN,
+                batch: false,
+            },
+            ShareView {
+                id: 2,
+                shares: 40,
+                pressure: 0.0,
+                batch: true,
+            },
+        ];
+        let changes = ctl.plan(&views);
+        let boosted = changes.iter().find(|c| c.id == 0).expect("boost");
+        assert_eq!(boosted.to, 65, "clamped at max_shares");
+        assert!(
+            !changes.iter().any(|c| c.id == 1),
+            "NaN pressure neither boosts nor donates"
+        );
+        let (before, after) = total(&views, &changes);
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,147 @@
+//! Tenant specifications: what runs, where, with which SLO.
+//!
+//! A [`TenantSpec`] is the static description a [`Scenario`]
+//! (`crate::scenario`) instantiates: a contiguous block of cores, a
+//! share weight and priority for the daemon, a load — either an
+//! open-loop latency-sensitive service with an SLO or a batch soaker —
+//! an arrival trace, and an optional arrive/depart window for churn.
+
+use pap_simcpu::units::Seconds;
+use pap_telemetry::slo::SloTarget;
+use pap_workloads::latency::DemandShape;
+use pap_workloads::profile::WorkloadProfile;
+use powerd::config::Priority;
+
+use crate::arrival::ArrivalTrace;
+
+/// What a tenant runs.
+#[derive(Debug, Clone)]
+pub enum TenantLoad {
+    /// An open-loop latency-sensitive service with a tail-latency SLO.
+    Service {
+        /// Arrival rate at intensity 1.0, in requests per second,
+        /// spread over the tenant's cores.
+        peak_rps: f64,
+        /// Mean per-request demand in cycles.
+        mean_service_cycles: f64,
+        /// Demand distribution shape (production services are
+        /// heavy-tailed).
+        demand: DemandShape,
+        /// The tenant's tail-latency objective.
+        slo: SloTarget,
+    },
+    /// Batch work soaking residual power (always-on, no SLO).
+    Batch {
+        /// Profile run in a loop on each of the tenant's cores.
+        profile: WorkloadProfile,
+    },
+}
+
+impl TenantLoad {
+    /// Whether this is the batch class.
+    pub fn is_batch(&self) -> bool {
+        matches!(self, TenantLoad::Batch { .. })
+    }
+}
+
+/// One tenant in a scenario.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Tenant name (ASCII identifier; used in daemon app names and
+    /// scorecard labels).
+    pub name: &'static str,
+    /// Number of cores in the tenant's (contiguous) block.
+    pub cores: usize,
+    /// Initial per-core shares handed to the daemon.
+    pub shares: u32,
+    /// Daemon priority class.
+    pub priority: Priority,
+    /// The load the tenant runs.
+    pub load: TenantLoad,
+    /// Offered-load trace (services scale arrivals by it; batch
+    /// tenants ignore it — they always soak).
+    pub trace: ArrivalTrace,
+    /// When the tenant arrives (0 = present from the start).
+    pub arrive: Seconds,
+    /// When the tenant departs (`None` = stays to the end).
+    pub depart: Option<Seconds>,
+}
+
+impl TenantSpec {
+    /// A latency-sensitive service tenant, present for the whole run.
+    pub fn service(
+        name: &'static str,
+        cores: usize,
+        shares: u32,
+        peak_rps: f64,
+        demand: DemandShape,
+        slo: SloTarget,
+        trace: ArrivalTrace,
+    ) -> TenantSpec {
+        TenantSpec {
+            name,
+            cores,
+            shares,
+            priority: Priority::High,
+            load: TenantLoad::Service {
+                peak_rps,
+                mean_service_cycles: 12.0e6,
+                demand,
+                slo,
+            },
+            trace,
+            arrive: Seconds(0.0),
+            depart: None,
+        }
+    }
+
+    /// A batch tenant soaking residual power on `cores` cores.
+    pub fn batch(
+        name: &'static str,
+        cores: usize,
+        shares: u32,
+        profile: WorkloadProfile,
+    ) -> TenantSpec {
+        TenantSpec {
+            name,
+            cores,
+            shares,
+            priority: Priority::Low,
+            load: TenantLoad::Batch { profile },
+            trace: ArrivalTrace::flat(1.0),
+            arrive: Seconds(0.0),
+            depart: None,
+        }
+    }
+
+    /// Set the churn window: arrive at `arrive`, depart at `depart`.
+    pub fn with_window(mut self, arrive: Seconds, depart: Option<Seconds>) -> TenantSpec {
+        self.arrive = arrive;
+        self.depart = depart;
+        self
+    }
+
+    /// Whether the tenant is active at time `t`.
+    pub fn active_at(&self, t: Seconds) -> bool {
+        t >= self.arrive && self.depart.is_none_or(|d| t < d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pap_workloads::spec;
+
+    #[test]
+    fn churn_window() {
+        let t = TenantSpec::batch("b", 2, 20, spec::CACTUS_BSSN)
+            .with_window(Seconds(10.0), Some(Seconds(50.0)));
+        assert!(!t.active_at(Seconds(9.9)));
+        assert!(t.active_at(Seconds(10.0)));
+        assert!(t.active_at(Seconds(49.9)));
+        assert!(!t.active_at(Seconds(50.0)));
+        let forever = TenantSpec::batch("c", 1, 10, spec::GCC);
+        assert!(forever.active_at(Seconds(1e9)));
+        assert!(forever.load.is_batch());
+    }
+}

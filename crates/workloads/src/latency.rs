@@ -24,6 +24,72 @@ use pap_simcpu::units::Seconds;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// The shape of the per-request service-demand distribution.
+///
+/// The paper's websearch model uses exponential demand; production
+/// services are heavier-tailed — a small fraction of requests carry most
+/// of the work — which is exactly what makes their latency tails
+/// sensitive to frequency. Every shape is parameterized so the *mean*
+/// stays the configured `mean_service_cycles`; only the tail changes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DemandShape {
+    /// Memoryless demand (the original websearch model).
+    Exponential,
+    /// Log-normal demand with the given log-space standard deviation
+    /// (`sigma` ≈ 1.0–2.0 for realistic service tails).
+    LogNormal {
+        /// Standard deviation of `ln(demand)`.
+        sigma: f64,
+    },
+    /// Truncated Pareto demand with tail index `alpha` (> 1 so the mean
+    /// exists; 1.1–2.5 covers typical heavy-tailed services). Samples are
+    /// capped at 200× the mean so a single request cannot wedge a core
+    /// for a whole simulated day.
+    Pareto {
+        /// Tail index.
+        alpha: f64,
+    },
+}
+
+impl DemandShape {
+    /// Draw one demand sample with the given mean. Deterministic for a
+    /// fixed RNG state; always finite and positive.
+    pub fn sample(&self, rng: &mut StdRng, mean: f64) -> f64 {
+        match *self {
+            DemandShape::Exponential => exp_sample(rng, mean),
+            DemandShape::LogNormal { sigma } => {
+                let sigma = if sigma.is_finite() { sigma.abs() } else { 1.0 };
+                // Box–Muller on two uniforms; mu chosen so E[X] = mean.
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let mu = mean.ln() - sigma * sigma / 2.0;
+                (mu + sigma * z).exp().min(mean * 200.0).max(1.0)
+            }
+            DemandShape::Pareto { alpha } => {
+                let alpha = if alpha.is_finite() && alpha > 1.0 {
+                    alpha
+                } else {
+                    1.5
+                };
+                // Scale x_m so the untruncated mean is `mean`.
+                let xm = mean * (alpha - 1.0) / alpha;
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                (xm * u.powf(-1.0 / alpha)).min(mean * 200.0)
+            }
+        }
+    }
+
+    /// Short label for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DemandShape::Exponential => "exp",
+            DemandShape::LogNormal { .. } => "lognormal",
+            DemandShape::Pareto { .. } => "pareto",
+        }
+    }
+}
+
 /// Configuration of the closed-loop service.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceConfig {
@@ -31,8 +97,10 @@ pub struct ServiceConfig {
     pub users: usize,
     /// Mean exponential think time between a response and the next request.
     pub mean_think: Seconds,
-    /// Mean exponential service demand per request, in cycles.
+    /// Mean service demand per request, in cycles.
     pub mean_service_cycles: f64,
+    /// Distribution shape of per-request demand around that mean.
+    pub demand: DemandShape,
     /// Effective capacitance the service presents while executing
     /// (websearch is low-demand: calibrated so 9 busy cores at 3 GHz draw
     /// ≈ 44 W of package power).
@@ -48,6 +116,7 @@ impl ServiceConfig {
             users: 300,
             mean_think: Seconds(0.5),
             mean_service_cycles: 20.0e6,
+            demand: DemandShape::Exponential,
             capacitance: 0.55,
             seed: 0x0005_EAC4,
         }
@@ -136,6 +205,21 @@ impl ClosedLoopService {
     /// frequency of serving core `i`. Returns the load each serving core
     /// presented over the tick (utilization = busy fraction).
     pub fn advance(&mut self, dt: Seconds, freqs: &[KiloHertz]) -> Vec<LoadDescriptor> {
+        let mut loads = Vec::with_capacity(freqs.len());
+        self.advance_into(dt, freqs, &mut loads);
+        loads
+    }
+
+    /// Zero-allocation form of [`ClosedLoopService::advance`]: clears
+    /// `out` and writes one [`LoadDescriptor`] per serving core into it,
+    /// reusing its capacity across ticks (the `*_into` kernel discipline
+    /// of DESIGN.md §11).
+    pub fn advance_into(
+        &mut self,
+        dt: Seconds,
+        freqs: &[KiloHertz],
+        out: &mut Vec<LoadDescriptor>,
+    ) {
         assert_eq!(freqs.len(), self.in_service.len(), "one frequency per core");
         let dt = dt.value();
         let end = self.now + dt;
@@ -148,7 +232,10 @@ impl ClosedLoopService {
                 let expiry = self.thinkers[i];
                 if self.demand_scale >= 1.0 || self.rng.gen_range(0.0..1.0) < self.demand_scale {
                     let arrival = expiry.max(self.now);
-                    let demand = exp_sample(&mut self.rng, self.config.mean_service_cycles);
+                    let demand = self
+                        .config
+                        .demand
+                        .sample(&mut self.rng, self.config.mean_service_cycles);
                     self.queue.push_back(Request {
                         remaining_cycles: demand,
                         arrival,
@@ -165,7 +252,7 @@ impl ClosedLoopService {
         }
 
         // Serve.
-        let mut loads = Vec::with_capacity(freqs.len());
+        out.clear();
         for (core, &f) in self.in_service.iter_mut().zip(freqs) {
             let hz = f.hz();
             let mut budget = dt;
@@ -195,7 +282,7 @@ impl ClosedLoopService {
                 }
             }
             let utilization = (busy / dt).clamp(0.0, 1.0);
-            loads.push(if utilization > 0.0 {
+            out.push(if utilization > 0.0 {
                 LoadDescriptor {
                     capacitance: self.config.capacitance,
                     utilization,
@@ -207,7 +294,6 @@ impl ClosedLoopService {
         }
 
         self.now = end;
-        loads
     }
 
     /// Number of completed requests.
@@ -375,5 +461,82 @@ mod tests {
             assert_eq!(loads.len(), 3);
         }
         assert!(svc.completed() > 0);
+    }
+
+    #[test]
+    fn advance_into_matches_advance() {
+        let mut a = ClosedLoopService::new(ServiceConfig::websearch(), 4);
+        let mut b = a.clone();
+        let freqs = vec![KiloHertz::from_mhz(2200); 4];
+        let mut out = Vec::new();
+        for _ in 0..5000 {
+            let owned = a.advance(Seconds(0.001), &freqs);
+            b.advance_into(Seconds(0.001), &freqs, &mut out);
+            assert_eq!(owned, out);
+        }
+        assert_eq!(a.completed(), b.completed());
+        assert_eq!(a.p90_ms(), b.p90_ms());
+    }
+
+    #[test]
+    fn demand_shapes_deterministic_and_mean_preserving() {
+        for shape in [
+            DemandShape::Exponential,
+            DemandShape::LogNormal { sigma: 1.2 },
+            DemandShape::Pareto { alpha: 1.8 },
+        ] {
+            let draw = |seed: u64| -> Vec<f64> {
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..40_000).map(|_| shape.sample(&mut rng, 1.0e6)).collect()
+            };
+            let a = draw(7);
+            let b = draw(7);
+            assert_eq!(a, b, "{} must be deterministic per seed", shape.name());
+            assert!(a.iter().all(|&v| v.is_finite() && v > 0.0));
+            let mean = a.iter().sum::<f64>() / a.len() as f64;
+            // Heavy tails converge slowly; a loose band still catches a
+            // mis-parameterized sampler (off by alpha/(alpha-1) or e^{σ²/2}).
+            assert!(
+                mean > 0.5e6 && mean < 2.0e6,
+                "{}: sample mean {mean:.0} far from 1e6",
+                shape.name()
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_tails_are_heavier_than_exponential() {
+        let tail_ratio = |shape: DemandShape| -> f64 {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut v: Vec<f64> = (0..40_000).map(|_| shape.sample(&mut rng, 1.0e6)).collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            // p99.9 over median: a scale-free tail-weight measure.
+            v[(v.len() as f64 * 0.999) as usize] / v[v.len() / 2]
+        };
+        let exp = tail_ratio(DemandShape::Exponential);
+        let logn = tail_ratio(DemandShape::LogNormal { sigma: 1.5 });
+        let pareto = tail_ratio(DemandShape::Pareto { alpha: 1.3 });
+        assert!(logn > 2.0 * exp, "lognormal tail {logn:.1} vs exp {exp:.1}");
+        assert!(
+            pareto > 2.0 * exp,
+            "pareto tail {pareto:.1} vs exp {exp:.1}"
+        );
+    }
+
+    #[test]
+    fn degenerate_shape_parameters_are_defused() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for shape in [
+            DemandShape::LogNormal { sigma: f64::NAN },
+            DemandShape::Pareto { alpha: 0.5 },
+            DemandShape::Pareto {
+                alpha: f64::INFINITY,
+            },
+        ] {
+            for _ in 0..1000 {
+                let v = shape.sample(&mut rng, 1.0e6);
+                assert!(v.is_finite() && v > 0.0, "{shape:?} produced {v}");
+            }
+        }
     }
 }

@@ -8,6 +8,8 @@
 //! * [`engine`] — the per-tick execution engine that drives a
 //!   [`pap_simcpu::chip::Chip`];
 //! * [`latency`] — a closed-loop queueing model of CloudSuite *websearch*;
+//! * [`openloop`] — an open-loop (Poisson-arrival) serving model with a
+//!   bounded queue, for production-shaped multi-tenant traffic;
 //! * [`burn`] — the `cpuburn` power virus;
 //! * [`generator`] — Table 3 sets and seeded random mixes;
 //! * [`metrics`] — performance normalization helpers.
@@ -22,6 +24,7 @@ pub mod generator;
 pub mod latency;
 pub mod metrics;
 pub mod multithread;
+pub mod openloop;
 pub mod phases;
 pub mod profile;
 pub mod spec;
@@ -31,7 +34,8 @@ pub mod traces;
 pub mod prelude {
     pub use crate::burn::{cpuburn, CPUBURN};
     pub use crate::engine::{RunningApp, StepOutcome};
-    pub use crate::latency::{ClosedLoopService, ServiceConfig};
+    pub use crate::latency::{ClosedLoopService, DemandShape, ServiceConfig};
+    pub use crate::openloop::{OpenLoopConfig, OpenLoopService};
     pub use crate::phases::PhasedProfile;
     pub use crate::profile::{Demand, WorkloadProfile};
     pub use crate::spec::spec2017;

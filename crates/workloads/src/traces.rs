@@ -55,25 +55,51 @@ pub enum LoadTrace {
 
 impl LoadTrace {
     /// Intensity at time `t`, clamped into `[0, 1]`.
+    ///
+    /// Total on every input: a non-finite `t` reads as 0 intensity, a
+    /// degenerate period (zero, negative or non-finite) collapses
+    /// `Diurnal` to its mean and `Bursty` to its off-burst level, an
+    /// empty `Piecewise` is 0, and `t` past either end of a `Piecewise`
+    /// clamps to the nearest endpoint — the control loop samples traces
+    /// long after their last knot (tenant churn, warm-up offsets), and a
+    /// panic or NaN here would poison every budget downstream.
     pub fn intensity(&self, t: Seconds) -> f64 {
+        if !t.value().is_finite() {
+            return 0.0;
+        }
         let v = match self {
             LoadTrace::Flat(v) => *v,
             LoadTrace::Diurnal {
                 mean,
                 swing,
                 period,
-            } => mean + swing * (2.0 * std::f64::consts::PI * t.value() / period.value()).sin(),
+            } => {
+                if !(period.value().is_finite() && period.value() > 0.0) {
+                    *mean
+                } else {
+                    mean + swing * (2.0 * std::f64::consts::PI * t.value() / period.value()).sin()
+                }
+            }
             LoadTrace::Bursty {
                 high,
                 low,
                 period,
                 duty,
             } => {
-                let phase = (t.value() / period.value()).fract();
-                if phase < *duty {
-                    *high
-                } else {
+                if !(period.value().is_finite() && period.value() > 0.0) {
                     *low
+                } else {
+                    // `fract` of a negative phase is negative; shift into
+                    // [0, 1) so pre-epoch times see the same square wave.
+                    let mut phase = (t.value() / period.value()).fract();
+                    if phase < 0.0 {
+                        phase += 1.0;
+                    }
+                    if phase < duty.clamp(0.0, 1.0) {
+                        *high
+                    } else {
+                        *low
+                    }
                 }
             }
             LoadTrace::Piecewise(points) => {
@@ -85,18 +111,32 @@ impl LoadTrace {
                 } else if t >= points[points.len() - 1].0 {
                     points[points.len() - 1].1
                 } else {
-                    let seg = points
-                        .windows(2)
-                        .find(|w| t <= w[1].0)
-                        .expect("t within range");
-                    let (t0, v0) = seg[0];
-                    let (t1, v1) = seg[1];
-                    let a = (t.value() - t0.value()) / (t1.value() - t0.value());
-                    v0 + a * (v1 - v0)
+                    match points.windows(2).find(|w| t <= w[1].0) {
+                        // Unsorted knots can leave `t` between no pair even
+                        // though it is inside the overall range; clamp to
+                        // the last knot instead of panicking.
+                        None => points[points.len() - 1].1,
+                        Some(seg) => {
+                            let (t0, v0) = seg[0];
+                            let (t1, v1) = seg[1];
+                            let a = (t.value() - t0.value()) / (t1.value() - t0.value());
+                            // Coincident knots make `a` non-finite; hold the
+                            // left value across the zero-length segment.
+                            if a.is_finite() {
+                                v0 + a * (v1 - v0)
+                            } else {
+                                v0
+                            }
+                        }
+                    }
                 }
             }
         };
-        v.clamp(0.0, 1.0)
+        if v.is_finite() {
+            v.clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
     }
 }
 
@@ -123,11 +163,27 @@ impl TracedService {
 
     /// Advance by `dt` at the given per-core frequencies, with demand
     /// scaled to the trace's current intensity.
+    ///
+    /// Allocates a fresh descriptor vector per tick; hot loops should
+    /// call [`TracedService::advance_into`] with a reused buffer.
     pub fn advance(&mut self, dt: Seconds, freqs: &[KiloHertz]) -> Vec<LoadDescriptor> {
+        let mut out = Vec::with_capacity(freqs.len());
+        self.advance_into(dt, freqs, &mut out);
+        out
+    }
+
+    /// Zero-allocation form of [`TracedService::advance`]: clears `out`
+    /// and writes one [`LoadDescriptor`] per core into it.
+    pub fn advance_into(
+        &mut self,
+        dt: Seconds,
+        freqs: &[KiloHertz],
+        out: &mut Vec<LoadDescriptor>,
+    ) {
         let intensity = self.trace.intensity(Seconds(self.now));
         self.now += dt.value();
         self.service.set_demand_scale(intensity);
-        self.service.advance(dt, freqs)
+        self.service.advance_into(dt, freqs, out);
     }
 
     /// The wrapped service (latency stats etc.).
@@ -197,6 +253,88 @@ mod tests {
         assert_eq!(t.intensity(Seconds(-5.0)), 0.2);
         assert_eq!(t.intensity(Seconds(99.0)), 0.4);
         assert_eq!(LoadTrace::Piecewise(vec![]).intensity(Seconds(0.0)), 0.0);
+    }
+
+    #[test]
+    fn intensity_is_total_on_degenerate_inputs() {
+        // Non-finite query times read as zero intensity everywhere.
+        let traces = [
+            LoadTrace::Flat(0.7),
+            LoadTrace::Diurnal {
+                mean: 0.5,
+                swing: 0.3,
+                period: Seconds(10.0),
+            },
+            LoadTrace::Bursty {
+                high: 1.0,
+                low: 0.2,
+                period: Seconds(5.0),
+                duty: 0.5,
+            },
+            LoadTrace::Piecewise(vec![(Seconds(0.0), 0.3), (Seconds(1.0), 0.9)]),
+        ];
+        for tr in &traces {
+            for t in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                assert_eq!(tr.intensity(Seconds(t)), 0.0, "{tr:?} at t={t}");
+            }
+        }
+
+        // Degenerate periods collapse instead of going NaN.
+        let d = LoadTrace::Diurnal {
+            mean: 0.6,
+            swing: 0.4,
+            period: Seconds(0.0),
+        };
+        assert_eq!(d.intensity(Seconds(3.0)), 0.6);
+        let b = LoadTrace::Bursty {
+            high: 1.0,
+            low: 0.25,
+            period: Seconds(f64::NAN),
+            duty: 0.5,
+        };
+        assert_eq!(b.intensity(Seconds(3.0)), 0.25);
+
+        // Negative time on a square wave stays on the wave, in range.
+        let b = LoadTrace::Bursty {
+            high: 1.0,
+            low: 0.2,
+            period: Seconds(10.0),
+            duty: 0.3,
+        };
+        assert_eq!(b.intensity(Seconds(-9.0)), 1.0);
+        assert_eq!(b.intensity(Seconds(-5.0)), 0.2);
+
+        // Coincident / unsorted piecewise knots never panic or NaN.
+        let p = LoadTrace::Piecewise(vec![
+            (Seconds(0.0), 0.2),
+            (Seconds(5.0), 0.8),
+            (Seconds(5.0), 0.4),
+            (Seconds(10.0), 0.6),
+        ]);
+        for i in 0..200 {
+            let v = p.intensity(Seconds(i as f64 * 0.1 - 5.0));
+            assert!(v.is_finite() && (0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn traced_advance_into_matches_advance() {
+        let cfg = ServiceConfig::websearch();
+        let freqs = vec![KiloHertz::from_mhz(2600); 6];
+        let trace = LoadTrace::Diurnal {
+            mean: 0.6,
+            swing: 0.4,
+            period: Seconds(8.0),
+        };
+        let mut a = TracedService::new(cfg.clone(), 6, trace.clone());
+        let mut b = TracedService::new(cfg, 6, trace);
+        let mut buf = Vec::new();
+        for _ in 0..10_000 {
+            let fresh = a.advance(Seconds(0.001), &freqs);
+            b.advance_into(Seconds(0.001), &freqs, &mut buf);
+            assert_eq!(fresh, buf);
+        }
+        assert_eq!(a.service().completed(), b.service().completed());
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! * [`telemetry`] — turbostat-like sampling, traces and statistics;
 //! * [`powerd`] — the paper's contribution: priority and proportional-
 //!   share (power / frequency / performance) power-delivery policies and
-//!   the control daemon.
+//!   the control daemon;
+//! * [`tenants`] — multi-tenant serving scenarios with SLO-aware share
+//!   control and per-tenant scorecards, layered above the daemon.
 //!
 //! See `examples/quickstart.rs` for a complete end-to-end run and
 //! `DESIGN.md` for the experiment index.
@@ -20,6 +22,7 @@
 
 pub use pap_simcpu as simcpu;
 pub use pap_telemetry as telemetry;
+pub use pap_tenants as tenants;
 pub use pap_workloads as workloads;
 pub use powerd;
 

@@ -20,6 +20,7 @@ fn governors_trade_power_for_latency() {
             users: 40,
             mean_think: Seconds(0.4),
             mean_service_cycles: 18.0e6,
+            demand: per_app_power::workloads::latency::DemandShape::Exponential,
             capacitance: 0.8,
             seed: 7,
         };

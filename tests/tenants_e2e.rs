@@ -1,0 +1,141 @@
+//! End-to-end tests for the multi-tenant scenario layer: a library
+//! scenario driven through the real daemon under all three control
+//! modes, with the scorecard sinks, the decision trace and the
+//! telemetry counters checked against each other.
+
+use std::sync::Arc;
+
+use pap_tenants::prelude::*;
+use per_app_power::simcpu::units::Seconds;
+use per_app_power::telemetry::metrics::ControlMetrics;
+
+fn short(mut s: Scenario) -> Scenario {
+    s.warmup = Seconds(5.0);
+    s.duration = Seconds(20.0);
+    s
+}
+
+/// One full scenario run per control mode: budgets respected,
+/// attainment sane, both sinks well-formed and mutually consistent.
+#[test]
+fn scenario_runs_under_every_mode_with_consistent_sinks() {
+    let scenario = short(pap_tenants::scenario::tail_heavy());
+    for mode in ControlMode::ALL {
+        let card = scenario.run(mode);
+        assert_eq!(card.mode, mode.name());
+        assert!(
+            card.mean_package_w > 5.0 && card.mean_package_w < card.budget_w * 1.1,
+            "{}: package power {:.1} W vs budget {} W",
+            mode.name(),
+            card.mean_package_w,
+            card.budget_w
+        );
+        assert!((0.0..=1.0).contains(&card.attainment()));
+        assert!((0.0..=1.0).contains(&card.jain()));
+        assert!(card.batch_gips() > 0.0, "batch must make progress");
+
+        let jsonl = card.to_jsonl();
+        assert_eq!(
+            jsonl.lines().count(),
+            card.tenants.len() + 1,
+            "one line per tenant plus the summary"
+        );
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        let prom = card.prometheus();
+        for tenant in &card.tenants {
+            assert!(
+                prom.contains(&format!("tenant=\"{}\"", tenant.name)),
+                "{} missing from exposition",
+                tenant.name
+            );
+        }
+        assert!(prom.contains("pap_scenario_attainment_per_watt"));
+    }
+}
+
+/// The headline claim, end to end: under the same budget and seed the
+/// SLO-aware controller beats static shares on attainment, funded by
+/// batch shares (its batch goodput is lower).
+#[test]
+fn slo_aware_beats_static_shares_on_attainment() {
+    let scenario = short(pap_tenants::scenario::tail_heavy());
+    let aware = scenario.run(ControlMode::SloAware);
+    let stat = scenario.run(ControlMode::StaticShares);
+    assert!(
+        aware.attainment() > stat.attainment(),
+        "slo-aware {:.3} must beat static {:.3}",
+        aware.attainment(),
+        stat.attainment()
+    );
+    assert!(
+        aware.batch_gips() < stat.batch_gips(),
+        "the boost is funded from batch: {:.2} vs {:.2} GIPS",
+        aware.batch_gips(),
+        stat.batch_gips()
+    );
+}
+
+/// Share retargets surface through the whole observability stack: the
+/// decision trace carries `share_retarget` events and the shared
+/// metrics registry counts them.
+#[test]
+fn share_retargets_are_observable() {
+    let scenario = short(pap_tenants::scenario::tail_heavy());
+    let metrics = Arc::new(ControlMetrics::new());
+    let (card, trace) = scenario.run_observed(ControlMode::SloAware, Some(metrics.clone()));
+    let trace = trace.expect("observer attached");
+    let jsonl = trace.to_jsonl();
+    assert!(
+        jsonl.contains("\"share_retarget\""),
+        "trace must record retargets"
+    );
+    assert!(
+        metrics.share_retargets.get() > 0,
+        "counter must track the trace"
+    );
+    assert!(
+        metrics.expose().contains("pap_share_retargets_total"),
+        "counter must be exposed"
+    );
+    let svc = card.tenants.iter().find(|t| !t.batch).unwrap();
+    assert!(
+        svc.mean_shares > 55.0,
+        "pressured service holds more than its configured 55 shares, got {:.1}",
+        svc.mean_shares
+    );
+
+    // Static mode never retargets.
+    let fresh = Arc::new(ControlMetrics::new());
+    let (_, static_trace) = scenario.run_observed(ControlMode::StaticShares, Some(fresh.clone()));
+    assert!(!static_trace
+        .expect("observer")
+        .to_jsonl()
+        .contains("share_retarget"));
+    assert_eq!(fresh.share_retargets.get(), 0);
+}
+
+/// Churn end to end: the burst tenant's requests only complete inside
+/// its window, and the daemon survives the arrival/departure cycle
+/// under every mode.
+#[test]
+fn churn_is_handled_under_every_mode() {
+    let mut scenario = pap_tenants::scenario::churn();
+    scenario.warmup = Seconds(4.0);
+    scenario.duration = Seconds(26.0);
+    scenario.tenants[1] = scenario.tenants[1]
+        .clone()
+        .with_window(Seconds(8.0), Some(Seconds(24.0)));
+    for mode in ControlMode::ALL {
+        let card = scenario.run(mode);
+        let burst = card.tenants.iter().find(|t| t.name == "burst").unwrap();
+        assert!(
+            burst.completed > 0,
+            "{}: burst tenant served requests while present",
+            mode.name()
+        );
+        let web = card.tenants.iter().find(|t| t.name == "web").unwrap();
+        assert!(web.completed > 0, "{}: web kept serving", mode.name());
+    }
+}
