@@ -10,6 +10,9 @@
 //! - gates on the headline result: in every scenario the SLO-aware
 //!   controller must beat both static shares and RAPL on
 //!   attainment-per-watt (same budget, same workload, same seed);
+//! - gates on cost accounting being **off-path**: pricing a run with a
+//!   tariff must only add cost fields — stripping the tariff from the
+//!   priced scorecard leaves bytes identical to the unpriced run;
 //! - writes `results/BENCH_tenants.json` for CI to archive.
 
 use std::fmt::Write as _;
@@ -100,6 +103,31 @@ fn main() -> ExitCode {
                 .to_string(),
         );
     }
+    // Cost accounting must be off-path: rerun one cell with a tariff
+    // and demand that stripping the tariff from the priced scorecard
+    // reproduces the unpriced bytes exactly — pricing adds fields, it
+    // never changes a measured number.
+    {
+        let plain = by_name("diurnal-flash")
+            .expect("library scenario")
+            .run(ControlMode::SloAware);
+        let priced = by_name("diurnal-flash")
+            .expect("library scenario")
+            .with_tariff(0.25)
+            .run(ControlMode::SloAware);
+        let mut stripped = priced.clone();
+        stripped.tariff_usd_per_kwh = None;
+        if stripped.to_jsonl() != plain.to_jsonl() {
+            failures.push(
+                "tariff accounting perturbed the scorecard: priced run with \
+                 tariff stripped differs from the unpriced run"
+                    .to_string(),
+            );
+        }
+        if !priced.to_jsonl().contains("\"cost_usd\":") {
+            failures.push("priced run is missing cost_usd fields".to_string());
+        }
+    }
     for name in names() {
         let by_mode = |mode: ControlMode| {
             cards
@@ -132,7 +160,7 @@ fn main() -> ExitCode {
         println!(
             "PASS: SLO-aware share control beats static shares and RAPL on \
              attainment-per-watt in every scenario; sweep byte-reproducible \
-             across thread counts."
+             across thread counts; tariff accounting strictly off-path."
         );
         ExitCode::SUCCESS
     } else {

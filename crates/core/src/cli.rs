@@ -23,6 +23,37 @@ pub struct CliApp {
     pub priority: Priority,
 }
 
+/// Which backend executes the run: the simulated socket or the real
+/// Linux host through `pap-hw` (cpufreq + RAPL/hwmon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The simulated chip (default; always available).
+    #[default]
+    Sim,
+    /// The real host via sysfs. Requires the `linux-hw` feature; the
+    /// binary reports a typed error when it was built without it.
+    Linux,
+}
+
+impl BackendKind {
+    /// Parse the `--backend` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "sim" => Some(BackendKind::Sim),
+            "linux" => Some(BackendKind::Linux),
+            _ => None,
+        }
+    }
+
+    /// The CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Sim => "sim",
+            BackendKind::Linux => "linux",
+        }
+    }
+}
+
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CliOptions {
@@ -53,6 +84,22 @@ pub struct CliOptions {
     /// Print aggregated control metrics (Prometheus text format) on
     /// stdout after the run.
     pub metrics: bool,
+    /// Backend executing the run (default: the simulator).
+    pub backend: BackendKind,
+    /// Electricity tariff in USD per kWh; enables cost accounting in
+    /// the exports. Accounting is strictly off-path — control output is
+    /// identical with or without it.
+    pub tariff: Option<f64>,
+    /// Linux backend only: observe but never write to sysfs.
+    pub dry_run: bool,
+    /// Linux backend only: sysfs root prefix (default `/`); point at a
+    /// mock tree for offline runs.
+    pub sysfs_root: Option<String>,
+    /// Linux backend / govcmp tick interval in seconds (default 1.0).
+    pub interval: Seconds,
+    /// `govcmp` subcommand: sweep the host's cpufreq governors and
+    /// report mean power, frequency and energy per governor.
+    pub govcmp: bool,
 }
 
 impl CliOptions {
@@ -73,9 +120,16 @@ powerd-sim — per-application power delivery on a simulated socket
 USAGE:
     powerd-sim --policy <POLICY> --limit <WATTS> --app <SPEC>... [OPTIONS]
     powerd-sim --scenario <NAME> [OPTIONS]
+    powerd-sim --backend linux --policy <POLICY> --limit <WATTS> --app <SPEC>... [OPTIONS]
+    powerd-sim govcmp [--backend sim|linux] [--duration N] [--interval N]
+                      [--dry-run] [--sysfs-root PATH]
 
 OPTIONS:
     --platform <skylake|ryzen>   platform model (default: skylake)
+    --backend <sim|linux>        run against the simulator (default) or
+                                 the real Linux host via cpufreq +
+                                 RAPL/hwmon (needs the linux-hw build
+                                 feature; start with --dry-run)
     --scenario <NAME>            run a named multi-tenant scenario from
                                  the pap-tenants library (see the binary's
                                  error output for the names); --policy,
@@ -98,7 +152,24 @@ OPTIONS:
                                  to PATH as JSONL
     --metrics                    print aggregated control metrics in
                                  Prometheus text format after the run
+    --tariff <USD_PER_KWH>       price consumed energy, adding Wh/cost
+                                 fields to the exports (off-path: control
+                                 decisions are unchanged)
+    --dry-run                    linux backend: observe only, never
+                                 write to sysfs
+    --sysfs-root <PATH>          linux backend: sysfs root prefix
+                                 (default /); point at a mock tree for
+                                 offline runs
+    --interval <SECONDS>         linux backend / govcmp tick (default 1)
     --help                       print this help
+
+SUBCOMMANDS:
+    govcmp                       replay the paper's governor comparison
+                                 on the selected backend: emulated
+                                 governors on the simulator (default),
+                                 or the host's stock cpufreq governors
+                                 with --backend linux; reports mean
+                                 power, frequency and Wh per governor
 ";
 
 fn parse_policy(s: &str) -> Result<PolicyKind, String> {
@@ -161,6 +232,12 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
     let mut trace_out = None;
     let mut metrics = false;
     let mut scenario = None;
+    let mut backend = BackendKind::Sim;
+    let mut tariff = None;
+    let mut dry_run = false;
+    let mut sysfs_root = None;
+    let mut interval = Seconds(1.0);
+    let mut govcmp = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -169,6 +246,30 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         };
         match arg.as_str() {
             "--help" | "-h" => return Err(USAGE.to_string()),
+            "govcmp" => govcmp = true,
+            "--backend" => {
+                let v = value("--backend")?;
+                backend = BackendKind::parse(v)
+                    .ok_or_else(|| format!("bad --backend '{v}' (sim|linux)"))?;
+            }
+            "--tariff" => {
+                let v = value("--tariff")?;
+                let t: f64 = v.parse().map_err(|_| format!("bad --tariff '{v}'"))?;
+                if !t.is_finite() || t < 0.0 {
+                    return Err(format!("bad --tariff '{v}' (USD per kWh, >= 0)"));
+                }
+                tariff = Some(t);
+            }
+            "--dry-run" => dry_run = true,
+            "--sysfs-root" => sysfs_root = Some(value("--sysfs-root")?.clone()),
+            "--interval" => {
+                let v = value("--interval")?;
+                let s: f64 = v.parse().map_err(|_| format!("bad --interval '{v}'"))?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err(format!("bad --interval '{v}' (seconds, > 0)"));
+                }
+                interval = Seconds(s);
+            }
             "--platform" => platform = value("--platform")?.clone(),
             "--policy" => policy = Some(parse_policy(value("--policy")?)?),
             "--limit" => {
@@ -199,7 +300,13 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         }
     }
 
-    if scenario.is_none() {
+    if govcmp {
+        if scenario.is_some() || policy.is_some() || !apps.is_empty() {
+            return Err(format!(
+                "govcmp takes no --scenario/--policy/--app\n\n{USAGE}"
+            ));
+        }
+    } else if scenario.is_none() {
         if policy.is_none() {
             return Err(format!("--policy is required\n\n{USAGE}"));
         }
@@ -214,6 +321,17 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
             "--scenario and --app are mutually exclusive\n\n{USAGE}"
         ));
     }
+    if backend == BackendKind::Linux && scenario.is_some() {
+        return Err(format!(
+            "--scenario runs on the simulator; --backend linux takes \
+             --policy/--limit/--app\n\n{USAGE}"
+        ));
+    }
+    if backend == BackendKind::Sim && (dry_run || sysfs_root.is_some()) && !govcmp {
+        return Err(format!(
+            "--dry-run/--sysfs-root apply to --backend linux or govcmp\n\n{USAGE}"
+        ));
+    }
     Ok(CliOptions {
         platform,
         policy,
@@ -226,6 +344,12 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         model,
         trace_out,
         metrics,
+        backend,
+        tariff,
+        dry_run,
+        sysfs_root,
+        interval,
+        govcmp,
     })
 }
 
@@ -427,6 +551,113 @@ mod tests {
         assert!(parse(&sv(&["--policy"]))
             .unwrap_err()
             .contains("needs a value"));
+    }
+
+    #[test]
+    fn backend_and_cost_flags() {
+        let o = parse(&sv(&[
+            "--backend",
+            "linux",
+            "--policy",
+            "freq-shares",
+            "--limit",
+            "45",
+            "--app",
+            "web=leela:90:hp",
+            "--dry-run",
+            "--sysfs-root",
+            "/tmp/mock",
+            "--interval",
+            "0.5",
+            "--tariff",
+            "0.25",
+        ]))
+        .unwrap();
+        assert_eq!(o.backend, BackendKind::Linux);
+        assert!(o.dry_run);
+        assert_eq!(o.sysfs_root.as_deref(), Some("/tmp/mock"));
+        assert_eq!(o.interval, Seconds(0.5));
+        assert_eq!(o.tariff, Some(0.25));
+
+        let o = parse(&sv(&[
+            "--policy", "rapl", "--limit", "50", "--app", "x=gcc",
+        ]))
+        .unwrap();
+        assert_eq!(o.backend, BackendKind::Sim, "sim is the default");
+        assert_eq!(o.tariff, None, "cost accounting is opt-in");
+        assert!(!o.dry_run);
+        assert!(!o.govcmp);
+
+        // Tariff works on simulated scenarios too.
+        let o = parse(&sv(&["--scenario", "churn", "--tariff", "0.12"])).unwrap();
+        assert_eq!(o.tariff, Some(0.12));
+
+        assert!(parse(&sv(&[
+            "--backend",
+            "epyc",
+            "--policy",
+            "rapl",
+            "--limit",
+            "50",
+            "--app",
+            "x=gcc",
+        ]))
+        .unwrap_err()
+        .contains("bad --backend"));
+        assert!(parse(&sv(&[
+            "--policy", "rapl", "--limit", "50", "--app", "x=gcc", "--tariff", "-1",
+        ]))
+        .unwrap_err()
+        .contains("bad --tariff"));
+        // Scenarios are simulator-only.
+        assert!(parse(&sv(&["--backend", "linux", "--scenario", "churn"]))
+            .unwrap_err()
+            .contains("simulator"));
+        // Linux-only flags are rejected on the simulator.
+        assert!(parse(&sv(&[
+            "--policy",
+            "rapl",
+            "--limit",
+            "50",
+            "--app",
+            "x=gcc",
+            "--dry-run",
+        ]))
+        .unwrap_err()
+        .contains("--backend linux"));
+    }
+
+    #[test]
+    fn govcmp_subcommand() {
+        let o = parse(&sv(&["govcmp"])).unwrap();
+        assert!(o.govcmp);
+        assert_eq!(o.policy, None);
+        assert!(o.apps.is_empty());
+
+        let o = parse(&sv(&[
+            "govcmp",
+            "--duration",
+            "5",
+            "--interval",
+            "0.5",
+            "--dry-run",
+            "--sysfs-root",
+            "/tmp/mock",
+        ]))
+        .unwrap();
+        assert_eq!(o.duration, Seconds(5.0));
+        assert_eq!(o.interval, Seconds(0.5));
+        assert!(o.dry_run);
+
+        assert!(parse(&sv(&["govcmp", "--scenario", "churn"]))
+            .unwrap_err()
+            .contains("govcmp"));
+        assert!(parse(&sv(&["govcmp", "--app", "x=gcc"]))
+            .unwrap_err()
+            .contains("govcmp"));
+        assert!(parse(&sv(&["--interval", "0", "govcmp"]))
+            .unwrap_err()
+            .contains("bad --interval"));
     }
 
     #[test]

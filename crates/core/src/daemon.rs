@@ -17,6 +17,7 @@ use pap_model::{
 };
 use pap_simcpu::freq::KiloHertz;
 use pap_simcpu::platform::PlatformSpec;
+use pap_telemetry::energy::EnergyLedger;
 use pap_telemetry::sampler::Sample;
 
 use crate::config::{AppSpec, ConfigError, DaemonConfig, PolicyKind};
@@ -235,6 +236,14 @@ pub struct Daemon {
     /// to be attached to the next record. Only populated while an
     /// observer is attached.
     pending_events: Vec<DecisionEvent>,
+    /// Per-app energy/cost accounting. `None` (the default) keeps
+    /// accounting strictly off-path, like the observer: attaching a
+    /// ledger must not change a single control decision.
+    energy: Option<EnergyLedger>,
+    /// Ledger account per configured app, in config order; rebuilt
+    /// lazily after membership changes. Steady state performs no
+    /// allocation (account lookup is by stored index).
+    energy_idx: Vec<usize>,
     /// Reusable per-interval buffers (DESIGN.md §11).
     scratch: StepScratch,
 }
@@ -312,6 +321,8 @@ impl Daemon {
             model: OnlineModel::new(ModelConfig::default()),
             observer: None,
             pending_events: Vec::new(),
+            energy: None,
+            energy_idx: Vec::new(),
             scratch: StepScratch::new(n_apps, platform.num_cores, platform.shared_pstate_slots),
         })
     }
@@ -330,6 +341,30 @@ impl Daemon {
     /// Detach and return the decision trace (e.g. at end of run).
     pub fn take_observer(&mut self) -> Option<DecisionTrace> {
         self.observer.take()
+    }
+
+    /// Attach an energy ledger; every subsequent control interval
+    /// accumulates per-app and package energy from the telemetry sample.
+    /// Strictly off-path: control actions are bit-identical with or
+    /// without a ledger attached (enforced by `tests/energy_offpath.rs`).
+    ///
+    /// Attribution follows the scorecard's rule: measured per-core power
+    /// when every app core reports it (Ryzen-style), otherwise the
+    /// app's activity share (C0 residency × active frequency) of package
+    /// energy.
+    pub fn attach_energy(&mut self, ledger: EnergyLedger) {
+        self.energy = Some(ledger);
+        self.energy_idx.clear();
+    }
+
+    /// The attached energy ledger, if any.
+    pub fn energy(&self) -> Option<&EnergyLedger> {
+        self.energy.as_ref()
+    }
+
+    /// Detach and return the energy ledger (e.g. at end of run).
+    pub fn take_energy(&mut self) -> Option<EnergyLedger> {
+        self.energy.take()
     }
 
     /// The configuration the daemon runs.
@@ -467,6 +502,59 @@ impl Daemon {
         self.current_parked.clear();
         self.current_parked.resize(self.config.apps.len(), false);
         self.initialized = false;
+        // Account indices are per-app-set; rebuild on the next sample.
+        self.energy_idx.clear();
+    }
+
+    /// Accumulate one sample into the attached ledger (no-op without
+    /// one). Pure observation: reads the sample, never the control
+    /// state, and writes nothing the policy path reads.
+    fn account_energy(&mut self, sample: &Sample) {
+        let Daemon {
+            ref config,
+            ref mut energy,
+            ref mut energy_idx,
+            ..
+        } = *self;
+        let Some(ledger) = energy.as_mut() else {
+            return;
+        };
+        let dt = sample.interval.value();
+        if dt <= 0.0 {
+            return;
+        }
+        if energy_idx.len() != config.apps.len() {
+            energy_idx.clear();
+            energy_idx.extend(config.apps.iter().map(|a| ledger.register(&a.name)));
+        }
+        let pkg_j = sample.package_power.value() * dt;
+        ledger.add_package(pkg_j, dt);
+
+        // Measured per-core power is only trusted when every app core
+        // reports it — mixing measured watts with package attribution
+        // would double-count.
+        let mut weight = 0.0;
+        let mut all_measured = true;
+        for app in &config.apps {
+            let Some(cs) = sample.cores.get(app.core) else {
+                continue;
+            };
+            all_measured &= cs.power.is_some();
+            weight += cs.rates.c0_residency * cs.rates.active_freq.hz();
+        }
+        for (i, app) in config.apps.iter().enumerate() {
+            let Some(cs) = sample.cores.get(app.core) else {
+                continue;
+            };
+            let joules = match cs.power {
+                Some(p) if all_measured => p.value() * dt,
+                _ if weight > 0.0 => {
+                    pkg_j * cs.rates.c0_residency * cs.rates.active_freq.hz() / weight
+                }
+                _ => pkg_j / config.apps.len() as f64,
+            };
+            ledger.add(energy_idx[i], joules);
+        }
     }
 
     /// Build app views from a telemetry sample into the scratch arena.
@@ -681,6 +769,7 @@ impl Daemon {
 
     /// One control interval computed into the scratch buffers.
     fn step_compute(&mut self, sample: &Sample) -> Result<(), DaemonError> {
+        self.account_energy(sample);
         if !self.initialized {
             self.initial_compute();
             return Ok(());

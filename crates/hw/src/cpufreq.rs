@@ -1,0 +1,201 @@
+//! The cpufreq sysfs interface: `/sys/devices/system/cpu/cpu*/cpufreq`.
+//!
+//! Reads the scaling driver, governor and current/min/max frequencies,
+//! and writes per-core frequency targets. Two write strategies exist,
+//! mirroring what real hosts offer:
+//!
+//! * **setspeed** — with the `userspace` governor active,
+//!   `scaling_setspeed` programs the exact target (the paper's model of
+//!   per-core DVFS control);
+//! * **max-freq clamp** — with any other governor, `scaling_max_freq`
+//!   caps the core from above. The governor still picks frequencies
+//!   below the cap, which is the portable fallback on hosts running
+//!   `schedutil`/`ondemand` (per "a single Linux command", clamping the
+//!   ceiling is how operators apply fleet-wide efficiency settings).
+
+use crate::sysfs::{HwError, SysfsRoot};
+
+/// Base of the per-CPU tree.
+pub const CPU_DIR: &str = "sys/devices/system/cpu";
+
+/// One CPU's cpufreq policy state, read in a single pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuPolicy {
+    /// CPU index (`cpuN`).
+    pub cpu: usize,
+    /// `scaling_driver` (e.g. `intel_pstate`, `acpi-cpufreq`,
+    /// `amd-pstate-epp`).
+    pub driver: String,
+    /// `scaling_governor` (e.g. `performance`, `schedutil`,
+    /// `userspace`).
+    pub governor: String,
+    /// `scaling_cur_freq` in kHz.
+    pub cur_khz: u64,
+    /// `scaling_min_freq` in kHz.
+    pub min_khz: u64,
+    /// `scaling_max_freq` in kHz.
+    pub max_khz: u64,
+    /// `cpuinfo_min_freq` in kHz (the hardware floor).
+    pub hw_min_khz: u64,
+    /// `cpuinfo_max_freq` in kHz (the hardware ceiling).
+    pub hw_max_khz: u64,
+}
+
+/// How frequency targets are applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteMode {
+    /// Detect per CPU: `setspeed` when the `userspace` governor is
+    /// active, otherwise clamp `scaling_max_freq`.
+    Auto,
+    /// Always write `scaling_setspeed` (requires the `userspace`
+    /// governor).
+    Setspeed,
+    /// Always clamp via `scaling_max_freq`.
+    MaxFreq,
+}
+
+fn cpufreq_file(cpu: usize, file: &str) -> String {
+    format!("{CPU_DIR}/cpu{cpu}/cpufreq/{file}")
+}
+
+/// CPUs that expose a cpufreq policy directory, in ascending order.
+pub fn cpus(root: &SysfsRoot) -> Result<Vec<usize>, HwError> {
+    let mut out = Vec::new();
+    for name in root.list(CPU_DIR)? {
+        if let Some(n) = name
+            .strip_prefix("cpu")
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            if root.exists(&cpufreq_file(n, "scaling_driver")) {
+                out.push(n);
+            }
+        }
+    }
+    out.sort_unstable();
+    if out.is_empty() {
+        return Err(HwError::Unsupported(format!(
+            "no cpufreq policies under {}",
+            root.path(CPU_DIR).display()
+        )));
+    }
+    Ok(out)
+}
+
+/// Read one CPU's full policy state.
+pub fn read_policy(root: &SysfsRoot, cpu: usize) -> Result<CpuPolicy, HwError> {
+    Ok(CpuPolicy {
+        cpu,
+        driver: root.read_string(&cpufreq_file(cpu, "scaling_driver"))?,
+        governor: root.read_string(&cpufreq_file(cpu, "scaling_governor"))?,
+        cur_khz: root.read_u64(&cpufreq_file(cpu, "scaling_cur_freq"))?,
+        min_khz: root.read_u64(&cpufreq_file(cpu, "scaling_min_freq"))?,
+        max_khz: root.read_u64(&cpufreq_file(cpu, "scaling_max_freq"))?,
+        hw_min_khz: root.read_u64(&cpufreq_file(cpu, "cpuinfo_min_freq"))?,
+        hw_max_khz: root.read_u64(&cpufreq_file(cpu, "cpuinfo_max_freq"))?,
+    })
+}
+
+/// The current frequency of `cpu` in kHz (`scaling_cur_freq`).
+pub fn cur_khz(root: &SysfsRoot, cpu: usize) -> Result<u64, HwError> {
+    root.read_u64(&cpufreq_file(cpu, "scaling_cur_freq"))
+}
+
+/// Governors this CPU's policy offers (`scaling_available_governors`),
+/// or an empty list when the file is absent (e.g. `intel_pstate` active
+/// mode offers a fixed pair).
+pub fn available_governors(root: &SysfsRoot, cpu: usize) -> Vec<String> {
+    root.read_string(&cpufreq_file(cpu, "scaling_available_governors"))
+        .map(|s| s.split_whitespace().map(str::to_string).collect())
+        .unwrap_or_default()
+}
+
+/// Read the current governor of `cpu`.
+pub fn governor(root: &SysfsRoot, cpu: usize) -> Result<String, HwError> {
+    root.read_string(&cpufreq_file(cpu, "scaling_governor"))
+}
+
+/// Switch `cpu` to `gov`.
+pub fn set_governor(root: &SysfsRoot, cpu: usize, gov: &str) -> Result<(), HwError> {
+    root.write(&cpufreq_file(cpu, "scaling_governor"), gov)
+}
+
+/// Program a frequency target on `cpu` according to `mode`. Returns
+/// the file that was written (for tracing).
+pub fn set_target(
+    root: &SysfsRoot,
+    cpu: usize,
+    khz: u64,
+    mode: WriteMode,
+) -> Result<&'static str, HwError> {
+    let use_setspeed = match mode {
+        WriteMode::Setspeed => true,
+        WriteMode::MaxFreq => false,
+        WriteMode::Auto => governor(root, cpu)? == "userspace",
+    };
+    if use_setspeed {
+        root.write(&cpufreq_file(cpu, "scaling_setspeed"), &khz.to_string())?;
+        Ok("scaling_setspeed")
+    } else {
+        root.write(&cpufreq_file(cpu, "scaling_max_freq"), &khz.to_string())?;
+        Ok("scaling_max_freq")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mock::MockSysfs;
+
+    #[test]
+    fn discovers_policies_and_reads_state() {
+        let mock = MockSysfs::intel(4);
+        let root = mock.root();
+        assert_eq!(cpus(&root).unwrap(), vec![0, 1, 2, 3]);
+        let p = read_policy(&root, 2).unwrap();
+        assert_eq!(p.cpu, 2);
+        assert_eq!(p.driver, "acpi-cpufreq");
+        assert_eq!(p.governor, "userspace");
+        assert_eq!(p.hw_min_khz, 800_000);
+        assert_eq!(p.hw_max_khz, 3_000_000);
+        assert!(available_governors(&root, 2)
+            .iter()
+            .any(|g| g == "userspace"));
+    }
+
+    #[test]
+    fn setspeed_round_trip() {
+        let mock = MockSysfs::intel(2);
+        let root = mock.root();
+        let file = set_target(&root, 1, 1_500_000, WriteMode::Auto).unwrap();
+        assert_eq!(file, "scaling_setspeed", "userspace governor -> setspeed");
+        assert_eq!(
+            root.read_u64("sys/devices/system/cpu/cpu1/cpufreq/scaling_setspeed")
+                .unwrap(),
+            1_500_000
+        );
+    }
+
+    #[test]
+    fn non_userspace_governor_clamps_max_freq() {
+        let mock = MockSysfs::intel(2);
+        let root = mock.root();
+        set_governor(&root, 0, "schedutil").unwrap();
+        let file = set_target(&root, 0, 2_000_000, WriteMode::Auto).unwrap();
+        assert_eq!(file, "scaling_max_freq");
+        assert_eq!(
+            root.read_u64("sys/devices/system/cpu/cpu0/cpufreq/scaling_max_freq")
+                .unwrap(),
+            2_000_000
+        );
+    }
+
+    #[test]
+    fn missing_cpufreq_is_unsupported() {
+        let mock = MockSysfs::empty();
+        let root = mock.root();
+        assert!(matches!(
+            cpus(&root),
+            Err(HwError::NotFound(_)) | Err(HwError::Unsupported(_))
+        ));
+    }
+}

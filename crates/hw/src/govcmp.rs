@@ -1,0 +1,269 @@
+//! Governor comparison replay (§2.2) against a real sysfs tree.
+//!
+//! The paper motivates per-application power delivery by showing what
+//! stock cpufreq governors do to power and frequency. `govcmp` replays
+//! that measurement on whatever host the backend is pointed at: for each
+//! self-acting governor the policy offers, switch every CPU to it, let
+//! it settle, sample package power and mean frequency for a fixed
+//! window, then restore the original governors. With `dry_run` set it
+//! never writes — it measures only the currently active governor, which
+//! is the safe first run on a production host.
+//!
+//! Time is injected as a `wait` closure: real runs sleep, tests advance
+//! mock counters, so the whole sweep is exercised offline.
+
+use pap_simcpu::units::Seconds;
+
+use crate::cpufreq;
+use crate::hwmon::HwmonMeter;
+use crate::rapl::RaplMeter;
+use crate::sysfs::{HwError, SysfsRoot};
+
+/// Governors worth comparing, in report order. `userspace` is excluded:
+/// it does nothing without an external agent programming setspeed.
+const CANDIDATES: [&str; 5] = [
+    "performance",
+    "ondemand",
+    "conservative",
+    "schedutil",
+    "powersave",
+];
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct GovCmpConfig {
+    /// Measurement window per governor.
+    pub duration: Seconds,
+    /// Sample interval within the window.
+    pub interval: Seconds,
+    /// Never write sysfs; measure the active governor only.
+    pub dry_run: bool,
+}
+
+impl Default for GovCmpConfig {
+    fn default() -> GovCmpConfig {
+        GovCmpConfig {
+            duration: Seconds(10.0),
+            interval: Seconds(1.0),
+            dry_run: false,
+        }
+    }
+}
+
+/// One governor's measured row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovRow {
+    /// Governor name.
+    pub governor: String,
+    /// Mean package power over the window, watts (0 when the host has
+    /// no energy source).
+    pub mean_pkg_w: f64,
+    /// Mean `scaling_cur_freq` across CPUs and samples, kHz.
+    pub mean_khz: f64,
+    /// Energy over the window in watt-hours.
+    pub wh: f64,
+    /// Samples taken.
+    pub samples: usize,
+}
+
+/// The package meter for a sweep, if the host has one.
+fn package_meter(root: &SysfsRoot) -> Result<Option<Meter>, HwError> {
+    if let Some(m) = RaplMeter::package(root)? {
+        return Ok(Some(Meter::Rapl(m)));
+    }
+    Ok(HwmonMeter::package(root)?.map(Meter::Hwmon))
+}
+
+enum Meter {
+    Rapl(RaplMeter),
+    Hwmon(HwmonMeter),
+}
+
+impl Meter {
+    fn power_w(&mut self, root: &SysfsRoot, dt: Seconds) -> Option<f64> {
+        match self {
+            Meter::Rapl(m) => m.power(root, dt).ok().map(|w| w.value()),
+            Meter::Hwmon(m) => m.power(root, dt).ok().map(|w| w.value()),
+        }
+    }
+}
+
+/// Measure one window under whatever governor is currently active.
+fn measure(
+    root: &SysfsRoot,
+    cpus: &[usize],
+    governor: &str,
+    cfg: &GovCmpConfig,
+    wait: &mut impl FnMut(Seconds),
+) -> Result<GovRow, HwError> {
+    let mut meter = package_meter(root)?;
+    let steps = (cfg.duration.value() / cfg.interval.value())
+        .round()
+        .max(1.0) as usize;
+    let mut pkg_acc = 0.0;
+    let mut khz_acc = 0.0;
+    let mut samples = 0usize;
+    for _ in 0..steps {
+        wait(cfg.interval);
+        if let Some(m) = meter.as_mut() {
+            if let Some(w) = m.power_w(root, cfg.interval) {
+                pkg_acc += w;
+            }
+        }
+        let mut khz = 0.0;
+        for &c in cpus {
+            khz += cpufreq::cur_khz(root, c)? as f64;
+        }
+        khz_acc += khz / cpus.len() as f64;
+        samples += 1;
+    }
+    let mean_pkg_w = pkg_acc / samples as f64;
+    Ok(GovRow {
+        governor: governor.to_string(),
+        mean_pkg_w,
+        mean_khz: khz_acc / samples as f64,
+        wh: mean_pkg_w * cfg.duration.value() / 3600.0,
+        samples,
+    })
+}
+
+/// Run the sweep. `wait` is called once per sample interval; pass a
+/// sleeping closure on real hosts.
+pub fn run(
+    root: &SysfsRoot,
+    cfg: &GovCmpConfig,
+    mut wait: impl FnMut(Seconds),
+) -> Result<Vec<GovRow>, HwError> {
+    let cpus = cpufreq::cpus(root)?;
+    if cfg.dry_run {
+        let active = cpufreq::governor(root, cpus[0])?;
+        return Ok(vec![measure(root, &cpus, &active, cfg, &mut wait)?]);
+    }
+
+    let offered = cpufreq::available_governors(root, cpus[0]);
+    let sweep: Vec<&str> = CANDIDATES
+        .iter()
+        .copied()
+        .filter(|g| offered.iter().any(|o| o == g))
+        .collect();
+    if sweep.is_empty() {
+        return Err(HwError::Unsupported(
+            "no comparable governors offered by this policy".to_string(),
+        ));
+    }
+
+    // Save per-CPU governors so the host leaves the sweep as it entered.
+    let mut saved = Vec::with_capacity(cpus.len());
+    for &c in &cpus {
+        saved.push(cpufreq::governor(root, c)?);
+    }
+
+    let mut rows = Vec::with_capacity(sweep.len());
+    let mut failure: Option<HwError> = None;
+    for gov in sweep {
+        let switch = || -> Result<(), HwError> {
+            for &c in &cpus {
+                cpufreq::set_governor(root, c, gov)?;
+            }
+            Ok(())
+        };
+        if let Err(e) = switch() {
+            failure = Some(e);
+            break;
+        }
+        match measure(root, &cpus, gov, cfg, &mut wait) {
+            Ok(row) => rows.push(row),
+            Err(e) => {
+                failure = Some(e);
+                break;
+            }
+        }
+    }
+
+    // Restore unconditionally, even when the sweep aborted mid-way.
+    for (&c, gov) in cpus.iter().zip(&saved) {
+        cpufreq::set_governor(root, c, gov)?;
+    }
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(rows),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mock::MockSysfs;
+
+    /// The fixture offers all five candidates; a full sweep measures
+    /// each and restores the original governor.
+    #[test]
+    fn full_sweep_measures_each_governor_and_restores() {
+        let mock = MockSysfs::intel(2);
+        let root = mock.root();
+        let cfg = GovCmpConfig {
+            duration: Seconds(3.0),
+            interval: Seconds(1.0),
+            dry_run: false,
+        };
+        // The "host" burns 12 W under performance, 5 W otherwise.
+        let rows = run(&root, &cfg, |dt| {
+            let gov = cpufreq::governor(&root, 0).unwrap();
+            let w = if gov == "performance" { 12.0 } else { 5.0 };
+            mock.add_package_energy_uj((w * dt.value() * 1e6) as u64);
+        })
+        .unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].governor, "performance");
+        assert_eq!(rows[0].samples, 3);
+        assert!((rows[0].mean_pkg_w - 12.0).abs() < 1e-6, "{rows:?}");
+        assert!((rows[1].mean_pkg_w - 5.0).abs() < 1e-6, "{rows:?}");
+        assert!(
+            (rows[0].wh - 12.0 * 3.0 / 3600.0).abs() < 1e-9,
+            "window energy in Wh"
+        );
+        // Original governor restored on every CPU.
+        for c in 0..2 {
+            assert_eq!(cpufreq::governor(&root, c).unwrap(), "userspace");
+        }
+    }
+
+    #[test]
+    fn dry_run_measures_only_the_active_governor() {
+        let mock = MockSysfs::amd(2);
+        let root = mock.root();
+        let cfg = GovCmpConfig {
+            duration: Seconds(2.0),
+            interval: Seconds(1.0),
+            dry_run: true,
+        };
+        let rows = run(&root, &cfg, |dt| {
+            mock.add_socket_energy_uj((8.0 * dt.value() * 1e6) as u64)
+        })
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].governor, "schedutil", "no switching in dry-run");
+        assert!((rows[0].mean_pkg_w - 8.0).abs() < 1e-6);
+        assert_eq!(cpufreq::governor(&root, 0).unwrap(), "schedutil");
+    }
+
+    #[test]
+    fn host_without_energy_source_still_reports_frequencies() {
+        let mock = MockSysfs::intel(1);
+        let root = mock.root();
+        mock.remove("sys/class/powercap/intel-rapl:0/energy_uj");
+        mock.remove("sys/class/powercap/intel-rapl:0/name");
+        mock.remove("sys/class/powercap/intel-rapl:0/max_energy_range_uj");
+        mock.remove("sys/class/powercap/intel-rapl:0:0/energy_uj");
+        mock.remove("sys/class/powercap/intel-rapl:0:0/name");
+        mock.remove("sys/class/powercap/intel-rapl:0:0/max_energy_range_uj");
+        let cfg = GovCmpConfig {
+            duration: Seconds(1.0),
+            interval: Seconds(1.0),
+            dry_run: true,
+        };
+        let rows = run(&root, &cfg, |_| {}).unwrap();
+        assert_eq!(rows[0].mean_pkg_w, 0.0);
+        assert!((rows[0].mean_khz - 2_000_000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,276 @@
+//! AMD energy/power telemetry via the hwmon sysfs class:
+//! `/sys/class/hwmon/hwmon*`.
+//!
+//! AMD parts expose package (and on `amd_energy`, per-core) energy as
+//! hwmon channels rather than powercap zones. Per the sysfs hwmon ABI,
+//! `energy*_input` is in **microjoules** and `power*_input` in
+//! **microwatts**; some out-of-tree sensors report milliwatts, so the
+//! power unit is configurable. Channel labels identify what a channel
+//! measures: `amd_energy` labels the socket accumulator `Esocket0` and
+//! per-core accumulators `Ecore000`, `Ecore001`, ….
+
+use pap_simcpu::units::{Seconds, Watts};
+
+use crate::sysfs::{HwError, SysfsRoot};
+
+/// Base of the hwmon tree.
+pub const HWMON_DIR: &str = "sys/class/hwmon";
+
+/// Unit of a `power*_input` channel. The ABI says microwatts; the
+/// millwatt variant covers nonconforming drivers (BMC bridges, some
+/// out-of-tree sensors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerUnit {
+    /// Microwatts (the sysfs hwmon ABI).
+    MicroWatts,
+    /// Milliwatts (nonconforming drivers).
+    MilliWatts,
+}
+
+impl PowerUnit {
+    /// Convert a raw channel reading to watts.
+    pub fn to_watts(self, raw: u64) -> Watts {
+        match self {
+            PowerUnit::MicroWatts => Watts(raw as f64 * 1e-6),
+            PowerUnit::MilliWatts => Watts(raw as f64 * 1e-3),
+        }
+    }
+}
+
+/// One hwmon device directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HwmonDevice {
+    /// Directory name, e.g. `hwmon2`.
+    pub key: String,
+    /// Driver name from the `name` attribute, e.g. `amd_energy`,
+    /// `zenpower`, `k10temp`.
+    pub name: String,
+}
+
+impl HwmonDevice {
+    fn file(&self, name: &str) -> String {
+        format!("{HWMON_DIR}/{}/{name}", self.key)
+    }
+
+    /// Label of channel file `chan` (e.g. `energy1`), if present.
+    pub fn label(&self, root: &SysfsRoot, chan: &str) -> Option<String> {
+        root.read_string(&self.file(&format!("{chan}_label"))).ok()
+    }
+}
+
+/// All hwmon devices, in directory order.
+pub fn discover(root: &SysfsRoot) -> Result<Vec<HwmonDevice>, HwError> {
+    let entries = match root.list(HWMON_DIR) {
+        Ok(e) => e,
+        Err(HwError::NotFound(_)) => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut out = Vec::new();
+    for key in entries {
+        if !key.starts_with("hwmon") {
+            continue;
+        }
+        let name = root
+            .read_string(&format!("{HWMON_DIR}/{key}/name"))
+            .unwrap_or_default();
+        out.push(HwmonDevice { key, name });
+    }
+    Ok(out)
+}
+
+/// A stateful interval-power meter over one hwmon channel: either a
+/// wrapping microjoule energy accumulator or an instantaneous power
+/// channel.
+#[derive(Debug, Clone)]
+pub enum HwmonMeter {
+    /// An `energy*_input` accumulator in µJ; interval power is the
+    /// wrapped delta over the interval. hwmon advertises no wrap range,
+    /// so deltas wrap at the counter's natural 64-bit width.
+    Energy {
+        /// Channel file, sysfs-relative.
+        file: String,
+        /// Previous snapshot in µJ.
+        prev_uj: u64,
+    },
+    /// A `power*_input` instantaneous channel.
+    Power {
+        /// Channel file, sysfs-relative.
+        file: String,
+        /// Channel unit.
+        unit: PowerUnit,
+    },
+}
+
+impl HwmonMeter {
+    /// An energy meter over `dev`'s channel `chan` (e.g. `energy1`),
+    /// snapshotting the current counter.
+    pub fn energy(root: &SysfsRoot, dev: &HwmonDevice, chan: &str) -> Result<HwmonMeter, HwError> {
+        let file = dev.file(&format!("{chan}_input"));
+        let prev_uj = root.read_u64(&file)?;
+        Ok(HwmonMeter::Energy { file, prev_uj })
+    }
+
+    /// A power meter over `dev`'s channel `chan` (e.g. `power1`).
+    pub fn power_channel(
+        root: &SysfsRoot,
+        dev: &HwmonDevice,
+        chan: &str,
+        unit: PowerUnit,
+    ) -> Result<HwmonMeter, HwError> {
+        let file = dev.file(&format!("{chan}_input"));
+        root.read_u64(&file)?; // probe readability
+        Ok(HwmonMeter::Power { file, unit })
+    }
+
+    /// The package-level meter for this host, preferring an energy
+    /// accumulator labelled `Esocket*`/`package` over a bare
+    /// `energy1_input` over a `power1_input` channel. `None` when no
+    /// hwmon device offers either.
+    pub fn package(root: &SysfsRoot) -> Result<Option<HwmonMeter>, HwError> {
+        let devices = discover(root)?;
+        // Pass 1: a labelled socket/package energy accumulator.
+        for dev in &devices {
+            for chan_idx in 1..=64u32 {
+                let chan = format!("energy{chan_idx}");
+                if !root.exists(&dev.file(&format!("{chan}_input"))) {
+                    break;
+                }
+                if let Some(label) = dev.label(root, &chan) {
+                    let l = label.to_ascii_lowercase();
+                    if l.starts_with("esocket") || l.contains("package") || l.contains("socket") {
+                        return Ok(Some(HwmonMeter::energy(root, dev, &chan)?));
+                    }
+                }
+            }
+        }
+        // Pass 2: any energy accumulator.
+        for dev in &devices {
+            if root.exists(&dev.file("energy1_input")) {
+                return Ok(Some(HwmonMeter::energy(root, dev, "energy1")?));
+            }
+        }
+        // Pass 3: an instantaneous power channel (ABI microwatts).
+        for dev in &devices {
+            if root.exists(&dev.file("power1_input")) {
+                return Ok(Some(HwmonMeter::power_channel(
+                    root,
+                    dev,
+                    "power1",
+                    PowerUnit::MicroWatts,
+                )?));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Per-core energy meters from an `amd_energy`-style device whose
+    /// channels are labelled `EcoreNNN`; returned as `(core, meter)`.
+    pub fn cores(root: &SysfsRoot) -> Result<Vec<(usize, HwmonMeter)>, HwError> {
+        let mut out = Vec::new();
+        for dev in discover(root)? {
+            for chan_idx in 1..=1024u32 {
+                let chan = format!("energy{chan_idx}");
+                if !root.exists(&dev.file(&format!("{chan}_input"))) {
+                    break;
+                }
+                if let Some(label) = dev.label(root, &chan) {
+                    if let Some(n) = label
+                        .strip_prefix("Ecore")
+                        .and_then(|s| s.parse::<usize>().ok())
+                    {
+                        out.push((n, HwmonMeter::energy(root, &dev, &chan)?));
+                    }
+                }
+            }
+            if !out.is_empty() {
+                break;
+            }
+        }
+        out.sort_by_key(|(n, _)| *n);
+        Ok(out)
+    }
+
+    /// Average power over `dt` since the previous call. Energy meters
+    /// advance their snapshot on success and hold it on failure, like
+    /// [`crate::rapl::RaplMeter`].
+    pub fn power(&mut self, root: &SysfsRoot, dt: Seconds) -> Result<Watts, HwError> {
+        match self {
+            HwmonMeter::Energy { file, prev_uj } => {
+                let now = root.read_u64(file)?;
+                let delta = now.wrapping_sub(*prev_uj);
+                *prev_uj = now;
+                Ok(Watts(delta as f64 * 1e-6 / dt.value()))
+            }
+            HwmonMeter::Power { file, unit } => {
+                let raw = root.read_u64(file)?;
+                Ok(unit.to_watts(raw))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mock::MockSysfs;
+
+    #[test]
+    fn microwatt_and_milliwatt_parsing() {
+        assert!((PowerUnit::MicroWatts.to_watts(15_500_000).value() - 15.5).abs() < 1e-9);
+        assert!((PowerUnit::MilliWatts.to_watts(15_500).value() - 15.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amd_fixture_prefers_socket_energy_accumulator() {
+        let mock = MockSysfs::amd(4);
+        let root = mock.root();
+        let mut m = HwmonMeter::package(&root).unwrap().expect("amd fixture");
+        assert!(matches!(m, HwmonMeter::Energy { .. }));
+        mock.add_socket_energy_uj(42_000_000); // 42 J
+        let p = m.power(&root, Seconds(2.0)).unwrap();
+        assert!((p.value() - 21.0).abs() < 1e-9, "{p}");
+    }
+
+    #[test]
+    fn per_core_channels_resolve_by_label() {
+        let mock = MockSysfs::amd(4);
+        let root = mock.root();
+        let cores = HwmonMeter::cores(&root).unwrap();
+        assert_eq!(cores.len(), 4);
+        assert_eq!(cores[0].0, 0);
+        assert_eq!(cores[3].0, 3);
+        let mut m = cores.into_iter().next().unwrap().1;
+        mock.add_core_energy_uj(0, 5_000_000);
+        let p = m.power(&root, Seconds(1.0)).unwrap();
+        assert!((p.value() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_channel_fallback_reads_instantaneous_microwatts() {
+        let mock = MockSysfs::amd_power_only(2);
+        let root = mock.root();
+        let mut m = HwmonMeter::package(&root).unwrap().expect("power channel");
+        assert!(matches!(m, HwmonMeter::Power { .. }));
+        mock.set_hwmon_power_uw(33_250_000);
+        let p = m.power(&root, Seconds(1.0)).unwrap();
+        assert!((p.value() - 33.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_hwmon_tree_is_none() {
+        let mock = MockSysfs::empty();
+        assert!(HwmonMeter::package(&mock.root()).unwrap().is_none());
+        assert!(HwmonMeter::cores(&mock.root()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn energy_counter_u64_wraparound() {
+        let mock = MockSysfs::amd(1);
+        let root = mock.root();
+        mock.set_socket_energy_uj(u64::MAX - 999);
+        let mut m = HwmonMeter::package(&root).unwrap().unwrap();
+        mock.set_socket_energy_uj(1_000); // wraps past u64::MAX
+        let p = m.power(&root, Seconds(1.0)).unwrap();
+        assert!((p.value() - 2e-3).abs() < 1e-12, "{}", p.value());
+    }
+}

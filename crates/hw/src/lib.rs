@@ -1,0 +1,36 @@
+//! `pap-hw` — the real Linux power backend.
+//!
+//! Everything else in this workspace runs the paper's per-application
+//! power-delivery daemon against a *simulated* chip. This crate is the
+//! bridge to real hardware: a [`backend::LinuxBackend`] implements the
+//! same [`powerd::hw::PowerBackend`] trait the simulator backends do,
+//! but reads and writes the live Linux sysfs:
+//!
+//! | Surface | Tree | Module |
+//! |---|---|---|
+//! | Frequency read/write | `/sys/devices/system/cpu/*/cpufreq` | [`cpufreq`] |
+//! | Intel package energy | `/sys/class/powercap/intel-rapl*` | [`rapl`] |
+//! | AMD package/core energy | `/sys/class/hwmon/hwmon*` | [`hwmon`] |
+//!
+//! Every path is resolved through an injectable [`sysfs::SysfsRoot`],
+//! and [`mock::MockSysfs`] materialises Intel- and AMD-shaped fixture
+//! trees in a tempdir, so the complete backend — discovery, telemetry,
+//! counter wraps, frequency writes, sensors vanishing mid-run — is
+//! exercised in offline CI with no hardware and no privileges.
+//!
+//! [`govcmp`] replays the paper's §2.2 governor comparison against
+//! whichever tree the root points at.
+//!
+//! This crate has no dependencies beyond the workspace's own simulator,
+//! telemetry and daemon crates.
+
+pub mod backend;
+pub mod cpufreq;
+pub mod govcmp;
+pub mod hwmon;
+pub mod mock;
+pub mod rapl;
+pub mod sysfs;
+
+pub use backend::{BackendClock, BackendOptions, LinuxBackend};
+pub use sysfs::{HwError, SysfsRoot};

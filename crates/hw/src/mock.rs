@@ -1,0 +1,277 @@
+//! Tempdir-backed mock sysfs trees for offline testing.
+//!
+//! [`MockSysfs`] materialises a realistic slice of a Linux sysfs under a
+//! private temp directory and hands out a [`SysfsRoot`] pointing at it,
+//! so every code path in this crate — discovery, reads, frequency
+//! writes, counter wraps, files vanishing mid-run — runs in plain CI
+//! with no hardware, no privileges and no external crates. Two layouts
+//! mirror the two hardware families the backend supports:
+//!
+//! * [`MockSysfs::intel`] — `acpi-cpufreq` policies with the
+//!   `userspace` governor plus an `intel-rapl:0` powercap package zone
+//!   (with a `core` subzone) whose `energy_uj` wraps at the advertised
+//!   `max_energy_range_uj`;
+//! * [`MockSysfs::amd`] — the same cpufreq shape under `schedutil`
+//!   plus an `amd_energy`-style hwmon device with a labelled socket
+//!   accumulator and per-core `EcoreNNN` channels (and a labelless
+//!   `k10temp` device that discovery must skip).
+//!
+//! The directory is removed on drop.
+
+use std::cell::Cell;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::sysfs::SysfsRoot;
+
+static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// kHz hardware floor used by both fixture layouts.
+pub const FIXTURE_HW_MIN_KHZ: u64 = 800_000;
+/// kHz hardware ceiling used by both fixture layouts.
+pub const FIXTURE_HW_MAX_KHZ: u64 = 3_000_000;
+/// Wrap range of the fixture RAPL package zone (a realistic
+/// non-power-of-two value as advertised by real parts).
+pub const FIXTURE_RAPL_RANGE_UJ: u64 = 262_143_328_850;
+
+/// A mock sysfs tree on disk. See the module docs.
+#[derive(Debug)]
+pub struct MockSysfs {
+    dir: PathBuf,
+    package_uj: Cell<u64>,
+    socket_uj: Cell<u64>,
+    core_uj: Vec<Cell<u64>>,
+}
+
+impl MockSysfs {
+    fn fresh(tag: &str) -> MockSysfs {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("pap-hw-mock-{tag}-{}-{id}", std::process::id()));
+        fs::create_dir_all(&dir).expect("create mock sysfs dir");
+        MockSysfs {
+            dir,
+            package_uj: Cell::new(0),
+            socket_uj: Cell::new(0),
+            core_uj: Vec::new(),
+        }
+    }
+
+    /// An empty tree: no cpufreq, no powercap, no hwmon.
+    pub fn empty() -> MockSysfs {
+        MockSysfs::fresh("empty")
+    }
+
+    /// An Intel-style host: `num_cpus` cpufreq policies under the
+    /// `userspace` governor and a RAPL package zone with a `core`
+    /// subzone.
+    pub fn intel(num_cpus: usize) -> MockSysfs {
+        let mock = MockSysfs::fresh("intel");
+        mock.put_cpufreq(num_cpus, "acpi-cpufreq", "userspace");
+        mock.put("sys/class/powercap/intel-rapl:0/name", "package-0");
+        mock.put(
+            "sys/class/powercap/intel-rapl:0/max_energy_range_uj",
+            &FIXTURE_RAPL_RANGE_UJ.to_string(),
+        );
+        mock.put("sys/class/powercap/intel-rapl:0/energy_uj", "0");
+        mock.put("sys/class/powercap/intel-rapl:0:0/name", "core");
+        mock.put(
+            "sys/class/powercap/intel-rapl:0:0/max_energy_range_uj",
+            &FIXTURE_RAPL_RANGE_UJ.to_string(),
+        );
+        mock.put("sys/class/powercap/intel-rapl:0:0/energy_uj", "0");
+        mock
+    }
+
+    /// An AMD-style host: `num_cpus` cpufreq policies under
+    /// `schedutil`, a labelless `k10temp` hwmon device, and an
+    /// `amd_energy` device with an `Esocket0` accumulator plus one
+    /// `EcoreNNN` channel per CPU.
+    pub fn amd(num_cpus: usize) -> MockSysfs {
+        let mut mock = MockSysfs::fresh("amd");
+        mock.put_cpufreq(num_cpus, "acpi-cpufreq", "schedutil");
+        // A temperature-only device discovery must skip.
+        mock.put("sys/class/hwmon/hwmon0/name", "k10temp");
+        mock.put("sys/class/hwmon/hwmon0/temp1_input", "45000");
+        // amd_energy: energy1 = socket, energy2.. = cores.
+        mock.put("sys/class/hwmon/hwmon1/name", "amd_energy");
+        mock.put("sys/class/hwmon/hwmon1/energy1_label", "Esocket0");
+        mock.put("sys/class/hwmon/hwmon1/energy1_input", "0");
+        for c in 0..num_cpus {
+            mock.put(
+                &format!("sys/class/hwmon/hwmon1/energy{}_label", c + 2),
+                &format!("Ecore{c:03}"),
+            );
+            mock.put(
+                &format!("sys/class/hwmon/hwmon1/energy{}_input", c + 2),
+                "0",
+            );
+            mock.core_uj.push(Cell::new(0));
+        }
+        mock
+    }
+
+    /// An AMD-style host whose only telemetry is an instantaneous
+    /// `power1_input` channel (zenpower-style), no energy accumulator.
+    pub fn amd_power_only(num_cpus: usize) -> MockSysfs {
+        let mock = MockSysfs::fresh("amdp");
+        mock.put_cpufreq(num_cpus, "acpi-cpufreq", "schedutil");
+        mock.put("sys/class/hwmon/hwmon0/name", "zenpower");
+        mock.put("sys/class/hwmon/hwmon0/power1_input", "0");
+        mock
+    }
+
+    fn put_cpufreq(&self, num_cpus: usize, driver: &str, governor: &str) {
+        for cpu in 0..num_cpus {
+            let base = format!("sys/devices/system/cpu/cpu{cpu}/cpufreq");
+            self.put(&format!("{base}/scaling_driver"), driver);
+            self.put(&format!("{base}/scaling_governor"), governor);
+            self.put(
+                &format!("{base}/scaling_available_governors"),
+                "conservative ondemand userspace powersave performance schedutil",
+            );
+            self.put(&format!("{base}/scaling_cur_freq"), "2000000");
+            self.put(
+                &format!("{base}/scaling_min_freq"),
+                &FIXTURE_HW_MIN_KHZ.to_string(),
+            );
+            self.put(
+                &format!("{base}/scaling_max_freq"),
+                &FIXTURE_HW_MAX_KHZ.to_string(),
+            );
+            self.put(
+                &format!("{base}/cpuinfo_min_freq"),
+                &FIXTURE_HW_MIN_KHZ.to_string(),
+            );
+            self.put(
+                &format!("{base}/cpuinfo_max_freq"),
+                &FIXTURE_HW_MAX_KHZ.to_string(),
+            );
+            self.put(&format!("{base}/scaling_setspeed"), "<unsupported>");
+        }
+    }
+
+    /// The [`SysfsRoot`] for this tree.
+    pub fn root(&self) -> SysfsRoot {
+        SysfsRoot::new(&self.dir)
+    }
+
+    /// Create (or overwrite) file `rel` with `contents` plus the
+    /// trailing newline sysfs emits.
+    pub fn put(&self, rel: &str, contents: &str) {
+        let path = self.dir.join(rel);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).expect("create mock dirs");
+        }
+        fs::write(&path, format!("{contents}\n")).expect("write mock file");
+    }
+
+    /// Delete file `rel`, simulating a driver unbind / CPU offline.
+    pub fn remove(&self, rel: &str) {
+        let _ = fs::remove_file(self.dir.join(rel));
+    }
+
+    // ---- Intel (powercap) counter control --------------------------
+
+    /// The fixture package zone's wrap range in µJ.
+    pub fn package_max_energy_range_uj(&self) -> u64 {
+        FIXTURE_RAPL_RANGE_UJ
+    }
+
+    /// Set the RAPL package counter to an absolute µJ value.
+    pub fn set_package_energy_uj(&self, uj: u64) {
+        self.package_uj.set(uj);
+        self.put("sys/class/powercap/intel-rapl:0/energy_uj", &uj.to_string());
+    }
+
+    /// Advance the RAPL package counter by `uj`, wrapping at the
+    /// advertised range exactly like the kernel counter does.
+    pub fn add_package_energy_uj(&self, uj: u64) {
+        let next = (self.package_uj.get() + uj) % (FIXTURE_RAPL_RANGE_UJ + 1);
+        self.set_package_energy_uj(next);
+    }
+
+    /// Re-materialise the package `energy_uj` file at the tracked
+    /// counter value (driver rebind after [`MockSysfs::remove`]).
+    pub fn restore_package_energy(&self) {
+        self.set_package_energy_uj(self.package_uj.get());
+    }
+
+    // ---- AMD (hwmon) counter control -------------------------------
+
+    /// Set the hwmon socket accumulator to an absolute µJ value.
+    pub fn set_socket_energy_uj(&self, uj: u64) {
+        self.socket_uj.set(uj);
+        self.put("sys/class/hwmon/hwmon1/energy1_input", &uj.to_string());
+    }
+
+    /// Advance the hwmon socket accumulator by `uj` (wraps at u64).
+    pub fn add_socket_energy_uj(&self, uj: u64) {
+        self.set_socket_energy_uj(self.socket_uj.get().wrapping_add(uj));
+    }
+
+    /// Advance core `c`'s hwmon accumulator by `uj`.
+    pub fn add_core_energy_uj(&self, c: usize, uj: u64) {
+        let cell = &self.core_uj[c];
+        cell.set(cell.get().wrapping_add(uj));
+        self.put(
+            &format!("sys/class/hwmon/hwmon1/energy{}_input", c + 2),
+            &cell.get().to_string(),
+        );
+    }
+
+    /// Set the instantaneous `power1_input` channel in µW
+    /// ([`MockSysfs::amd_power_only`] layout).
+    pub fn set_hwmon_power_uw(&self, uw: u64) {
+        self.put("sys/class/hwmon/hwmon0/power1_input", &uw.to_string());
+    }
+
+    // ---- cpufreq control -------------------------------------------
+
+    /// Set `scaling_cur_freq` of `cpu`, simulating the governor/hardware
+    /// settling on a frequency.
+    pub fn set_cur_khz(&self, cpu: usize, khz: u64) {
+        self.put(
+            &format!("sys/devices/system/cpu/cpu{cpu}/cpufreq/scaling_cur_freq"),
+            &khz.to_string(),
+        );
+    }
+}
+
+impl Drop for MockSysfs {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_trees_are_isolated_and_cleaned_up() {
+        let a = MockSysfs::intel(1);
+        let b = MockSysfs::intel(1);
+        assert_ne!(a.dir, b.dir);
+        let dir = a.dir.clone();
+        assert!(dir.exists());
+        drop(a);
+        assert!(!dir.exists(), "tempdir removed on drop");
+        assert!(b.dir.exists(), "sibling tree untouched");
+    }
+
+    #[test]
+    fn package_counter_wraps_like_the_kernel() {
+        let mock = MockSysfs::intel(1);
+        mock.set_package_energy_uj(FIXTURE_RAPL_RANGE_UJ);
+        mock.add_package_energy_uj(1);
+        assert_eq!(
+            mock.root()
+                .read_u64("sys/class/powercap/intel-rapl:0/energy_uj")
+                .unwrap(),
+            0,
+            "counter counts 0..=max then wraps to 0"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Injectable sysfs access with typed errors.
+//!
+//! Everything the Linux backend touches goes through a [`SysfsRoot`],
+//! which prefixes every path with an injectable root directory. On a
+//! real host the root is `/`; in tests it is a tempdir built by
+//! [`crate::mock::MockSysfs`]. That one seam is what lets offline CI
+//! exercise the entire backend — discovery, telemetry, frequency
+//! writes, failure handling — against fixture trees with no hardware
+//! and no privileges.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A typed sysfs access failure. The variants a resilient daemon cares
+/// about — a file that vanished (driver unbound, CPU offlined) and a
+/// permission error (not root, sysfs mounted read-only) — are
+/// distinguished from generic I/O so callers can react differently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HwError {
+    /// The path does not exist (missing driver, offlined CPU, or a file
+    /// that disappeared mid-run).
+    NotFound(String),
+    /// The path exists but access was denied (needs root, or sysfs is
+    /// read-only in this mount namespace).
+    PermissionDenied(String),
+    /// Any other I/O failure, with the `io::ErrorKind` preserved.
+    Io {
+        /// The path being accessed.
+        path: String,
+        /// The underlying error kind.
+        kind: io::ErrorKind,
+    },
+    /// The file was read but its contents did not parse as expected.
+    Parse {
+        /// The path being parsed.
+        path: String,
+        /// The offending content (trimmed).
+        value: String,
+    },
+    /// The host lacks a required capability (no cpufreq, no energy
+    /// source, unwritable governor, ...).
+    Unsupported(String),
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::NotFound(p) => write!(f, "{p}: not found"),
+            HwError::PermissionDenied(p) => {
+                write!(
+                    f,
+                    "{p}: permission denied (are you root? is sysfs writable?)"
+                )
+            }
+            HwError::Io { path, kind } => write!(f, "{path}: {kind}"),
+            HwError::Parse { path, value } => write!(f, "{path}: cannot parse {value:?}"),
+            HwError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for HwError {}
+
+impl HwError {
+    /// Map an `io::Error` on `path` to the typed variant.
+    pub fn from_io(path: &Path, err: &io::Error) -> HwError {
+        let path = path.display().to_string();
+        match err.kind() {
+            io::ErrorKind::NotFound => HwError::NotFound(path),
+            io::ErrorKind::PermissionDenied => HwError::PermissionDenied(path),
+            kind => HwError::Io { path, kind },
+        }
+    }
+}
+
+/// A sysfs tree rooted at an injectable directory.
+///
+/// Relative paths are given sysfs-style (`sys/class/powercap/...`); a
+/// leading `/` is tolerated and stripped, so the same path literals
+/// work against the system root and against a fixture root.
+#[derive(Debug, Clone)]
+pub struct SysfsRoot {
+    root: PathBuf,
+}
+
+impl SysfsRoot {
+    /// A tree rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> SysfsRoot {
+        SysfsRoot { root: root.into() }
+    }
+
+    /// The real system tree (root `/`).
+    pub fn system() -> SysfsRoot {
+        SysfsRoot::new("/")
+    }
+
+    /// The absolute path for a sysfs-relative path.
+    pub fn path(&self, rel: &str) -> PathBuf {
+        self.root.join(rel.trim_start_matches('/'))
+    }
+
+    /// Whether `rel` exists.
+    pub fn exists(&self, rel: &str) -> bool {
+        self.path(rel).exists()
+    }
+
+    /// Read `rel` as a trimmed string.
+    pub fn read_string(&self, rel: &str) -> Result<String, HwError> {
+        let path = self.path(rel);
+        fs::read_to_string(&path)
+            .map(|s| s.trim().to_string())
+            .map_err(|e| HwError::from_io(&path, &e))
+    }
+
+    /// Read `rel` as a decimal `u64` (the dominant sysfs scalar format).
+    pub fn read_u64(&self, rel: &str) -> Result<u64, HwError> {
+        let s = self.read_string(rel)?;
+        s.parse().map_err(|_| HwError::Parse {
+            path: self.path(rel).display().to_string(),
+            value: s,
+        })
+    }
+
+    /// Write `value` to `rel` (no trailing newline needed; sysfs
+    /// attributes accept both).
+    pub fn write(&self, rel: &str, value: &str) -> Result<(), HwError> {
+        let path = self.path(rel);
+        fs::write(&path, value).map_err(|e| HwError::from_io(&path, &e))
+    }
+
+    /// Sorted entry names of the directory at `rel`.
+    pub fn list(&self, rel: &str) -> Result<Vec<String>, HwError> {
+        let path = self.path(rel);
+        let entries = fs::read_dir(&path).map_err(|e| HwError::from_io(&path, &e))?;
+        let mut names: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_mapping_from_io_kinds() {
+        let p = Path::new("/sys/x");
+        let e = HwError::from_io(p, &io::Error::from(io::ErrorKind::NotFound));
+        assert_eq!(e, HwError::NotFound("/sys/x".into()));
+        let e = HwError::from_io(p, &io::Error::from(io::ErrorKind::PermissionDenied));
+        assert_eq!(e, HwError::PermissionDenied("/sys/x".into()));
+        assert!(e.to_string().contains("permission denied"));
+        let e = HwError::from_io(p, &io::Error::from(io::ErrorKind::TimedOut));
+        assert!(matches!(e, HwError::Io { kind, .. } if kind == io::ErrorKind::TimedOut));
+    }
+
+    #[test]
+    fn leading_slash_is_tolerated() {
+        let r = SysfsRoot::new("/tmp/fixture");
+        assert_eq!(r.path("/sys/class/powercap"), r.path("sys/class/powercap"));
+    }
+
+    #[test]
+    fn missing_file_is_typed_not_found() {
+        let r = SysfsRoot::new("/nonexistent-pap-hw-root");
+        match r.read_string("sys/anything") {
+            Err(HwError::NotFound(_)) => {}
+            other => panic!("expected NotFound, got {other:?}"),
+        }
+        assert!(!r.exists("sys/anything"));
+    }
+}

@@ -1,0 +1,132 @@
+//! End-to-end: the §5 monitoring loop (`powerd::hw::run_daemon`) over a
+//! [`LinuxBackend`] against a mock sysfs tree. The `drive` closure plays
+//! the hardware's part — settling `scaling_cur_freq` at whatever the
+//! daemon programmed and charging the RAPL counter with a
+//! frequency-dependent power draw — so the complete control loop
+//! (sample → policy → sysfs write → sample) runs offline.
+
+use pap_hw::mock::MockSysfs;
+use pap_hw::{BackendClock, BackendOptions, LinuxBackend};
+use pap_simcpu::units::{Seconds, Watts};
+use pap_telemetry::health::SensorId;
+use powerd::config::{AppSpec, DaemonConfig, PolicyKind};
+use powerd::daemon::Daemon;
+use powerd::hw::{run_daemon, PowerBackend};
+
+fn fixture_daemon(backend: &LinuxBackend, limit: f64) -> Daemon {
+    let apps = vec![
+        AppSpec::new("hi", 0).with_shares(70).with_baseline_ips(3e9),
+        AppSpec::new("lo", 1).with_shares(30).with_baseline_ips(3e9),
+    ];
+    Daemon::new(
+        DaemonConfig::new(PolicyKind::FrequencyShares, Watts(limit), apps),
+        backend.platform(),
+    )
+    .expect("valid daemon over synthesized platform")
+}
+
+/// Idle draw plus ~5 W per core at the 3 GHz ceiling, linear in
+/// frequency — enough structure for the controller to react to.
+fn model_power_w(khz: &[u64]) -> f64 {
+    3.0 + khz.iter().map(|&f| 5.0 * f as f64 / 3.0e6).sum::<f64>()
+}
+
+#[test]
+fn daemon_loop_controls_the_mock_host() {
+    let mock = MockSysfs::intel(2);
+    let mut backend = LinuxBackend::probe(
+        mock.root(),
+        BackendOptions {
+            dry_run: false,
+            write_mode: pap_hw::cpufreq::WriteMode::Auto,
+            clock: BackendClock::manual(),
+        },
+    )
+    .expect("probe intel fixture");
+    let mut daemon = fixture_daemon(&backend, 9.0);
+
+    let tick = Seconds(0.1);
+    let root = mock.root();
+    run_daemon(&mut backend, &mut daemon, Seconds(30.0), tick, |_, _| {
+        // "Hardware": each tick the cores settle at the programmed
+        // setspeed and the package burns the model's power.
+        let mut khz = [0u64; 2];
+        for (c, k) in khz.iter_mut().enumerate() {
+            *k = root
+                .read_u64(&format!(
+                    "sys/devices/system/cpu/cpu{c}/cpufreq/scaling_setspeed"
+                ))
+                .expect("daemon wrote a target");
+            mock.set_cur_khz(c, *k);
+        }
+        let uj = model_power_w(&khz) * tick.value() * 1e6;
+        mock.add_package_energy_uj(uj as u64);
+    })
+    .expect("loop completes");
+
+    // The daemon actually wrote targets on the grid...
+    let f0 = root
+        .read_u64("sys/devices/system/cpu/cpu0/cpufreq/scaling_setspeed")
+        .unwrap();
+    let f1 = root
+        .read_u64("sys/devices/system/cpu/cpu1/cpufreq/scaling_setspeed")
+        .unwrap();
+    for f in [f0, f1] {
+        assert!((800_000..=3_000_000).contains(&f), "on-grid target {f}");
+    }
+    // ...favouring the 70-share app...
+    assert!(f0 >= f1, "shares order: hi {f0} >= lo {f1}");
+    // ...and pulled the modelled package power down toward the 9 W
+    // limit. The synthesized platform carries a placeholder power model,
+    // so steady state keeps an offset from the true optimum — what
+    // matters is that the loop reacted (uncapped draw would be 13 W)
+    // without collapsing to the 800 MHz floor (5.7 W).
+    let p = model_power_w(&[f0, f1]);
+    assert!(p <= 11.5, "reacted to the limit, got {p:.2} W");
+    assert!(p > 5.8, "not collapsed to the floor, got {p:.2} W");
+
+    // Every sensor the loop touched stayed healthy.
+    for (id, h) in backend.health().sensors() {
+        assert_eq!(h.total_failures, 0, "{id} failed during a clean run");
+    }
+}
+
+#[test]
+fn sensor_loss_mid_run_degrades_gracefully() {
+    let mock = MockSysfs::intel(2);
+    let mut backend = LinuxBackend::probe(
+        mock.root(),
+        BackendOptions {
+            dry_run: false,
+            write_mode: pap_hw::cpufreq::WriteMode::Auto,
+            clock: BackendClock::manual(),
+        },
+    )
+    .unwrap();
+    let mut daemon = fixture_daemon(&backend, 9.0);
+
+    let tick = Seconds(0.1);
+    let mut ticks = 0u32;
+    run_daemon(&mut backend, &mut daemon, Seconds(20.0), tick, |_, _| {
+        ticks += 1;
+        if ticks < 100 {
+            mock.add_package_energy_uj((8.0 * tick.value() * 1e6) as u64);
+        } else if ticks == 100 {
+            // 10 s in, the package energy counter vanishes for good
+            // (writing more energy would re-create the file).
+            mock.remove("sys/class/powercap/intel-rapl:0/energy_uj");
+        }
+    })
+    .expect("loop survives the sensor loss");
+
+    let h = backend
+        .health()
+        .sensor(SensorId::PackagePower)
+        .expect("tracked");
+    assert!(h.total_failures > 0, "failures recorded");
+    assert_eq!(
+        h.state,
+        pap_telemetry::health::SensorState::Unhealthy,
+        "hysteresis demoted the dead counter"
+    );
+}

@@ -61,6 +61,39 @@ pub fn power_from_energy(prev_raw: u32, now_raw: u32, dt: Seconds) -> Watts {
     EnergyCounter::delta_joules(prev_raw, now_raw) / dt
 }
 
+/// Average power over an interval from two microjoule energy readings of
+/// a counter that wraps at a caller-supplied range — the format Linux
+/// powercap exposes (`energy_uj` counts up to `max_energy_range_uj`,
+/// then wraps to zero). Unlike [`power_from_energy`], which assumes the
+/// 32-bit raw-MSR format in fixed energy units, this variant takes the
+/// counter's actual range, since powercap domains advertise ranges that
+/// are neither 32-bit nor power-of-two.
+///
+/// The counter is modelled as counting `0..=max_energy_range_uj` and
+/// wrapping from the maximum back to zero, so a wrapped delta is
+/// `(max - prev) + now + 1` µJ. Readings above the advertised range are
+/// clamped to it (a defensive measure against drivers that briefly
+/// report out-of-range values).
+pub fn power_from_energy_uj(
+    prev_uj: u64,
+    now_uj: u64,
+    max_energy_range_uj: u64,
+    dt: Seconds,
+) -> Watts {
+    debug_assert!(dt.value() > 0.0);
+    debug_assert!(max_energy_range_uj > 0);
+    let prev = prev_uj.min(max_energy_range_uj);
+    let now = now_uj.min(max_energy_range_uj);
+    let delta_uj = if now >= prev {
+        now - prev
+    } else {
+        // `now < prev <= max`, so this cannot overflow: the wrapped
+        // delta is at most `max`.
+        (max_energy_range_uj - prev) + now + 1
+    };
+    Watts(delta_uj as f64 * 1e-6 / dt.value())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +160,43 @@ mod tests {
         // 101 cycles of each
         assert_eq!(r.active_freq, KiloHertz::from_mhz(1000));
         assert!((r.ips - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn microjoule_power_without_wrap() {
+        // 2 J over 0.5 s = 4 W, far from the range boundary.
+        let p = power_from_energy_uj(1_000_000, 3_000_000, 262_143_328_850, Seconds(0.5));
+        assert!((p.value() - 4.0).abs() < 1e-9);
+        // Zero delta is zero watts.
+        let p = power_from_energy_uj(5, 5, 1_000, Seconds(1.0));
+        assert_eq!(p.value(), 0.0);
+    }
+
+    #[test]
+    fn microjoule_power_wraps_at_caller_supplied_range() {
+        // A typical powercap package range (not a power of two). Counter
+        // runs from 10 µJ below the max, wraps to 0, and lands at 19 µJ:
+        // 10 µJ to reach max, 1 µJ for the max -> 0 step, 19 µJ after.
+        let max = 262_143_328_850u64;
+        let p = power_from_energy_uj(max - 10, 19, max, Seconds(1.0));
+        assert!((p.value() - 30e-6).abs() < 1e-12, "{}", p.value());
+
+        // Exactly at the boundary: prev == max, now == 0 is a 1 µJ step.
+        let p = power_from_energy_uj(max, 0, max, Seconds(1.0));
+        assert!((p.value() - 1e-6).abs() < 1e-15);
+
+        // A small range wraps many orders of magnitude before u32/u64 do.
+        let p = power_from_energy_uj(900, 99, 999, Seconds(0.1));
+        // (999 - 900) + 99 + 1 = 199 µJ over 0.1 s
+        assert!((p.value() - 199e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn microjoule_power_clamps_out_of_range_readings() {
+        // A reading above the advertised range is clamped rather than
+        // producing a garbage multi-joule delta.
+        let p = power_from_energy_uj(100, u64::MAX, 1_000, Seconds(1.0));
+        assert!((p.value() - 900e-6).abs() < 1e-12);
     }
 
     #[test]

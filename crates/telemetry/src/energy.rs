@@ -1,0 +1,357 @@
+//! Per-entity energy and cost accounting.
+//!
+//! FastCap-style per-watt efficiency scoring needs more than interval
+//! power: operators bill in watt-hours and dollars. [`EnergyLedger`]
+//! accumulates joules per named entity (an app, a tenant, a node) plus
+//! a package total, and converts to Wh and USD at a configurable
+//! [`Tariff`]. Accumulation is pure arithmetic over values the control
+//! loop already has (interval power × interval length), so attaching a
+//! ledger to a daemon is strictly off the control path: a run with
+//! accounting enabled produces bit-identical control actions to one
+//! without (`tests/energy_offpath.rs` and the `ext_tenants` gate
+//! enforce this).
+//!
+//! Export follows the PR 4 sink idioms: hand-rolled JSONL (one object
+//! per entity plus a package summary line) and Prometheus-style text
+//! exposition, with no serde dependency.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Joules per watt-hour.
+const J_PER_WH: f64 = 3600.0;
+
+/// An electricity price in USD per kilowatt-hour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tariff {
+    /// Price of one kWh in USD (e.g. `0.12` for 12 ¢/kWh).
+    pub usd_per_kwh: f64,
+}
+
+impl Tariff {
+    /// A tariff of `usd_per_kwh` dollars per kilowatt-hour. Must be
+    /// finite and non-negative.
+    pub fn new(usd_per_kwh: f64) -> Tariff {
+        assert!(
+            usd_per_kwh.is_finite() && usd_per_kwh >= 0.0,
+            "tariff must be a finite non-negative $/kWh, got {usd_per_kwh}"
+        );
+        Tariff { usd_per_kwh }
+    }
+
+    /// Cost in USD of `wh` watt-hours.
+    pub fn cost_usd(&self, wh: f64) -> f64 {
+        wh / 1000.0 * self.usd_per_kwh
+    }
+}
+
+/// One entity's accumulated energy, resolved at read time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyAccount {
+    /// Entity name (app, tenant, ...).
+    pub name: String,
+    /// Accumulated energy in watt-hours.
+    pub wh: f64,
+    /// Cost at the ledger's tariff, if one is set.
+    pub cost_usd: Option<f64>,
+}
+
+/// Accumulates energy per named entity plus a package total.
+///
+/// Entities are created on first touch; accumulating into an existing
+/// entity performs no heap allocation, so a ledger can ride along the
+/// daemon's zero-allocation steady-state control step.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyLedger {
+    tariff: Option<Tariff>,
+    names: Vec<String>,
+    joules: Vec<f64>,
+    index: BTreeMap<String, usize>,
+    package_j: f64,
+    elapsed_s: f64,
+}
+
+impl EnergyLedger {
+    /// An empty ledger with no tariff (energy only, no cost).
+    pub fn new() -> EnergyLedger {
+        EnergyLedger::default()
+    }
+
+    /// An empty ledger pricing energy at `tariff`.
+    pub fn with_tariff(tariff: Tariff) -> EnergyLedger {
+        EnergyLedger {
+            tariff: Some(tariff),
+            ..EnergyLedger::default()
+        }
+    }
+
+    /// The ledger's tariff, if any.
+    pub fn tariff(&self) -> Option<Tariff> {
+        self.tariff
+    }
+
+    /// Register `name` ahead of time and return its index, so hot paths
+    /// can accumulate by index without a map lookup. Registering an
+    /// existing name returns its existing index.
+    pub fn register(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.names.len();
+        self.names.push(name.to_string());
+        self.joules.push(0.0);
+        self.index.insert(name.to_string(), i);
+        i
+    }
+
+    /// Accumulate `joules` against the entity at `index` (from
+    /// [`EnergyLedger::register`]). Allocation-free.
+    pub fn add(&mut self, index: usize, joules: f64) {
+        debug_assert!(joules >= 0.0 && joules.is_finite(), "energy {joules}");
+        self.joules[index] += joules.max(0.0);
+    }
+
+    /// Accumulate `joules` against `name`, creating the account on
+    /// first touch. Allocation-free for existing accounts.
+    pub fn add_named(&mut self, name: &str, joules: f64) {
+        match self.index.get(name) {
+            Some(&i) => self.add(i, joules),
+            None => {
+                let i = self.register(name);
+                self.add(i, joules);
+            }
+        }
+    }
+
+    /// Accumulate one interval of package energy (`joules` over `dt`
+    /// seconds). Entity energy is attributed separately by the caller;
+    /// the package total is the ground truth the bill is paid on.
+    pub fn add_package(&mut self, joules: f64, dt_s: f64) {
+        debug_assert!(joules >= 0.0 && joules.is_finite(), "energy {joules}");
+        debug_assert!(dt_s >= 0.0 && dt_s.is_finite(), "interval {dt_s}");
+        self.package_j += joules.max(0.0);
+        self.elapsed_s += dt_s.max(0.0);
+    }
+
+    /// Accumulated package energy in watt-hours.
+    pub fn package_wh(&self) -> f64 {
+        self.package_j / J_PER_WH
+    }
+
+    /// Package cost in USD at the tariff, if one is set.
+    pub fn package_cost_usd(&self) -> Option<f64> {
+        self.tariff.map(|t| t.cost_usd(self.package_wh()))
+    }
+
+    /// Seconds of accounted runtime.
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_s
+    }
+
+    /// One entity's watt-hours by name.
+    pub fn wh(&self, name: &str) -> Option<f64> {
+        self.index.get(name).map(|&i| self.joules[i] / J_PER_WH)
+    }
+
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the ledger has no entities.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All accounts in registration order, with costs resolved.
+    pub fn accounts(&self) -> Vec<EnergyAccount> {
+        self.names
+            .iter()
+            .zip(&self.joules)
+            .map(|(name, &j)| {
+                let wh = j / J_PER_WH;
+                EnergyAccount {
+                    name: name.clone(),
+                    wh,
+                    cost_usd: self.tariff.map(|t| t.cost_usd(wh)),
+                }
+            })
+            .collect()
+    }
+
+    /// JSONL export: one object per entity in registration order, then
+    /// a package summary line. Cost fields appear only when a tariff is
+    /// set, so tariff-free ledgers stay byte-stable.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for a in self.accounts() {
+            let _ = write!(out, "{{\"entity\":\"{}\",\"energy_wh\":{:.6}", a.name, a.wh);
+            if let Some(c) = a.cost_usd {
+                let _ = write!(out, ",\"cost_usd\":{c:.6}");
+            }
+            out.push_str("}\n");
+        }
+        let _ = write!(
+            out,
+            "{{\"entity\":\"_package\",\"energy_wh\":{:.6},\"elapsed_s\":{:.3}",
+            self.package_wh(),
+            self.elapsed_s
+        );
+        if let Some(t) = self.tariff {
+            let _ = write!(
+                out,
+                ",\"tariff_usd_per_kwh\":{},\"cost_usd\":{:.6}",
+                t.usd_per_kwh,
+                t.cost_usd(self.package_wh())
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Prometheus-style text exposition: per-entity Wh (and USD when a
+    /// tariff is set) counters plus the package totals.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# HELP pap_energy_wh_total Accumulated energy attributed to the entity."
+        );
+        let _ = writeln!(out, "# TYPE pap_energy_wh_total counter");
+        for a in self.accounts() {
+            let _ = writeln!(
+                out,
+                "pap_energy_wh_total{{entity=\"{}\"}} {:.6}",
+                a.name, a.wh
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP pap_package_energy_wh_total Accumulated package energy."
+        );
+        let _ = writeln!(out, "# TYPE pap_package_energy_wh_total counter");
+        let _ = writeln!(out, "pap_package_energy_wh_total {:.6}", self.package_wh());
+        if let Some(t) = self.tariff {
+            let _ = writeln!(
+                out,
+                "# HELP pap_energy_cost_usd_total Energy cost attributed to the entity."
+            );
+            let _ = writeln!(out, "# TYPE pap_energy_cost_usd_total counter");
+            for a in self.accounts() {
+                let _ = writeln!(
+                    out,
+                    "pap_energy_cost_usd_total{{entity=\"{}\"}} {:.6}",
+                    a.name,
+                    a.cost_usd.unwrap_or(0.0)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "# HELP pap_package_energy_cost_usd_total Package energy cost at the tariff."
+            );
+            let _ = writeln!(out, "# TYPE pap_package_energy_cost_usd_total counter");
+            let _ = writeln!(
+                out,
+                "pap_package_energy_cost_usd_total {:.6}",
+                t.cost_usd(self.package_wh())
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tariff_prices_watt_hours() {
+        let t = Tariff::new(0.12);
+        // 1 kWh at 12 ¢.
+        assert!((t.cost_usd(1000.0) - 0.12).abs() < 1e-12);
+        assert_eq!(Tariff::new(0.0).cost_usd(500.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tariff")]
+    fn negative_tariff_rejected() {
+        Tariff::new(-0.1);
+    }
+
+    #[test]
+    fn ledger_accumulates_per_entity_and_package() {
+        let mut l = EnergyLedger::with_tariff(Tariff::new(0.10));
+        let web = l.register("web");
+        let bg = l.register("bg");
+        assert_eq!(l.register("web"), web, "re-registering is idempotent");
+        for _ in 0..3600 {
+            l.add(web, 20.0); // 20 W for one "second"
+            l.add(bg, 10.0);
+            l.add_package(36.0, 1.0);
+        }
+        assert!((l.wh("web").unwrap() - 20.0).abs() < 1e-9);
+        assert!((l.wh("bg").unwrap() - 10.0).abs() < 1e-9);
+        assert!((l.package_wh() - 36.0).abs() < 1e-9);
+        assert!((l.elapsed_s() - 3600.0).abs() < 1e-9);
+        // 36 Wh at $0.10/kWh = $0.0036
+        assert!((l.package_cost_usd().unwrap() - 0.0036).abs() < 1e-12);
+        let accounts = l.accounts();
+        assert_eq!(accounts.len(), 2);
+        assert!((accounts[0].cost_usd.unwrap() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_named_creates_then_reuses() {
+        let mut l = EnergyLedger::new();
+        l.add_named("a", 3600.0);
+        l.add_named("a", 3600.0);
+        assert_eq!(l.len(), 1);
+        assert!((l.wh("a").unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(l.wh("missing"), None);
+        assert!(l.package_cost_usd().is_none(), "no tariff, no cost");
+    }
+
+    #[test]
+    fn jsonl_shape_with_and_without_tariff() {
+        let mut l = EnergyLedger::with_tariff(Tariff::new(0.25));
+        l.add_named("web", 7200.0);
+        l.add_package(7200.0, 2.0);
+        let text = l.to_jsonl();
+        assert_eq!(text.lines().count(), 2, "one entity + package summary");
+        assert!(text.contains("\"entity\":\"web\""));
+        assert!(text.contains("\"cost_usd\":0.000500"));
+        assert!(text.contains("\"tariff_usd_per_kwh\":0.25"));
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+
+        let mut plain = EnergyLedger::new();
+        plain.add_named("web", 7200.0);
+        plain.add_package(7200.0, 2.0);
+        assert!(
+            !plain.to_jsonl().contains("cost_usd"),
+            "no tariff, no cost fields"
+        );
+    }
+
+    #[test]
+    fn prometheus_shape() {
+        let mut l = EnergyLedger::with_tariff(Tariff::new(0.10));
+        l.add_named("web", 3600.0);
+        l.add_package(3600.0, 1.0);
+        let text = l.prometheus();
+        assert!(text.contains("# TYPE pap_energy_wh_total counter"));
+        assert!(text.contains("pap_energy_wh_total{entity=\"web\"} 1.000000"));
+        assert!(text.contains("pap_package_energy_wh_total 1.000000"));
+        assert!(text.contains("pap_energy_cost_usd_total{entity=\"web\"} 0.000100"));
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "malformed line: {line}");
+        }
+        let mut plain = EnergyLedger::new();
+        plain.add_named("web", 3600.0);
+        assert!(
+            !plain.prometheus().contains("cost"),
+            "no tariff, no cost series"
+        );
+    }
+}

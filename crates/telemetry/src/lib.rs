@@ -6,6 +6,7 @@
 //! [`pap_simcpu::chip::Chip`]:
 //!
 //! * [`counters`] — delta/rate arithmetic over wrapping hardware counters;
+//! * [`energy`] — per-entity Wh/cost accounting at a configurable tariff;
 //! * [`health`] — per-sensor health tracking with hysteresis;
 //! * [`sampler`] — the stateful 1 Hz sampler;
 //! * [`trace`] — time-series recording and CSV export;
@@ -22,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod counters;
+pub mod energy;
 pub mod health;
 pub mod histogram;
 pub mod metrics;
@@ -34,7 +36,8 @@ pub mod trace;
 
 /// Convenient glob-import of the most used types.
 pub mod prelude {
-    pub use crate::counters::{core_rates, power_from_energy, CoreRates};
+    pub use crate::counters::{core_rates, power_from_energy, power_from_energy_uj, CoreRates};
+    pub use crate::energy::{EnergyAccount, EnergyLedger, Tariff};
     pub use crate::health::{HealthEvent, HealthTracker, SensorHealth, SensorId, SensorState};
     pub use crate::histogram::LogHistogram;
     pub use crate::metrics::{AtomicLogHistogram, ControlMetrics, Counter};

@@ -14,6 +14,12 @@
 //! ```sh
 //! powerd-sim --scenario diurnal-flash [--limit 45] [--seed 7] [--metrics]
 //! ```
+//!
+//! With the `linux-hw` feature the same daemon drives a real host
+//! through cpufreq + RAPL/hwmon (`--backend linux`, start with
+//! `--dry-run`), and `powerd-sim govcmp` sweeps the host's cpufreq
+//! governors as the paper's baseline comparison. Without the feature
+//! both report a typed "rebuild with --features linux-hw" error.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -123,6 +129,9 @@ fn run_scenario(opts: &CliOptions, name: &str) -> Result<(), String> {
     if let Some(seed) = opts.seed {
         scenario.seed = seed;
     }
+    if let Some(tariff) = opts.tariff {
+        scenario = scenario.with_tariff(tariff);
+    }
     scenario.duration = opts.duration;
 
     println!(
@@ -190,6 +199,15 @@ fn run_scenario(opts: &CliOptions, name: &str) -> Result<(), String> {
             f3(card.batch_gips()),
             f3(card.mean_package_w),
         ]);
+        if let Some(cost) = card.cost_usd() {
+            println!(
+                "{}: {:.3} Wh package energy, ${cost:.6} at the tariff, \
+                 attainment/$ {:.2}",
+                mode.name(),
+                card.package_wh(),
+                card.attainment_per_dollar().unwrap_or(0.0),
+            );
+        }
         jsonl.push_str(&card.to_jsonl());
         if opts.metrics {
             prom.push_str(&card.prometheus());
@@ -215,6 +233,282 @@ fn run_scenario(opts: &CliOptions, name: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// `govcmp --backend sim`: replay the paper's §2.2 governor comparison
+/// on the simulated socket — a bursty single-core service under each
+/// emulated cpufreq governor, reported in the same power/frequency/Wh
+/// shape as the real-host sweep.
+fn run_govcmp_sim(opts: &CliOptions) -> Result<(), String> {
+    use pap_simcpu::chip::Chip;
+    use pap_simcpu::units::Seconds;
+    use pap_telemetry::sampler::Sampler;
+    use pap_workloads::latency::{ClosedLoopService, DemandShape, ServiceConfig};
+    use powerd::governor::Governor;
+
+    let governors = [
+        ("performance", Governor::Performance),
+        ("ondemand", Governor::ondemand()),
+        ("conservative", Governor::conservative()),
+        ("powersave", Governor::Powersave),
+    ];
+    let platform = opts.platform_spec()?;
+    let warmup = 10.0;
+    let measured = opts.duration.value().max(1.0);
+
+    let mut t = Table::new(
+        format!("govcmp (sim): cpufreq governors on {}", opts.platform),
+        &["governor", "p90_ms", "mean_w", "mean_mhz", "wh", "cost_usd"],
+    );
+    for (name, gov) in governors {
+        let mut chip = Chip::new(platform.clone());
+        let cfg = ServiceConfig {
+            users: 40,
+            mean_think: Seconds(0.4),
+            mean_service_cycles: 18.0e6,
+            demand: DemandShape::Exponential,
+            capacitance: 0.8,
+            seed: opts.seed.unwrap_or(42),
+        };
+        let mut svc = ClosedLoopService::new(cfg, 1);
+        let grid = chip.spec().grid;
+        let mut freq = match gov {
+            Governor::Powersave => grid.min(),
+            _ => grid.max(),
+        };
+        chip.set_requested_freq(0, freq)
+            .map_err(|e| e.to_string())?;
+
+        let mut sampler = Sampler::new(&chip);
+        let dt = Seconds(0.001);
+        let (mut power_acc, mut khz_acc, mut samples) = (0.0, 0.0, 0.0);
+        let mut time = 0.0;
+        let mut next_eval = 0.1;
+        let mut stats_reset = false;
+        while time < warmup + measured {
+            let f = chip.effective_freq(0);
+            let loads = svc.advance(dt, &[f]);
+            chip.set_load(0, loads[0]).map_err(|e| e.to_string())?;
+            chip.tick(dt);
+            time += dt.value();
+            if !stats_reset && time >= warmup {
+                svc.reset_stats();
+                stats_reset = true;
+            }
+            if time + 1e-9 >= next_eval {
+                next_eval += 0.1;
+                if let Some(s) = sampler.sample(&chip) {
+                    let util = s.cores[0].rates.c0_residency;
+                    freq = gov.next_freq(&grid, freq, util);
+                    chip.set_requested_freq(0, freq)
+                        .map_err(|e| e.to_string())?;
+                    if stats_reset {
+                        power_acc += s.package_power.value();
+                        khz_acc += s.cores[0].rates.active_freq.khz() as f64;
+                        samples += 1.0;
+                    }
+                }
+            }
+        }
+        let mean_w = power_acc / samples;
+        let wh = mean_w * measured / 3600.0;
+        let cost = opts
+            .tariff
+            .map(|tr| format!("{:.6}", wh / 1000.0 * tr))
+            .unwrap_or_else(|| "-".into());
+        t.row(vec![
+            name.to_string(),
+            f1(svc.p90_ms()),
+            f3(mean_w),
+            f1(khz_acc / samples / 1000.0),
+            f3(wh),
+            cost,
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Per-core utilization governors cannot express cross-application \
+         shares — the gap the paper's policies fill. Run with --backend \
+         linux (build feature linux-hw) for the same sweep on a real host."
+    );
+    Ok(())
+}
+
+/// Real-hardware entry points (`--backend linux`, `govcmp`).
+#[cfg(feature = "linux-hw")]
+mod hwcli {
+    use std::time::Duration;
+
+    use pap_hw::cpufreq::WriteMode;
+    use pap_hw::{govcmp, BackendClock, BackendOptions, LinuxBackend, SysfsRoot};
+    use pap_telemetry::energy::{EnergyLedger, Tariff};
+    use pap_workloads::burn::CPUBURN;
+    use pap_workloads::spec;
+    use powerd::cli::CliOptions;
+    use powerd::config::{AppSpec, DaemonConfig};
+    use powerd::daemon::Daemon;
+    use powerd::hw::{run_daemon, PowerBackend};
+    use powerd::report::{f1, f3, Table};
+    use powerd::runner::standalone_freq;
+
+    fn sysfs_root(opts: &CliOptions) -> SysfsRoot {
+        match &opts.sysfs_root {
+            Some(p) => SysfsRoot::new(p.clone()),
+            None => SysfsRoot::system(),
+        }
+    }
+
+    fn sleep_for(dt: pap_simcpu::units::Seconds) {
+        std::thread::sleep(Duration::from_secs_f64(dt.value()));
+    }
+
+    /// Run the daemon against the live host for `--duration` wall
+    /// seconds, then report per-app energy from the attached ledger.
+    pub fn run_linux(opts: &CliOptions) -> Result<(), String> {
+        let mut backend = LinuxBackend::probe(
+            sysfs_root(opts),
+            BackendOptions {
+                dry_run: opts.dry_run,
+                write_mode: WriteMode::Auto,
+                clock: BackendClock::wall(),
+            },
+        )
+        .map_err(|e| format!("probing the host: {e}"))?;
+        eprintln!("{}", backend.describe());
+        if opts.dry_run {
+            eprintln!("dry run: observing only, no sysfs writes");
+        }
+
+        let policy = opts.policy.expect("cli validated policy");
+        let limit = opts.limit.expect("cli validated limit");
+        let platform = backend.platform().clone();
+        if opts.apps.len() > platform.num_cores {
+            return Err(format!(
+                "{} apps but the host exposes {} cpufreq policies",
+                opts.apps.len(),
+                platform.num_cores
+            ));
+        }
+        let mut apps = Vec::new();
+        for (core, app) in opts.apps.iter().enumerate() {
+            let profile = if app.profile == "cpuburn" {
+                CPUBURN
+            } else {
+                spec::by_name(&app.profile)
+                    .ok_or_else(|| format!("unknown profile '{}'", app.profile))?
+            };
+            apps.push(
+                AppSpec::new(app.name.clone(), core)
+                    .with_priority(app.priority)
+                    .with_shares(app.shares)
+                    .with_baseline_ips(profile.ips(standalone_freq(&platform, &profile))),
+            );
+        }
+        let mut config = DaemonConfig::new(policy, limit, apps);
+        config.control_interval = opts.interval;
+        let mut daemon = Daemon::new(config, &platform)?;
+        daemon.attach_energy(match opts.tariff {
+            Some(t) => EnergyLedger::with_tariff(Tariff::new(t)),
+            None => EnergyLedger::new(),
+        });
+
+        // Wall clock: the drive closure just lets real time pass.
+        run_daemon(
+            &mut backend,
+            &mut daemon,
+            opts.duration,
+            opts.interval,
+            |_, _| sleep_for(opts.interval),
+        )?;
+
+        let ledger = daemon.take_energy().expect("ledger attached above");
+        let mut t = Table::new(
+            format!("powerd-sim on {}: per-app energy", platform.name),
+            &["app", "wh", "share_%"],
+        );
+        let pkg_wh = ledger.package_wh();
+        for a in ledger.accounts() {
+            let share = if pkg_wh > 0.0 {
+                a.wh / pkg_wh * 100.0
+            } else {
+                0.0
+            };
+            t.row(vec![a.name.clone(), f3(a.wh), f1(share)]);
+        }
+        println!("{t}");
+        println!("package energy: {:.3} Wh", pkg_wh);
+        if let Some(cost) = ledger.package_cost_usd() {
+            println!("package cost: ${cost:.6} at the tariff");
+        }
+        print!("{}", ledger.to_jsonl());
+        if opts.metrics {
+            print!("{}", ledger.prometheus());
+        }
+        for (id, h) in backend.health().sensors() {
+            if h.total_failures > 0 {
+                eprintln!("sensor {id}: {:?}, {} failures", h.state, h.total_failures);
+            }
+        }
+        Ok(())
+    }
+
+    /// `govcmp`: the paper's governor-comparison baseline on the live
+    /// host — sweep the stock cpufreq governors and report each one's
+    /// power, frequency and energy.
+    pub fn run_govcmp(opts: &CliOptions) -> Result<(), String> {
+        let root = sysfs_root(opts);
+        let cfg = govcmp::GovCmpConfig {
+            duration: opts.duration,
+            interval: opts.interval,
+            dry_run: opts.dry_run,
+        };
+        if cfg.dry_run {
+            eprintln!("dry run: measuring the active governor only");
+        }
+        let rows =
+            govcmp::run(&root, &cfg, sleep_for).map_err(|e| format!("governor sweep: {e}"))?;
+
+        let mut t = Table::new(
+            "govcmp: stock cpufreq governors".to_string(),
+            &[
+                "governor", "mean_w", "mean_mhz", "wh", "cost_usd", "samples",
+            ],
+        );
+        for r in &rows {
+            let cost = opts
+                .tariff
+                .map(|t| format!("{:.6}", r.wh / 1000.0 * t))
+                .unwrap_or_else(|| "-".into());
+            t.row(vec![
+                r.governor.clone(),
+                f3(r.mean_pkg_w),
+                f1(r.mean_khz / 1000.0),
+                f3(r.wh),
+                cost,
+                r.samples.to_string(),
+            ]);
+        }
+        println!("{t}");
+        Ok(())
+    }
+}
+
+/// Typed unavailability errors when built without `linux-hw`.
+#[cfg(not(feature = "linux-hw"))]
+mod hwcli {
+    use powerd::cli::CliOptions;
+
+    const HINT: &str = "this build has no real-hardware backend; rebuild with \
+                        `cargo build --features linux-hw` (adds only the \
+                        in-workspace pap-hw crate)";
+
+    pub fn run_linux(_opts: &CliOptions) -> Result<(), String> {
+        Err(format!("--backend linux is unavailable: {HINT}"))
+    }
+
+    pub fn run_govcmp(_opts: &CliOptions) -> Result<(), String> {
+        Err(format!("govcmp is unavailable: {HINT}"))
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match cli::parse(&args) {
@@ -224,9 +518,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let outcome = match &opts.scenario {
-        Some(name) => run_scenario(&opts, &name.clone()),
-        None => run_experiment(&opts),
+    let outcome = if opts.govcmp {
+        match opts.backend {
+            cli::BackendKind::Sim => run_govcmp_sim(&opts),
+            cli::BackendKind::Linux => hwcli::run_govcmp(&opts),
+        }
+    } else if opts.backend == cli::BackendKind::Linux {
+        hwcli::run_linux(&opts)
+    } else {
+        match &opts.scenario {
+            Some(name) => run_scenario(&opts, &name.clone()),
+            None => run_experiment(&opts),
+        }
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,

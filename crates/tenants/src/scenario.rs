@@ -87,6 +87,19 @@ pub struct Scenario {
     pub seed: u64,
     /// SLO-controller thresholds used in [`ControlMode::SloAware`].
     pub controller: SloControllerConfig,
+    /// Electricity tariff in USD per kWh. Cost accounting is pure
+    /// derivation from energy the run already tracks, so setting this
+    /// never perturbs control; it only adds cost fields to the
+    /// scorecard exports.
+    pub tariff: Option<f64>,
+}
+
+impl Scenario {
+    /// Price the run's energy at `usd_per_kwh`.
+    pub fn with_tariff(mut self, usd_per_kwh: f64) -> Self {
+        self.tariff = Some(usd_per_kwh);
+        self
+    }
 }
 
 /// The library of named scenarios.
@@ -116,6 +129,7 @@ pub fn diurnal_flash() -> Scenario {
         warmup: Seconds(10.0),
         seed: 0x7E4A_1701,
         controller: SloControllerConfig::default(),
+        tariff: None,
         tenants: vec![
             TenantSpec::service(
                 "web",
@@ -158,6 +172,7 @@ pub fn churn() -> Scenario {
         warmup: Seconds(10.0),
         seed: 0xC0DE_CAFE,
         controller: SloControllerConfig::default(),
+        tariff: None,
         tenants: vec![
             TenantSpec::service(
                 "web",
@@ -194,6 +209,7 @@ pub fn tail_heavy() -> Scenario {
         warmup: Seconds(10.0),
         seed: 0x7A11_0001,
         controller: SloControllerConfig::default(),
+        tariff: None,
         tenants: vec![
             TenantSpec::service(
                 "svc",
@@ -616,6 +632,7 @@ impl Scenario {
                     } else {
                         0.0
                     },
+                    energy_wh: rt.energy_j / 3600.0,
                     mean_shares: if rt.share_windows > 0 {
                         rt.share_acc / rt.share_windows as f64
                     } else {
@@ -635,6 +652,7 @@ impl Scenario {
                 0.0
             },
             budget_w: self.limit.value(),
+            tariff_usd_per_kwh: self.tariff,
             tenants,
         };
         (card, daemon.take_observer())

@@ -43,6 +43,9 @@ pub struct TenantScore {
     /// Package power attributed to the tenant by activity weighting,
     /// in watts.
     pub mean_power_w: f64,
+    /// Package energy attributed to the tenant over the measured
+    /// period, in watt-hours.
+    pub energy_wh: f64,
     /// Mean per-core shares held over the run (the controller moves
     /// these; static runs report the configured value).
     pub mean_shares: f64,
@@ -61,6 +64,10 @@ pub struct SloScorecard {
     pub mean_package_w: f64,
     /// The enforced package budget.
     pub budget_w: f64,
+    /// Electricity tariff in USD per kWh, when cost accounting was
+    /// requested. `None` leaves every cost field out of the exports, so
+    /// accounting-off output is byte-identical to the pre-cost format.
+    pub tariff_usd_per_kwh: Option<f64>,
     /// Per-tenant outcomes, in scenario order.
     pub tenants: Vec<TenantScore>,
 }
@@ -104,6 +111,32 @@ impl SloScorecard {
         jain_index(&svc)
     }
 
+    /// Package energy over the measured period in watt-hours.
+    pub fn package_wh(&self) -> f64 {
+        self.mean_package_w * self.duration_s / 3600.0
+    }
+
+    /// Electricity cost of the run in USD, when a tariff is set.
+    pub fn cost_usd(&self) -> Option<f64> {
+        self.tariff_usd_per_kwh
+            .map(|t| self.package_wh() / 1000.0 * t)
+    }
+
+    /// Attainment per dollar-per-hour of electricity spend:
+    /// `attainment / (kW × $/kWh)`. The denominator is the run's burn
+    /// rate, so the number is duration-independent (like
+    /// [`SloScorecard::attainment_per_watt`]) and stays O(10) at
+    /// realistic tariffs.
+    pub fn attainment_per_dollar(&self) -> Option<f64> {
+        let tariff = self.tariff_usd_per_kwh?;
+        let usd_per_hour = self.mean_package_w / 1000.0 * tariff;
+        if usd_per_hour > 0.0 {
+            Some(self.attainment() / usd_per_hour)
+        } else {
+            None
+        }
+    }
+
     /// Total batch goodput in giga-instructions per second.
     pub fn batch_gips(&self) -> f64 {
         self.tenants
@@ -113,12 +146,13 @@ impl SloScorecard {
             .sum()
     }
 
-    /// The run-level summary as one JSON object.
+    /// The run-level summary as one JSON object. Cost fields appear
+    /// only when a tariff is set.
     pub fn summary_json(&self) -> String {
-        format!(
+        let mut out = format!(
             "{{\"scenario\":\"{}\",\"mode\":\"{}\",\"duration_s\":{},\"budget_w\":{},\
              \"mean_package_w\":{:.3},\"attainment\":{:.4},\"attainment_per_watt\":{:.5},\
-             \"jain\":{:.4},\"batch_gips\":{:.3}}}",
+             \"jain\":{:.4},\"batch_gips\":{:.3}",
             self.scenario,
             self.mode,
             self.duration_s,
@@ -128,19 +162,32 @@ impl SloScorecard {
             self.attainment_per_watt(),
             self.jain(),
             self.batch_gips(),
-        )
+        );
+        if let Some(tariff) = self.tariff_usd_per_kwh {
+            let _ = write!(
+                out,
+                ",\"tariff_usd_per_kwh\":{tariff},\"package_wh\":{:.4},\
+                 \"cost_usd\":{:.6},\"attainment_per_dollar\":{:.4}",
+                self.package_wh(),
+                self.cost_usd().unwrap_or(0.0),
+                self.attainment_per_dollar().unwrap_or(0.0),
+            );
+        }
+        out.push('}');
+        out
     }
 
     /// JSONL export: one object per tenant, then the summary object.
+    /// Per-tenant cost appears only when a tariff is set.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for t in &self.tenants {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "{{\"scenario\":\"{}\",\"mode\":\"{}\",\"tenant\":\"{}\",\"class\":\"{}\",\
                  \"attainment\":{:.4},\"tail_ms\":{:.3},\"target_ms\":{},\"percentile\":{},\
                  \"completed\":{},\"dropped\":{},\"goodput\":{:.3},\"mean_power_w\":{:.3},\
-                 \"mean_shares\":{:.2}}}",
+                 \"energy_wh\":{:.4},\"mean_shares\":{:.2}",
                 self.scenario,
                 self.mode,
                 t.name,
@@ -153,8 +200,13 @@ impl SloScorecard {
                 t.dropped,
                 t.goodput,
                 t.mean_power_w,
+                t.energy_wh,
                 t.mean_shares,
             );
+            if let Some(tariff) = self.tariff_usd_per_kwh {
+                let _ = write!(out, ",\"cost_usd\":{:.6}", t.energy_wh / 1000.0 * tariff);
+            }
+            out.push_str("}\n");
         }
         out.push_str(&self.summary_json());
         out.push('\n');
@@ -165,7 +217,7 @@ impl SloScorecard {
     /// scenario/mode/tenant, plus the run-level aggregates.
     pub fn prometheus(&self) -> String {
         let mut out = String::new();
-        let gauges: [(&str, &str); 4] = [
+        let gauges: [(&str, &str); 5] = [
             (
                 "pap_tenant_slo_attainment",
                 "Fraction of windows meeting the tenant SLO.",
@@ -182,6 +234,10 @@ impl SloScorecard {
                 "pap_tenant_power_watts",
                 "Package power attributed to the tenant.",
             ),
+            (
+                "pap_tenant_energy_wh_total",
+                "Package energy attributed to the tenant over the run.",
+            ),
         ];
         for (name, help) in gauges {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -191,6 +247,7 @@ impl SloScorecard {
                     "pap_tenant_slo_attainment" => t.attainment,
                     "pap_tenant_tail_ms" => t.tail_ms,
                     "pap_tenant_goodput" => t.goodput,
+                    "pap_tenant_energy_wh_total" => t.energy_wh,
                     _ => t.mean_power_w,
                 };
                 let _ = writeln!(
@@ -231,6 +288,29 @@ impl SloScorecard {
                 self.scenario, self.mode
             );
         }
+        if self.tariff_usd_per_kwh.is_some() {
+            let cost: [(&str, &str, f64); 2] = [
+                (
+                    "pap_scenario_cost_usd_total",
+                    "Electricity cost of the run at the configured tariff.",
+                    self.cost_usd().unwrap_or(0.0),
+                ),
+                (
+                    "pap_scenario_attainment_per_dollar",
+                    "Attainment per dollar-per-hour of electricity spend.",
+                    self.attainment_per_dollar().unwrap_or(0.0),
+                ),
+            ];
+            for (name, help, v) in cost {
+                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(
+                    out,
+                    "{name}{{scenario=\"{}\",mode=\"{}\"}} {v:.6}",
+                    self.scenario, self.mode
+                );
+            }
+        }
         out
     }
 }
@@ -246,6 +326,7 @@ mod tests {
             duration_s: 120.0,
             mean_package_w: 45.0,
             budget_w: 45.0,
+            tariff_usd_per_kwh: None,
             tenants: vec![
                 TenantScore {
                     name: "web",
@@ -258,6 +339,7 @@ mod tests {
                     dropped: 3,
                     goodput: 400.0,
                     mean_power_w: 25.0,
+                    energy_wh: 25.0 * 120.0 / 3600.0,
                     mean_shares: 80.0,
                 },
                 TenantScore {
@@ -271,6 +353,7 @@ mod tests {
                     dropped: 0,
                     goodput: 6.5,
                     mean_power_w: 15.0,
+                    energy_wh: 15.0 * 120.0 / 3600.0,
                     mean_shares: 20.0,
                 },
             ],
@@ -297,6 +380,34 @@ mod tests {
         assert!(text.contains("\"tenant\":\"web\""));
         assert!(text.contains("\"class\":\"batch\""));
         assert!(text.contains("\"attainment_per_watt\":2.0"));
+    }
+
+    #[test]
+    fn cost_fields_are_tariff_gated() {
+        let plain = card();
+        let mut priced = card();
+        priced.tariff_usd_per_kwh = Some(0.25);
+
+        // Without a tariff no cost vocabulary leaks into any export.
+        for text in [plain.to_jsonl(), plain.prometheus()] {
+            assert!(!text.contains("cost"), "tariff-free export: {text}");
+            assert!(!text.contains("tariff"), "tariff-free export: {text}");
+            assert!(!text.contains("dollar"), "tariff-free export: {text}");
+        }
+        assert_eq!(plain.cost_usd(), None);
+        assert_eq!(plain.attainment_per_dollar(), None);
+
+        // With one, the derived numbers are tariff-linear.
+        let wh = priced.package_wh();
+        assert!((wh - 45.0 * 120.0 / 3600.0).abs() < 1e-12);
+        let cost = priced.cost_usd().unwrap();
+        assert!((cost - wh / 1000.0 * 0.25).abs() < 1e-12);
+        let apd = priced.attainment_per_dollar().unwrap();
+        assert!((apd - 0.9 / (45.0 / 1000.0 * 0.25)).abs() < 1e-9);
+        let text = priced.to_jsonl();
+        assert!(text.contains("\"tariff_usd_per_kwh\":0.25"));
+        assert!(text.contains("\"cost_usd\":"));
+        assert!(priced.prometheus().contains("pap_scenario_cost_usd_total"));
     }
 
     #[test]
