@@ -1,14 +1,113 @@
 //! Ablation: Ryzen 3-P-state slot selection — exact DP clustering (mean
 //! and floor variants) vs naive evenly-spaced levels, measured through a
-//! full frequency-shares run with eight distinct share levels.
+//! full frequency-shares run with eight distinct share levels — plus the
+//! cluster control-plane ablation: the serial `clusterd` arbiter vs the
+//! sharded `pap-scale` engine on the same churned fleet, with a
+//! serial-vs-sharded parity check (the full scaling sweep lives in
+//! `ext_cluster_scale`).
 
+use std::time::Instant;
+
+use clusterd::{Cluster, ClusterConfig};
 use pap_bench::{f1, f3, par_map, Table};
+use pap_scale::{run_sharded, ChurnLoad, ScaleConfig};
 use pap_simcpu::platform::PlatformSpec;
 use pap_simcpu::units::{Seconds, Watts};
+use pap_tenants::arrival::ArrivalTrace;
 use pap_workloads::spec;
 use powerd::config::{ControllerTuning, PolicyKind, Priority};
 use powerd::quantize::SlotSelector;
 use powerd::runner::Experiment;
+
+/// Serial vs sharded on one churned 64-node fleet: wall seconds and the
+/// bit-identity verdict the scale engine is held to at epsilon = 0.
+fn engine_ablation() {
+    const NODES: usize = 64;
+    const WINDOWS: u64 = 16;
+    let run = |sharded: bool| {
+        let mut cfg = ClusterConfig::new(
+            NODES,
+            PolicyKind::FrequencyShares,
+            Watts(60.0 * NODES as f64),
+        );
+        cfg.tick = cfg.control_interval;
+        let interval = cfg.control_interval;
+        let mut cluster = Cluster::new(cfg).expect("budget funds the node floors");
+        let capacity = NODES * cluster.config().platform.num_cores;
+        let period = Seconds(WINDOWS as f64 * interval.value());
+        let mut load = ChurnLoad::new(
+            ArrivalTrace::diurnal(0.25, 0.15, period),
+            1009,
+            capacity,
+            NODES,
+        );
+        let scale = ScaleConfig::default();
+        let started = Instant::now();
+        for w in 0..WINDOWS {
+            let batch = load.next_batch(Seconds(w as f64 * interval.value()));
+            let admitted: Vec<bool> = if sharded {
+                for r in cluster.depart_batch(&batch.departures) {
+                    r.expect("departing app is placed");
+                }
+                cluster
+                    .admit_batch(&batch.arrivals)
+                    .iter()
+                    .map(Result::is_ok)
+                    .collect()
+            } else {
+                for name in &batch.departures {
+                    cluster.depart(name).expect("departing app is placed");
+                }
+                batch
+                    .arrivals
+                    .iter()
+                    .map(|req| cluster.admit(req).is_ok())
+                    .collect()
+            };
+            load.commit(&batch, &admitted);
+            if sharded {
+                run_sharded(&mut cluster, 1, &scale);
+            } else {
+                cluster.run(1);
+            }
+        }
+        (started.elapsed().as_secs_f64(), cluster)
+    };
+    let (serial_s, serial) = run(false);
+    let (sharded_s, sharded) = run(true);
+    let identical = serial.energy_j().to_bits() == sharded.energy_j().to_bits()
+        && serial.node_caps() == sharded.node_caps()
+        && serial.reports() == sharded.reports()
+        && serial.last_rollup() == sharded.last_rollup();
+    let mut t = Table::new(
+        format!("Ablation: cluster engine ({NODES} nodes, {WINDOWS} churned windows)"),
+        &["engine", "wall_s", "mean W", "apps"],
+    );
+    t.row(vec![
+        "serial".into(),
+        f3(serial_s),
+        f1(serial.mean_power().value()),
+        serial.reports().len().to_string(),
+    ]);
+    t.row(vec![
+        "sharded".into(),
+        f3(sharded_s),
+        f1(sharded.mean_power().value()),
+        sharded.reports().len().to_string(),
+    ]);
+    println!("{t}");
+    println!(
+        "serial-vs-sharded parity at epsilon=0: {} (speedup {:.2}x; \
+         see ext_cluster_scale for the 8..1024-node sweep)",
+        if identical {
+            "bit-identical"
+        } else {
+            "DIVERGED — determinism broken"
+        },
+        serial_s / sharded_s
+    );
+    assert!(identical, "sharded engine must match the serial reference");
+}
 
 fn main() {
     let selectors = [
@@ -89,4 +188,6 @@ fn main() {
          from the configured fractions; the naive evenly-spaced selector wastes \
          the three levels when allocations cluster, producing larger errors."
     );
+    println!();
+    engine_ablation();
 }

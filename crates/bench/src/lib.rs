@@ -9,7 +9,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod sweep;
+// The sweep engine moved to `pap-scale` (the sharded cluster control
+// plane grew out of it); this re-export keeps the historical
+// `pap_bench::sweep` paths working for every binary and external user.
+pub use pap_scale::sweep;
 
 use pap_simcpu::chip::Chip;
 use pap_simcpu::freq::KiloHertz;

@@ -3,7 +3,8 @@
 //! serial reference engine (the parallel engine in [`crate::engine`]
 //! must reproduce it exactly).
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::error::Error;
 use std::fmt;
 
@@ -324,6 +325,79 @@ impl Cluster {
         }
     }
 
+    /// Admit a batch of arriving apps, in request order, returning one
+    /// outcome per request. Outcome-identical to calling
+    /// [`Cluster::admit`] once per request, but placement costs
+    /// O(log nodes) per app instead of a fresh O(nodes log nodes)
+    /// candidate sort — the difference between minutes and milliseconds
+    /// when a day of tenant churn lands on a 1000-node cluster.
+    ///
+    /// Equivalence argument: sequential admission orders candidates by
+    /// `(saturation, id)`, and every node runs the same platform, so
+    /// that order is exactly `(busy_cores, id)` — which a min-heap
+    /// maintains incrementally as the batch places apps.
+    pub fn admit_batch(&mut self, reqs: &[AppRequest]) -> Vec<Result<Placement, ClusterError>> {
+        // Full and quarantined nodes start outside the heap; a node that
+        // fills mid-batch is simply not pushed back.
+        let mut heap: BinaryHeap<Reverse<(usize, usize)>> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| !self.quarantined[*i] && n.free_cores() > 0)
+            .map(|(i, n)| Reverse((n.busy_cores(), i)))
+            .collect();
+        let mut out = Vec::with_capacity(reqs.len());
+        let mut spilled = Vec::new();
+        for req in reqs {
+            if self.placements.contains_key(&req.name) {
+                out.push(Err(ClusterError::DuplicateApp {
+                    app: req.name.clone(),
+                }));
+                continue;
+            }
+            let mut placed = None;
+            let mut last_err = None;
+            while let Some(Reverse((busy, i))) = heap.pop() {
+                match self.nodes[i].admit(req) {
+                    Ok(core) => {
+                        self.placements.insert(req.name.clone(), i);
+                        self.requests.insert(req.name.clone(), req.clone());
+                        if self.nodes[i].free_cores() > 0 {
+                            heap.push(Reverse((busy + 1, i)));
+                        }
+                        placed = Some(Placement { node: i, core });
+                        break;
+                    }
+                    // A daemon rejection is app-specific; the node stays
+                    // a candidate for the rest of the batch.
+                    Err(e) => {
+                        last_err = Some(e);
+                        spilled.push(Reverse((busy, i)));
+                    }
+                }
+            }
+            heap.extend(spilled.drain(..));
+            out.push(match placed {
+                Some(p) => Ok(p),
+                None => Err(match last_err {
+                    Some(e) => ClusterError::Daemon(e),
+                    None => ClusterError::ClusterFull {
+                        app: req.name.clone(),
+                        cores: self.total_cores(),
+                    },
+                }),
+            });
+        }
+        out
+    }
+
+    /// Depart a batch of apps, in order, returning one outcome per
+    /// name. The batched counterpart of [`Cluster::admit_batch`] for
+    /// per-epoch churn application.
+    pub fn depart_batch(&mut self, names: &[String]) -> Vec<Result<AppSpec, ClusterError>> {
+        names.iter().map(|n| self.depart(n)).collect()
+    }
+
     /// Remove an app; its core parks immediately and its budget claim
     /// dissolves at the next rebalance.
     pub fn depart(&mut self, name: &str) -> Result<AppSpec, ClusterError> {
@@ -349,6 +423,7 @@ impl Cluster {
         if node >= self.nodes.len() {
             return Err(ClusterError::NoNodes);
         }
+        let started = self.observer.as_ref().map(|_| std::time::Instant::now());
         self.quarantined[node] = true;
         let evicted: Vec<String> = self.nodes[node]
             .apps()
@@ -371,6 +446,19 @@ impl Cluster {
                 Err(error) => outcomes.push(RequeueOutcome::Dropped { app: name, error }),
             }
         }
+        let requeued = outcomes
+            .iter()
+            .filter(|o| matches!(o, RequeueOutcome::Requeued { .. }))
+            .count();
+        self.push_ops_record(
+            DecisionEvent::Quarantine {
+                node,
+                evicted: outcomes.len(),
+                requeued,
+                dropped: outcomes.len() - requeued,
+            },
+            started,
+        );
         Ok(outcomes)
     }
 
@@ -381,8 +469,36 @@ impl Cluster {
         if node >= self.nodes.len() {
             return Err(ClusterError::NoNodes);
         }
+        let started = self.observer.as_ref().map(|_| std::time::Instant::now());
         self.quarantined[node] = false;
+        self.push_ops_record(DecisionEvent::Restore { node }, started);
         Ok(())
+    }
+
+    /// Append a cluster-operations record (quarantine/restore) to the
+    /// observer, when one is attached. `source = "cluster-ops"` keeps
+    /// these distinct from the arbiter's per-rebalance `"cluster"`
+    /// records (which also drive the rebalance counter).
+    fn push_ops_record(&mut self, event: DecisionEvent, started: Option<std::time::Instant>) {
+        if self.observer.is_none() {
+            return;
+        }
+        let record = DecisionRecord {
+            time: self.elapsed(),
+            source: "cluster-ops",
+            policy: self.cfg.policy.name(),
+            level: None,
+            budget: self.cfg.cluster_cap,
+            measured: self.last_rollup.as_ref().map(|r| r.total_power()),
+            translation: self.cfg.translation.name(),
+            model_confident: false,
+            apps: Vec::new(),
+            events: vec![event],
+            latency: Seconds(started.map_or(0.0, |s| s.elapsed().as_secs_f64())),
+        };
+        if let Some(obs) = self.observer.as_mut() {
+            obs.push(record);
+        }
     }
 
     /// Whether a node is currently quarantined.
@@ -513,11 +629,138 @@ impl Cluster {
     }
 }
 
+/// Detached engine state: everything an external engine (the sharded
+/// control plane in `pap-scale`) needs to drive a cluster's nodes
+/// itself and still leave the [`Cluster`] in exactly the state the
+/// serial reference would have produced. Obtained from
+/// [`Cluster::detach_engine`]; hand it back with
+/// [`Cluster::attach_engine`] when the run is over.
+///
+/// The seam deliberately exposes the arbiter as two halves so external
+/// engines can defer actuation: [`EngineSeam::rebalance`] computes the
+/// new per-node caps (and emits the same [`DecisionRecord`] the serial
+/// engine would), while *applying* those caps to the nodes is the
+/// caller's job — a sharded engine publishes them as pending caps and
+/// retargets each node at the start of its next local step, which is
+/// observationally identical to the serial engine retargeting at the
+/// end of the interval (no chip ticks happen in between either way).
+#[derive(Debug)]
+pub struct EngineSeam {
+    nodes: Vec<Node>,
+    observer: Option<DecisionTrace>,
+    cfg: ClusterConfig,
+    allocator: BudgetAllocator,
+    intervals_run: u64,
+    energy_j: f64,
+}
+
+impl Cluster {
+    /// Move the nodes, observer and run counters out into an
+    /// [`EngineSeam`] for an external engine. The cluster is left
+    /// empty-handed (zero nodes) until [`Cluster::attach_engine`]
+    /// returns the seam; admission and `run` must not be called in
+    /// between.
+    pub fn detach_engine(&mut self) -> EngineSeam {
+        EngineSeam {
+            nodes: std::mem::take(&mut self.nodes),
+            observer: self.observer.take(),
+            cfg: self.cfg.clone(),
+            allocator: self.allocator,
+            intervals_run: self.intervals_run,
+            energy_j: self.energy_j,
+        }
+    }
+
+    /// Reattach a seam after an external engine ran, writing the
+    /// engine's counters (and its final roll-up, when it materialized
+    /// one) back into the cluster.
+    pub fn attach_engine(&mut self, seam: EngineSeam, last_rollup: Option<ClusterRollup>) {
+        self.nodes = seam.nodes;
+        self.observer = seam.observer;
+        self.intervals_run = seam.intervals_run;
+        self.energy_j = seam.energy_j;
+        if last_rollup.is_some() {
+            self.last_rollup = last_rollup;
+        }
+    }
+}
+
+impl EngineSeam {
+    /// The cluster's configuration.
+    pub fn cfg(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Move the nodes out (e.g. to partition them across shards).
+    pub fn take_nodes(&mut self) -> Vec<Node> {
+        std::mem::take(&mut self.nodes)
+    }
+
+    /// Return the nodes, in id order, after the run.
+    pub fn put_nodes(&mut self, nodes: Vec<Node>) {
+        self.nodes = nodes;
+    }
+
+    /// Control intervals completed so far (seed value plus every
+    /// [`EngineSeam::note_interval`] call).
+    pub fn intervals_run(&self) -> u64 {
+        self.intervals_run
+    }
+
+    /// Whether a decision-trace observer is attached (lets engines skip
+    /// building roll-ups that only exist for the trace).
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// Account one completed interval: bumps the interval counter and
+    /// integrates `total_power` over the control interval into the
+    /// energy meter — the exact serial-reference accounting, so the
+    /// energy total stays bit-identical when `total_power` does.
+    pub fn note_interval(&mut self, total_power: Watts) {
+        self.intervals_run += 1;
+        self.energy_j += total_power.value() * self.cfg.control_interval.value();
+    }
+
+    /// Whether the interval just noted is a rebalance round (same
+    /// cadence as the serial engine: every `rebalance_every` intervals,
+    /// 0 = never).
+    pub fn rebalance_due(&self) -> bool {
+        self.cfg.rebalance_every > 0 && self.intervals_run.is_multiple_of(self.cfg.rebalance_every)
+    }
+
+    /// Run one arbiter round over aggregated telemetry: build claims,
+    /// water-fill the cluster cap, emit the rebalance [`DecisionRecord`]
+    /// when an observer is attached, and return the new per-node caps
+    /// in node order. The caller applies them (see the type-level docs
+    /// on deferred actuation).
+    pub fn rebalance(&mut self, rollup: &ClusterRollup) -> Vec<Watts> {
+        let started = self.observer.as_ref().map(|_| std::time::Instant::now());
+        let claims = claims_from_rollup(&self.cfg.platform, rollup);
+        let caps = self.allocator.rebalance(&claims);
+        if self.observer.is_some() {
+            let record = rebalance_record(
+                &self.cfg,
+                rollup,
+                &claims,
+                &caps,
+                self.intervals_run,
+                started,
+            );
+            if let Some(obs) = self.observer.as_mut() {
+                obs.push(record);
+            }
+        }
+        caps
+    }
+}
+
 /// Build the decision record for one rebalance round. Shared by the
-/// serial engine ([`Cluster::apply_rebalance`]) and the parallel
-/// arbiter in [`crate::engine`], so both produce identical records for
-/// identical rounds. `intervals_run` is the post-increment interval
-/// count, which both engines hold when rebalancing.
+/// serial engine ([`Cluster::apply_rebalance`]), the parallel
+/// arbiter in [`crate::engine`] and the [`EngineSeam`], so all
+/// produce identical records for identical rounds. `intervals_run` is
+/// the post-increment interval count, which every engine holds when
+/// rebalancing.
 pub(crate) fn rebalance_record(
     cfg: &ClusterConfig,
     rollup: &ClusterRollup,
@@ -750,6 +993,138 @@ mod tests {
         c.restore_node(0).unwrap();
         c.admit(&AppRequest::new("a0", 10, DemandClass::Light))
             .unwrap();
+    }
+
+    #[test]
+    fn batch_admission_matches_sequential() {
+        // Same arrival stream into two identical clusters — one via the
+        // heap-based batch path, one via per-app sequential admission —
+        // including intra-batch duplicates and overflow past capacity.
+        let reqs: Vec<AppRequest> = (0..35)
+            .map(|i| {
+                let class = match i % 3 {
+                    0 => DemandClass::Heavy,
+                    1 => DemandClass::Moderate,
+                    _ => DemandClass::Light,
+                };
+                AppRequest::new(format!("a{}", i % 33), 10 + (i % 7) as u32 * 10, class)
+            })
+            .collect();
+        let mut seq = cluster(3, 255.0);
+        let mut bat = cluster(3, 255.0);
+        // Uneven starting occupancy so the heap seed matters.
+        for c in [&mut seq, &mut bat] {
+            c.admit(&AppRequest::new("warm0", 50, DemandClass::Light))
+                .unwrap();
+            c.admit(&AppRequest::new("warm1", 50, DemandClass::Light))
+                .unwrap();
+            c.quarantine_node(2).unwrap();
+        }
+        let batched = bat.admit_batch(&reqs);
+        let sequential: Vec<Result<Placement, ClusterError>> =
+            reqs.iter().map(|r| seq.admit(r)).collect();
+        assert_eq!(batched, sequential);
+        assert_eq!(bat.reports(), seq.reports());
+
+        // And batch departures mirror sequential ones.
+        let names: Vec<String> = (0..6).map(|i| format!("a{i}")).collect();
+        let dep_b = bat.depart_batch(&names);
+        let dep_s: Vec<Result<powerd::config::AppSpec, ClusterError>> =
+            names.iter().map(|n| seq.depart(n)).collect();
+        assert_eq!(dep_b, dep_s);
+        assert_eq!(bat.reports(), seq.reports());
+    }
+
+    #[test]
+    fn quarantine_and_restore_are_traced() {
+        use pap_telemetry::metrics::ControlMetrics;
+        use std::sync::Arc;
+
+        let metrics = Arc::new(ControlMetrics::new());
+        let mut c = cluster(2, 170.0);
+        c.attach_observer(DecisionTrace::with_metrics(Arc::clone(&metrics)));
+        for i in 0..4 {
+            c.admit(&AppRequest::new(format!("a{i}"), 50, DemandClass::Light))
+                .unwrap();
+        }
+        c.quarantine_node(1).unwrap();
+        c.restore_node(1).unwrap();
+        let trace = c.take_observer().unwrap();
+        let ops: Vec<&DecisionRecord> = trace
+            .records()
+            .iter()
+            .filter(|r| r.source == "cluster-ops")
+            .collect();
+        assert_eq!(ops.len(), 2);
+        match &ops[0].events[..] {
+            [DecisionEvent::Quarantine {
+                node,
+                evicted,
+                requeued,
+                dropped,
+            }] => {
+                assert_eq!(*node, 1);
+                assert_eq!(*evicted, 2);
+                assert_eq!(*requeued, 2, "node 0 had 8 free cores");
+                assert_eq!(*dropped, 0);
+            }
+            other => panic!("expected a quarantine event, got {other:?}"),
+        }
+        assert!(matches!(
+            &ops[1].events[..],
+            [DecisionEvent::Restore { node: 1 }]
+        ));
+        assert_eq!(metrics.quarantines.get(), 1);
+        assert_eq!(metrics.restores.get(), 1);
+        assert_eq!(
+            metrics.rebalances.get(),
+            0,
+            "ops records are not rebalances"
+        );
+        let jsonl = trace.to_jsonl();
+        assert!(jsonl.contains("\"kind\":\"quarantine\""));
+        assert!(jsonl.contains("\"kind\":\"restore\""));
+    }
+
+    #[test]
+    fn seam_reproduces_serial_reference() {
+        // Drive one cluster with the serial engine and a clone of it by
+        // hand through the EngineSeam, replaying the exact serial loop.
+        let setup = |c: &mut Cluster| {
+            for i in 0..9 {
+                c.admit(&AppRequest::new(format!("a{i}"), 40, DemandClass::Moderate))
+                    .unwrap();
+            }
+        };
+        let mut serial = cluster(3, 255.0);
+        setup(&mut serial);
+        serial.run(10);
+
+        let mut seamed = cluster(3, 255.0);
+        setup(&mut seamed);
+        let mut seam = seamed.detach_engine();
+        let mut nodes = seam.take_nodes();
+        let mut last = None;
+        for _ in 0..10 {
+            let teles: Vec<_> = nodes.iter_mut().map(|n| n.advance_interval()).collect();
+            let rollup = ClusterRollup::new(seam.cfg().control_interval, teles);
+            seam.note_interval(rollup.total_power());
+            if seam.rebalance_due() {
+                let caps = seam.rebalance(&rollup);
+                for (node, cap) in nodes.iter_mut().zip(caps) {
+                    node.retarget(cap).unwrap();
+                }
+            }
+            last = Some(rollup);
+        }
+        seam.put_nodes(nodes);
+        seamed.attach_engine(seam, last);
+
+        assert_eq!(serial.intervals_run(), seamed.intervals_run());
+        assert_eq!(serial.energy_j().to_bits(), seamed.energy_j().to_bits());
+        assert_eq!(serial.node_caps(), seamed.node_caps());
+        assert_eq!(serial.reports(), seamed.reports());
+        assert_eq!(serial.last_rollup(), seamed.last_rollup());
     }
 
     #[test]

@@ -39,13 +39,15 @@ pub mod node;
 
 pub use admission::{AppRequest, DemandClass, Placement};
 pub use allocator::{BudgetAllocator, NodeClaim};
-pub use cluster::{Cluster, ClusterConfig, ClusterError, RequeueOutcome};
+pub use cluster::{Cluster, ClusterConfig, ClusterError, EngineSeam, RequeueOutcome};
 pub use node::Node;
 
 /// Convenient glob-import of the most used types.
 pub mod prelude {
     pub use crate::admission::{AppRequest, DemandClass, Placement};
     pub use crate::allocator::{BudgetAllocator, NodeClaim};
-    pub use crate::cluster::{AppReport, Cluster, ClusterConfig, ClusterError, RequeueOutcome};
+    pub use crate::cluster::{
+        AppReport, Cluster, ClusterConfig, ClusterError, EngineSeam, RequeueOutcome,
+    };
     pub use crate::node::Node;
 }

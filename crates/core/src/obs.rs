@@ -111,6 +111,23 @@ pub enum DecisionEvent {
         /// New shares.
         to: u32,
     },
+    /// A node was taken out of service; its apps were drained through
+    /// normal admission.
+    Quarantine {
+        /// The quarantined node.
+        node: usize,
+        /// Apps evicted from the node.
+        evicted: usize,
+        /// Evicted apps that found a home on another node.
+        requeued: usize,
+        /// Evicted apps the rest of the cluster could not absorb.
+        dropped: usize,
+    },
+    /// A quarantined node was returned to the placement pool.
+    Restore {
+        /// The restored node.
+        node: usize,
+    },
 }
 
 impl DecisionEvent {
@@ -126,6 +143,8 @@ impl DecisionEvent {
             DecisionEvent::Revocation { .. } => "revocation",
             DecisionEvent::Retarget { .. } => "retarget",
             DecisionEvent::ShareRetarget { .. } => "share_retarget",
+            DecisionEvent::Quarantine { .. } => "quarantine",
+            DecisionEvent::Restore { .. } => "restore",
         }
     }
 
@@ -183,6 +202,20 @@ impl DecisionEvent {
             DecisionEvent::ShareRetarget { core, from, to } => {
                 let _ = write!(out, ",\"core\":{core},\"from\":{from},\"to\":{to}");
             }
+            DecisionEvent::Quarantine {
+                node,
+                evicted,
+                requeued,
+                dropped,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{node},\"evicted\":{evicted},\"requeued\":{requeued},\"dropped\":{dropped}"
+                );
+            }
+            DecisionEvent::Restore { node } => {
+                let _ = write!(out, ",\"node\":{node}");
+            }
         }
         out.push('}');
     }
@@ -194,7 +227,8 @@ impl DecisionEvent {
 pub struct DecisionRecord {
     /// Simulated time of the interval.
     pub time: Seconds,
-    /// Emitting layer: `"daemon"`, `"resilience"` or `"cluster"`.
+    /// Emitting layer: `"daemon"`, `"resilience"`, `"cluster"` (one per
+    /// rebalance round) or `"cluster-ops"` (quarantine/restore).
     pub source: &'static str,
     /// Active policy short name.
     pub policy: &'static str,
@@ -326,6 +360,8 @@ impl DecisionTrace {
                     DecisionEvent::Revocation { .. } => m.revocations.inc(),
                     DecisionEvent::Retarget { .. } => m.retargets.inc(),
                     DecisionEvent::ShareRetarget { .. } => m.share_retargets.inc(),
+                    DecisionEvent::Quarantine { .. } => m.quarantines.inc(),
+                    DecisionEvent::Restore { .. } => m.restores.inc(),
                 }
             }
             if record.source == "cluster" {
@@ -477,6 +513,13 @@ mod tests {
                 from: 50,
                 to: 80,
             },
+            DecisionEvent::Quarantine {
+                node: 3,
+                evicted: 4,
+                requeued: 3,
+                dropped: 1,
+            },
+            DecisionEvent::Restore { node: 3 },
         ];
         let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();

@@ -1,0 +1,508 @@
+//! The sharded, event-driven cluster engine.
+//!
+//! The serial `clusterd` reference advances every node in turn, folds a
+//! fresh [`ClusterRollup`] per interval, and the parallel engine in
+//! `clusterd::engine` pins one thread per node with two full barriers
+//! per interval — both fine at 8 nodes, both hopeless at 1024. This
+//! engine replaces them with an epoch-committed shard pool:
+//!
+//! * nodes are partitioned **in id order** into fixed chunks, and a
+//!   small pool of shard workers pulls chunk indices from a shared
+//!   queue — workers never wait while work remains, and a slow chunk
+//!   steals no one's schedule;
+//! * instead of two global barriers, each epoch ends with a
+//!   **lightweight commit** run by whichever worker finishes the last
+//!   chunk: fold the epoch's telemetry into a resident [`DeltaRollup`],
+//!   account energy, arbitrate when a rebalance is due, refill the
+//!   queue, wake anyone parked. No other thread touches shared state;
+//! * new caps are not pushed through a barrier either: the commit
+//!   leaves them as **pending caps** on each chunk, and the chunk's
+//!   next local step applies them before ticking — observationally
+//!   identical to the serial engine retargeting at the end of the
+//!   interval, since no simulated time passes in between.
+//!
+//! At `epsilon = 0` the delta rollup folds totals in node order over
+//! sanitized resident rows, so every number the arbiter sees — and
+//! therefore every cap, every trace record, the energy meter, and the
+//! final cluster state — is **bit-identical to the serial reference**
+//! (property-tested in `tests/scale_parity.rs`, enforced at runtime by
+//! the `ext_cluster_scale` CI bench). With `epsilon > 0` rows that
+//! moved less than the tolerance are skipped and totals are maintained
+//! incrementally: the documented speed/accuracy trade at 1000+ nodes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use clusterd::cluster::EngineSeam;
+use clusterd::{Cluster, Node};
+use crossbeam::queue::SegQueue;
+use pap_simcpu::units::Watts;
+use pap_telemetry::rollup::{ClusterRollup, DeltaRollup, NodeTelemetry};
+
+/// Tuning for [`run_sharded`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleConfig {
+    /// Shard worker threads. `0` selects one per available CPU (capped
+    /// at the chunk count); `1` runs the same epoch loop inline.
+    pub shards: usize,
+    /// Nodes per work chunk. Smaller chunks balance better, larger
+    /// chunks amortize queue traffic; the default of 8 keeps a 1024-node
+    /// cluster at 128 chunks.
+    pub chunk_nodes: usize,
+    /// Delta-rollup tolerance. `0` = exact mode (bit-identical to the
+    /// serial reference); `> 0` skips re-aggregating nodes whose
+    /// telemetry moved less than this relative tolerance.
+    pub epsilon: f64,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> ScaleConfig {
+        ScaleConfig {
+            shards: 0,
+            chunk_nodes: 8,
+            epsilon: 0.0,
+        }
+    }
+}
+
+impl ScaleConfig {
+    /// The default config with the shard count overridden by the
+    /// `PAP_SCALE_SHARDS` environment variable (unset, empty, `auto` or
+    /// `0` keeps auto; `serial` or `1` forces the inline path; any
+    /// other integer is a fixed worker count). The CI parity gate uses
+    /// this the same way sweeps use `PAP_SWEEP_THREADS`.
+    pub fn from_env() -> ScaleConfig {
+        let mut cfg = ScaleConfig::default();
+        if let Ok(v) = std::env::var("PAP_SCALE_SHARDS") {
+            cfg.shards = match v.trim() {
+                "" | "auto" | "0" => 0,
+                "serial" => 1,
+                n => n.parse().unwrap_or(0),
+            };
+        }
+        cfg
+    }
+
+    fn workers(&self, chunks: usize) -> usize {
+        let n = match self.shards {
+            0 => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
+            n => n,
+        };
+        n.min(chunks).max(1)
+    }
+}
+
+/// What a sharded run did, for reports and the CI bench.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleStats {
+    /// Control intervals (epochs) executed.
+    pub intervals: u64,
+    /// Shard workers used.
+    pub shards: usize,
+    /// Work chunks the nodes were partitioned into.
+    pub chunks: usize,
+    /// Telemetry rows re-aggregated by the delta rollup.
+    pub delta_updates: u64,
+    /// Telemetry rows skipped as within epsilon.
+    pub delta_skips: u64,
+    /// Nodes flagged unhealthy (clamped telemetry) at run end.
+    pub unhealthy_nodes: Vec<usize>,
+}
+
+impl ScaleStats {
+    /// Fraction of telemetry rows the delta rollup skipped.
+    pub fn skip_rate(&self) -> f64 {
+        let total = self.delta_updates + self.delta_skips;
+        if total == 0 {
+            return 0.0;
+        }
+        self.delta_skips as f64 / total as f64
+    }
+}
+
+/// One chunk of consecutive nodes plus its per-epoch scratch: the
+/// telemetry each node produced this epoch and the pending cap (if a
+/// rebalance just ran) to apply before its next local step.
+struct Chunk {
+    nodes: Vec<Node>,
+    tele: Vec<Option<NodeTelemetry>>,
+    caps: Vec<Option<Watts>>,
+}
+
+/// State only the epoch committer touches. Kept in its own mutex so
+/// shard workers processing chunks never contend on it.
+struct CommitState {
+    seam: EngineSeam,
+    delta: DeltaRollup,
+    last: Option<ClusterRollup>,
+    target_intervals: u64,
+}
+
+/// Epoch sequencing: bumped by every commit, watched by idle workers.
+struct Epoch {
+    seq: u64,
+    finished: bool,
+}
+
+/// Drive `cluster` for `intervals` control intervals on the sharded
+/// engine. At `cfg.epsilon == 0` the resulting cluster state (caps,
+/// reports, energy, intervals, final roll-up, trace records) is
+/// bit-identical to [`Cluster::run`] over the same span.
+pub fn run_sharded(cluster: &mut Cluster, intervals: u64, cfg: &ScaleConfig) -> ScaleStats {
+    // Resume the delta store from the last materialized rollup, so a
+    // cluster driven one window at a time (churn between calls) still
+    // gets incremental aggregation: a node whose telemetry has not
+    // moved since the previous window is a skip, not a re-fold. At
+    // epsilon = 0 this is identity-preserving — a row only skips when
+    // it is bit-identical to the resumed one.
+    let seed_rows: Vec<NodeTelemetry> = cluster
+        .last_rollup()
+        .map(|r| r.nodes.clone())
+        .unwrap_or_default();
+    let mut seam = cluster.detach_engine();
+    let nodes = seam.take_nodes();
+    let n_nodes = nodes.len();
+    if intervals == 0 || n_nodes == 0 {
+        seam.put_nodes(nodes);
+        cluster.attach_engine(seam, None);
+        return ScaleStats {
+            intervals: 0,
+            shards: 0,
+            chunks: 0,
+            delta_updates: 0,
+            delta_skips: 0,
+            unhealthy_nodes: Vec::new(),
+        };
+    }
+
+    let chunk_nodes = cfg.chunk_nodes.max(1);
+    let interval = seam.cfg().control_interval;
+    let target_intervals = seam.intervals_run() + intervals;
+
+    // Partition nodes into chunks, preserving id order across the
+    // concatenation so the commit's chunk-order fold is a node-order
+    // fold.
+    let mut chunks: Vec<Mutex<Chunk>> = Vec::with_capacity(n_nodes.div_ceil(chunk_nodes));
+    let mut nodes = nodes.into_iter().peekable();
+    while nodes.peek().is_some() {
+        let batch: Vec<Node> = nodes.by_ref().take(chunk_nodes).collect();
+        let len = batch.len();
+        chunks.push(Mutex::new(Chunk {
+            nodes: batch,
+            tele: vec![None; len],
+            caps: vec![None; len],
+        }));
+    }
+    let shards = cfg.workers(chunks.len());
+
+    let queue = SegQueue::new();
+    for i in 0..chunks.len() {
+        queue.push(i);
+    }
+    let done = AtomicUsize::new(0);
+    let epoch = Mutex::new(Epoch {
+        seq: 0,
+        finished: false,
+    });
+    let wake = Condvar::new();
+    let mut delta = DeltaRollup::new(interval, cfg.epsilon);
+    for row in seed_rows {
+        delta.update(row);
+    }
+    // Seeding is bookkeeping, not work: report only the live folds.
+    let seeded = delta.updates();
+    let commit = Mutex::new(CommitState {
+        seam,
+        delta,
+        last: None,
+        target_intervals,
+    });
+
+    let shared = Shared {
+        chunks: &chunks,
+        queue: &queue,
+        done: &done,
+        epoch: &epoch,
+        wake: &wake,
+        commit: &commit,
+    };
+    if shards == 1 {
+        worker(&shared);
+    } else {
+        crossbeam::thread::scope(|s| {
+            for _ in 0..shards {
+                s.spawn(|_| worker(&shared));
+            }
+        })
+        .expect("shard worker panicked");
+    }
+
+    // Teardown: flush caps a final-interval rebalance left pending (the
+    // serial engine applied its retargets inside that interval), then
+    // hand everything back to the cluster.
+    let CommitState {
+        mut seam,
+        delta,
+        last,
+        ..
+    } = commit.into_inner().expect("commit state poisoned");
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for chunk in chunks {
+        let mut c = chunk.into_inner().expect("chunk poisoned");
+        for (k, mut node) in c.nodes.drain(..).enumerate() {
+            if let Some(cap) = c.caps[k].take() {
+                node.retarget(cap)
+                    .expect("allocator output stays within platform bounds");
+            }
+            nodes.push(node);
+        }
+    }
+    seam.put_nodes(nodes);
+    cluster.attach_engine(seam, last);
+    ScaleStats {
+        intervals,
+        shards,
+        chunks: n_nodes.div_ceil(chunk_nodes),
+        delta_updates: delta.updates() - seeded,
+        delta_skips: delta.skips(),
+        unhealthy_nodes: delta.unhealthy_nodes(),
+    }
+}
+
+/// Everything a shard worker can see.
+struct Shared<'a> {
+    chunks: &'a [Mutex<Chunk>],
+    queue: &'a SegQueue<usize>,
+    done: &'a AtomicUsize,
+    epoch: &'a Mutex<Epoch>,
+    wake: &'a Condvar,
+    commit: &'a Mutex<CommitState>,
+}
+
+/// Shard worker loop: local chunk steps while work exists, park on the
+/// epoch condvar when the queue runs dry mid-epoch, exit when the run
+/// finishes. The worker that completes an epoch's last chunk performs
+/// the commit itself — there is no coordinator thread.
+fn worker(sh: &Shared<'_>) {
+    let mut seen = 0u64;
+    loop {
+        match sh.queue.pop() {
+            Some(ci) => {
+                {
+                    let mut chunk = sh.chunks[ci].lock().expect("chunk poisoned");
+                    let chunk = &mut *chunk;
+                    for (k, node) in chunk.nodes.iter_mut().enumerate() {
+                        if let Some(cap) = chunk.caps[k].take() {
+                            node.retarget(cap)
+                                .expect("allocator output stays within platform bounds");
+                        }
+                        chunk.tele[k] = Some(node.advance_interval());
+                    }
+                }
+                if sh.done.fetch_add(1, Ordering::AcqRel) + 1 == sh.chunks.len() {
+                    seen = commit_epoch(sh);
+                }
+            }
+            None => {
+                let mut ep = sh.epoch.lock().expect("epoch poisoned");
+                while ep.seq == seen && !ep.finished {
+                    ep = sh.wake.wait(ep).expect("epoch poisoned");
+                }
+                if ep.finished {
+                    return;
+                }
+                seen = ep.seq;
+            }
+        }
+    }
+}
+
+/// The epoch commit: fold this epoch's telemetry into the delta rollup
+/// (chunk order == node order, so the exact-mode fold matches the
+/// serial reference bit-for-bit), account the interval, arbitrate when
+/// due (leaving new caps pending on each chunk), then either refill the
+/// queue for the next epoch or mark the run finished. Returns the new
+/// epoch sequence number.
+fn commit_epoch(sh: &Shared<'_>) -> u64 {
+    let mut cs = sh.commit.lock().expect("commit state poisoned");
+    for chunk in sh.chunks {
+        let mut c = chunk.lock().expect("chunk poisoned");
+        for t in c.tele.iter_mut() {
+            let t = t.take().expect("every node reported this epoch");
+            cs.delta.update(t);
+        }
+    }
+    let total_power = cs.delta.total_power();
+    cs.seam.note_interval(total_power);
+    let finished = cs.seam.intervals_run() >= cs.target_intervals;
+    let due = cs.seam.rebalance_due();
+    // The serial engine materializes a rollup every interval; here one
+    // only exists when someone consumes it — the arbiter, or the final
+    // cluster state.
+    if due || finished {
+        let rollup = cs.delta.to_rollup();
+        if due {
+            let caps = cs.seam.rebalance(&rollup);
+            let mut caps = caps.into_iter();
+            for chunk in sh.chunks {
+                let mut c = chunk.lock().expect("chunk poisoned");
+                for slot in c.caps.iter_mut() {
+                    *slot = Some(caps.next().expect("one cap per node"));
+                }
+            }
+        }
+        cs.last = Some(rollup);
+    }
+    drop(cs);
+    sh.done.store(0, Ordering::Release);
+    let mut ep = sh.epoch.lock().expect("epoch poisoned");
+    ep.seq += 1;
+    if finished {
+        ep.finished = true;
+    } else {
+        for i in 0..sh.chunks.len() {
+            sh.queue.push(i);
+        }
+    }
+    sh.wake.notify_all();
+    ep.seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clusterd::{AppRequest, ClusterConfig, DemandClass};
+    use pap_simcpu::units::Seconds;
+    use powerd::config::PolicyKind;
+
+    fn cluster(nodes: usize) -> Cluster {
+        let mut cfg = ClusterConfig::new(
+            nodes,
+            PolicyKind::FrequencyShares,
+            Watts(85.0 * nodes as f64),
+        );
+        // Coarse ticks keep the test fast; parity is tick-agnostic.
+        cfg.tick = Seconds(0.25);
+        let mut c = Cluster::new(cfg).unwrap();
+        for i in 0..nodes * 3 {
+            let class = match i % 3 {
+                0 => DemandClass::Heavy,
+                1 => DemandClass::Moderate,
+                _ => DemandClass::Light,
+            };
+            c.admit(&AppRequest::new(
+                format!("a{i}"),
+                20 + (i % 5) as u32 * 20,
+                class,
+            ))
+            .unwrap();
+        }
+        c
+    }
+
+    fn assert_identical(serial: &Cluster, sharded: &Cluster) {
+        assert_eq!(serial.intervals_run(), sharded.intervals_run());
+        assert_eq!(
+            serial.energy_j().to_bits(),
+            sharded.energy_j().to_bits(),
+            "energy accounting diverged"
+        );
+        assert_eq!(serial.node_caps(), sharded.node_caps());
+        assert_eq!(serial.reports(), sharded.reports());
+        assert_eq!(serial.last_rollup(), sharded.last_rollup());
+    }
+
+    #[test]
+    fn exact_mode_is_bit_identical_to_serial() {
+        for shards in [1, 3] {
+            let mut serial = cluster(7);
+            serial.run(11);
+            let mut sharded = cluster(7);
+            let stats = run_sharded(
+                &mut sharded,
+                11,
+                &ScaleConfig {
+                    shards,
+                    chunk_nodes: 2,
+                    epsilon: 0.0,
+                },
+            );
+            assert_identical(&serial, &sharded);
+            assert_eq!(stats.intervals, 11);
+            assert_eq!(stats.chunks, 4);
+            assert_eq!(stats.shards, shards.min(4));
+        }
+    }
+
+    #[test]
+    fn resumes_and_composes_with_serial_runs() {
+        // serial → sharded → serial must equal one long serial run:
+        // the seam hands counters back and forth losslessly.
+        let mut reference = cluster(5);
+        reference.run(12);
+        let mut mixed = cluster(5);
+        mixed.run(3);
+        run_sharded(&mut mixed, 6, &ScaleConfig::default());
+        mixed.run(3);
+        assert_identical(&reference, &mixed);
+    }
+
+    #[test]
+    fn epsilon_skips_but_stays_conservative() {
+        let mut sharded = cluster(6);
+        let stats = run_sharded(
+            &mut sharded,
+            20,
+            &ScaleConfig {
+                shards: 2,
+                chunk_nodes: 3,
+                epsilon: 0.5,
+            },
+        );
+        assert!(
+            stats.delta_skips > 0,
+            "a 50% tolerance must skip settled rows: {stats:?}"
+        );
+        // The arbiter still conserves the budget it hands out.
+        let caps: f64 = sharded.node_caps().iter().map(|w| w.value()).sum();
+        assert!(
+            caps <= sharded.config().cluster_cap.value() + 1e-6,
+            "caps {caps} exceed cluster cap"
+        );
+        assert_eq!(stats.intervals, 20);
+        assert!(stats.skip_rate() > 0.0 && stats.skip_rate() < 1.0);
+    }
+
+    #[test]
+    fn zero_intervals_or_zero_work_is_a_noop() {
+        let mut c = cluster(2);
+        let before = c.intervals_run();
+        let stats = run_sharded(&mut c, 0, &ScaleConfig::default());
+        assert_eq!(stats.intervals, 0);
+        assert_eq!(c.intervals_run(), before);
+        assert_eq!(c.reports().len(), 6, "nodes and apps all came back");
+    }
+
+    #[test]
+    fn observer_records_match_serial() {
+        use powerd::obs::DecisionTrace;
+        let mut serial = cluster(4);
+        serial.attach_observer(DecisionTrace::new());
+        serial.run(8);
+        let mut sharded = cluster(4);
+        sharded.attach_observer(DecisionTrace::new());
+        run_sharded(&mut sharded, 8, &ScaleConfig::default());
+        let a = serial.take_observer().unwrap();
+        let b = sharded.take_observer().unwrap();
+        assert_eq!(a.len(), b.len(), "one record per rebalance round");
+        for (ra, rb) in a.records().iter().zip(b.records()) {
+            // Latency is wall-clock and may differ; everything else is
+            // part of the bit-identity contract.
+            let mut rb = rb.clone();
+            rb.latency = ra.latency;
+            assert_eq!(*ra, rb);
+        }
+    }
+}

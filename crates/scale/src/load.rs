@@ -1,0 +1,215 @@
+//! Cluster-scale churn load: turning a tenant arrival trace into
+//! per-epoch admission/departure batches.
+//!
+//! `pap-tenants` models offered load on one socket as an
+//! [`ArrivalTrace`] — a diurnal (or flash-crowd) intensity in `[0, 1]`
+//! over simulated time. At cluster scale the same trace instead drives
+//! *population*: how many tenant apps are resident across the fleet.
+//! [`ChurnLoad`] tracks that target and emits one [`ChurnBatch`] per
+//! batching window — the arrivals needed to climb toward the target,
+//! the departures needed to fall toward it, plus symmetric background
+//! turnover so even a flat trace exercises placement. The batches are
+//! meant for [`Cluster::admit_batch`]/[`Cluster::depart_batch`]
+//! (`clusterd`), which amortize a day of churn into per-epoch heap
+//! operations instead of per-app candidate sorts.
+//!
+//! Everything is deterministic per seed (vendored SplitMix64 stream),
+//! so the serial and sharded engines can replay identical churn and be
+//! compared bit-for-bit.
+
+use clusterd::{AppRequest, DemandClass};
+use pap_simcpu::units::Seconds;
+use pap_tenants::arrival::ArrivalTrace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One batching window's worth of churn.
+#[derive(Debug, Clone, Default)]
+pub struct ChurnBatch {
+    /// Apps arriving this window, in admission order.
+    pub arrivals: Vec<AppRequest>,
+    /// Resident apps departing this window.
+    pub departures: Vec<String>,
+}
+
+impl ChurnBatch {
+    /// Total operations in the batch.
+    pub fn len(&self) -> usize {
+        self.arrivals.len() + self.departures.len()
+    }
+
+    /// Whether the batch carries no operations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Deterministic churn generator over an arrival trace.
+#[derive(Debug, Clone)]
+pub struct ChurnLoad {
+    trace: ArrivalTrace,
+    rng: StdRng,
+    capacity: usize,
+    turnover: usize,
+    next_id: u64,
+    resident: Vec<String>,
+}
+
+impl ChurnLoad {
+    /// A churn stream over `trace`. `capacity` is the app population at
+    /// intensity 1.0 (usually the cluster's core count); `turnover` is
+    /// the extra arrivals *and* departures per window even when the
+    /// target population is flat.
+    pub fn new(trace: ArrivalTrace, seed: u64, capacity: usize, turnover: usize) -> ChurnLoad {
+        ChurnLoad {
+            trace,
+            rng: StdRng::seed_from_u64(seed),
+            capacity,
+            turnover,
+            next_id: 0,
+            resident: Vec::new(),
+        }
+    }
+
+    /// Apps this stream currently believes are resident.
+    pub fn resident(&self) -> usize {
+        self.resident.len()
+    }
+
+    fn fresh_request(&mut self) -> AppRequest {
+        let name = format!("t{}", self.next_id);
+        self.next_id += 1;
+        let class = match self.rng.gen_range(0u32..3) {
+            0 => DemandClass::Heavy,
+            1 => DemandClass::Moderate,
+            _ => DemandClass::Light,
+        };
+        let shares = 10 + self.rng.gen_range(0u32..10) * 10;
+        AppRequest::new(name, shares, class)
+    }
+
+    /// Emit the batch for the window at simulated time `now`.
+    /// Departures are drained oldest-first (and are removed from the
+    /// resident set immediately); arrivals must be confirmed back via
+    /// [`ChurnLoad::commit`] so apps the cluster rejected or dropped do
+    /// not linger in the resident set.
+    pub fn next_batch(&mut self, now: Seconds) -> ChurnBatch {
+        let target =
+            (self.trace.intensity(now).clamp(0.0, 1.0) * self.capacity as f64).round() as usize;
+        let mut batch = ChurnBatch::default();
+        let have = self.resident.len();
+        let shrink = have.saturating_sub(target);
+        let grow = target.saturating_sub(have);
+        // Turnover replaces survivors one-for-one; it never overdrains.
+        let churn = self
+            .turnover
+            .min(have.saturating_sub(shrink))
+            .min(self.capacity);
+        for name in self.resident.drain(..shrink + churn) {
+            batch.departures.push(name);
+        }
+        for _ in 0..grow + churn {
+            batch.arrivals.push(self.fresh_request());
+        }
+        batch
+    }
+
+    /// Record which arrivals the cluster actually admitted: `admitted`
+    /// holds one flag per [`ChurnBatch::arrivals`] entry, in order.
+    pub fn commit(&mut self, batch: &ChurnBatch, admitted: &[bool]) {
+        debug_assert_eq!(batch.arrivals.len(), admitted.len());
+        for (req, ok) in batch.arrivals.iter().zip(admitted) {
+            if *ok {
+                self.resident.push(req.name.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(load: &mut ChurnLoad, t: f64) -> ChurnBatch {
+        let batch = load.next_batch(Seconds(t));
+        let admitted = vec![true; batch.arrivals.len()];
+        load.commit(&batch, &admitted);
+        batch
+    }
+
+    #[test]
+    fn population_follows_the_trace() {
+        let mut load = ChurnLoad::new(ArrivalTrace::flat(0.5), 7, 100, 0);
+        let b = drive(&mut load, 0.0);
+        assert_eq!(b.arrivals.len(), 50);
+        assert!(b.departures.is_empty());
+        assert_eq!(load.resident(), 50);
+        // Flat trace, no turnover: steady state is empty batches.
+        assert!(drive(&mut load, 10.0).is_empty());
+    }
+
+    #[test]
+    fn diurnal_swings_grow_and_shrink() {
+        let mut load = ChurnLoad::new(ArrivalTrace::diurnal(0.5, 0.4, Seconds(100.0)), 7, 200, 0);
+        // Midday peak (sin peaks at period/4), then walk to the
+        // overnight trough at 3/4 of the period.
+        drive(&mut load, 25.0);
+        let peak = load.resident();
+        for t in [40.0, 55.0, 65.0, 75.0] {
+            drive(&mut load, t);
+        }
+        assert!(
+            load.resident() < peak,
+            "trough shed apps: {} -> {}",
+            peak,
+            load.resident()
+        );
+    }
+
+    #[test]
+    fn turnover_churns_at_steady_state() {
+        let mut load = ChurnLoad::new(ArrivalTrace::flat(0.4), 7, 100, 5);
+        drive(&mut load, 0.0);
+        let b = drive(&mut load, 1.0);
+        assert_eq!(b.departures.len(), 5);
+        assert_eq!(b.arrivals.len(), 5);
+        assert_eq!(load.resident(), 40);
+        // Names never repeat.
+        let b2 = drive(&mut load, 2.0);
+        assert!(b2
+            .arrivals
+            .iter()
+            .all(|r| !b.arrivals.iter().any(|p| p.name == r.name)));
+    }
+
+    #[test]
+    fn rejected_arrivals_do_not_linger() {
+        let mut load = ChurnLoad::new(ArrivalTrace::flat(1.0), 7, 10, 0);
+        let batch = load.next_batch(Seconds(0.0));
+        let mut admitted = vec![true; batch.arrivals.len()];
+        admitted[3] = false;
+        admitted[7] = false;
+        load.commit(&batch, &admitted);
+        assert_eq!(load.resident(), 8);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mk = || {
+            let mut load =
+                ChurnLoad::new(ArrivalTrace::diurnal(0.5, 0.3, Seconds(50.0)), 42, 80, 3);
+            let mut log = String::new();
+            for t in 0..20 {
+                let b = drive(&mut load, t as f64 * 5.0);
+                for a in &b.arrivals {
+                    log.push_str(&format!("{}:{} ", a.name, a.shares));
+                }
+                for d in &b.departures {
+                    log.push_str(d);
+                }
+            }
+            log
+        };
+        assert_eq!(mk(), mk());
+    }
+}

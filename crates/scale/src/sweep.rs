@@ -4,7 +4,7 @@
 //! independent experiment cells (policy × limit × mix …) whose results
 //! are reduced into a table after the fact. The engine here runs those
 //! cells on `crossbeam` scoped worker threads — the same pattern as the
-//! cluster parallel engine in `pap-cluster::engine` — and collects
+//! cluster parallel engine in `clusterd::engine` — and collects
 //! results **in input order**, so a parallel sweep's output is
 //! byte-identical to a serial one: each cell owns its chip/daemon/apps
 //! and shares no mutable state, and reduction happens on the calling
@@ -108,7 +108,7 @@ where
 /// with input-ordered collection:
 ///
 /// ```
-/// use pap_bench::sweep::{Sweep, Threads};
+/// use pap_scale::sweep::{Sweep, Threads};
 /// let mut sweep = Sweep::new();
 /// for limit in [85.0_f64, 50.0, 40.0] {
 ///     sweep.add(move || limit * 2.0);

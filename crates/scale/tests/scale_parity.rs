@@ -1,0 +1,100 @@
+//! Golden-replay property test: under *arbitrary* interleavings of
+//! admissions, departures and run segments, the sharded engine at
+//! `epsilon = 0` leaves the cluster in a state bit-identical to the
+//! serial reference — energy to the bit, caps, per-app reports, and
+//! the final telemetry roll-up. This is the end-to-end form of the
+//! delta-rollup exactness property in `pap-telemetry`, with the real
+//! chips, daemons and arbiter in the loop.
+
+use clusterd::{AppRequest, Cluster, ClusterConfig, DemandClass};
+use pap_scale::{run_sharded, ScaleConfig};
+use pap_simcpu::units::{Seconds, Watts};
+use powerd::config::PolicyKind;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Admit app `t<n>` with these shares and demand class.
+    Admit(u32, u8),
+    /// Depart the `i`-th oldest still-resident app (mod residents).
+    Depart(usize),
+    /// Run both engines this many intervals.
+    Run(u64),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0u32..3, 0u32..256, 1u64..4, 0usize..64).prop_map(
+            |(kind, raw, intervals, pick)| match kind {
+                0 => Op::Admit(10 + (raw % 10) * 10, (raw % 3) as u8),
+                1 => Op::Depart(pick),
+                _ => Op::Run(intervals),
+            },
+        ),
+        4..24,
+    )
+}
+
+fn cluster(nodes: usize) -> Cluster {
+    let mut cfg = ClusterConfig::new(
+        nodes,
+        PolicyKind::FrequencyShares,
+        Watts(60.0 * nodes as f64),
+    );
+    cfg.tick = Seconds(0.25);
+    Cluster::new(cfg).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn sharded_replay_is_bit_identical_to_serial(ops in ops(), shards in 1usize..5) {
+        let mut serial = cluster(5);
+        let mut sharded = cluster(5);
+        let scale = ScaleConfig { shards, chunk_nodes: 2, epsilon: 0.0 };
+        let mut next_app = 0u64;
+        let mut resident: Vec<String> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Admit(shares, class) => {
+                    let class = match class {
+                        0 => DemandClass::Heavy,
+                        1 => DemandClass::Moderate,
+                        _ => DemandClass::Light,
+                    };
+                    let req = AppRequest::new(format!("t{next_app}"), shares, class);
+                    next_app += 1;
+                    let a = serial.admit(&req);
+                    let b = sharded.admit(&req);
+                    prop_assert_eq!(&a, &b, "admission diverged");
+                    if a.is_ok() {
+                        resident.push(req.name);
+                    }
+                }
+                Op::Depart(pick) => {
+                    if resident.is_empty() {
+                        continue;
+                    }
+                    let name = resident.remove(pick % resident.len());
+                    prop_assert_eq!(serial.depart(&name), sharded.depart(&name));
+                }
+                Op::Run(intervals) => {
+                    serial.run(intervals);
+                    run_sharded(&mut sharded, intervals, &scale);
+                }
+            }
+            prop_assert_eq!(serial.intervals_run(), sharded.intervals_run());
+            prop_assert_eq!(
+                serial.energy_j().to_bits(),
+                sharded.energy_j().to_bits(),
+                "energy diverged at the bit level"
+            );
+            prop_assert_eq!(serial.node_caps(), sharded.node_caps());
+        }
+        // Final deep comparison.
+        prop_assert_eq!(serial.reports(), sharded.reports());
+        prop_assert_eq!(serial.last_rollup(), sharded.last_rollup());
+        prop_assert_eq!(serial.free_cores(), sharded.free_cores());
+    }
+}

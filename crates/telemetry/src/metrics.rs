@@ -149,6 +149,10 @@ pub struct ControlMetrics {
     pub rebalances: Counter,
     /// Per-app share retargets (SLO controller boosts/sheds).
     pub share_retargets: Counter,
+    /// Nodes taken out of service (drained and excluded from placement).
+    pub quarantines: Counter,
+    /// Quarantined nodes returned to service.
+    pub restores: Counter,
     /// Decision computation latency in seconds (10 ns .. 1 s).
     pub decision_latency: AtomicLogHistogram,
     /// Measured power above budget, in watts, recorded only on overshoot
@@ -171,6 +175,8 @@ impl ControlMetrics {
             retargets: Counter::new(),
             rebalances: Counter::new(),
             share_retargets: Counter::new(),
+            quarantines: Counter::new(),
+            restores: Counter::new(),
             decision_latency: AtomicLogHistogram::new(1e-8, 1.0, 400),
             overshoot_watts: AtomicLogHistogram::new(1e-2, 1e3, 200),
         }
@@ -180,7 +186,7 @@ impl ControlMetrics {
     /// rendered as summaries (p50/p90/p99 quantile gauges plus `_count`).
     pub fn expose(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, &str, &Counter); 11] = [
+        let counters: [(&str, &str, &Counter); 13] = [
             (
                 "pap_decisions_total",
                 "Control decisions recorded.",
@@ -235,6 +241,16 @@ impl ControlMetrics {
                 "pap_share_retargets_total",
                 "Per-app share retargets (SLO controller boosts/sheds).",
                 &self.share_retargets,
+            ),
+            (
+                "pap_quarantines_total",
+                "Nodes taken out of service.",
+                &self.quarantines,
+            ),
+            (
+                "pap_restores_total",
+                "Quarantined nodes returned to service.",
+                &self.restores,
             ),
         ];
         for (name, help, c) in counters {

@@ -1,0 +1,149 @@
+//! Property test for the delta rollup's exact mode: under *arbitrary*
+//! add / remove / update sequences, a `DeltaRollup` with `epsilon = 0`
+//! is exactly equal — bit-for-bit on every float — to a full
+//! re-aggregation (`ClusterRollup::new`) over the latest surviving row
+//! of every resident node. This is the invariant the sharded cluster
+//! engine's serial-parity proof rests on (DESIGN.md §14).
+
+use std::collections::BTreeMap;
+
+use pap_simcpu::units::{Seconds, Watts};
+use pap_telemetry::rollup::{ClusterRollup, DeltaRollup, NodeTelemetry};
+use proptest::prelude::*;
+
+/// One step of the life of a cluster's telemetry stream.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Fresh telemetry for a node (insert or overwrite).
+    Update(NodeTelemetry),
+    /// A node departs.
+    Remove(usize),
+}
+
+fn telemetry(node: usize, raw: (f64, f64, u8, f64, f64, bool)) -> NodeTelemetry {
+    let (power, cap, busy, shares, ips, predicted) = raw;
+    NodeTelemetry {
+        node,
+        package_power: Watts(power),
+        power_cap: Watts(cap),
+        busy_cores: busy as usize,
+        num_cores: 10,
+        total_shares: shares,
+        total_ips: ips,
+        predicted_capacity: predicted.then_some(Watts(cap + 7.0)),
+    }
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (
+            0usize..24,
+            any::<bool>(),
+            (
+                0.0f64..120.0,
+                15.0f64..85.0,
+                0u8..10,
+                0.0f64..800.0,
+                0.0f64..4e10,
+                any::<bool>(),
+            ),
+        )
+            .prop_map(|(node, remove, raw)| {
+                if remove {
+                    Op::Remove(node)
+                } else {
+                    Op::Update(telemetry(node, raw))
+                }
+            }),
+        1..120usize,
+    )
+}
+
+/// Exact equality including float bits: `PartialEq` on the rows
+/// compares f64s with `==`, which is what we want (NaNs cannot appear —
+/// rows are sanitized), plus an explicit bit check on the headline fold.
+fn assert_exactly_equal(delta: &DeltaRollup, reference: &BTreeMap<usize, NodeTelemetry>) {
+    let full = ClusterRollup::new(Seconds(1.0), reference.values().cloned().collect());
+    let materialized = delta.to_rollup();
+    assert_eq!(materialized.nodes, full.nodes, "materialized rows diverged");
+    assert_eq!(
+        delta.total_power().value().to_bits(),
+        full.total_power().value().to_bits(),
+        "total power fold diverged at the bit level"
+    );
+    assert_eq!(
+        delta.total_ips().to_bits(),
+        full.total_ips().to_bits(),
+        "total ips fold diverged at the bit level"
+    );
+    assert_eq!(
+        delta.total_shares().to_bits(),
+        full.total_shares().to_bits(),
+        "total shares fold diverged at the bit level"
+    );
+    assert_eq!(
+        delta.total_cap().value().to_bits(),
+        full.total_cap().value().to_bits()
+    );
+    assert_eq!(delta.busy_cores(), full.busy_cores());
+    assert_eq!(delta.total_cores(), full.total_cores());
+    assert_eq!(delta.len(), full.nodes.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// epsilon = 0 delta aggregation ≡ full re-aggregation after every
+    /// prefix of an arbitrary add/remove/update sequence.
+    #[test]
+    fn exact_mode_equals_full_reaggregation(ops in ops()) {
+        let mut delta = DeltaRollup::new(Seconds(1.0), 0.0);
+        let mut reference: BTreeMap<usize, NodeTelemetry> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Update(tel) => {
+                    delta.update(tel.clone());
+                    reference.insert(tel.node, tel);
+                }
+                Op::Remove(node) => {
+                    let was_there = reference.remove(&node).is_some();
+                    prop_assert_eq!(delta.remove(node), was_there);
+                }
+            }
+            assert_exactly_equal(&delta, &reference);
+        }
+    }
+
+    /// Sanitization is applied identically on both paths, so even
+    /// streams carrying NaN/∞ rows stay exactly equal (and flag the
+    /// same unhealthy nodes).
+    #[test]
+    fn exact_mode_equals_full_under_poisoned_rows(
+        ops in ops(),
+        poison_every in 2usize..5,
+    ) {
+        let mut delta = DeltaRollup::new(Seconds(1.0), 0.0);
+        let mut reference: BTreeMap<usize, NodeTelemetry> = BTreeMap::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Update(mut tel) => {
+                    if i % poison_every == 0 {
+                        tel.package_power = Watts(f64::NAN);
+                        tel.total_ips = f64::INFINITY;
+                    }
+                    delta.update(tel.clone());
+                    let mut sane = tel;
+                    sane.sanitize();
+                    reference.insert(sane.node, sane);
+                }
+                Op::Remove(node) => {
+                    reference.remove(&node);
+                    delta.remove(node);
+                }
+            }
+        }
+        assert_exactly_equal(&delta, &reference);
+        let full = ClusterRollup::new(Seconds(1.0), reference.values().cloned().collect());
+        prop_assert!(full.total_power().value().is_finite());
+    }
+}
