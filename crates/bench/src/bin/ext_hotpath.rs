@@ -11,6 +11,13 @@
 //! owned path (the view path exists to be faster; falling behind the
 //! baseline it replaces is a regression). Results land in
 //! `results/BENCH_hotpath.json` for CI to archive.
+//!
+//! A second section sweeps the batch-stepped [`WideChip`] simulator
+//! against the per-core-struct [`Chip`] at 128/512/1024 cores under an
+//! identical closed-loop drive (periodic retargeting, mixed loads,
+//! RAPL enforcement), checks the two stay bit-identical, and gates the
+//! ≥4× tick-throughput speedup at 1024 cores that justifies keeping a
+//! second simulator core (DESIGN.md §15).
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -19,9 +26,14 @@ use std::time::Instant;
 use pap_alloccount::{AllocCounter, CountingAlloc};
 use pap_bench::{f1, Table};
 use pap_model::TranslationKind;
+use pap_simcpu::chip::Chip;
+use pap_simcpu::core::CoreCounters as SimCounters;
+use pap_simcpu::cstate::CState;
 use pap_simcpu::freq::KiloHertz;
 use pap_simcpu::platform::PlatformSpec;
+use pap_simcpu::power::LoadDescriptor;
 use pap_simcpu::units::{Seconds, Watts};
+use pap_simcpu::widechip::WideChip;
 use pap_telemetry::counters::CoreRates;
 use pap_telemetry::sampler::{CoreSample, Sample};
 use powerd::config::{AppSpec, DaemonConfig, PolicyKind, Priority};
@@ -215,6 +227,178 @@ fn run_scenario(
     }
 }
 
+/// Core counts for the wide-chip sweep; the last is the gated width.
+const WIDE_CORES: [usize; 3] = [128, 512, 1024];
+/// Required `WideChip`-vs-`Chip` tick-throughput ratio at the widest
+/// descriptor — the bar the batch-stepped simulator must clear to earn
+/// its keep as a second implementation.
+const WIDE_SPEEDUP_GATE: f64 = 4.0;
+/// Simulator tick used by the sweep.
+const WIDE_DT: Seconds = Seconds(0.001);
+/// Ticks between frequency retargets, mimicking a 1 s control interval
+/// over a ~128 ms cadence so the memoized power path sees real
+/// movement instead of pure steady state.
+const WIDE_RETARGET_EVERY: usize = 128;
+/// Untimed ticks that fill caches and settle the RAPL controller.
+const WIDE_WARMUP_TICKS: usize = 256;
+
+/// Everything that must come out bit-identical from the two simulator
+/// cores after an identical drive.
+type WideFingerprint = (u32, u32, Vec<SimCounters>, Vec<u64>);
+
+struct WideResult {
+    cores: usize,
+    ticks: usize,
+    ticks_per_sec_chip: f64,
+    ticks_per_sec_wide: f64,
+    speedup: f64,
+    bit_identical: bool,
+}
+
+/// Deterministic per-core frequency pattern; `phase` rotates it so
+/// retargets actually move cores.
+fn wide_freq_pattern(spec: &PlatformSpec, phase: usize) -> Vec<KiloHertz> {
+    let lo = spec.grid.min().khz();
+    let step = spec.grid.step().khz();
+    let span = (spec.grid.max().khz() - lo) / step;
+    (0..spec.num_cores)
+        .map(|c| {
+            KiloHertz(lo + (c as u64 * (7 + 4 * phase as u64) + phase as u64) % (span + 1) * step)
+        })
+        .collect()
+}
+
+/// Mixed per-core configuration (same spread the equivalence tests
+/// use): full-tilt, AVX, partial-utilization, idle and parked cores,
+/// plus shallow idle states.
+fn wide_core_setup(c: usize) -> (LoadDescriptor, bool, CState) {
+    let load = match c % 5 {
+        0 => LoadDescriptor::nominal(),
+        1 => LoadDescriptor {
+            capacitance: 1.9,
+            utilization: 1.0,
+            avx: true,
+        },
+        2 => LoadDescriptor {
+            capacitance: 1.2,
+            utilization: 0.6,
+            avx: false,
+        },
+        3 => LoadDescriptor::IDLE,
+        _ => LoadDescriptor {
+            capacitance: 0.8,
+            utilization: 0.9,
+            avx: false,
+        },
+    };
+    (
+        load,
+        c % 7 == 3,
+        if c % 4 == 1 { CState::C1 } else { CState::C6 },
+    )
+}
+
+/// Drive the per-core-struct `Chip` through the sweep schedule; returns
+/// best-trial seconds per `ticks` plus the end-state fingerprint.
+fn sweep_chip(n: usize, ticks: usize) -> (f64, WideFingerprint) {
+    let spec = PlatformSpec::wide(n);
+    let mut chip = Chip::new(spec.clone());
+    let patterns = [wide_freq_pattern(&spec, 0), wide_freq_pattern(&spec, 1)];
+    for c in 0..n {
+        let (load, parked, idle) = wide_core_setup(c);
+        chip.set_load(c, load).unwrap();
+        chip.set_forced_idle(c, parked).unwrap();
+        chip.set_idle_state(c, idle).unwrap();
+    }
+    chip.set_rapl_limit(Some(Watts(4.0 * n as f64))).unwrap();
+    let mut t_abs = 0usize;
+    let mut drive = |chip: &mut Chip, count: usize| {
+        for _ in 0..count {
+            if t_abs.is_multiple_of(WIDE_RETARGET_EVERY) {
+                let p = &patterns[(t_abs / WIDE_RETARGET_EVERY) % 2];
+                chip.set_all_requested(p).unwrap();
+            }
+            chip.tick(WIDE_DT);
+            t_abs += 1;
+        }
+    };
+    drive(&mut chip, WIDE_WARMUP_TICKS);
+    let mut best = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let started = Instant::now();
+        drive(&mut chip, ticks);
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    let fp = (
+        chip.package_energy_raw(),
+        chip.cores_energy_raw(),
+        (0..n).map(|c| chip.counters(c)).collect(),
+        (0..n).map(|c| chip.effective_freq(c).khz()).collect(),
+    );
+    (best, fp)
+}
+
+/// Identical schedule over the batch-stepped `WideChip`.
+fn sweep_wide(n: usize, ticks: usize) -> (f64, WideFingerprint) {
+    let spec = PlatformSpec::wide(n);
+    let mut chip = WideChip::new(spec.clone());
+    let patterns = [wide_freq_pattern(&spec, 0), wide_freq_pattern(&spec, 1)];
+    for c in 0..n {
+        let (load, parked, idle) = wide_core_setup(c);
+        chip.set_load(c, load).unwrap();
+        chip.set_forced_idle(c, parked).unwrap();
+        chip.set_idle_state(c, idle).unwrap();
+    }
+    chip.set_rapl_limit(Some(Watts(4.0 * n as f64))).unwrap();
+    let mut t_abs = 0usize;
+    let mut drive = |chip: &mut WideChip, count: usize| {
+        for _ in 0..count {
+            if t_abs.is_multiple_of(WIDE_RETARGET_EVERY) {
+                let p = &patterns[(t_abs / WIDE_RETARGET_EVERY) % 2];
+                chip.set_all_requested(p).unwrap();
+            }
+            chip.tick(WIDE_DT);
+            t_abs += 1;
+        }
+    };
+    drive(&mut chip, WIDE_WARMUP_TICKS);
+    let mut best = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let started = Instant::now();
+        drive(&mut chip, ticks);
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    let fp = (
+        chip.package_energy_raw(),
+        chip.cores_energy_raw(),
+        (0..n).map(|c| chip.counters(c)).collect(),
+        (0..n).map(|c| chip.effective_freq(c).khz()).collect(),
+    );
+    (best, fp)
+}
+
+fn run_wide_sweep() -> Vec<WideResult> {
+    WIDE_CORES
+        .iter()
+        .map(|&n| {
+            // Roughly constant work per width so the sweep stays quick.
+            let ticks = (400_000 / n).max(256);
+            let (chip_secs, chip_fp) = sweep_chip(n, ticks);
+            let (wide_secs, wide_fp) = sweep_wide(n, ticks);
+            let chip_tps = ticks as f64 / chip_secs;
+            let wide_tps = ticks as f64 / wide_secs;
+            WideResult {
+                cores: n,
+                ticks,
+                ticks_per_sec_chip: chip_tps,
+                ticks_per_sec_wide: wide_tps,
+                speedup: wide_tps / chip_tps,
+                bit_identical: chip_fp == wide_fp,
+            }
+        })
+        .collect()
+}
+
 fn policy_label(policy: PolicyKind) -> &'static str {
     match policy {
         PolicyKind::RaplNative => "rapl",
@@ -222,6 +406,7 @@ fn policy_label(policy: PolicyKind) -> &'static str {
         PolicyKind::PowerShares => "power-shares",
         PolicyKind::FrequencyShares => "freq-shares",
         PolicyKind::PerformanceShares => "perf-shares",
+        PolicyKind::FastCap => "fastcap",
     }
 }
 
@@ -266,7 +451,7 @@ fn scenarios() -> Vec<(&'static str, PolicyKind, PlatformSpec, Vec<AppSpec>)> {
     ]
 }
 
-fn json_report(results: &[ScenarioResult]) -> String {
+fn json_report(results: &[ScenarioResult], wide: &[WideResult]) -> String {
     let mut s = String::from("{\n  \"bench\": \"hotpath\",\n");
     let _ = writeln!(
         s,
@@ -287,6 +472,22 @@ fn json_report(results: &[ScenarioResult]) -> String {
             r.steps_per_sec_view,
             r.steps_per_sec_owned,
             if i + 1 == results.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ],\n  \"widechip\": [\n");
+    for (i, r) in wide.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"cores\": {}, \"ticks\": {}, \"ticks_per_sec_chip\": {:.1}, \
+             \"ticks_per_sec_wide\": {:.1}, \"speedup\": {:.2}, \
+             \"bit_identical\": {}}}{}",
+            r.cores,
+            r.ticks,
+            r.ticks_per_sec_chip,
+            r.ticks_per_sec_wide,
+            r.speedup,
+            r.bit_identical,
+            if i + 1 == wide.len() { "" } else { "," }
         );
     }
     s.push_str("  ]\n}\n");
@@ -363,7 +564,44 @@ fn main() -> ExitCode {
     }
     println!("{t}");
 
-    let json = json_report(&results);
+    let wide = run_wide_sweep();
+    let mut wt = Table::new(
+        "Wide-chip batch stepping vs per-core Chip (identical closed-loop drive)",
+        &[
+            "cores",
+            "ticks",
+            "kticks_chip",
+            "kticks_wide",
+            "speedup",
+            "bit_identical",
+        ],
+    );
+    for r in &wide {
+        wt.row(vec![
+            r.cores.to_string(),
+            r.ticks.to_string(),
+            f1(r.ticks_per_sec_chip / 1e3),
+            f1(r.ticks_per_sec_wide / 1e3),
+            f1(r.speedup),
+            r.bit_identical.to_string(),
+        ]);
+        if !r.bit_identical {
+            failures.push(format!(
+                "{} cores: WideChip diverged from Chip under an identical drive",
+                r.cores
+            ));
+        }
+        if r.cores == *WIDE_CORES.last().unwrap() && r.speedup < WIDE_SPEEDUP_GATE {
+            failures.push(format!(
+                "{} cores: batch stepping only {:.2}x the per-core loop \
+                 (gate: >={WIDE_SPEEDUP_GATE}x)",
+                r.cores, r.speedup
+            ));
+        }
+    }
+    println!("{wt}");
+
+    let json = json_report(&results, &wide);
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         let _ = std::fs::create_dir_all(dir);
     }
@@ -374,7 +612,9 @@ fn main() -> ExitCode {
         println!(
             "PASS: zero heap allocations per steady-state step across every \
              policy and translation; borrowed view path at or above the \
-             owned path's throughput."
+             owned path's throughput; wide-chip batch stepping bit-identical \
+             to the per-core simulator and >={WIDE_SPEEDUP_GATE}x faster at \
+             the widest descriptor."
         );
         ExitCode::SUCCESS
     } else {

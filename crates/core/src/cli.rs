@@ -97,6 +97,9 @@ pub struct CliOptions {
     pub sysfs_root: Option<String>,
     /// Linux backend / govcmp tick interval in seconds (default 1.0).
     pub interval: Seconds,
+    /// Linux backend only: never offline a CPU; parked cores pin to
+    /// the frequency floor instead.
+    pub no_offline: bool,
     /// `govcmp` subcommand: sweep the host's cpufreq governors and
     /// report mean power, frequency and energy per governor.
     pub govcmp: bool,
@@ -135,7 +138,7 @@ OPTIONS:
                                  error output for the names); --policy,
                                  --limit and --app are then not required
     --policy <POLICY>            rapl | priority | power-shares |
-                                 freq-shares | perf-shares
+                                 freq-shares | perf-shares | fastcap
     --limit <WATTS>              package power limit, e.g. 45
     --app <name=PROFILE[:shares[:hp|lp]]>
                                  e.g. --app web=leela:90:hp --app bg=cam4:10:lp
@@ -161,6 +164,9 @@ OPTIONS:
                                  (default /); point at a mock tree for
                                  offline runs
     --interval <SECONDS>         linux backend / govcmp tick (default 1)
+    --no-offline                 linux backend: never offline a CPU;
+                                 parked cores pin to the frequency
+                                 floor instead
     --help                       print this help
 
 SUBCOMMANDS:
@@ -179,6 +185,7 @@ fn parse_policy(s: &str) -> Result<PolicyKind, String> {
         "power-shares" => PolicyKind::PowerShares,
         "freq-shares" => PolicyKind::FrequencyShares,
         "perf-shares" => PolicyKind::PerformanceShares,
+        "fastcap" => PolicyKind::FastCap,
         other => return Err(format!("unknown policy '{other}'")),
     })
 }
@@ -237,6 +244,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
     let mut dry_run = false;
     let mut sysfs_root = None;
     let mut interval = Seconds(1.0);
+    let mut no_offline = false;
     let mut govcmp = false;
 
     let mut it = args.iter();
@@ -261,6 +269,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                 tariff = Some(t);
             }
             "--dry-run" => dry_run = true,
+            "--no-offline" => no_offline = true,
             "--sysfs-root" => sysfs_root = Some(value("--sysfs-root")?.clone()),
             "--interval" => {
                 let v = value("--interval")?;
@@ -327,9 +336,9 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
              --policy/--limit/--app\n\n{USAGE}"
         ));
     }
-    if backend == BackendKind::Sim && (dry_run || sysfs_root.is_some()) && !govcmp {
+    if backend == BackendKind::Sim && (dry_run || sysfs_root.is_some() || no_offline) && !govcmp {
         return Err(format!(
-            "--dry-run/--sysfs-root apply to --backend linux or govcmp\n\n{USAGE}"
+            "--dry-run/--sysfs-root/--no-offline apply to --backend linux or govcmp\n\n{USAGE}"
         ));
     }
     Ok(CliOptions {
@@ -349,6 +358,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         dry_run,
         sysfs_root,
         interval,
+        no_offline,
         govcmp,
     })
 }
@@ -571,10 +581,12 @@ mod tests {
             "0.5",
             "--tariff",
             "0.25",
+            "--no-offline",
         ]))
         .unwrap();
         assert_eq!(o.backend, BackendKind::Linux);
         assert!(o.dry_run);
+        assert!(o.no_offline);
         assert_eq!(o.sysfs_root.as_deref(), Some("/tmp/mock"));
         assert_eq!(o.interval, Seconds(0.5));
         assert_eq!(o.tariff, Some(0.25));
@@ -625,6 +637,26 @@ mod tests {
         ]))
         .unwrap_err()
         .contains("--backend linux"));
+        assert!(parse(&sv(&[
+            "--policy",
+            "rapl",
+            "--limit",
+            "50",
+            "--app",
+            "x=gcc",
+            "--no-offline",
+        ]))
+        .unwrap_err()
+        .contains("--backend linux"));
+    }
+
+    #[test]
+    fn fastcap_policy_parses() {
+        let o = parse(&sv(&[
+            "--policy", "fastcap", "--limit", "45", "--app", "x=gcc",
+        ]))
+        .unwrap();
+        assert_eq!(o.policy, Some(PolicyKind::FastCap));
     }
 
     #[test]

@@ -161,6 +161,11 @@ pub enum PolicyKind {
     FrequencyShares,
     /// Proportional shares of normalized performance (§5.2).
     PerformanceShares,
+    /// FastCap-style global optimization: water-fill on marginal
+    /// fair-speedup per watt, falling back to [`PolicyKind::FrequencyShares`]
+    /// while the translation model's package fit is unconfident
+    /// (`policy::fastcap`).
+    FastCap,
 }
 
 impl PolicyKind {
@@ -171,7 +176,7 @@ impl PolicyKind {
 
     /// Whether the policy requires per-application performance feedback.
     pub fn needs_performance_feedback(self) -> bool {
-        matches!(self, PolicyKind::PerformanceShares)
+        matches!(self, PolicyKind::PerformanceShares | PolicyKind::FastCap)
     }
 
     /// Short name used in reports.
@@ -182,6 +187,7 @@ impl PolicyKind {
             PolicyKind::PowerShares => "power-shares",
             PolicyKind::FrequencyShares => "freq-shares",
             PolicyKind::PerformanceShares => "perf-shares",
+            PolicyKind::FastCap => "fastcap",
         }
     }
 }

@@ -22,6 +22,7 @@ use pap_telemetry::sampler::Sample;
 
 use crate::config::{AppSpec, ConfigError, DaemonConfig, PolicyKind};
 use crate::obs::{AppDecision, DecisionEvent, DecisionRecord, DecisionTrace};
+use crate::policy::fastcap::FastCapAlloc;
 use crate::policy::frequency_shares::FrequencyShares;
 use crate::policy::performance_shares::PerformanceShares;
 use crate::policy::power_shares::PowerShares;
@@ -196,6 +197,7 @@ enum Engine {
     Power(PowerShares),
     Freq(FrequencyShares),
     Perf(PerformanceShares),
+    FastCap(FastCapAlloc),
 }
 
 impl Engine {
@@ -206,6 +208,7 @@ impl Engine {
             Engine::Power(p) => Some(p),
             Engine::Freq(p) => Some(p),
             Engine::Perf(p) => Some(p),
+            Engine::FastCap(p) => Some(p),
         }
     }
 }
@@ -302,6 +305,7 @@ impl Daemon {
                 Engine::Freq(p)
             }
             PolicyKind::PerformanceShares => Engine::Perf(PerformanceShares::new()),
+            PolicyKind::FastCap => Engine::FastCap(FastCapAlloc::new()),
         };
 
         let mut ctx = PolicyCtx::new(platform.grid, platform.tdp, config.power_limit);

@@ -11,6 +11,7 @@
 //!
 //! [`Policy::initial`] is (1); [`Policy::step`] is (2)+(3).
 
+pub mod fastcap;
 pub mod frequency_shares;
 pub mod minfund;
 pub mod performance_shares;

@@ -17,14 +17,19 @@
 //! still integrates the missed energy, and per-core frequency reads fall
 //! back to the last programmed target.
 //!
-//! **Known limits** (documented, not hidden): instruction counters need
-//! a perf-events bridge this crate does not ship, so `ips` is reported
-//! as 0 and C0 residency as 1.0 — the frequency-shares and uniform-cap
-//! policies (which consume frequencies and package power) are fully
-//! functional, while the performance-shares policy would see no progress
-//! signal on real hardware. Core parking maps to the CPU
-//! online/offline interface and is intentionally not performed; parked
-//! cores are instead pinned to the grid floor.
+//! Per-core C0 residency comes from `/proc/stat` jiffy deltas
+//! ([`crate::procstat`]), and `ips` is estimated as
+//! `residency × frequency × nominal IPC` — a progress *proxy*, not a
+//! retired-instruction count (no perf-events bridge), but one that is
+//! monotone in both utilization and frequency, which is what the
+//! IPS-consuming policies (performance shares, FastCap) need from it.
+//! When the stat source is absent the backend reports the conservative
+//! defaults (residency 1.0, ips 0) **and** flags
+//! [`SensorId::Utilization`] unhealthy rather than passing assumed
+//! values off as measurements. Core parking maps to the CPU
+//! online/offline interface (`cpu*/online`) when the host exposes it;
+//! [`BackendOptions::no_offline`] and hosts without the file (always
+//! CPU 0) fall back to pinning parked cores at the grid floor.
 
 use std::time::Instant;
 
@@ -40,8 +45,15 @@ use powerd::hw::PowerBackend;
 
 use crate::cpufreq::{self, WriteMode};
 use crate::hwmon::HwmonMeter;
+use crate::procstat::{self, CpuTicks};
 use crate::rapl::RaplMeter;
 use crate::sysfs::{HwError, SysfsRoot};
+
+/// Nominal instructions-per-cycle used for the IPS estimate. Real IPC
+/// varies per workload; the estimate is only ever consumed *normalized*
+/// (against a baseline measured through the same estimator), so the
+/// constant cancels out as long as it is applied consistently.
+const NOMINAL_IPC: f64 = 1.0;
 
 /// Time source for sample intervals.
 #[derive(Debug)]
@@ -89,6 +101,10 @@ pub struct BackendOptions {
     pub write_mode: WriteMode,
     /// Time source.
     pub clock: BackendClock,
+    /// Escape hatch: never offline a CPU; parked cores pin to the grid
+    /// floor instead. For hosts where offlining fights the scheduler,
+    /// irq affinity or a hypervisor.
+    pub no_offline: bool,
 }
 
 impl Default for BackendOptions {
@@ -97,6 +113,7 @@ impl Default for BackendOptions {
             dry_run: false,
             write_mode: WriteMode::Auto,
             clock: BackendClock::wall(),
+            no_offline: false,
         }
     }
 }
@@ -113,8 +130,21 @@ pub struct LinuxBackend {
     meter: PackageMeter,
     core_meters: Vec<(usize, HwmonMeter)>,
     health: HealthTracker,
+    no_offline: bool,
     /// Last programmed target per policy slot (index into `cpus`).
     targets: Vec<KiloHertz>,
+    /// Park flag per slot, as last applied.
+    parked: Vec<bool>,
+    /// Whether the slot's CPU was actually taken offline (vs. parked by
+    /// floor-pinning); offline CPUs are skipped in telemetry instead of
+    /// counted as sensor failures.
+    offlined: Vec<bool>,
+    /// Previous `/proc/stat` reading per slot (`None` before the first
+    /// read and across offline periods).
+    prev_ticks: Vec<Option<CpuTicks>>,
+    /// Last derived C0 residency per slot, held across sub-jiffy
+    /// intervals where the counters did not move.
+    residency: Vec<f64>,
     last_sample_t: f64,
     last_pkg_w: Watts,
     /// Seconds since the package meter last read successfully; grows
@@ -154,6 +184,7 @@ impl LinuxBackend {
             .collect();
 
         let last_sample_t = opts.clock.now();
+        let n = cpus.len();
         Ok(LinuxBackend {
             root,
             spec,
@@ -164,7 +195,12 @@ impl LinuxBackend {
             meter,
             core_meters,
             health: HealthTracker::new(3, 2),
+            no_offline: opts.no_offline,
             targets,
+            parked: vec![false; n],
+            offlined: vec![false; n],
+            prev_ticks: vec![None; n],
+            residency: vec![1.0; n],
             last_sample_t,
             last_pkg_w: Watts(0.0),
             pkg_elapsed: 0.0,
@@ -290,8 +326,30 @@ impl PowerBackend for LinuxBackend {
             None => self.last_pkg_w,
         };
 
+        // One `/proc/stat` read covers every core; its loss degrades the
+        // single utilization sensor, not each core's counter health.
+        let ticks = procstat::read(&self.root);
+        self.health.record(SensorId::Utilization, ticks.is_ok(), t);
+
         let mut cores = Vec::with_capacity(self.cpus.len());
         for (slot, &cpu) in self.cpus.iter().enumerate() {
+            if self.offlined[slot] {
+                // Intentionally offline: zero activity is the truth, and
+                // skipping the reads keeps the health tracker free of
+                // self-inflicted failures.
+                self.prev_ticks[slot] = None;
+                self.residency[slot] = 0.0;
+                cores.push(CoreSample {
+                    rates: CoreRates {
+                        active_freq: KiloHertz::ZERO,
+                        c0_residency: 0.0,
+                        ips: 0.0,
+                    },
+                    power: None,
+                    requested_freq: self.targets[slot],
+                });
+                continue;
+            }
             let active_freq = match cpufreq::cur_khz(&self.root, cpu) {
                 Ok(khz) => {
                     self.health.record(SensorId::CoreCounters(slot), true, t);
@@ -302,6 +360,44 @@ impl PowerBackend for LinuxBackend {
                     self.targets[slot]
                 }
             };
+            let c0_residency = match &ticks {
+                Ok(per_cpu) => {
+                    match per_cpu.iter().find(|&&(c, _)| c == cpu) {
+                        Some(&(_, now)) => {
+                            if let Some(f) =
+                                self.prev_ticks[slot].and_then(|prev| now.busy_fraction_since(prev))
+                            {
+                                self.residency[slot] = f;
+                            }
+                            // else: sub-jiffy interval or counter reset —
+                            // hold the last derived value.
+                            self.prev_ticks[slot] = Some(now);
+                        }
+                        None => {
+                            // Offlined outside our control: idle, by
+                            // definition, until its counters return.
+                            self.prev_ticks[slot] = None;
+                            self.residency[slot] = 0.0;
+                        }
+                    }
+                    self.residency[slot]
+                }
+                Err(_) => {
+                    // Source absent: report the conservative default the
+                    // backend always used — but the Utilization sensor is
+                    // flagged above, so consumers know it is assumed.
+                    self.prev_ticks[slot] = None;
+                    1.0
+                }
+            };
+            // IPS estimate: busy cycles per second at NOMINAL_IPC. Zero
+            // when the utilization source is down (ips = 0 is this
+            // crate's documented "no progress signal" value).
+            let ips = if ticks.is_ok() {
+                NOMINAL_IPC * c0_residency * active_freq.hz()
+            } else {
+                0.0
+            };
             let power = self
                 .core_meters
                 .iter_mut()
@@ -310,8 +406,8 @@ impl PowerBackend for LinuxBackend {
             cores.push(CoreSample {
                 rates: CoreRates {
                     active_freq,
-                    c0_residency: 1.0, // no idle accounting without perf/cpuidle
-                    ips: 0.0,          // no instruction counters without perf
+                    c0_residency,
+                    ips,
                 },
                 power,
                 requested_freq: self.targets[slot],
@@ -332,8 +428,48 @@ impl PowerBackend for LinuxBackend {
         let n = self.cpus.len().min(action.freqs.len());
         for slot in 0..n {
             let cpu = self.cpus[slot];
-            // No CPU offlining: parked cores sit at the grid floor.
-            let khz = if action.parked.get(slot).copied().unwrap_or(false) {
+            let park = action.parked.get(slot).copied().unwrap_or(false);
+            // A parked core is taken fully offline when the kernel
+            // exposes the hotplug file for it (never CPU 0) and the
+            // operator has not vetoed it; otherwise it pins to the grid
+            // floor — the pre-hotplug behavior.
+            let online = format!("{}/cpu{cpu}/online", cpufreq::CPU_DIR);
+            let can_offline = !self.no_offline && !self.dry_run && self.root.exists(&online);
+
+            // Bring a previously-offlined CPU back whenever it should no
+            // longer be offline (unparked, or offlining vetoed mid-run).
+            if self.offlined[slot] && !(park && can_offline) {
+                let ok = self.root.write(&online, "1").is_ok();
+                self.health.record(SensorId::FreqActuator(slot), ok, t);
+                if !ok {
+                    // Stuck offline; keep telemetry treating it as such
+                    // and retry on the next apply.
+                    self.parked[slot] = park;
+                    self.targets[slot] = self.spec.grid.min();
+                    continue;
+                }
+                self.offlined[slot] = false;
+            }
+
+            if park && can_offline {
+                if !self.offlined[slot] {
+                    let ok = self.root.write(&online, "0").is_ok();
+                    self.health.record(SensorId::FreqActuator(slot), ok, t);
+                    if ok {
+                        self.offlined[slot] = true;
+                        self.prev_ticks[slot] = None;
+                    }
+                }
+                if self.offlined[slot] {
+                    self.parked[slot] = true;
+                    self.targets[slot] = self.spec.grid.min();
+                    continue; // no cpufreq writes to an offline CPU
+                }
+                // Offline write failed: fall through to the floor pin.
+            }
+
+            self.parked[slot] = park;
+            let khz = if park {
                 self.spec.grid.min()
             } else {
                 action.freqs[slot]
@@ -370,6 +506,7 @@ mod tests {
                 dry_run: opts_dry,
                 write_mode: WriteMode::Auto,
                 clock: BackendClock::manual(),
+                no_offline: false,
             },
         )
         .expect("probe fixture")
@@ -522,5 +659,137 @@ mod tests {
         let mock = MockSysfs::intel(1);
         let mut b = manual(false, &mock);
         assert!(b.sample().is_none(), "no time has passed");
+    }
+
+    #[test]
+    fn residency_and_ips_derive_from_proc_stat_deltas() {
+        let mock = MockSysfs::intel(2);
+        let mut b = manual(false, &mock);
+        // Baseline read establishes prev ticks (zero-delta holds 1.0).
+        b.advance(Seconds(1.0));
+        let s = b.sample().unwrap();
+        assert_eq!(s.cores[0].rates.c0_residency, 1.0, "no delta yet: hold");
+        // Next interval: cpu0 60 % busy, cpu1 25 % busy.
+        mock.advance_cpu_jiffies(0, 60, 40);
+        mock.advance_cpu_jiffies(1, 25, 75);
+        mock.set_cur_khz(0, 2_000_000);
+        mock.set_cur_khz(1, 2_000_000);
+        b.advance(Seconds(1.0));
+        let s = b.sample().unwrap();
+        assert!((s.cores[0].rates.c0_residency - 0.60).abs() < 1e-9);
+        assert!((s.cores[1].rates.c0_residency - 0.25).abs() < 1e-9);
+        // IPS is the busy-cycle proxy: residency x frequency x IPC(1).
+        assert!((s.cores[0].rates.ips - 0.60 * 2.0e9).abs() < 1.0);
+        assert!((s.cores[1].rates.ips - 0.25 * 2.0e9).abs() < 1.0);
+        assert!(b.health().is_healthy(SensorId::Utilization));
+    }
+
+    #[test]
+    fn missing_proc_stat_flags_utilization_not_core_counters() {
+        let mock = MockSysfs::intel(1);
+        let mut b = manual(false, &mock);
+        mock.remove("proc/stat");
+        for _ in 0..3 {
+            b.advance(Seconds(1.0));
+            let s = b.sample().expect("loop keeps producing samples");
+            // Old conservative defaults, but now *flagged*.
+            assert_eq!(s.cores[0].rates.c0_residency, 1.0);
+            assert_eq!(s.cores[0].rates.ips, 0.0);
+        }
+        assert!(!b.health().is_healthy(SensorId::Utilization));
+        assert!(
+            b.health().is_healthy(SensorId::CoreCounters(0)),
+            "cpufreq reads are a separate sensor"
+        );
+    }
+
+    #[test]
+    fn parked_core_goes_offline_and_back() {
+        let mock = MockSysfs::intel(2);
+        let mut b = manual(false, &mock);
+        let online = "sys/devices/system/cpu/cpu1/online";
+        b.apply(&ControlAction {
+            freqs: vec![KiloHertz(2_000_000), KiloHertz(2_000_000)],
+            parked: vec![false, true],
+        })
+        .unwrap();
+        assert_eq!(mock.root().read_u64(online).unwrap(), 0, "cpu1 offlined");
+        // Offline core: telemetry reports zero activity, no health noise.
+        b.advance(Seconds(1.0));
+        let s = b.sample().unwrap();
+        assert_eq!(s.cores[1].rates.active_freq.khz(), 0);
+        assert_eq!(s.cores[1].rates.c0_residency, 0.0);
+        assert_eq!(s.cores[1].rates.ips, 0.0);
+        assert!(s.cores[0].rates.active_freq.khz() > 0, "cpu0 unaffected");
+        // Unpark: the backend re-onlines the CPU and resumes driving it.
+        b.apply(&ControlAction {
+            freqs: vec![KiloHertz(2_000_000), KiloHertz(1_500_000)],
+            parked: vec![false, false],
+        })
+        .unwrap();
+        assert_eq!(mock.root().read_u64(online).unwrap(), 1, "cpu1 back online");
+        assert_eq!(
+            mock.root()
+                .read_u64("sys/devices/system/cpu/cpu1/cpufreq/scaling_setspeed")
+                .unwrap(),
+            1_500_000
+        );
+        for (id, h) in b.health().sensors() {
+            assert_eq!(h.total_failures, 0, "{id} failed during hotplug");
+        }
+    }
+
+    #[test]
+    fn no_offline_falls_back_to_the_floor_pin() {
+        let mock = MockSysfs::intel(2);
+        let mut b = LinuxBackend::probe(
+            mock.root(),
+            BackendOptions {
+                dry_run: false,
+                write_mode: WriteMode::Auto,
+                clock: BackendClock::manual(),
+                no_offline: true,
+            },
+        )
+        .unwrap();
+        b.apply(&ControlAction {
+            freqs: vec![KiloHertz(2_000_000), KiloHertz(2_000_000)],
+            parked: vec![false, true],
+        })
+        .unwrap();
+        assert_eq!(
+            mock.root()
+                .read_u64("sys/devices/system/cpu/cpu1/online")
+                .unwrap(),
+            1,
+            "escape hatch: CPU stays online"
+        );
+        assert_eq!(
+            mock.root()
+                .read_u64("sys/devices/system/cpu/cpu1/cpufreq/scaling_setspeed")
+                .unwrap(),
+            800_000,
+            "parked core pinned to the grid floor"
+        );
+    }
+
+    #[test]
+    fn cpu0_never_offlines_even_when_parked() {
+        // The kernel exposes no cpu0/online; parking the boot CPU must
+        // fall back to the floor pin.
+        let mock = MockSysfs::intel(2);
+        let mut b = manual(false, &mock);
+        b.apply(&ControlAction {
+            freqs: vec![KiloHertz(2_000_000), KiloHertz(2_000_000)],
+            parked: vec![true, false],
+        })
+        .unwrap();
+        assert!(!mock.root().exists("sys/devices/system/cpu/cpu0/online"));
+        assert_eq!(
+            mock.root()
+                .read_u64("sys/devices/system/cpu/cpu0/cpufreq/scaling_setspeed")
+                .unwrap(),
+            800_000
+        );
     }
 }

@@ -11,6 +11,8 @@
 //! | Frequency read/write | `/sys/devices/system/cpu/*/cpufreq` | [`cpufreq`] |
 //! | Intel package energy | `/sys/class/powercap/intel-rapl*` | [`rapl`] |
 //! | AMD package/core energy | `/sys/class/hwmon/hwmon*` | [`hwmon`] |
+//! | Per-CPU utilization | `/proc/stat` | [`procstat`] |
+//! | Core parking | `/sys/devices/system/cpu/*/online` | [`backend`] |
 //!
 //! Every path is resolved through an injectable [`sysfs::SysfsRoot`],
 //! and [`mock::MockSysfs`] materialises Intel- and AMD-shaped fixture
@@ -29,6 +31,7 @@ pub mod cpufreq;
 pub mod govcmp;
 pub mod hwmon;
 pub mod mock;
+pub mod procstat;
 pub mod rapl;
 pub mod sysfs;
 

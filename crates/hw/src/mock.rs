@@ -42,6 +42,9 @@ pub struct MockSysfs {
     package_uj: Cell<u64>,
     socket_uj: Cell<u64>,
     core_uj: Vec<Cell<u64>>,
+    /// Cumulative (busy, idle) jiffies per CPU, mirrored into
+    /// `proc/stat` on every change.
+    cpu_jiffies: Vec<Cell<(u64, u64)>>,
 }
 
 impl MockSysfs {
@@ -55,6 +58,7 @@ impl MockSysfs {
             package_uj: Cell::new(0),
             socket_uj: Cell::new(0),
             core_uj: Vec::new(),
+            cpu_jiffies: Vec::new(),
         }
     }
 
@@ -67,7 +71,7 @@ impl MockSysfs {
     /// `userspace` governor and a RAPL package zone with a `core`
     /// subzone.
     pub fn intel(num_cpus: usize) -> MockSysfs {
-        let mock = MockSysfs::fresh("intel");
+        let mut mock = MockSysfs::fresh("intel");
         mock.put_cpufreq(num_cpus, "acpi-cpufreq", "userspace");
         mock.put("sys/class/powercap/intel-rapl:0/name", "package-0");
         mock.put(
@@ -115,15 +119,21 @@ impl MockSysfs {
     /// An AMD-style host whose only telemetry is an instantaneous
     /// `power1_input` channel (zenpower-style), no energy accumulator.
     pub fn amd_power_only(num_cpus: usize) -> MockSysfs {
-        let mock = MockSysfs::fresh("amdp");
+        let mut mock = MockSysfs::fresh("amdp");
         mock.put_cpufreq(num_cpus, "acpi-cpufreq", "schedutil");
         mock.put("sys/class/hwmon/hwmon0/name", "zenpower");
         mock.put("sys/class/hwmon/hwmon0/power1_input", "0");
         mock
     }
 
-    fn put_cpufreq(&self, num_cpus: usize, driver: &str, governor: &str) {
+    fn put_cpufreq(&mut self, num_cpus: usize, driver: &str, governor: &str) {
         for cpu in 0..num_cpus {
+            // Hotplug control file — the kernel exposes it for every CPU
+            // except the boot CPU.
+            if cpu > 0 {
+                self.put(&format!("sys/devices/system/cpu/cpu{cpu}/online"), "1");
+            }
+            self.cpu_jiffies.push(Cell::new((0, 0)));
             let base = format!("sys/devices/system/cpu/cpu{cpu}/cpufreq");
             self.put(&format!("{base}/scaling_driver"), driver);
             self.put(&format!("{base}/scaling_governor"), governor);
@@ -150,6 +160,34 @@ impl MockSysfs {
             );
             self.put(&format!("{base}/scaling_setspeed"), "<unsupported>");
         }
+        self.write_proc_stat();
+    }
+
+    /// Rewrite `proc/stat` from the tracked jiffy counters, in the
+    /// kernel's format (aggregate `cpu ` line first, then per-CPU
+    /// lines, then unrelated counters a parser must skip).
+    fn write_proc_stat(&self) {
+        let (busy, idle) = self.cpu_jiffies.iter().fold((0u64, 0u64), |(b, i), cell| {
+            let (cb, ci) = cell.get();
+            (b + cb, i + ci)
+        });
+        let mut text = format!("cpu  {busy} 0 0 {idle} 0 0 0 0 0 0");
+        for (cpu, cell) in self.cpu_jiffies.iter().enumerate() {
+            let (cb, ci) = cell.get();
+            text.push_str(&format!("\ncpu{cpu} {cb} 0 0 {ci} 0 0 0 0 0 0"));
+        }
+        text.push_str("\nintr 0\nctxt 0\nbtime 0");
+        self.put("proc/stat", &text);
+    }
+
+    /// Advance CPU `cpu`'s cumulative jiffy counters by `busy` working
+    /// and `idle` idle ticks, simulating the interval's utilization
+    /// (the backend derives C0 residency from the deltas).
+    pub fn advance_cpu_jiffies(&self, cpu: usize, busy: u64, idle: u64) {
+        let cell = &self.cpu_jiffies[cpu];
+        let (b, i) = cell.get();
+        cell.set((b + busy, i + idle));
+        self.write_proc_stat();
     }
 
     /// The [`SysfsRoot`] for this tree.

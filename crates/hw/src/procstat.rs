@@ -1,0 +1,136 @@
+//! Per-CPU utilization from `/proc/stat` jiffy deltas.
+//!
+//! The daemon's IPS-based policies need to know how busy each core
+//! actually is; cpufreq alone only says how fast it *would* run. The
+//! kernel's `/proc/stat` exposes cumulative per-CPU jiffy counters that
+//! every Linux host has, need no privileges, and — unlike perf events —
+//! no file descriptors per core. One read per control interval and a
+//! delta against the previous read yields the C0 (busy) fraction.
+//!
+//! Reads go through the injected [`SysfsRoot`] like every other file
+//! this crate touches, so the mock-sysfs harness can script utilization
+//! in offline CI ([`crate::mock::MockSysfs::advance_cpu_jiffies`]).
+
+use crate::sysfs::{HwError, SysfsRoot};
+
+/// Path of the stat file under the injected root.
+pub const PROC_STAT: &str = "proc/stat";
+
+/// Cumulative jiffy counters of one CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CpuTicks {
+    /// Jiffies spent doing work (user + nice + system + irq + softirq
+    /// + steal).
+    pub busy: u64,
+    /// All jiffies (busy + idle + iowait).
+    pub total: u64,
+}
+
+impl CpuTicks {
+    /// Busy fraction over the interval since `prev`, or `None` when no
+    /// jiffy elapsed (interval shorter than the kernel tick) or the
+    /// counters went backwards (CPU re-onlined, counter reset).
+    pub fn busy_fraction_since(&self, prev: CpuTicks) -> Option<f64> {
+        let total = self.total.checked_sub(prev.total)?;
+        let busy = self.busy.checked_sub(prev.busy)?;
+        if total == 0 {
+            return None;
+        }
+        Some((busy as f64 / total as f64).clamp(0.0, 1.0))
+    }
+}
+
+/// Read `/proc/stat` and extract per-CPU counters, ascending by CPU
+/// index. The aggregate `cpu ` line is skipped; CPUs currently offline
+/// are simply absent (kernel semantics).
+pub fn read(root: &SysfsRoot) -> Result<Vec<(usize, CpuTicks)>, HwError> {
+    Ok(parse(&root.read_string(PROC_STAT)?))
+}
+
+/// Parse the text of `/proc/stat`. Malformed lines are skipped: a
+/// telemetry reader must degrade, not panic, on a kernel format drift.
+fn parse(text: &str) -> Vec<(usize, CpuTicks)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let mut fields = line.split_whitespace();
+        let Some(cpu) = fields
+            .next()
+            .and_then(|tag| tag.strip_prefix("cpu"))
+            .and_then(|n| n.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        // user nice system idle iowait irq softirq steal [guest ...]
+        let mut v = [0u64; 8];
+        let mut seen = 0;
+        for (slot, field) in v.iter_mut().zip(&mut fields) {
+            let Ok(n) = field.parse::<u64>() else {
+                break;
+            };
+            *slot = n;
+            seen += 1;
+        }
+        if seen < 4 {
+            continue; // need at least user..idle
+        }
+        let busy = v[0] + v[1] + v[2] + v[5] + v[6] + v[7];
+        let total = busy + v[3] + v[4];
+        out.push((cpu, CpuTicks { busy, total }));
+    }
+    out.sort_unstable_by_key(|&(cpu, _)| cpu);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+cpu  1000 20 300 5000 40 5 6 7 0 0
+cpu0 500 10 150 2500 20 2 3 4 0 0
+cpu1 500 10 150 2500 20 3 3 3 0 0
+intr 12345
+ctxt 6789
+";
+
+    #[test]
+    fn parses_per_cpu_lines_and_skips_the_aggregate() {
+        let ticks = parse(SAMPLE);
+        assert_eq!(ticks.len(), 2);
+        let (cpu, t) = ticks[0];
+        assert_eq!(cpu, 0);
+        assert_eq!(t.busy, 500 + 10 + 150 + 2 + 3 + 4);
+        assert_eq!(t.total, t.busy + 2500 + 20);
+    }
+
+    #[test]
+    fn busy_fraction_from_deltas() {
+        let prev = CpuTicks {
+            busy: 100,
+            total: 1000,
+        };
+        let now = CpuTicks {
+            busy: 160,
+            total: 1100,
+        };
+        assert!((now.busy_fraction_since(prev).unwrap() - 0.6).abs() < 1e-12);
+        // No elapsed jiffies: undecidable, not 0/0 = NaN.
+        assert_eq!(now.busy_fraction_since(now), None);
+        // Counter regression (re-onlined CPU): undecidable.
+        assert_eq!(prev.busy_fraction_since(now), None);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let ticks = parse("cpu0 bogus\ncpu1 1 2 3\ncpu2 10 0 10 80 0 0 0 0\nnoise\n");
+        assert_eq!(ticks.len(), 1, "only the complete line survives: {ticks:?}");
+        assert_eq!(ticks[0].0, 2);
+    }
+
+    #[test]
+    fn out_of_order_cpus_are_sorted() {
+        let ticks = parse("cpu3 1 0 0 9 0 0 0 0\ncpu1 2 0 0 8 0 0 0 0\n");
+        assert_eq!(ticks[0].0, 1);
+        assert_eq!(ticks[1].0, 3);
+    }
+}

@@ -40,6 +40,7 @@ fn daemon_loop_controls_the_mock_host() {
             dry_run: false,
             write_mode: pap_hw::cpufreq::WriteMode::Auto,
             clock: BackendClock::manual(),
+            no_offline: false,
         },
     )
     .expect("probe intel fixture");
@@ -91,6 +92,103 @@ fn daemon_loop_controls_the_mock_host() {
     }
 }
 
+/// The headline telemetry fix: live samples carry real `/proc/stat`
+/// utilization and a nonzero IPS estimate, enough signal to drive an
+/// IPS-consuming policy (performance shares) end to end on the mock
+/// host without any sensor degradation.
+#[test]
+fn proc_stat_utilization_drives_an_ips_policy() {
+    let mock = MockSysfs::intel(2);
+    let mut backend = LinuxBackend::probe(
+        mock.root(),
+        BackendOptions {
+            dry_run: false,
+            write_mode: pap_hw::cpufreq::WriteMode::Auto,
+            clock: BackendClock::manual(),
+            no_offline: false,
+        },
+    )
+    .expect("probe intel fixture");
+    let apps = vec![
+        AppSpec::new("busy", 0)
+            .with_shares(50)
+            .with_baseline_ips(3e9),
+        AppSpec::new("idle", 1)
+            .with_shares(50)
+            .with_baseline_ips(3e9),
+    ];
+    let mut daemon = Daemon::new(
+        DaemonConfig::new(PolicyKind::PerformanceShares, Watts(9.0), apps),
+        backend.platform(),
+    )
+    .expect("perf-shares daemon over the synthesized platform");
+
+    let tick = Seconds(0.1);
+    let root = mock.root();
+    run_daemon(&mut backend, &mut daemon, Seconds(30.0), tick, |_, _| {
+        // "Hardware": core 0 runs ~90 % busy, core 1 ~30 % busy, both
+        // settle at the programmed setspeed, the package burns the
+        // model's power. 10 jiffies per 0.1 s tick (100 Hz kernel).
+        mock.advance_cpu_jiffies(0, 9, 1);
+        mock.advance_cpu_jiffies(1, 3, 7);
+        let mut khz = [0u64; 2];
+        for (c, k) in khz.iter_mut().enumerate() {
+            *k = root
+                .read_u64(&format!(
+                    "sys/devices/system/cpu/cpu{c}/cpufreq/scaling_setspeed"
+                ))
+                .expect("daemon wrote a target");
+            mock.set_cur_khz(c, *k);
+        }
+        let uj = model_power_w(&khz) * tick.value() * 1e6;
+        mock.add_package_energy_uj(uj as u64);
+    })
+    .expect("loop completes");
+
+    // The live samples carried the real utilization signal...
+    mock.advance_cpu_jiffies(0, 9, 1);
+    mock.advance_cpu_jiffies(1, 3, 7);
+    backend.advance(tick);
+    let s = backend.sample().expect("time advanced");
+    for c in &s.cores {
+        assert!(
+            c.rates.c0_residency < 1.0,
+            "sub-1.0 residency, got {}",
+            c.rates.c0_residency
+        );
+        assert!(c.rates.ips > 0.0, "nonzero ips estimate");
+    }
+    assert!((s.cores[0].rates.c0_residency - 0.9).abs() < 0.05);
+    assert!((s.cores[1].rates.c0_residency - 0.3).abs() < 0.05);
+
+    // ...and the policy consumed it: with equal shares, the servo pushes
+    // the utilization-starved app to a higher frequency to equalize
+    // delivered (normalized) performance.
+    let f0 = root
+        .read_u64("sys/devices/system/cpu/cpu0/cpufreq/scaling_setspeed")
+        .unwrap();
+    let f1 = root
+        .read_u64("sys/devices/system/cpu/cpu1/cpufreq/scaling_setspeed")
+        .unwrap();
+    for f in [f0, f1] {
+        assert!((800_000..=3_000_000).contains(&f), "on-grid target {f}");
+    }
+    assert!(
+        f1 > f0,
+        "perf-shares compensates the 30 %-busy core: f0={f0} f1={f1}"
+    );
+
+    // No degradation anywhere: every sensor stayed healthy for the
+    // whole run, including the new utilization source.
+    for (id, h) in backend.health().sensors() {
+        assert_eq!(h.total_failures, 0, "{id} failed during a clean run");
+    }
+    assert!(backend
+        .health()
+        .sensor(SensorId::Utilization)
+        .is_some_and(|h| h.total_failures == 0));
+}
+
 #[test]
 fn sensor_loss_mid_run_degrades_gracefully() {
     let mock = MockSysfs::intel(2);
@@ -100,6 +198,7 @@ fn sensor_loss_mid_run_degrades_gracefully() {
             dry_run: false,
             write_mode: pap_hw::cpufreq::WriteMode::Auto,
             clock: BackendClock::manual(),
+            no_offline: false,
         },
     )
     .unwrap();

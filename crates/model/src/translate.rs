@@ -98,6 +98,15 @@ pub trait TranslationModel {
     fn khz_per_watt(&self, _core: usize, _freq: KiloHertz) -> Option<f64> {
         None
     }
+
+    /// Whether the model trusts its package power fit enough for global
+    /// optimization policies (FastCap) to build allocations on its
+    /// answers. The default is `false`: a model with no learned state
+    /// forces optimizers down their share-based fallback, so behaviour
+    /// can never be worse than the seed.
+    fn package_confident(&self) -> bool {
+        false
+    }
 }
 
 /// The naïve translation arithmetic, shared verbatim by [`NaiveAlpha`]
@@ -451,6 +460,10 @@ impl TranslationModel for OnlineModel {
             return None;
         }
         Some((1e6 / slope).clamp(1e3, 2e6))
+    }
+
+    fn package_confident(&self) -> bool {
+        OnlineModel::package_confident(self)
     }
 }
 

@@ -58,6 +58,7 @@ pub mod timeshare;
 pub mod turbo;
 pub mod units;
 pub mod volt;
+pub mod widechip;
 
 /// Convenient glob-import of the most used types.
 pub mod prelude {
@@ -67,4 +68,5 @@ pub mod prelude {
     pub use crate::platform::{PlatformSpec, Vendor};
     pub use crate::power::{LoadDescriptor, PowerModel};
     pub use crate::units::{Joules, Seconds, Volts, Watts};
+    pub use crate::widechip::WideChip;
 }

@@ -175,6 +175,44 @@ impl PlatformSpec {
         }
     }
 
+    /// A wide server chip for batch-stepped many-core experiments: the
+    /// Skylake microarchitectural model (same grid, turbo ramp shape,
+    /// per-core power coefficients and RAPL dynamics) scaled to
+    /// `num_cores` cores, with the uncore, TDP and RAPL window growing
+    /// linearly with the core count. These descriptors back the
+    /// 128/512/1024-core FastCap face-offs and the
+    /// [`crate::widechip::WideChip`] throughput gates; 16 cores is the
+    /// bit-identity anchor against [`crate::chip::Chip`].
+    pub fn wide(num_cores: usize) -> PlatformSpec {
+        assert!(num_cores >= 1, "wide chip needs at least one core");
+        let mut p = PlatformSpec::skylake();
+        p.name = match num_cores {
+            16 => "wide-16 (Skylake-derived)",
+            128 => "wide-128 (Skylake-derived)",
+            512 => "wide-512 (Skylake-derived)",
+            1024 => "wide-1024 (Skylake-derived)",
+            _ => "wide chip (Skylake-derived)",
+        };
+        p.num_cores = num_cores;
+        p.turbo = TurboTable::ramp(
+            num_cores,
+            KiloHertz::from_mhz(3000),
+            KiloHertz::from_mhz(2400),
+            KiloHertz::from_mhz(1900),
+            KiloHertz::from_mhz(1700),
+            KiloHertz::from_mhz(100),
+        );
+        // Uncore (fabric, L3 slices, memory controllers) scales with the
+        // die; keep the per-core share of the Skylake part.
+        p.power.uncore_base = Watts(1.13 * num_cores as f64);
+        p.tdp = Watts(8.5 * num_cores as f64);
+        p.rapl = Some(RaplConfig::server_default((
+            Watts(2.0 * num_cores as f64),
+            Watts(8.5 * num_cores as f64),
+        )));
+        p
+    }
+
     /// The Ryzen testbed with *banded* voltage: each of the three shared
     /// P-state slots carries one BIOS-configured voltage for every
     /// frequency in its band (§3.1: "each P-state uses the same voltage

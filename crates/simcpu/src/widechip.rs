@@ -1,0 +1,775 @@
+//! Batch-stepped wide-chip simulation (128–1024 cores).
+//!
+//! [`crate::chip::Chip`] keeps each core in its own struct and allocates
+//! a scratch vector every tick — fine at the paper's 8–10 cores, but the
+//! FastCap-style optimizing allocator only becomes interesting at two to
+//! three orders of magnitude more cores, where that layout dominates the
+//! simulation cost. [`WideChip`] is the same physical model in
+//! struct-of-arrays form:
+//!
+//! * every per-core variable lives in its own flat vector, so the tick
+//!   loop streams over contiguous memory instead of hopping across
+//!   200-byte core structs;
+//! * the turbo/RAPL caps are hoisted out of the per-core loop (they
+//!   depend only on the active-core count, not on which core asks), and
+//!   the active count itself is maintained incrementally by the setters
+//!   instead of being recounted every tick;
+//! * the whole per-core tick increment is memoized, not just the power
+//!   model: the CMOS evaluation (a piecewise-linear voltage lookup plus
+//!   the `C·V²·f` polynomial), the effective-frequency min-chain, and
+//!   every float product a tick folds into the counters (`Δmperf`,
+//!   `Δaperf`, residency seconds, joules) are pure in (frequency, load,
+//!   idle state, `dt`), so they are computed once when one of those
+//!   inputs moves and replayed as plain adds until the next change — in
+//!   steady state the loop body is a handful of adds per core;
+//! * [`WideChip::tick`] allocates nothing, extending the zero-alloc
+//!   `StepScratch`/`*_into` discipline of the control hot path into the
+//!   simulator itself.
+//!
+//! The arithmetic is the *same IEEE-754 operations in the same order* as
+//! `Chip::tick`/`SimCore::integrate`, so a `WideChip` and a `Chip`
+//! driven identically produce bit-identical counters, energy and power —
+//! enforced by the equivalence tests at the bottom of this module and
+//! gated in CI by `ext_hotpath` (which also gates the ≥4× speedup at
+//! 1024 cores that justifies the second implementation).
+
+use crate::clock::SimClock;
+use crate::core::CoreCounters;
+use crate::cstate::CState;
+use crate::error::{Result, SimError};
+use crate::freq::KiloHertz;
+use crate::platform::PlatformSpec;
+use crate::power::LoadDescriptor;
+use crate::rapl::{EnergyCounter, RaplController};
+use crate::units::{Joules, Seconds, Watts};
+
+/// Index of a [`CState`] in [`CState::ALL`], precomputed so the tick loop
+/// never searches the array.
+#[inline]
+fn cstate_index(s: CState) -> usize {
+    match s {
+        CState::C0 => 0,
+        CState::C1 => 1,
+        CState::C3 => 2,
+        CState::C6 => 3,
+    }
+}
+
+/// A batch-stepped multi-core processor with struct-of-arrays core state.
+///
+/// Functionally equivalent to [`crate::chip::Chip`] on platforms without
+/// shared P-state slots; built for core counts where the per-core-struct
+/// layout is too slow.
+#[derive(Debug, Clone)]
+pub struct WideChip {
+    spec: PlatformSpec,
+    clock: SimClock,
+    rapl: Option<RaplController>,
+    pkg_energy: EnergyCounter,
+    cores_energy: EnergyCounter,
+    last_package_power: Watts,
+    last_cores_power: Watts,
+
+    // --- struct-of-arrays per-core state ---
+    requested: Vec<KiloHertz>,
+    effective: Vec<KiloHertz>,
+    load_cap: Vec<f64>,
+    load_util: Vec<f64>,
+    load_avx: Vec<bool>,
+    forced_idle: Vec<bool>,
+    idle_state: Vec<CState>,
+    tsc: Vec<u64>,
+    mperf: Vec<u64>,
+    aperf: Vec<u64>,
+    instructions: Vec<u64>,
+    energy: Vec<EnergyCounter>,
+    /// Seconds per C-state, [`CState::ALL`] order (C0 first).
+    residency: Vec<[f64; 4]>,
+    last_power: Vec<Watts>,
+    /// True when a core's power inputs (load, park, idle state) changed
+    /// since its memoized tick increments were computed; forces a model
+    /// re-evaluation and cache rebuild for that core on the next tick.
+    cache_dirty: Vec<bool>,
+    /// Any `cache_dirty` bit set — lets a clean tick skip the scan.
+    any_dirty: bool,
+    /// A requested frequency moved: every core must re-run the
+    /// effective-frequency min-chain (power is re-evaluated only for
+    /// cores whose resolved frequency actually changed).
+    freq_moved: bool,
+    /// Idle-floor power per C-state, precomputed from the model.
+    idle_power_by_state: [Watts; 4],
+
+    // --- memoized per-core tick increments -------------------------
+    // Everything a tick folds into a core's counters is pure in
+    // (effective freq, load, idle state, dt). These caches hold the
+    // exact values `Chip::tick`/`SimCore::integrate` would compute,
+    // produced by the same expressions, and are rebuilt only when an
+    // input moves — so replaying them is bit-identical to recomputing.
+    /// `SimCore::is_active`, maintained incrementally by the setters.
+    active_flag: Vec<bool>,
+    /// Count of set bits in `active_flag` (Chip recounts per tick).
+    active_count: usize,
+    /// `(base_freq.hz() * dt * active_fraction) as u64`.
+    mperf_inc: Vec<u64>,
+    /// `(effective.hz() * dt * active_fraction) as u64`.
+    aperf_inc: Vec<u64>,
+    /// `dt * active_fraction` seconds of C0 residency.
+    c0_inc: Vec<f64>,
+    /// `dt * (1 - active_fraction)` seconds in the idle state.
+    idle_inc: Vec<f64>,
+    /// `cstate_index(idle_state)`, so the loop never matches on CState.
+    idle_idx: Vec<u8>,
+    /// `last_power * dt` joules per tick.
+    energy_inc: Vec<Joules>,
+    /// `effective.scale(utilization)` for active cores, zero otherwise.
+    freq_weight: Vec<KiloHertz>,
+    /// `dt` the caches were built for (NaN before the first tick).
+    last_dt: f64,
+    /// (scalar turbo cap, AVX turbo cap, RAPL cap) the caches were
+    /// built under; any movement re-resolves every core's frequency.
+    last_caps: (KiloHertz, KiloHertz, Option<KiloHertz>),
+}
+
+impl WideChip {
+    /// Instantiate a wide chip from a platform spec.
+    ///
+    /// # Panics
+    /// Panics if the spec fails validation or declares shared P-state
+    /// slots (Ryzen-style slot clustering is a small-chip concern; use
+    /// [`crate::chip::Chip`] there).
+    pub fn new(spec: PlatformSpec) -> WideChip {
+        if let Err(e) = spec.validate() {
+            panic!("invalid platform spec: {e}");
+        }
+        assert!(
+            spec.shared_pstate_slots.is_none(),
+            "WideChip does not model shared P-state slots"
+        );
+        let n = spec.num_cores;
+        let rapl = spec
+            .rapl
+            .clone()
+            .map(|cfg| RaplController::new(cfg, spec.grid));
+        let mut idle_power_by_state = [Watts::ZERO; 4];
+        for s in CState::ALL {
+            idle_power_by_state[cstate_index(s)] = spec.power.idle_power(s);
+        }
+        WideChip {
+            clock: SimClock::new(),
+            rapl,
+            pkg_energy: EnergyCounter::default(),
+            cores_energy: EnergyCounter::default(),
+            last_package_power: Watts::ZERO,
+            last_cores_power: Watts::ZERO,
+            requested: vec![spec.base_freq; n],
+            effective: vec![spec.base_freq; n],
+            load_cap: vec![0.0; n],
+            load_util: vec![0.0; n],
+            load_avx: vec![false; n],
+            forced_idle: vec![false; n],
+            idle_state: vec![CState::C6; n],
+            tsc: vec![0; n],
+            mperf: vec![0; n],
+            aperf: vec![0; n],
+            instructions: vec![0; n],
+            energy: vec![EnergyCounter::default(); n],
+            residency: vec![[0.0; 4]; n],
+            last_power: vec![Watts::ZERO; n],
+            cache_dirty: vec![true; n],
+            any_dirty: true,
+            freq_moved: true,
+            idle_power_by_state,
+            active_flag: vec![false; n],
+            active_count: 0,
+            mperf_inc: vec![0; n],
+            aperf_inc: vec![0; n],
+            c0_inc: vec![0.0; n],
+            idle_inc: vec![0.0; n],
+            idle_idx: vec![cstate_index(CState::C6) as u8; n],
+            energy_inc: vec![Joules::ZERO; n],
+            freq_weight: vec![KiloHertz::ZERO; n],
+            last_dt: f64::NAN,
+            last_caps: (KiloHertz::ZERO, KiloHertz::ZERO, None),
+            spec,
+        }
+    }
+
+    /// Re-derive one core's `is_active` bit and the running count after
+    /// a setter touched its load or park state.
+    #[inline]
+    fn refresh_active(&mut self, core: usize) {
+        let now =
+            !self.forced_idle[core] && self.load_util[core] > 0.0 && self.load_cap[core] > 0.0;
+        if now != self.active_flag[core] {
+            self.active_flag[core] = now;
+            if now {
+                self.active_count += 1;
+            } else {
+                self.active_count -= 1;
+            }
+        }
+    }
+
+    /// The platform this chip models.
+    pub fn spec(&self) -> &PlatformSpec {
+        &self.spec
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.spec.num_cores
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Seconds {
+        self.clock.now()
+    }
+
+    fn check_core(&self, core: usize) -> Result<()> {
+        if core >= self.requested.len() {
+            Err(SimError::NoSuchCore {
+                core,
+                num_cores: self.requested.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_freq(&self, f: KiloHertz) -> Result<()> {
+        if f < self.spec.grid.min() || f > self.spec.grid.max() {
+            Err(SimError::FrequencyOutOfRange {
+                requested: f,
+                min: self.spec.grid.min(),
+                max: self.spec.grid.max(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Request a frequency for one core, snapped to the platform grid.
+    pub fn set_requested_freq(&mut self, core: usize, f: KiloHertz) -> Result<()> {
+        self.check_core(core)?;
+        self.check_freq(f)?;
+        self.requested[core] = self.spec.grid.round(f);
+        self.freq_moved = true;
+        Ok(())
+    }
+
+    /// Atomically set all cores' requested frequencies (the batch path
+    /// the daemon and benches drive).
+    pub fn set_all_requested(&mut self, freqs: &[KiloHertz]) -> Result<()> {
+        if freqs.len() != self.requested.len() {
+            return Err(SimError::NoSuchCore {
+                core: freqs.len(),
+                num_cores: self.requested.len(),
+            });
+        }
+        for &f in freqs {
+            self.check_freq(f)?;
+        }
+        for (slot, &f) in self.requested.iter_mut().zip(freqs) {
+            *slot = self.spec.grid.round(f);
+        }
+        self.freq_moved = true;
+        Ok(())
+    }
+
+    /// The frequency software requested for `core`.
+    pub fn requested_freq(&self, core: usize) -> KiloHertz {
+        self.requested[core]
+    }
+
+    /// The frequency `core` actually ran at during the last tick.
+    pub fn effective_freq(&self, core: usize) -> KiloHertz {
+        self.effective[core]
+    }
+
+    /// Install the load descriptor for `core` for the upcoming tick.
+    pub fn set_load(&mut self, core: usize, load: LoadDescriptor) -> Result<()> {
+        self.check_core(core)?;
+        debug_assert!(load.is_valid());
+        self.load_cap[core] = load.capacitance;
+        self.load_util[core] = load.utilization;
+        self.load_avx[core] = load.avx;
+        self.cache_dirty[core] = true;
+        self.any_dirty = true;
+        self.refresh_active(core);
+        Ok(())
+    }
+
+    /// Park (`true`) or release (`false`) a core.
+    pub fn set_forced_idle(&mut self, core: usize, idle: bool) -> Result<()> {
+        self.check_core(core)?;
+        self.forced_idle[core] = idle;
+        self.cache_dirty[core] = true;
+        self.any_dirty = true;
+        self.refresh_active(core);
+        Ok(())
+    }
+
+    /// Select the C-state a core rests in while it has no work.
+    pub fn set_idle_state(&mut self, core: usize, state: CState) -> Result<()> {
+        self.check_core(core)?;
+        self.idle_state[core] = state;
+        self.cache_dirty[core] = true;
+        self.any_dirty = true;
+        Ok(())
+    }
+
+    /// Credit retired instructions to a core.
+    pub fn add_instructions(&mut self, core: usize, n: u64) -> Result<()> {
+        self.check_core(core)?;
+        self.instructions[core] = self.instructions[core].wrapping_add(n);
+        Ok(())
+    }
+
+    /// Program a RAPL package power limit; errors on platforms without
+    /// RAPL enforcement.
+    pub fn set_rapl_limit(&mut self, limit: Option<Watts>) -> Result<()> {
+        match self.rapl.as_mut() {
+            Some(r) => {
+                r.set_limit(limit);
+                Ok(())
+            }
+            None => Err(SimError::Unsupported("RAPL power limiting")),
+        }
+    }
+
+    /// The global frequency cap RAPL currently imposes, if any.
+    pub fn rapl_cap(&self) -> Option<KiloHertz> {
+        self.rapl.as_ref().map(|r| r.cap())
+    }
+
+    /// The programmed RAPL limit, if any.
+    pub fn rapl_limit(&self) -> Option<Watts> {
+        self.rapl.as_ref().and_then(|r| r.limit())
+    }
+
+    /// Fixed-counter snapshot for a core.
+    pub fn counters(&self, core: usize) -> CoreCounters {
+        CoreCounters {
+            aperf: self.aperf[core],
+            mperf: self.mperf[core],
+            tsc: self.tsc[core],
+            instructions: self.instructions[core],
+        }
+    }
+
+    /// Package power during the last tick.
+    pub fn package_power(&self) -> Watts {
+        self.last_package_power
+    }
+
+    /// Core-domain (PP0) power during the last tick.
+    pub fn cores_power(&self) -> Watts {
+        self.last_cores_power
+    }
+
+    /// Power of one core during the last tick (test/telemetry access,
+    /// mirroring [`crate::chip::Chip::core_power`] gating).
+    pub fn core_power(&self, core: usize) -> Result<Watts> {
+        self.check_core(core)?;
+        if !self.spec.per_core_power {
+            return Err(SimError::Unsupported("per-core power telemetry"));
+        }
+        Ok(self.last_power[core])
+    }
+
+    /// Per-core accumulated energy (white-box access for the
+    /// equivalence tests; architecturally gated like
+    /// [`WideChip::core_power`] via the raw counter below).
+    pub fn core_energy_total(&self, core: usize) -> Joules {
+        self.energy[core].total()
+    }
+
+    /// Raw (wrapping) package energy counter.
+    pub fn package_energy_raw(&self) -> u32 {
+        self.pkg_energy.read_raw()
+    }
+
+    /// Raw (wrapping) core-domain energy counter.
+    pub fn cores_energy_raw(&self) -> u32 {
+        self.cores_energy.read_raw()
+    }
+
+    /// Fraction of accounted time core `core` spent active (C0).
+    pub fn c0_fraction(&self, core: usize) -> f64 {
+        let r = &self.residency[core];
+        let total: f64 = r.iter().sum();
+        if total <= 0.0 {
+            0.0
+        } else {
+            r[0] / total
+        }
+    }
+
+    /// Whether `core` will execute this tick (same predicate as
+    /// `SimCore::is_active`).
+    #[inline]
+    fn is_active(&self, core: usize) -> bool {
+        !self.forced_idle[core] && self.load_util[core] > 0.0 && self.load_cap[core] > 0.0
+    }
+
+    /// Number of cores that will execute this tick.
+    pub fn active_cores(&self) -> usize {
+        self.active_count
+    }
+
+    /// Rebuild the memoized tick increments for every core whose inputs
+    /// moved. The expressions are verbatim the per-tick arithmetic of
+    /// `Chip::tick`/`SimCore::integrate`, so replaying the cached values
+    /// is bit-identical to recomputing them each tick.
+    fn rebuild_caches(
+        &mut self,
+        dt: Seconds,
+        all: bool,
+        caps: (KiloHertz, KiloHertz, Option<KiloHertz>),
+    ) {
+        let (cap_scalar, cap_avx, rapl_cap) = caps;
+        let grid_min = self.spec.grid.min();
+        let mperf_base = self.spec.base_freq.hz() * dt.value();
+        for c in 0..self.requested.len() {
+            if !(all || self.cache_dirty[c]) {
+                continue;
+            }
+            let is_active = self.active_flag[c];
+            // Same min-chain as Chip::resolve_freq.
+            let mut f = self.requested[c];
+            f = f.min(if self.load_avx[c] {
+                cap_avx
+            } else {
+                cap_scalar
+            });
+            if let Some(rc) = rapl_cap {
+                f = f.min(rc);
+            }
+            let f = f.max(grid_min);
+
+            // Memoized power: the CMOS model is pure in (freq, load,
+            // active, idle state); recompute only when one of them moved.
+            if self.cache_dirty[c] || f != self.effective[c] {
+                self.last_power[c] = if is_active {
+                    self.spec.power.core_power(
+                        f,
+                        &LoadDescriptor {
+                            capacitance: self.load_cap[c],
+                            utilization: self.load_util[c],
+                            avx: self.load_avx[c],
+                        },
+                    )
+                } else {
+                    self.idle_power_by_state[cstate_index(self.idle_state[c])]
+                };
+            }
+            self.effective[c] = f;
+
+            // SimCore::integrate's per-tick products, computed once.
+            let active_fraction = if is_active { self.load_util[c] } else { 0.0 };
+            self.mperf_inc[c] = (mperf_base * active_fraction) as u64;
+            self.aperf_inc[c] = (f.hz() * dt.value() * active_fraction) as u64;
+            self.c0_inc[c] = dt.value() * active_fraction;
+            self.idle_inc[c] = dt.value() * (1.0 - active_fraction);
+            self.idle_idx[c] = cstate_index(self.idle_state[c]) as u8;
+            self.energy_inc[c] = self.last_power[c] * dt;
+            self.freq_weight[c] = if is_active {
+                f.scale(self.load_util[c])
+            } else {
+                KiloHertz::ZERO
+            };
+            self.cache_dirty[c] = false;
+        }
+        self.any_dirty = false;
+        self.freq_moved = false;
+        self.last_dt = dt.value();
+        self.last_caps = caps;
+    }
+
+    /// Advance the chip by `dt`: resolve frequencies, integrate power and
+    /// counters, and let the RAPL controller react. Allocation-free.
+    pub fn tick(&mut self, dt: Seconds) {
+        let n = self.requested.len();
+        debug_assert_eq!(
+            self.active_count,
+            (0..n).filter(|&c| self.is_active(c)).count()
+        );
+
+        // Caps depend only on the active count — hoist them out of the
+        // per-core loop (Chip re-derives them per core).
+        let cap_scalar = self.spec.turbo.cap_for(self.active_count, false);
+        let cap_avx = self.spec.turbo.cap_for(self.active_count, true);
+        let rapl_cap = self.rapl.as_ref().map(|r| r.cap());
+        let caps = (cap_scalar, cap_avx, rapl_cap);
+
+        // Re-resolve frequencies only when something that feeds the
+        // min-chain moved; refresh per-core increments only for cores
+        // whose power inputs moved. A steady-state tick skips both.
+        // `last_dt` starts as NaN, which compares unequal and forces the
+        // first tick down the rebuild path.
+        let resolve_all = caps != self.last_caps || dt.value() != self.last_dt || self.freq_moved;
+        if resolve_all || self.any_dirty {
+            self.rebuild_caches(dt, resolve_all, caps);
+        }
+
+        // Per-tick counter increment shared by every core.
+        let tsc_inc = (self.spec.base_freq.hz() * dt.value()) as u64;
+
+        let mut cores_power = Watts::ZERO;
+        let mut active_freq_sum = KiloHertz::ZERO;
+        let mut max_active_freq = KiloHertz::ZERO;
+
+        // Slices pinned to length n so the indexing below elides bounds
+        // checks; the loop is pure replay — adds of cached increments in
+        // the same order Chip folds the freshly computed ones.
+        let last_power = &self.last_power[..n];
+        let active_flag = &self.active_flag[..n];
+        let freq_weight = &self.freq_weight[..n];
+        let effective = &self.effective[..n];
+        let mperf_inc = &self.mperf_inc[..n];
+        let aperf_inc = &self.aperf_inc[..n];
+        let c0_inc = &self.c0_inc[..n];
+        let idle_inc = &self.idle_inc[..n];
+        let idle_idx = &self.idle_idx[..n];
+        let energy_inc = &self.energy_inc[..n];
+        let tsc = &mut self.tsc[..n];
+        let mperf = &mut self.mperf[..n];
+        let aperf = &mut self.aperf[..n];
+        let residency = &mut self.residency[..n];
+        let energy = &mut self.energy[..n];
+
+        for c in 0..n {
+            cores_power += last_power[c];
+            if active_flag[c] {
+                active_freq_sum += freq_weight[c];
+                max_active_freq = max_active_freq.max(effective[c]);
+            }
+            tsc[c] = tsc[c].wrapping_add(tsc_inc);
+            mperf[c] = mperf[c].wrapping_add(mperf_inc[c]);
+            aperf[c] = aperf[c].wrapping_add(aperf_inc[c]);
+            // CStateResidency::record, replayed from the cached products.
+            let r = &mut residency[c];
+            r[0] += c0_inc[c];
+            let idx = idle_idx[c] as usize & 3;
+            if idx == 0 {
+                r[0] += idle_inc[c];
+            } else {
+                r[idx] += idle_inc[c];
+            }
+            energy[c].add(energy_inc[c]);
+        }
+
+        let uncore = self
+            .spec
+            .power
+            .uncore_power_at(active_freq_sum, max_active_freq);
+        let package = cores_power + uncore;
+
+        self.cores_energy.add(cores_power * dt);
+        self.pkg_energy.add(package * dt);
+        self.last_cores_power = cores_power;
+        self.last_package_power = package;
+
+        if let Some(r) = self.rapl.as_mut() {
+            r.observe(package, dt);
+        }
+        self.clock.advance(dt);
+    }
+
+    /// Run `n` ticks of `dt` each.
+    pub fn run_ticks(&mut self, n: usize, dt: Seconds) {
+        for _ in 0..n {
+            self.tick(dt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::Chip;
+
+    const MS: Seconds = Seconds(0.001);
+
+    /// Mixed workload over `n` cores: deterministic spread of frequencies,
+    /// capacitances, utilizations and AVX flags, plus some parked and
+    /// shallow-idle cores.
+    fn drive_pair(n: usize, ticks: usize) -> (Chip, WideChip) {
+        let spec = PlatformSpec::wide(n);
+        let mut chip = Chip::new(spec.clone());
+        let mut wide = WideChip::new(spec.clone());
+        let span = (spec.grid.max().khz() - spec.grid.min().khz()) / spec.grid.step().khz();
+        for c in 0..n {
+            let f = KiloHertz(
+                spec.grid.min().khz() + (c as u64 * 7 % (span + 1)) * spec.grid.step().khz(),
+            );
+            chip.set_requested_freq(c, f).unwrap();
+            wide.set_requested_freq(c, f).unwrap();
+            let load = match c % 5 {
+                0 => LoadDescriptor::nominal(),
+                1 => LoadDescriptor {
+                    capacitance: 1.9,
+                    utilization: 1.0,
+                    avx: true,
+                },
+                2 => LoadDescriptor {
+                    capacitance: 1.2,
+                    utilization: 0.6,
+                    avx: false,
+                },
+                3 => LoadDescriptor::IDLE,
+                _ => LoadDescriptor {
+                    capacitance: 0.8,
+                    utilization: 0.9,
+                    avx: false,
+                },
+            };
+            chip.set_load(c, load).unwrap();
+            wide.set_load(c, load).unwrap();
+            if c % 7 == 3 {
+                chip.set_forced_idle(c, true).unwrap();
+                wide.set_forced_idle(c, true).unwrap();
+            }
+            if c % 4 == 1 {
+                chip.set_idle_state(c, CState::C1).unwrap();
+                wide.set_idle_state(c, CState::C1).unwrap();
+            }
+            chip.add_instructions(c, 1000 + c as u64).unwrap();
+            wide.add_instructions(c, 1000 + c as u64).unwrap();
+        }
+        let limit = Watts(4.0 * n as f64);
+        chip.set_rapl_limit(Some(limit)).unwrap();
+        wide.set_rapl_limit(Some(limit)).unwrap();
+        for t in 0..ticks {
+            // retarget mid-run so the caches see real frequency movement
+            if t == ticks / 2 {
+                for c in (0..n).step_by(3) {
+                    let f = spec.grid.round(KiloHertz(
+                        spec.grid.min().khz()
+                            + (c as u64 * 11 % (span + 1)) * spec.grid.step().khz(),
+                    ));
+                    chip.set_requested_freq(c, f).unwrap();
+                    wide.set_requested_freq(c, f).unwrap();
+                }
+            }
+            chip.tick(MS);
+            wide.tick(MS);
+        }
+        (chip, wide)
+    }
+
+    #[test]
+    fn bit_identical_to_chip_at_16_cores() {
+        let n = 16;
+        let (chip, wide) = drive_pair(n, 600);
+        assert_eq!(
+            chip.package_power().value().to_bits(),
+            wide.package_power().value().to_bits()
+        );
+        assert_eq!(
+            chip.cores_power().value().to_bits(),
+            wide.cores_power().value().to_bits()
+        );
+        assert_eq!(chip.package_energy_raw(), wide.package_energy_raw());
+        assert_eq!(chip.cores_energy_raw(), wide.cores_energy_raw());
+        assert_eq!(chip.rapl_cap(), wide.rapl_cap());
+        for c in 0..n {
+            assert_eq!(chip.effective_freq(c), wide.effective_freq(c), "core {c}");
+            assert_eq!(chip.counters(c), wide.counters(c), "core {c}");
+            assert_eq!(
+                chip.core(c).energy().total().value().to_bits(),
+                wide.core_energy_total(c).value().to_bits(),
+                "core {c} energy"
+            );
+            assert_eq!(
+                chip.core(c).residency().c0_fraction().to_bits(),
+                wide.c0_fraction(c).to_bits(),
+                "core {c} residency"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_identical_on_the_skylake_testbed() {
+        // The equivalence is not special to the wide descriptors: the
+        // paper's Skylake part (ramped turbo, RAPL) agrees too.
+        let spec = PlatformSpec::skylake();
+        let mut chip = Chip::new(spec.clone());
+        let mut wide = WideChip::new(spec);
+        for c in 0..10 {
+            let f = KiloHertz::from_mhz(1000 + 200 * c as u64);
+            chip.set_requested_freq(c, f).unwrap();
+            wide.set_requested_freq(c, f).unwrap();
+            let load = LoadDescriptor {
+                capacitance: if c % 2 == 0 { 1.0 } else { 1.9 },
+                utilization: 1.0,
+                avx: c % 2 == 1,
+            };
+            chip.set_load(c, load).unwrap();
+            wide.set_load(c, load).unwrap();
+        }
+        chip.set_rapl_limit(Some(Watts(50.0))).unwrap();
+        wide.set_rapl_limit(Some(Watts(50.0))).unwrap();
+        for _ in 0..2000 {
+            chip.tick(MS);
+            wide.tick(MS);
+        }
+        assert_eq!(
+            chip.package_power().value().to_bits(),
+            wide.package_power().value().to_bits()
+        );
+        for c in 0..10 {
+            assert_eq!(chip.effective_freq(c), wide.effective_freq(c));
+            assert_eq!(chip.counters(c), wide.counters(c));
+        }
+    }
+
+    #[test]
+    fn batch_setters_validate() {
+        let mut wide = WideChip::new(PlatformSpec::wide(16));
+        assert!(matches!(
+            wide.set_requested_freq(99, KiloHertz::from_mhz(1000)),
+            Err(SimError::NoSuchCore { .. })
+        ));
+        assert!(matches!(
+            wide.set_requested_freq(0, KiloHertz::from_mhz(5000)),
+            Err(SimError::FrequencyOutOfRange { .. })
+        ));
+        assert!(wide
+            .set_all_requested(&[KiloHertz::from_mhz(1200); 16])
+            .is_ok());
+        assert_eq!(wide.requested_freq(7), KiloHertz::from_mhz(1200));
+        assert!(wide
+            .set_all_requested(&[KiloHertz::from_mhz(1200); 3])
+            .is_err());
+        // snapping matches the grid
+        wide.set_requested_freq(0, KiloHertz(1_234_000)).unwrap();
+        assert_eq!(wide.requested_freq(0), KiloHertz::from_mhz(1200));
+    }
+
+    #[test]
+    fn rapl_holds_the_cap_at_width() {
+        let n = 128;
+        let spec = PlatformSpec::wide(n);
+        let mut wide = WideChip::new(spec.clone());
+        for c in 0..n {
+            wide.set_requested_freq(c, spec.grid.max()).unwrap();
+            wide.set_load(c, LoadDescriptor::nominal()).unwrap();
+        }
+        let limit = Watts(4.0 * n as f64);
+        wide.set_rapl_limit(Some(limit)).unwrap();
+        wide.run_ticks(5000, MS);
+        assert!(
+            wide.package_power().value() < limit.value() * 1.1,
+            "RAPL failed to hold {limit} at {n} cores: {}",
+            wide.package_power()
+        );
+        assert_eq!(wide.active_cores(), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared P-state slots")]
+    fn rejects_shared_slot_platforms() {
+        let _ = WideChip::new(PlatformSpec::ryzen());
+    }
+}

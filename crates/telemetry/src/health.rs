@@ -34,6 +34,10 @@ pub enum SensorId {
     /// equivalent); unhealthy when writes error or are accepted but
     /// ineffective (stuck).
     FreqActuator(usize),
+    /// The host's CPU-utilization source (`/proc/stat` on Linux).
+    /// Unhealthy means per-core C0 residency is a stale or assumed
+    /// value, so IPS-derived policy inputs must not be trusted.
+    Utilization,
 }
 
 impl std::fmt::Display for SensorId {
@@ -43,6 +47,7 @@ impl std::fmt::Display for SensorId {
             SensorId::CorePower(c) => write!(f, "core{c}-power"),
             SensorId::CoreCounters(c) => write!(f, "core{c}-counters"),
             SensorId::FreqActuator(c) => write!(f, "core{c}-freq-wr"),
+            SensorId::Utilization => write!(f, "cpu-util"),
         }
     }
 }

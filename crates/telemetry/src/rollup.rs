@@ -231,7 +231,9 @@ impl ClusterRollup {
             .map(|n| n.node)
     }
 
-    /// Jain fairness of per-node power draw (1 = perfectly even).
+    /// Jain fairness of per-node power draw (1 = perfectly even). An
+    /// empty or fully-idle cluster reports 1.0 (the
+    /// [`crate::stats::jain`] degenerate-input convention).
     pub fn power_balance(&self) -> f64 {
         let draws: Vec<f64> = self.nodes.iter().map(|n| n.package_power.value()).collect();
         crate::stats::jain(&draws)

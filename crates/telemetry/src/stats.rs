@@ -56,19 +56,43 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
 
 /// Jain's fairness index over non-negative allocations:
 /// `(Σx)² / (n · Σx²)`. 1 when all values are equal, approaching `1/n`
-/// when one value dominates. Empty or all-zero input is vacuously fair
-/// (1.0): nothing is allocated unequally.
+/// when one value dominates.
+///
+/// Degenerate-input convention (callers feed measured attainments,
+/// power draws and normalized speedups, any of which can collapse):
+///
+/// * **empty slice** → 1.0 — no allocations, nothing unequal;
+/// * **all-zero** → 1.0 — the 0/0 case of the formula; everyone got
+///   the same (zero) allocation, which is equal, hence fair;
+/// * **NaN / infinite samples** → ignored (an all-non-finite slice
+///   behaves like an empty one), so one dead sensor cannot poison a
+///   whole scorecard;
+/// * **negative samples** → counted as zero allocation.
+///
+/// Debug builds assert on non-finite or negative input so the producing
+/// experiment is caught in development; release builds degrade as above
+/// instead of returning NaN.
 pub fn jain(values: &[f64]) -> f64 {
     debug_assert!(
-        values.iter().all(|&v| v >= 0.0),
-        "Jain needs non-negative values"
+        values.iter().all(|&v| v.is_finite() && v >= 0.0),
+        "Jain needs finite non-negative values"
     );
-    let sum: f64 = values.iter().sum();
-    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
-    if sum_sq == 0.0 {
+    let mut n = 0usize;
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for &v in values {
+        if !v.is_finite() {
+            continue;
+        }
+        let v = v.max(0.0);
+        n += 1;
+        sum += v;
+        sum_sq += v * v;
+    }
+    if n == 0 || sum_sq == 0.0 {
         return 1.0;
     }
-    sum * sum / (values.len() as f64 * sum_sq)
+    sum * sum / (n as f64 * sum_sq)
 }
 
 /// The five-number summary the paper's box plots report, plus outliers
@@ -183,8 +207,8 @@ mod tests {
 
     #[test]
     fn jain_index_bounds() {
-        assert_eq!(jain(&[]), 1.0);
-        assert_eq!(jain(&[0.0, 0.0]), 1.0);
+        assert_eq!(jain(&[]), 1.0, "empty: vacuously fair");
+        assert_eq!(jain(&[0.0, 0.0]), 1.0, "all-zero (0/0 case): fair");
         assert!(
             (jain(&[3.0, 3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12,
             "equal = fair"
@@ -196,6 +220,19 @@ mod tests {
             mid > 0.25 && mid < 1.0,
             "partial skew in between, got {mid}"
         );
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "finite non-negative"))]
+    fn jain_degrades_on_junk_in_release_and_asserts_in_debug() {
+        // One dead sensor (NaN) must not turn the whole scorecard into
+        // NaN; release builds drop the sample.
+        let j = jain(&[2.0, f64::NAN, 2.0]);
+        assert!((j - 1.0).abs() < 1e-12, "NaN ignored, rest equal: {j}");
+        assert_eq!(jain(&[f64::NAN, f64::INFINITY]), 1.0, "all junk = empty");
+        // Negative allocations count as zero allocation.
+        let j = jain(&[4.0, -4.0]);
+        assert!((j - 0.5).abs() < 1e-12, "negative clamps to 0: {j}");
     }
 
     #[test]

@@ -1,9 +1,14 @@
-//! Property test for the delta rollup's exact mode: under *arbitrary*
+//! Property tests for the delta rollup. Exact mode: under *arbitrary*
 //! add / remove / update sequences, a `DeltaRollup` with `epsilon = 0`
 //! is exactly equal — bit-for-bit on every float — to a full
 //! re-aggregation (`ClusterRollup::new`) over the latest surviving row
 //! of every resident node. This is the invariant the sharded cluster
-//! engine's serial-parity proof rests on (DESIGN.md §14).
+//! engine's serial-parity proof rests on (DESIGN.md §14). Approximate
+//! mode: with `epsilon > 0` every cached row stays within epsilon
+//! (relative-or-absolute, per field) of the node's latest telemetry, so
+//! the incremental totals drift from a fresh fold by at most the sum of
+//! tolerated per-node deltas — the bound the 1000-node arbiter relies
+//! on when it trades exactness for skip rate.
 
 use std::collections::BTreeMap;
 
@@ -145,5 +150,82 @@ proptest! {
         assert_exactly_equal(&delta, &reference);
         let full = ClusterRollup::new(Seconds(1.0), reference.values().cloned().collect());
         prop_assert!(full.total_power().value().is_finite());
+    }
+
+    /// epsilon > 0: after every prefix of an arbitrary sequence, each
+    /// incremental float total differs from a full re-aggregation over
+    /// the latest rows by at most the sum over resident nodes of the
+    /// per-node tolerance `eps · max(|field|, 1)` (inflated by
+    /// 1/(1−eps) because the tolerance is anchored at the *cached*
+    /// value, which itself sits within eps of the latest). Structural
+    /// fields (core counts, caps, membership) always bust the
+    /// tolerance, so their totals stay exact.
+    #[test]
+    fn epsilon_mode_drift_is_bounded_per_node(
+        ops in ops(),
+        eps in 0.001f64..0.2,
+    ) {
+        let mut delta = DeltaRollup::new(Seconds(1.0), eps);
+        let mut reference: BTreeMap<usize, NodeTelemetry> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Update(tel) => {
+                    delta.update(tel.clone());
+                    reference.insert(tel.node, tel);
+                }
+                Op::Remove(node) => {
+                    reference.remove(&node);
+                    delta.remove(node);
+                }
+            }
+            let full = ClusterRollup::new(Seconds(1.0), reference.values().cloned().collect());
+            let bound = |field: fn(&NodeTelemetry) -> f64| -> f64 {
+                let per_node: f64 = full
+                    .nodes
+                    .iter()
+                    .map(|n| field(n).abs().max(1.0))
+                    .sum();
+                eps / (1.0 - eps) * per_node
+            };
+            let close = |got: f64, want: f64, bound: f64| -> bool {
+                // float slack for the subtract-old/add-new re-association
+                (got - want).abs() <= bound + 1e-9 * (1.0 + want.abs())
+            };
+            prop_assert!(
+                close(
+                    delta.total_power().value(),
+                    full.total_power().value(),
+                    bound(|n| n.package_power.value()),
+                ),
+                "power drift {} vs {} beyond bound",
+                delta.total_power().value(),
+                full.total_power().value(),
+            );
+            prop_assert!(
+                close(delta.total_ips(), full.total_ips(), bound(|n| n.total_ips)),
+                "ips drift {} vs {} beyond bound",
+                delta.total_ips(),
+                full.total_ips(),
+            );
+            prop_assert!(
+                close(
+                    delta.total_shares(),
+                    full.total_shares(),
+                    bound(|n| n.total_shares),
+                ),
+                "shares drift {} vs {} beyond bound",
+                delta.total_shares(),
+                full.total_shares(),
+            );
+            // Structural fields re-aggregate on any change: exact.
+            prop_assert_eq!(delta.busy_cores(), full.busy_cores());
+            prop_assert_eq!(delta.total_cores(), full.total_cores());
+            prop_assert!(close(
+                delta.total_cap().value(),
+                full.total_cap().value(),
+                0.0,
+            ));
+            prop_assert_eq!(delta.len(), full.nodes.len());
+        }
     }
 }

@@ -369,6 +369,7 @@ mod hwcli {
                 dry_run: opts.dry_run,
                 write_mode: WriteMode::Auto,
                 clock: BackendClock::wall(),
+                no_offline: opts.no_offline,
             },
         )
         .map_err(|e| format!("probing the host: {e}"))?;

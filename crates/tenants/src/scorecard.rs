@@ -101,6 +101,10 @@ impl SloScorecard {
     }
 
     /// Jain fairness index over service tenants' attainment.
+    ///
+    /// Degenerate runs follow the [`pap_telemetry::stats::jain`]
+    /// convention: no service tenants, or every attainment zero (all
+    /// SLOs missed equally), report 1.0 — equal, if dismal, treatment.
     pub fn jain(&self) -> f64 {
         let svc: Vec<f64> = self
             .tenants

@@ -24,6 +24,7 @@ fn daemon_prices_energy_on_an_amd_mock_host() {
             dry_run: false,
             write_mode: WriteMode::Auto,
             clock: BackendClock::manual(),
+            no_offline: false,
         },
     )
     .expect("probe amd fixture");
