@@ -399,6 +399,98 @@ fn run_wide_sweep() -> Vec<WideResult> {
         .collect()
 }
 
+/// One scenario row recovered from a committed `BENCH_hotpath.json`.
+struct BaselineEntry {
+    name: String,
+    policy: String,
+    translation: String,
+    view: f64,
+    owned: f64,
+}
+
+fn extract_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = &line[line.find(key)? + key.len()..];
+    Some(&rest[..rest.find('"')?])
+}
+
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Recover the scenario rates from a previously written report. The
+/// report serializes one scenario object per line (see [`json_report`]),
+/// so line-oriented key scanning is exact for files this bench wrote.
+fn parse_baseline(text: &str) -> Vec<BaselineEntry> {
+    text.lines()
+        .filter_map(|line| {
+            Some(BaselineEntry {
+                name: extract_str(line, "\"name\": \"")?.to_string(),
+                policy: extract_str(line, "\"policy\": \"")?.to_string(),
+                translation: extract_str(line, "\"translation\": \"")?.to_string(),
+                view: extract_num(line, "\"steps_per_sec_view\": ")?,
+                owned: extract_num(line, "\"steps_per_sec_owned\": ")?,
+            })
+        })
+        .collect()
+}
+
+/// Regression guard against a committed baseline report, scoped to the
+/// shares policies (the heavy water-fill / slot-DP controllers whose
+/// cost the fleet fast path is meant to keep down). Absolute steps/sec
+/// are machine-dependent and single scenarios jitter >10 % run-to-run
+/// even on one host, so the guard compares the *geometric mean* of the
+/// per-scenario view-path ratios (current / baseline) against the same
+/// aggregate over the owned path, which serves as the machine-speed
+/// proxy: both paths slow down equally on a slower runner, but only a
+/// genuine controller regression drags the view aggregate below the
+/// owned one. A normalized aggregate >10 % down fails. Failures are
+/// appended to `failures`.
+fn check_against_baseline(results: &[ScenarioResult], text: &str, failures: &mut Vec<String>) {
+    let base = parse_baseline(text);
+    let matched: Vec<(&ScenarioResult, &BaselineEntry)> = results
+        .iter()
+        .filter_map(|r| {
+            base.iter()
+                .find(|b| {
+                    b.name == r.name
+                        && b.translation == r.translation
+                        && b.policy.contains("shares")
+                        && b.view > 0.0
+                        && b.owned > 0.0
+                })
+                .map(|b| (r, b))
+        })
+        .collect();
+    if matched.is_empty() {
+        failures.push("baseline report contains no shares-policy scenarios".to_string());
+        return;
+    }
+    let geomean = |ratios: &mut dyn Iterator<Item = f64>| -> f64 {
+        let (sum, n) = ratios.fold((0.0, 0u32), |(s, n), r| (s + r.ln(), n + 1));
+        (sum / n as f64).exp()
+    };
+    let view = geomean(&mut matched.iter().map(|(r, b)| r.steps_per_sec_view / b.view));
+    let owned = geomean(&mut matched.iter().map(|(r, b)| r.steps_per_sec_owned / b.owned));
+    if view < 0.9 * owned {
+        failures.push(format!(
+            "shares-policy view path regressed >10% vs the recorded baseline: \
+             aggregate view ratio {view:.3} vs owned-path (machine-speed) ratio {owned:.3} \
+             over {} scenarios",
+            matched.len()
+        ));
+    } else {
+        println!(
+            "Baseline guard: shares-policy view ratio {view:.3} vs owned ratio {owned:.3} \
+             over {} scenarios — no regression",
+            matched.len()
+        );
+    }
+}
+
 fn policy_label(policy: PolicyKind) -> &'static str {
     match policy {
         PolicyKind::RaplNative => "rapl",
@@ -497,6 +589,7 @@ fn json_report(results: &[ScenarioResult], wide: &[WideResult]) -> String {
 fn main() -> ExitCode {
     let mut steps = 20_000usize;
     let mut out_path = String::from("results/BENCH_hotpath.json");
+    let mut baseline_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -507,7 +600,10 @@ fn main() -> ExitCode {
                     .expect("--steps takes a positive integer");
             }
             "--out" => out_path = args.next().expect("--out takes a path"),
-            other => panic!("unknown argument {other:?} (supported: --steps N, --out PATH)"),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline takes a path")),
+            other => panic!(
+                "unknown argument {other:?} (supported: --steps N, --out PATH, --baseline PATH)"
+            ),
         }
     }
 
@@ -563,6 +659,13 @@ fn main() -> ExitCode {
         }
     }
     println!("{t}");
+
+    if let Some(path) = &baseline_path {
+        match std::fs::read_to_string(path) {
+            Ok(text) => check_against_baseline(&results, &text, &mut failures),
+            Err(e) => failures.push(format!("--baseline {path}: {e}")),
+        }
+    }
 
     let wide = run_wide_sweep();
     let mut wt = Table::new(

@@ -7,13 +7,17 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
+use pap_simcpu::chiplike::ChipLike;
 use pap_simcpu::platform::PlatformSpec;
 use pap_simcpu::units::{Seconds, Watts};
+use pap_simcpu::widechip::WideChip;
 use pap_telemetry::rollup::{ClusterRollup, NodeTelemetry};
 use pap_workloads::traces::LoadTrace;
-use powerd::config::{AppSpec, PolicyKind, TranslationKind};
+use powerd::config::{AppSpec, MemoMode, PolicyKind, TranslationKind};
 use powerd::daemon::DaemonError;
+use powerd::memo::MemoStats;
 use powerd::obs::{DecisionEvent, DecisionRecord, DecisionTrace};
 
 use crate::admission::{AppRequest, Placement};
@@ -44,6 +48,9 @@ pub struct ClusterConfig {
     /// learned capacity predictions, which the allocator uses to clamp
     /// claim ceilings at rebalance time.
     pub translation: TranslationKind,
+    /// Decision memoization applied to every node daemon (the fleet
+    /// fast path's control-plane half; exact replay by default).
+    pub memo: MemoMode,
 }
 
 impl ClusterConfig {
@@ -59,6 +66,7 @@ impl ClusterConfig {
             tick: Seconds(0.001),
             rebalance_every: 4,
             translation: TranslationKind::Naive,
+            memo: MemoMode::default(),
         }
     }
 }
@@ -184,10 +192,15 @@ pub enum RequeueOutcome {
 /// A running cluster. Admission, departures, and the serial engine live
 /// here; [`crate::engine::run_parallel`] drives the same nodes
 /// concurrently.
+///
+/// Generic over the node simulator backend through the [`ChipLike`]
+/// seam, defaulting to the batch [`WideChip`]; `Cluster<Chip>` gets the
+/// scalar reference backend (the two are bit-identical — see
+/// `ext_fleet`).
 #[derive(Debug)]
-pub struct Cluster {
+pub struct Cluster<C: ChipLike = WideChip> {
     pub(crate) cfg: ClusterConfig,
-    pub(crate) nodes: Vec<Node>,
+    pub(crate) nodes: Vec<Node<C>>,
     pub(crate) allocator: BudgetAllocator,
     pub(crate) placements: HashMap<String, usize>,
     pub(crate) requests: HashMap<String, AppRequest>,
@@ -202,11 +215,20 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Bring up an idle cluster. The global budget must at least fund
-    /// every node's platform power floor; the initial split is even
-    /// (clamped to the platform range), so with `rebalance_every == 0`
-    /// this is exactly the static RAPL-per-node baseline.
+    /// Bring up an idle cluster on the default [`WideChip`] backend.
+    /// See [`Cluster::with_backend`].
     pub fn new(cfg: ClusterConfig) -> Result<Cluster, ClusterError> {
+        Cluster::with_backend(cfg)
+    }
+}
+
+impl<C: ChipLike> Cluster<C> {
+    /// Bring up an idle cluster on an explicit backend. The global
+    /// budget must at least fund every node's platform power floor; the
+    /// initial split is even (clamped to the platform range), so with
+    /// `rebalance_every == 0` this is exactly the static RAPL-per-node
+    /// baseline. All nodes share one [`Arc`]ed platform spec.
+    pub fn with_backend(cfg: ClusterConfig) -> Result<Cluster<C>, ClusterError> {
         if cfg.nodes == 0 {
             return Err(ClusterError::NoNodes);
         }
@@ -220,11 +242,12 @@ impl Cluster {
         }
         let even =
             Watts((cfg.cluster_cap.value() / cfg.nodes as f64).clamp(min.value(), max.value()));
+        let platform = Arc::new(cfg.platform.clone());
         let nodes = (0..cfg.nodes)
             .map(|id| {
-                Node::new(
+                Node::with_chip(
                     id,
-                    &cfg.platform,
+                    Arc::clone(&platform),
                     cfg.policy,
                     even,
                     cfg.control_interval,
@@ -232,6 +255,7 @@ impl Cluster {
                 )
                 .map(|mut n| {
                     n.set_translation(cfg.translation);
+                    n.set_memo(cfg.memo);
                     n
                 })
             })
@@ -248,6 +272,20 @@ impl Cluster {
             observer: None,
             cfg,
         })
+    }
+
+    /// Aggregate decision-memoization counters across every node's
+    /// daemon. `None` when memoization is off.
+    pub fn memo_stats(&self) -> Option<MemoStats> {
+        let mut total = MemoStats::default();
+        let mut any = false;
+        for n in &self.nodes {
+            if let Some(s) = n.memo_stats() {
+                total.merge(s);
+                any = true;
+            }
+        }
+        any.then_some(total)
     }
 
     /// Attach a decision-trace observer; each subsequent rebalance round
@@ -603,7 +641,7 @@ impl Cluster {
     }
 
     /// The nodes, in id order.
-    pub fn nodes(&self) -> &[Node] {
+    pub fn nodes(&self) -> &[Node<C>] {
         &self.nodes
     }
 
@@ -645,8 +683,8 @@ impl Cluster {
 /// observationally identical to the serial engine retargeting at the
 /// end of the interval (no chip ticks happen in between either way).
 #[derive(Debug)]
-pub struct EngineSeam {
-    nodes: Vec<Node>,
+pub struct EngineSeam<C: ChipLike = WideChip> {
+    nodes: Vec<Node<C>>,
     observer: Option<DecisionTrace>,
     cfg: ClusterConfig,
     allocator: BudgetAllocator,
@@ -654,13 +692,13 @@ pub struct EngineSeam {
     energy_j: f64,
 }
 
-impl Cluster {
+impl<C: ChipLike> Cluster<C> {
     /// Move the nodes, observer and run counters out into an
     /// [`EngineSeam`] for an external engine. The cluster is left
     /// empty-handed (zero nodes) until [`Cluster::attach_engine`]
     /// returns the seam; admission and `run` must not be called in
     /// between.
-    pub fn detach_engine(&mut self) -> EngineSeam {
+    pub fn detach_engine(&mut self) -> EngineSeam<C> {
         EngineSeam {
             nodes: std::mem::take(&mut self.nodes),
             observer: self.observer.take(),
@@ -674,7 +712,7 @@ impl Cluster {
     /// Reattach a seam after an external engine ran, writing the
     /// engine's counters (and its final roll-up, when it materialized
     /// one) back into the cluster.
-    pub fn attach_engine(&mut self, seam: EngineSeam, last_rollup: Option<ClusterRollup>) {
+    pub fn attach_engine(&mut self, seam: EngineSeam<C>, last_rollup: Option<ClusterRollup>) {
         self.nodes = seam.nodes;
         self.observer = seam.observer;
         self.intervals_run = seam.intervals_run;
@@ -685,19 +723,19 @@ impl Cluster {
     }
 }
 
-impl EngineSeam {
+impl<C: ChipLike> EngineSeam<C> {
     /// The cluster's configuration.
     pub fn cfg(&self) -> &ClusterConfig {
         &self.cfg
     }
 
     /// Move the nodes out (e.g. to partition them across shards).
-    pub fn take_nodes(&mut self) -> Vec<Node> {
+    pub fn take_nodes(&mut self) -> Vec<Node<C>> {
         std::mem::take(&mut self.nodes)
     }
 
     /// Return the nodes, in id order, after the run.
-    pub fn put_nodes(&mut self, nodes: Vec<Node>) {
+    pub fn put_nodes(&mut self, nodes: Vec<Node<C>>) {
         self.nodes = nodes;
     }
 

@@ -5,19 +5,31 @@
 //! single-socket experiment runner uses (tick the apps and the chip,
 //! then sample telemetry and let the daemon act) — so cluster results
 //! are directly comparable to the paper's single-node experiments. All
-//! state is owned: nodes on different threads share nothing, which is
+//! state is owned: nodes on different threads share nothing (the
+//! [`PlatformSpec`] is shared read-only through an [`Arc`]), which is
 //! what lets the parallel engine reproduce the serial reference
 //! bit-for-bit.
+//!
+//! [`Node`] is generic over its simulator backend through the
+//! [`ChipLike`] seam and defaults to the struct-of-arrays
+//! [`WideChip`], which steps 4–5× faster than the scalar
+//! [`Chip`](pap_simcpu::chip::Chip) at fleet core counts while staying
+//! bit-identical (`pap-simcpu`'s equivalence suite). Code that needs
+//! the scalar backend writes `Node<Chip>`.
 
-use pap_simcpu::chip::Chip;
+use std::sync::Arc;
+
+use pap_simcpu::chiplike::ChipLike;
 use pap_simcpu::platform::PlatformSpec;
 use pap_simcpu::units::{Seconds, Watts};
+use pap_simcpu::widechip::WideChip;
 use pap_telemetry::rollup::NodeTelemetry;
 use pap_telemetry::sampler::Sampler;
 use pap_workloads::engine::RunningApp;
 use pap_workloads::traces::LoadTrace;
-use powerd::config::{AppSpec, DaemonConfig, PolicyKind, TranslationKind};
+use powerd::config::{AppSpec, DaemonConfig, MemoMode, PolicyKind, TranslationKind};
 use powerd::daemon::{ControlAction, Daemon, DaemonError};
+use powerd::memo::MemoStats;
 
 use crate::admission::AppRequest;
 
@@ -37,10 +49,10 @@ pub struct ResidentApp {
 
 /// One cluster node: chip + daemon + resident apps.
 #[derive(Debug)]
-pub struct Node {
+pub struct Node<C: ChipLike = WideChip> {
     id: usize,
-    platform: PlatformSpec,
-    chip: Chip,
+    platform: Arc<PlatformSpec>,
+    chip: C,
     daemon: Daemon,
     sampler: Sampler,
     apps: Vec<ResidentApp>,
@@ -51,8 +63,9 @@ pub struct Node {
 }
 
 impl Node {
-    /// Bring up an idle node: an empty daemon config (all cores parked)
-    /// under `policy` with an initial power cap of `cap`.
+    /// Bring up an idle node on the default [`WideChip`] backend: an
+    /// empty daemon config (all cores parked) under `policy` with an
+    /// initial power cap of `cap`.
     pub fn new(
         id: usize,
         platform: &PlatformSpec,
@@ -61,19 +74,36 @@ impl Node {
         interval: Seconds,
         tick: Seconds,
     ) -> Result<Node, DaemonError> {
+        Node::with_chip(id, Arc::new(platform.clone()), policy, cap, interval, tick)
+    }
+}
+
+impl<C: ChipLike> Node<C> {
+    /// Bring up an idle node on an explicit backend, sharing the
+    /// platform spec instead of cloning it per node (a fleet of 1024
+    /// nodes holds one spec, not 1024 copies of its frequency grid and
+    /// power curves).
+    pub fn with_chip(
+        id: usize,
+        platform: Arc<PlatformSpec>,
+        policy: PolicyKind,
+        cap: Watts,
+        interval: Seconds,
+        tick: Seconds,
+    ) -> Result<Node<C>, DaemonError> {
         let mut config = DaemonConfig::new(policy, cap, Vec::new());
         config.control_interval = interval;
-        let mut chip = Chip::new(platform.clone());
+        let mut chip = C::shared(Arc::clone(&platform));
         if policy == PolicyKind::RaplNative {
             chip.set_rapl_limit(Some(cap)).expect("platform has RAPL");
         }
-        let mut daemon = Daemon::new(config, platform)?;
+        let mut daemon = Daemon::new(config, &platform)?;
         let action = daemon.initial();
         apply(&mut chip, &action);
         let sampler = Sampler::new(&chip);
         Ok(Node {
             id,
-            platform: platform.clone(),
+            platform,
             chip,
             daemon,
             sampler,
@@ -99,6 +129,16 @@ impl Node {
     /// uses ([`TranslationKind::Naive`] is the paper's α model).
     pub fn set_translation(&mut self, kind: TranslationKind) {
         self.daemon.set_translation(kind);
+    }
+
+    /// Switch the daemon's decision memoization mode.
+    pub fn set_memo(&mut self, mode: MemoMode) {
+        self.daemon.set_memo(mode);
+    }
+
+    /// The daemon's memoization counters, if memoization is enabled.
+    pub fn memo_stats(&self) -> Option<MemoStats> {
+        self.daemon.memo_stats()
     }
 
     /// The daemon's learned prediction of this node's maximum package
@@ -204,13 +244,59 @@ impl Node {
         Ok(())
     }
 
+    /// Whether every running app's next advance is a pure memo replay
+    /// whose load equals the descriptor already installed on its core
+    /// (parked apps don't touch the chip and can't break steadiness;
+    /// traced apps modulate utilization with time and always can).
+    fn apps_steady(&self) -> bool {
+        self.apps.iter().all(|a| {
+            self.parked[a.spec.core]
+                || (a.trace.is_none()
+                    && a.engine
+                        .steady_at(self.tick, self.chip.effective_freq(a.spec.core)))
+        })
+    }
+
     /// Advance one control interval: tick every unparked app and the
     /// chip, then sample telemetry and apply the daemon's decision.
     /// Returns the node's telemetry summary for the cluster roll-up.
     pub fn advance_interval(&mut self) -> NodeTelemetry {
         let steps = (self.interval.value() / self.tick.value()).round() as usize;
-        for _ in 0..steps.max(1) {
-            for app in &mut self.apps {
+        // Per-app instruction credits, accumulated across the interval's
+        // ticks and flushed to the chip once before sampling. Nothing
+        // reads the chip's instruction counters until the sample below,
+        // and u64 wrapping adds commute, so one bulk credit is exactly
+        // the per-tick sequence — while skipping a chip call per app per
+        // tick.
+        let mut credited = vec![0u64; self.apps.len()];
+        let steps = steps.max(1);
+        let mut t = 0;
+        while t < steps {
+            // Steady fast path: when the chip's next tick is a pure
+            // replay and every running app's next advance is a memo
+            // replay of the load already installed, nothing the rest of
+            // this interval does can change a chip input — so advance
+            // each app through the remaining ticks in one tight loop
+            // (exact per-tick state sequence, including run wraps) and
+            // batch the chip ticks. Bit-identical to the per-tick loop;
+            // the scalar reference backend never reports steady.
+            if self.chip.steady_tick(self.tick) && self.apps_steady() {
+                let k = steps - t;
+                for (app, credit) in self.apps.iter_mut().zip(credited.iter_mut()) {
+                    let core = app.spec.core;
+                    if self.parked[core] {
+                        continue;
+                    }
+                    let f = self.chip.effective_freq(core);
+                    for _ in 0..k {
+                        let out = app.engine.advance(self.tick, f);
+                        *credit = credit.wrapping_add(out.instructions);
+                    }
+                }
+                self.chip.run_ticks(k, self.tick);
+                break;
+            }
+            for (app, credit) in self.apps.iter_mut().zip(credited.iter_mut()) {
                 let core = app.spec.core;
                 if self.parked[core] {
                     continue;
@@ -227,11 +313,15 @@ impl Node {
                     None => (out.load, out.instructions),
                 };
                 self.chip.set_load(core, load).expect("core in range");
-                self.chip
-                    .add_instructions(core, instructions)
-                    .expect("core in range");
+                *credit = credit.wrapping_add(instructions);
             }
             self.chip.tick(self.tick);
+            t += 1;
+        }
+        for (app, credit) in self.apps.iter().zip(credited) {
+            self.chip
+                .add_instructions(app.spec.core, credit)
+                .expect("core in range");
         }
         let sample = self
             .sampler
@@ -251,7 +341,7 @@ impl Node {
     }
 }
 
-fn apply(chip: &mut Chip, action: &ControlAction) {
+fn apply<C: ChipLike>(chip: &mut C, action: &ControlAction) {
     chip.set_all_requested(&action.freqs)
         .expect("daemon emits grid/slot-valid frequencies");
     for (core, &p) in action.parked.iter().enumerate() {

@@ -1,0 +1,298 @@
+//! Decision memoization: the control-plane half of the fleet fast path
+//! (DESIGN.md §16).
+//!
+//! Control traffic in steady fleets is overwhelmingly repetitive: once a
+//! node converges, the same telemetry arrives interval after interval and
+//! the policy recomputes the same answer. [`DecisionMemo`] fingerprints
+//! each interval's *complete* decision inputs — per-app telemetry
+//! (quantized at ε), the budget, the share vector, the previous targets,
+//! the model snapshot generation, and crucially the policy's own mutable
+//! state ([`Policy::memo_state`]) — and, when the fingerprint repeats,
+//! replays the previously computed [`PolicyOutput`] without running the
+//! policy at all.
+//!
+//! ## Why replay is exact at ε = 0
+//!
+//! Every policy step is a deterministic function `(state, input) →
+//! (output, state')`. The fingerprint covers both `state` and `input`
+//! bit-for-bit (f64 fields enter as [`f64::to_bits`]), so a repeated
+//! fingerprint means the policy would run from *exactly* the `(state,
+//! input)` pair it ran from last time — producing the same `output` and
+//! the same `state'`. And because the fingerprint matched, `state' ==
+//! state` (the recorded step already mapped this state to itself:
+//! a matching fingerprint requires the state words to equal the
+//! *post-step* state recorded last interval, which is only possible if
+//! that step was a state fixpoint). Skipping the policy and replaying
+//! the stored output is therefore bit-identical, state included. This is
+//! proven against golden replays for all six policies in
+//! `tests/memo.rs`.
+//!
+//! ## The approximate regime (ε > 0)
+//!
+//! With ε > 0 telemetry fields are bucketed into relative bands of width
+//! ε before fingerprinting (mirroring `DeltaRollup`'s exact/approximate
+//! split in the telemetry plane): a hit now means "inputs within ε of
+//! the recorded interval, state identical", and the replayed action can
+//! differ from what the policy would have chosen by the amount the
+//! policy amplifies an ε input perturbation. `tests/proptests.rs` bounds
+//! this per-interval action drift empirically.
+
+use pap_simcpu::freq::KiloHertz;
+
+use crate::policy::PolicyOutput;
+
+/// Hit/miss counters for one [`DecisionMemo`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Intervals answered by replaying the stored output.
+    pub hits: u64,
+    /// Intervals that ran the policy (and re-armed the memo).
+    pub misses: u64,
+}
+
+impl MemoStats {
+    /// Fraction of intervals answered from the memo.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fold another daemon's counters into this one (cluster reports).
+    pub fn merge(&mut self, other: MemoStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// Memoizes one daemon's control decisions. See the module docs for the
+/// exactness argument; the daemon owns the integration (fingerprint
+/// construction order is part of the contract and lives in one place,
+/// `Daemon::step_compute`).
+///
+/// All buffers reach steady-state capacity after the first interval, so
+/// the hot path performs zero heap allocations (enforced alongside the
+/// daemon's own guarantee in `tests/hotpath.rs`).
+#[derive(Debug, Clone)]
+pub struct DecisionMemo {
+    epsilon: f64,
+    /// Reciprocal of `ln(1 + ε)`, precomputed off-path.
+    inv_ln: f64,
+    /// Fingerprint being assembled for the current interval.
+    fp: Vec<u64>,
+    /// Fingerprint of the last interval that ran the policy.
+    last: Vec<u64>,
+    out_freqs: Vec<KiloHertz>,
+    out_parked: Vec<bool>,
+    valid: bool,
+    stats: MemoStats,
+}
+
+impl DecisionMemo {
+    /// A memo quantizing telemetry at relative width `epsilon`
+    /// (`0.0` = exact bits).
+    pub fn new(epsilon: f64) -> DecisionMemo {
+        DecisionMemo {
+            epsilon,
+            inv_ln: if epsilon > 0.0 {
+                1.0 / (1.0 + epsilon).ln()
+            } else {
+                0.0
+            },
+            fp: Vec::new(),
+            last: Vec::new(),
+            out_freqs: Vec::new(),
+            out_parked: Vec::new(),
+            valid: false,
+            stats: MemoStats::default(),
+        }
+    }
+
+    /// The configured quantization width.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Start a fresh fingerprint for this interval.
+    pub fn begin(&mut self) {
+        self.fp.clear();
+    }
+
+    /// Append a word that must match exactly (configuration, controller
+    /// state, discriminants).
+    #[inline]
+    pub fn push_exact(&mut self, word: u64) {
+        self.fp.push(word);
+    }
+
+    /// Append a telemetry field: exact bits at ε = 0, the containing
+    /// relative-error bucket otherwise. Zero and non-finite values pass
+    /// through as raw bits in both modes (they have no relative band,
+    /// and NaN payloads must not alias a real bucket).
+    #[inline]
+    pub fn push_quant(&mut self, x: f64) {
+        self.fp.push(self.quantize(x));
+    }
+
+    fn quantize(&self, x: f64) -> u64 {
+        if self.epsilon <= 0.0 || x == 0.0 || !x.is_finite() {
+            return x.to_bits();
+        }
+        // Bucket k holds all magnitudes in [(1+ε)^k, (1+ε)^(k+1)):
+        // two values land together only if they differ by < ε relative.
+        let bucket = (x.abs().ln() * self.inv_ln).floor() as i64;
+        ((x.is_sign_negative() as u64) << 63) | (bucket as u64 & (u64::MAX >> 1))
+    }
+
+    /// Direct access to the fingerprint under construction, for state
+    /// emitters ([`crate::policy::Policy::memo_state`]).
+    pub fn fingerprint_mut(&mut self) -> &mut Vec<u64> {
+        &mut self.fp
+    }
+
+    /// Whether the assembled fingerprint matches the recorded interval.
+    pub fn lookup(&self) -> bool {
+        self.valid && self.fp == self.last
+    }
+
+    /// Copy the stored output into `out` (a hit). Caller must have seen
+    /// [`DecisionMemo::lookup`] return true this interval.
+    pub fn replay_into(&mut self, out: &mut PolicyOutput) {
+        self.stats.hits += 1;
+        out.freqs.clear();
+        out.freqs.extend_from_slice(&self.out_freqs);
+        out.parked.clear();
+        out.parked.extend_from_slice(&self.out_parked);
+    }
+
+    /// Record a freshly computed output against the assembled
+    /// fingerprint (a miss).
+    pub fn record(&mut self, out: &PolicyOutput) {
+        self.stats.misses += 1;
+        std::mem::swap(&mut self.fp, &mut self.last);
+        self.out_freqs.clear();
+        self.out_freqs.extend_from_slice(&out.freqs);
+        self.out_parked.clear();
+        self.out_parked.extend_from_slice(&out.parked);
+        self.valid = true;
+    }
+
+    /// Drop the stored entry. Called on any state change the fingerprint
+    /// does not cover (e.g. model replacement resetting its generation
+    /// counter).
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+
+    /// Hit/miss counters since construction.
+    pub fn stats(&self) -> MemoStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn output(freqs: &[u64]) -> PolicyOutput {
+        PolicyOutput {
+            freqs: freqs.iter().map(|&f| KiloHertz(f)).collect(),
+            parked: vec![false; freqs.len()],
+        }
+    }
+
+    #[test]
+    fn exact_mode_hits_only_on_identical_bits() {
+        let mut m = DecisionMemo::new(0.0);
+        m.begin();
+        m.push_quant(45.000000001);
+        assert!(!m.lookup(), "empty memo never hits");
+        m.record(&output(&[2_000_000]));
+
+        m.begin();
+        m.push_quant(45.000000001);
+        assert!(m.lookup(), "identical bits repeat");
+        let mut out = PolicyOutput::default();
+        m.replay_into(&mut out);
+        assert_eq!(out.freqs, vec![KiloHertz(2_000_000)]);
+
+        m.begin();
+        m.push_quant(45.000000002); // 1 ulp-ish change
+        assert!(!m.lookup(), "exact mode must see any bit change");
+        assert_eq!(m.stats(), MemoStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn epsilon_buckets_absorb_small_noise() {
+        let mut m = DecisionMemo::new(0.01);
+        m.begin();
+        // A relative perturbation far below ε/bucket-width cannot cross
+        // a band boundary here (45.0 sits at fractional bucket ~.57).
+        m.push_quant(45.0);
+        m.record(&output(&[1_500_000]));
+
+        m.begin();
+        m.push_quant(45.0 * (1.0 + 1e-7));
+        assert!(m.lookup(), "sub-band noise must repeat the fingerprint");
+
+        m.begin();
+        m.push_quant(50.0); // 11% change: different band
+        assert!(!m.lookup());
+
+        // Two values in the same band differ by less than ε relative:
+        // the band that absorbs noise also bounds it.
+        let q = |x: f64| {
+            let mm = DecisionMemo::new(0.01);
+            mm.quantize(x)
+        };
+        for i in 0..200 {
+            let x = 20.0 + i as f64 * 0.37;
+            assert_ne!(q(x), q(x * 1.02), "a 2ε change must always miss");
+        }
+    }
+
+    #[test]
+    fn epsilon_separates_signs_zero_and_nan() {
+        let m = DecisionMemo::new(0.05);
+        assert_ne!(m.quantize(1.0), m.quantize(-1.0), "sign must split");
+        assert_eq!(m.quantize(0.0), 0.0f64.to_bits());
+        assert_eq!(m.quantize(f64::NAN), f64::NAN.to_bits());
+        assert_ne!(m.quantize(f64::NAN), m.quantize(1.0));
+    }
+
+    #[test]
+    fn invalidate_forces_a_miss() {
+        let mut m = DecisionMemo::new(0.0);
+        m.begin();
+        m.push_exact(7);
+        m.record(&output(&[800_000]));
+        m.invalidate();
+        m.begin();
+        m.push_exact(7);
+        assert!(!m.lookup(), "invalidated entries never replay");
+    }
+
+    #[test]
+    fn fingerprint_length_participates() {
+        let mut m = DecisionMemo::new(0.0);
+        m.begin();
+        m.push_exact(1);
+        m.push_exact(2);
+        m.record(&output(&[800_000]));
+        m.begin();
+        m.push_exact(1);
+        assert!(!m.lookup(), "shorter fingerprint must not alias");
+    }
+
+    #[test]
+    fn stats_hit_rate_and_merge() {
+        let mut a = MemoStats { hits: 3, misses: 1 };
+        assert!((a.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(MemoStats::default().hit_rate(), 0.0);
+        a.merge(MemoStats { hits: 1, misses: 3 });
+        assert_eq!(a, MemoStats { hits: 4, misses: 4 });
+    }
+}

@@ -23,12 +23,13 @@
 //!   energy counter; they fire at the first read at/after their start
 //!   time and persist (a counter cannot un-jump).
 
-use pap_simcpu::chip::Chip;
+use pap_simcpu::chiplike::ChipLike;
 use pap_simcpu::core::CoreCounters;
 use pap_simcpu::error::SimError;
 use pap_simcpu::freq::KiloHertz;
 use pap_simcpu::platform::PlatformSpec;
 use pap_simcpu::units::{Seconds, Watts};
+use pap_simcpu::widechip::WideChip;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -84,10 +85,14 @@ pub struct InjectionStats {
     pub thermal_events: u32,
 }
 
-/// A [`Chip`] behind a fault-injection layer. See the module docs.
+/// A chip backend behind a fault-injection layer. Generic over the
+/// [`ChipLike`] seam — the chaos regression in `tests/chaos.rs` proves a
+/// fault schedule produces identical verdicts whether the ground truth
+/// is the scalar `Chip` or the batch-stepped default [`WideChip`]. See
+/// the module docs.
 #[derive(Debug, Clone)]
-pub struct FaultyChip {
-    chip: Chip,
+pub struct FaultyChip<C: ChipLike = WideChip> {
+    chip: C,
     plan: FaultPlan,
     rng: StdRng,
     /// One-shot bookkeeping, indexed like `plan.faults`.
@@ -102,10 +107,10 @@ pub struct FaultyChip {
     stats: InjectionStats,
 }
 
-impl FaultyChip {
+impl<C: ChipLike> FaultyChip<C> {
     /// Wrap `chip` with a fault plan. `seed` drives only the noise
     /// faults; the schedule itself lives in the plan.
-    pub fn new(chip: Chip, plan: FaultPlan, seed: u64) -> FaultyChip {
+    pub fn new(chip: C, plan: FaultPlan, seed: u64) -> FaultyChip<C> {
         let shadow = (0..chip.num_cores())
             .map(|c| chip.requested_freq(c))
             .collect();
@@ -124,7 +129,7 @@ impl FaultyChip {
 
     /// Ground truth: the wrapped chip. Harnesses use this to score runs;
     /// a daemon backend must not.
-    pub fn inner(&self) -> &Chip {
+    pub fn inner(&self) -> &C {
         &self.chip
     }
 
@@ -372,11 +377,12 @@ impl FaultyChip {
 mod tests {
     use super::*;
     use crate::chaos_platform;
+    use pap_simcpu::chip::Chip;
     use pap_simcpu::units::Seconds;
 
     const MS: Seconds = Seconds(0.001);
 
-    fn harness(plan: FaultPlan) -> FaultyChip {
+    fn harness(plan: FaultPlan) -> FaultyChip<Chip> {
         FaultyChip::new(Chip::new(chaos_platform()), plan, 99)
     }
 

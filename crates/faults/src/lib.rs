@@ -10,7 +10,9 @@
 //! * [`plan`] — [`plan::FaultPlan`]: a reproducible schedule of fault
 //!   windows and one-shot events ([`plan::FaultKind`]), either scripted
 //!   by hand or generated from a seed with [`plan::FaultPlan::chaos`].
-//! * [`chip`] — [`chip::FaultyChip`]: wraps a [`pap_simcpu::chip::Chip`]
+//! * [`chip`] — [`chip::FaultyChip`]: wraps any
+//!   [`pap_simcpu::chiplike::ChipLike`] backend (the batch-stepped
+//!   `WideChip` by default, the scalar `Chip` as the reference)
 //!   behind fallible read/write hooks that consult the plan: transient
 //!   and persistent read errors, flaky (probabilistic) reads, stuck
 //!   frequency writes that are accepted but ineffective, per-core power

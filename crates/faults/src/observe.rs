@@ -22,6 +22,8 @@ use pap_telemetry::counters::{core_rates, power_from_energy};
 use pap_telemetry::health::SensorId;
 use powerd::resilience::{CoreObservation, Observation, RetryPolicy};
 
+use pap_simcpu::chiplike::ChipLike;
+
 use crate::chip::FaultyChip;
 
 /// A previous raw-counter snapshot with the time it was taken.
@@ -49,7 +51,7 @@ impl FaultObserver {
     /// Build an observer and prime its snapshots with a best-effort read
     /// (failed primes simply mean the first interval for that sensor is
     /// unobservable, exactly as on real hardware).
-    pub fn new(chip: &mut FaultyChip, retry: RetryPolicy) -> FaultObserver {
+    pub fn new<C: ChipLike>(chip: &mut FaultyChip<C>, retry: RetryPolicy) -> FaultObserver {
         let n = chip.num_cores();
         let tdp = chip.spec().tdp;
         let mut o = FaultObserver {
@@ -65,7 +67,7 @@ impl FaultObserver {
         o
     }
 
-    fn prime(&mut self, chip: &mut FaultyChip) {
+    fn prime<C: ChipLike>(&mut self, chip: &mut FaultyChip<C>) {
         let now = chip.now();
         if let (Ok(raw), _) = self.retry.run(|| chip.read_package_energy()) {
             self.pkg = Some(Snap {
@@ -92,7 +94,7 @@ impl FaultObserver {
     }
 
     /// Collect one observation covering the interval since the last call.
-    pub fn observe(&mut self, chip: &mut FaultyChip) -> Observation {
+    pub fn observe<C: ChipLike>(&mut self, chip: &mut FaultyChip<C>) -> Observation {
         let now = chip.now();
         let interval = now - self.last_observation;
         self.last_observation = now;
@@ -196,7 +198,7 @@ mod tests {
     use pap_simcpu::chip::Chip;
     use pap_simcpu::power::LoadDescriptor;
 
-    fn run_for(chip: &mut FaultyChip, secs: f64) {
+    fn run_for(chip: &mut FaultyChip<Chip>, secs: f64) {
         let dt = Seconds(0.001);
         let steps = (secs / dt.value()).round() as usize;
         for _ in 0..steps {
@@ -204,7 +206,7 @@ mod tests {
         }
     }
 
-    fn busy_harness(plan: FaultPlan) -> FaultyChip {
+    fn busy_harness(plan: FaultPlan) -> FaultyChip<Chip> {
         let mut fc = FaultyChip::new(Chip::new(chaos_platform()), plan, 5);
         fc.set_load(0, LoadDescriptor::nominal()).unwrap();
         fc

@@ -20,10 +20,13 @@
 //! power climbs unchecked. The resilient stack demotes to a uniform
 //! last-good cap instead and keeps the budget enforced.
 
-use pap_simcpu::chip::Chip;
+use std::sync::Arc;
+
+use pap_simcpu::chiplike::ChipLike;
 use pap_simcpu::freq::KiloHertz;
 use pap_simcpu::platform::PlatformSpec;
 use pap_simcpu::units::{Seconds, Watts};
+use pap_simcpu::widechip::WideChip;
 use pap_telemetry::counters::CoreRates;
 use pap_telemetry::sampler::{CoreSample, Sample};
 use pap_telemetry::stats::jain;
@@ -194,8 +197,15 @@ impl ChaosExperiment {
         self
     }
 
-    /// Run to completion.
+    /// Run to completion on the default [`WideChip`] ground truth.
     pub fn run(self) -> Result<ChaosResult, String> {
+        self.run_on::<WideChip>()
+    }
+
+    /// Run to completion with an explicit chip backend. The chaos
+    /// regression in `tests/chaos.rs` drives the same schedule through
+    /// both backends and asserts identical verdicts.
+    pub fn run_on<C: ChipLike>(self) -> Result<ChaosResult, String> {
         let mut config = DaemonConfig::new(
             self.policy,
             self.limit,
@@ -206,7 +216,7 @@ impl ChaosExperiment {
         let interval = config.control_interval;
 
         let mut fchip = FaultyChip::new(
-            Chip::new(self.platform.clone()),
+            C::shared(Arc::new(self.platform.clone())),
             self.plan.clone(),
             self.seed ^ 0x5EED_F00D,
         );
@@ -372,8 +382,8 @@ impl ChaosExperiment {
 /// `on_write_error` (the resilient stack forwards them to the daemon;
 /// the baseline ignores them); simulator errors are caller bugs and
 /// abort the run.
-fn apply(
-    fchip: &mut FaultyChip,
+fn apply<C: ChipLike>(
+    fchip: &mut FaultyChip<C>,
     action: &ControlAction,
     mut on_write_error: impl FnMut(usize),
 ) -> Result<(), String> {

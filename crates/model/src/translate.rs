@@ -234,6 +234,7 @@ pub struct OnlineModel {
     fallbacks: Cell<u64>,
     pred_n: u64,
     pred_sum_sq: f64,
+    generation: u64,
 }
 
 impl OnlineModel {
@@ -249,13 +250,25 @@ impl OnlineModel {
             fallbacks: Cell::new(0),
             pred_n: 0,
             pred_sum_sq: 0.0,
+            generation: 0,
         }
+    }
+
+    /// Monotone counter bumped whenever the fits (or the learning gate)
+    /// change. Two equal generations imply every translation query
+    /// answers identically, which is what decision memoization
+    /// fingerprints instead of hashing the fit state itself.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Enable or disable learning. Queries still work while learning
     /// is off (the resilience layer turns it off when telemetry is
     /// unhealthy, so poisoned backfill never reaches the fits).
     pub fn set_learning(&mut self, on: bool) {
+        if self.learning != on {
+            self.generation += 1;
+        }
         self.learning = on;
     }
 
@@ -285,6 +298,7 @@ impl OnlineModel {
         if !self.learning {
             return;
         }
+        self.generation += 1;
         let total_ghz: f64 = sample
             .cores
             .iter()
@@ -318,6 +332,7 @@ impl OnlineModel {
         if !self.learning {
             return;
         }
+        self.generation += 1;
         self.apps
             .entry(core)
             .or_insert_with(|| ScalabilityEstimator::new(self.cfg.scalability))
@@ -326,7 +341,9 @@ impl OnlineModel {
 
     /// Drop the scalability fit for a departed app's core.
     pub fn forget_app(&mut self, core: usize) {
-        self.apps.remove(&core);
+        if self.apps.remove(&core).is_some() {
+            self.generation += 1;
+        }
     }
 
     /// Predicted package draw (watts) with all of `cores` cores busy at

@@ -36,6 +36,7 @@ use std::sync::{Condvar, Mutex};
 use clusterd::cluster::EngineSeam;
 use clusterd::{Cluster, Node};
 use crossbeam::queue::SegQueue;
+use pap_simcpu::chiplike::ChipLike;
 use pap_simcpu::units::Watts;
 use pap_telemetry::rollup::{ClusterRollup, DeltaRollup, NodeTelemetry};
 
@@ -125,16 +126,16 @@ impl ScaleStats {
 /// One chunk of consecutive nodes plus its per-epoch scratch: the
 /// telemetry each node produced this epoch and the pending cap (if a
 /// rebalance just ran) to apply before its next local step.
-struct Chunk {
-    nodes: Vec<Node>,
+struct Chunk<C: ChipLike> {
+    nodes: Vec<Node<C>>,
     tele: Vec<Option<NodeTelemetry>>,
     caps: Vec<Option<Watts>>,
 }
 
 /// State only the epoch committer touches. Kept in its own mutex so
 /// shard workers processing chunks never contend on it.
-struct CommitState {
-    seam: EngineSeam,
+struct CommitState<C: ChipLike> {
+    seam: EngineSeam<C>,
     delta: DeltaRollup,
     last: Option<ClusterRollup>,
     target_intervals: u64,
@@ -150,7 +151,15 @@ struct Epoch {
 /// engine. At `cfg.epsilon == 0` the resulting cluster state (caps,
 /// reports, energy, intervals, final roll-up, trace records) is
 /// bit-identical to [`Cluster::run`] over the same span.
-pub fn run_sharded(cluster: &mut Cluster, intervals: u64, cfg: &ScaleConfig) -> ScaleStats {
+///
+/// Generic over the node backend: the default `Cluster` (WideChip, the
+/// fleet fast path) and the scalar-`Chip` reference both drive through
+/// here — `Send` because chunks of nodes cross shard-thread boundaries.
+pub fn run_sharded<C: ChipLike + Send>(
+    cluster: &mut Cluster<C>,
+    intervals: u64,
+    cfg: &ScaleConfig,
+) -> ScaleStats {
     // Resume the delta store from the last materialized rollup, so a
     // cluster driven one window at a time (churn between calls) still
     // gets incremental aggregation: a node whose telemetry has not
@@ -184,10 +193,10 @@ pub fn run_sharded(cluster: &mut Cluster, intervals: u64, cfg: &ScaleConfig) -> 
     // Partition nodes into chunks, preserving id order across the
     // concatenation so the commit's chunk-order fold is a node-order
     // fold.
-    let mut chunks: Vec<Mutex<Chunk>> = Vec::with_capacity(n_nodes.div_ceil(chunk_nodes));
+    let mut chunks: Vec<Mutex<Chunk<C>>> = Vec::with_capacity(n_nodes.div_ceil(chunk_nodes));
     let mut nodes = nodes.into_iter().peekable();
     while nodes.peek().is_some() {
-        let batch: Vec<Node> = nodes.by_ref().take(chunk_nodes).collect();
+        let batch: Vec<Node<C>> = nodes.by_ref().take(chunk_nodes).collect();
         let len = batch.len();
         chunks.push(Mutex::new(Chunk {
             nodes: batch,
@@ -272,20 +281,20 @@ pub fn run_sharded(cluster: &mut Cluster, intervals: u64, cfg: &ScaleConfig) -> 
 }
 
 /// Everything a shard worker can see.
-struct Shared<'a> {
-    chunks: &'a [Mutex<Chunk>],
+struct Shared<'a, C: ChipLike> {
+    chunks: &'a [Mutex<Chunk<C>>],
     queue: &'a SegQueue<usize>,
     done: &'a AtomicUsize,
     epoch: &'a Mutex<Epoch>,
     wake: &'a Condvar,
-    commit: &'a Mutex<CommitState>,
+    commit: &'a Mutex<CommitState<C>>,
 }
 
 /// Shard worker loop: local chunk steps while work exists, park on the
 /// epoch condvar when the queue runs dry mid-epoch, exit when the run
 /// finishes. The worker that completes an epoch's last chunk performs
 /// the commit itself — there is no coordinator thread.
-fn worker(sh: &Shared<'_>) {
+fn worker<C: ChipLike>(sh: &Shared<'_, C>) {
     let mut seen = 0u64;
     loop {
         match sh.queue.pop() {
@@ -325,7 +334,7 @@ fn worker(sh: &Shared<'_>) {
 /// due (leaving new caps pending on each chunk), then either refill the
 /// queue for the next epoch or mark the run finished. Returns the new
 /// epoch sequence number.
-fn commit_epoch(sh: &Shared<'_>) -> u64 {
+fn commit_epoch<C: ChipLike>(sh: &Shared<'_, C>) -> u64 {
     let mut cs = sh.commit.lock().expect("commit state poisoned");
     for chunk in sh.chunks {
         let mut c = chunk.lock().expect("chunk poisoned");

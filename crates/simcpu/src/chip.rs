@@ -18,6 +18,8 @@
 //! }
 //! ```
 
+use std::sync::Arc;
+
 use crate::clock::SimClock;
 use crate::core::{CoreCounters, SimCore};
 use crate::error::{Result, SimError};
@@ -30,7 +32,7 @@ use crate::units::{Seconds, Watts};
 /// A simulated multi-core processor.
 #[derive(Debug, Clone)]
 pub struct Chip {
-    spec: PlatformSpec,
+    spec: Arc<PlatformSpec>,
     cores: Vec<SimCore>,
     clock: SimClock,
     rapl: Option<RaplController>,
@@ -47,6 +49,15 @@ impl Chip {
     /// Panics if the spec fails validation (these are programmer errors in
     /// platform definitions, not runtime conditions).
     pub fn new(spec: PlatformSpec) -> Chip {
+        Chip::shared(Arc::new(spec))
+    }
+
+    /// Instantiate a chip from a shared platform spec: a fleet of nodes
+    /// holds one spec behind `Arc` pointers instead of deep clones.
+    ///
+    /// # Panics
+    /// Panics if the spec fails validation.
+    pub fn shared(spec: Arc<PlatformSpec>) -> Chip {
         if let Err(e) = spec.validate() {
             panic!("invalid platform spec: {e}");
         }
@@ -352,6 +363,14 @@ impl Chip {
         for _ in 0..n {
             self.tick(dt);
         }
+    }
+
+    /// Always false: the scalar reference recomputes every tick from
+    /// scratch and deliberately never advertises steadiness, so generic
+    /// drivers keep their simple per-tick loop on this backend (see
+    /// [`crate::widechip::WideChip::steady_tick`] for the fast path).
+    pub fn steady_tick(&self, _dt: Seconds) -> bool {
+        false
     }
 }
 

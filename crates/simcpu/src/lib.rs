@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 
 pub mod chip;
+pub mod chiplike;
 pub mod clock;
 pub mod core;
 pub mod cstate;
@@ -63,6 +64,7 @@ pub mod widechip;
 /// Convenient glob-import of the most used types.
 pub mod prelude {
     pub use crate::chip::Chip;
+    pub use crate::chiplike::ChipLike;
     pub use crate::error::{Result, SimError};
     pub use crate::freq::{FreqGrid, KiloHertz};
     pub use crate::platform::{PlatformSpec, Vendor};

@@ -8,21 +8,23 @@
 //! real sysfs would serve.
 
 use crate::chip::Chip;
+use crate::chiplike::ChipLike;
 use crate::error::{Result, SimError};
 use crate::freq::KiloHertz;
 use crate::units::Watts;
 
-/// A file-path view over a [`Chip`], mirroring the subset of sysfs the
-/// paper's tooling touches.
-pub struct SysfsTree<'a> {
-    chip: &'a mut Chip,
+/// A file-path view over any [`ChipLike`] backend (defaulting to the
+/// per-core [`Chip`]), mirroring the subset of sysfs the paper's tooling
+/// touches.
+pub struct SysfsTree<'a, C: ChipLike = Chip> {
+    chip: &'a mut C,
     governor: Vec<String>,
 }
 
-impl<'a> SysfsTree<'a> {
+impl<'a, C: ChipLike> SysfsTree<'a, C> {
     /// Attach to a chip. All cores start with the `userspace` governor,
     /// matching the paper's experimental setup (§2.2).
-    pub fn new(chip: &'a mut Chip) -> SysfsTree<'a> {
+    pub fn new(chip: &'a mut C) -> SysfsTree<'a, C> {
         let n = chip.num_cores();
         SysfsTree {
             chip,

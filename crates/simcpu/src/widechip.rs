@@ -33,6 +33,8 @@
 //! gated in CI by `ext_hotpath` (which also gates the ≥4× speedup at
 //! 1024 cores that justifies the second implementation).
 
+use std::sync::Arc;
+
 use crate::clock::SimClock;
 use crate::core::CoreCounters;
 use crate::cstate::CState;
@@ -62,7 +64,7 @@ fn cstate_index(s: CState) -> usize {
 /// layout is too slow.
 #[derive(Debug, Clone)]
 pub struct WideChip {
-    spec: PlatformSpec,
+    spec: Arc<PlatformSpec>,
     clock: SimClock,
     rapl: Option<RaplController>,
     pkg_energy: EnergyCounter,
@@ -138,6 +140,15 @@ impl WideChip {
     /// slots (Ryzen-style slot clustering is a small-chip concern; use
     /// [`crate::chip::Chip`] there).
     pub fn new(spec: PlatformSpec) -> WideChip {
+        WideChip::shared(Arc::new(spec))
+    }
+
+    /// Instantiate a wide chip from a shared platform spec (see
+    /// [`crate::chip::Chip::shared`]).
+    ///
+    /// # Panics
+    /// Panics under the same conditions as [`WideChip::new`].
+    pub fn shared(spec: Arc<PlatformSpec>) -> WideChip {
         if let Err(e) = spec.validate() {
             panic!("invalid platform spec: {e}");
         }
@@ -252,8 +263,11 @@ impl WideChip {
     pub fn set_requested_freq(&mut self, core: usize, f: KiloHertz) -> Result<()> {
         self.check_core(core)?;
         self.check_freq(f)?;
-        self.requested[core] = self.spec.grid.round(f);
-        self.freq_moved = true;
+        let f = self.spec.grid.round(f);
+        if self.requested[core] != f {
+            self.requested[core] = f;
+            self.freq_moved = true;
+        }
         Ok(())
     }
 
@@ -270,9 +284,12 @@ impl WideChip {
             self.check_freq(f)?;
         }
         for (slot, &f) in self.requested.iter_mut().zip(freqs) {
-            *slot = self.spec.grid.round(f);
+            let f = self.spec.grid.round(f);
+            if *slot != f {
+                *slot = f;
+                self.freq_moved = true;
+            }
         }
-        self.freq_moved = true;
         Ok(())
     }
 
@@ -287,9 +304,21 @@ impl WideChip {
     }
 
     /// Install the load descriptor for `core` for the upcoming tick.
+    ///
+    /// Re-installing a bitwise-identical descriptor is a no-op: the
+    /// cached tick increments are pure functions of the inputs, so a
+    /// rebuild would reproduce them bit-for-bit — and cluster nodes
+    /// re-install every resident app's load each tick, which would
+    /// otherwise force a rebuild on every tick of a steady interval.
     pub fn set_load(&mut self, core: usize, load: LoadDescriptor) -> Result<()> {
         self.check_core(core)?;
         debug_assert!(load.is_valid());
+        if self.load_cap[core].to_bits() == load.capacitance.to_bits()
+            && self.load_util[core].to_bits() == load.utilization.to_bits()
+            && self.load_avx[core] == load.avx
+        {
+            return Ok(());
+        }
         self.load_cap[core] = load.capacitance;
         self.load_util[core] = load.utilization;
         self.load_avx[core] = load.avx;
@@ -299,9 +328,13 @@ impl WideChip {
         Ok(())
     }
 
-    /// Park (`true`) or release (`false`) a core.
+    /// Park (`true`) or release (`false`) a core. Redundant calls skip
+    /// the cache invalidation (see [`WideChip::set_load`]).
     pub fn set_forced_idle(&mut self, core: usize, idle: bool) -> Result<()> {
         self.check_core(core)?;
+        if self.forced_idle[core] == idle {
+            return Ok(());
+        }
         self.forced_idle[core] = idle;
         self.cache_dirty[core] = true;
         self.any_dirty = true;
@@ -310,8 +343,13 @@ impl WideChip {
     }
 
     /// Select the C-state a core rests in while it has no work.
+    /// Redundant calls skip the cache invalidation (see
+    /// [`WideChip::set_load`]).
     pub fn set_idle_state(&mut self, core: usize, state: CState) -> Result<()> {
         self.check_core(core)?;
+        if self.idle_state[core] == state {
+            return Ok(());
+        }
         self.idle_state[core] = state;
         self.cache_dirty[core] = true;
         self.any_dirty = true;
@@ -392,6 +430,16 @@ impl WideChip {
     /// Raw (wrapping) core-domain energy counter.
     pub fn cores_energy_raw(&self) -> u32 {
         self.cores_energy.read_raw()
+    }
+
+    /// Raw per-core energy counter; errors on platforms without per-core
+    /// power telemetry (same gating as [`crate::chip::Chip::core_energy_raw`]).
+    pub fn core_energy_raw(&self, core: usize) -> Result<u32> {
+        self.check_core(core)?;
+        if !self.spec.per_core_power {
+            return Err(SimError::Unsupported("per-core power telemetry"));
+        }
+        Ok(self.energy[core].read_raw())
     }
 
     /// Fraction of accounted time core `core` spent active (C0).
@@ -581,6 +629,29 @@ impl WideChip {
         for _ in 0..n {
             self.tick(dt);
         }
+    }
+
+    /// Whether the next tick of `dt` takes the pure replay path: no
+    /// dirty cores, no requested-frequency movement, the same tick
+    /// length, unchanged frequency caps, and no RAPL limit that could
+    /// move the cap mid-stream. Replay ticks mutate only per-core
+    /// accumulators, so steadiness is self-preserving: once true it
+    /// stays true until an input moves, and callers may batch app-major
+    /// loops against frozen effective frequencies (see
+    /// `Node::advance_interval` in `clusterd`).
+    pub fn steady_tick(&self, dt: Seconds) -> bool {
+        if self.any_dirty || self.freq_moved || self.last_dt.to_bits() != dt.value().to_bits() {
+            return false;
+        }
+        if self.rapl.as_ref().is_some_and(|r| r.limit().is_some()) {
+            return false;
+        }
+        let caps = (
+            self.spec.turbo.cap_for(self.active_count, false),
+            self.spec.turbo.cap_for(self.active_count, true),
+            self.rapl.as_ref().map(|r| r.cap()),
+        );
+        caps == self.last_caps
     }
 }
 

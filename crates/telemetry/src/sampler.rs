@@ -6,7 +6,7 @@
 //! it remembers the previous counter snapshot and, on each call, emits a
 //! [`Sample`] of derived rates.
 
-use pap_simcpu::chip::Chip;
+use pap_simcpu::chiplike::ChipLike;
 use pap_simcpu::core::CoreCounters;
 use pap_simcpu::freq::KiloHertz;
 use pap_simcpu::units::{Seconds, Watts};
@@ -60,7 +60,8 @@ impl Default for Sample {
     }
 }
 
-/// Stateful sampler over a chip.
+/// Stateful sampler over a chip (any [`ChipLike`] backend; the sampler
+/// stores only counter snapshots, so one type serves both simulators).
 #[derive(Debug, Clone)]
 pub struct Sampler {
     prev_time: Seconds,
@@ -73,7 +74,7 @@ pub struct Sampler {
 impl Sampler {
     /// Initialize against the chip's current counters; the first
     /// [`Sampler::sample`] call covers the interval from here.
-    pub fn new(chip: &Chip) -> Sampler {
+    pub fn new<C: ChipLike>(chip: &C) -> Sampler {
         Sampler {
             prev_time: chip.now(),
             prev_counters: (0..chip.num_cores()).map(|c| chip.counters(c)).collect(),
@@ -87,7 +88,7 @@ impl Sampler {
 
     /// Take a sample covering the interval since the previous call (or
     /// construction). Returns `None` if no simulated time has passed.
-    pub fn sample(&mut self, chip: &Chip) -> Option<Sample> {
+    pub fn sample<C: ChipLike>(&mut self, chip: &C) -> Option<Sample> {
         let mut out = Sample::empty();
         out.cores.reserve(chip.num_cores());
         if self.sample_into(chip, &mut out) {
@@ -102,7 +103,7 @@ impl Sampler {
     /// leaves `out` untouched) if no simulated time has passed. Once
     /// `out.cores` has reached the chip's core count this performs no
     /// heap allocation.
-    pub fn sample_into(&mut self, chip: &Chip, out: &mut Sample) -> bool {
+    pub fn sample_into<C: ChipLike>(&mut self, chip: &C, out: &mut Sample) -> bool {
         let now = chip.now();
         let dt = now - self.prev_time;
         if dt.value() <= 0.0 {
@@ -147,6 +148,7 @@ impl Sampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pap_simcpu::chip::Chip;
     use pap_simcpu::platform::PlatformSpec;
     use pap_simcpu::power::LoadDescriptor;
 

@@ -16,11 +16,12 @@
 
 use std::sync::Arc;
 
-use pap_simcpu::chip::Chip;
+use pap_simcpu::chiplike::ChipLike;
 use pap_simcpu::freq::KiloHertz;
 use pap_simcpu::platform::PlatformSpec;
 use pap_simcpu::power::LoadDescriptor;
 use pap_simcpu::units::{Seconds, Watts};
+use pap_simcpu::widechip::WideChip;
 use pap_telemetry::metrics::ControlMetrics;
 use pap_telemetry::sampler::Sampler;
 use pap_telemetry::slo::{SloTarget, SloTracker};
@@ -305,7 +306,7 @@ impl Scenario {
     /// Run under `mode` with no observability attached (the fast path
     /// for sweeps; nothing is recorded off the control loop).
     pub fn run(&self, mode: ControlMode) -> SloScorecard {
-        self.run_inner(mode, false, None).0
+        self.run_inner::<WideChip>(mode, false, None).0
     }
 
     /// Run under `mode`, optionally bumping a shared metrics registry;
@@ -317,10 +318,13 @@ impl Scenario {
         mode: ControlMode,
         metrics: Option<Arc<ControlMetrics>>,
     ) -> (SloScorecard, Option<DecisionTrace>) {
-        self.run_inner(mode, true, metrics)
+        self.run_inner::<WideChip>(mode, true, metrics)
     }
 
-    fn run_inner(
+    /// Generic over the chip backend so the scalar-`Chip` reference and
+    /// the `WideChip` fast path (the default both public entry points
+    /// select) run the very same scenario loop.
+    fn run_inner<C: ChipLike>(
         &self,
         mode: ControlMode,
         observe: bool,
@@ -334,7 +338,7 @@ impl Scenario {
             self.total_cores(),
             platform.num_cores
         );
-        let mut chip = Chip::new(platform.clone());
+        let mut chip = C::shared(Arc::new(platform.clone()));
         if mode == ControlMode::RaplNative {
             chip.set_rapl_limit(Some(self.limit)).unwrap();
         }

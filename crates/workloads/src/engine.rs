@@ -10,7 +10,7 @@ use pap_simcpu::freq::KiloHertz;
 use pap_simcpu::power::LoadDescriptor;
 use pap_simcpu::units::Seconds;
 
-use crate::phases::PhasedProfile;
+use crate::phases::{PhaseParams, PhasedProfile};
 use crate::profile::WorkloadProfile;
 
 /// Result of advancing an app by one tick.
@@ -22,6 +22,25 @@ pub struct StepOutcome {
     pub load: LoadDescriptor,
     /// True if a complete run finished during this tick.
     pub finished_run: bool,
+}
+
+/// Memoized per-tick arithmetic: everything [`RunningApp::advance`]
+/// derives purely from `(freq, dt, phase params)`, cached so the fleet
+/// steady state (same frequency, same tick, same phase for millions of
+/// consecutive ticks) pays the divisions once. A replayed hit is
+/// bit-identical to recomputation because the expressions are pure.
+#[derive(Debug, Clone, Copy)]
+struct TickMemo {
+    freq: KiloHertz,
+    dt_bits: u64,
+    params: PhaseParams,
+    /// Instructions the tick retires (before run-boundary clamping).
+    n: f64,
+    /// `n.round()`, the reported integer retirement.
+    instructions: u64,
+    /// `n / dt`.
+    ips: f64,
+    load: LoadDescriptor,
 }
 
 /// An application executing on one core.
@@ -37,6 +56,11 @@ pub struct RunningApp {
     looping: bool,
     done: bool,
     last_ips: f64,
+    memo: Option<TickMemo>,
+    /// Phase parameters of a single-phase profile, fixed for the app's
+    /// lifetime; `None` for phased profiles, which re-derive them per
+    /// tick from run position.
+    steady_params: Option<PhaseParams>,
 }
 
 impl RunningApp {
@@ -52,8 +76,10 @@ impl RunningApp {
 
     /// Full control over phasing and looping.
     pub fn from_phased(profile: PhasedProfile, looping: bool) -> RunningApp {
+        let steady_params = profile.is_uniform().then(|| profile.params_at(0));
         RunningApp {
             profile,
+            steady_params,
             retired_in_run: 0.0,
             total_retired: 0.0,
             active_time: Seconds(0.0),
@@ -61,6 +87,7 @@ impl RunningApp {
             looping,
             done: false,
             last_ips: 0.0,
+            memo: None,
         }
     }
 
@@ -81,16 +108,47 @@ impl RunningApp {
         }
         debug_assert!(freq.khz() > 0, "cannot execute at zero frequency");
 
-        let params = self.profile.params_at(self.retired_in_run as u64);
-        let spi = params.cpi / freq.hz() + params.mem_stall_ns * 1e-9;
-        let mut n = dt.value() / spi;
+        let params = match self.steady_params {
+            Some(p) => p,
+            None => self.profile.params_at(self.retired_in_run as u64),
+        };
+        let hit = self.memo.as_ref().is_some_and(|m| {
+            m.freq == freq && m.dt_bits == dt.value().to_bits() && m.params == params
+        });
+        if !hit {
+            let spi = params.cpi / freq.hz() + params.mem_stall_ns * 1e-9;
+            let n = dt.value() / spi;
+            // Load descriptor with phase-adjusted capacitance, derated
+            // toward 45% while memory-stalled (matching
+            // WorkloadProfile::load_at).
+            let compute = params.cpi / freq.hz();
+            let cf = compute / (compute + params.mem_stall_ns * 1e-9);
+            self.memo = Some(TickMemo {
+                freq,
+                dt_bits: dt.value().to_bits(),
+                params,
+                n,
+                instructions: n.round() as u64,
+                ips: n / dt.value(),
+                load: LoadDescriptor {
+                    capacitance: params.capacitance * (0.45 + 0.55 * cf),
+                    utilization: 1.0,
+                    avx: self.profile.base().avx,
+                },
+            });
+        }
+        let m = self.memo.as_ref().expect("memo was just (re)filled");
+        let load = m.load;
+        let (mut n, mut instructions, mut ips) = (m.n, m.instructions, m.ips);
+
         let total = self.profile.base().total_instructions as f64;
         let mut finished = false;
-
         let remaining = total - self.retired_in_run;
         if n >= remaining {
             // The run completes inside this tick.
             n = remaining;
+            instructions = n.round() as u64;
+            ips = n / dt.value();
             finished = true;
             self.completed_runs += 1;
             self.retired_in_run = 0.0;
@@ -102,23 +160,29 @@ impl RunningApp {
         }
         self.total_retired += n;
         self.active_time += dt;
-        self.last_ips = n / dt.value();
-
-        // Load descriptor with phase-adjusted capacitance, derated toward
-        // 45% while memory-stalled (matching WorkloadProfile::load_at).
-        let compute = params.cpi / freq.hz();
-        let cf = compute / (compute + params.mem_stall_ns * 1e-9);
-        let load = LoadDescriptor {
-            capacitance: params.capacitance * (0.45 + 0.55 * cf),
-            utilization: 1.0,
-            avx: self.profile.base().avx,
-        };
+        self.last_ips = ips;
 
         StepOutcome {
-            instructions: n.round() as u64,
+            instructions,
             load,
             finished_run: finished,
         }
+    }
+
+    /// Whether the next `advance(dt, freq)` call is a pure memo replay
+    /// whose load descriptor provably equals the one the previous call
+    /// returned: single-phase profile, still running, and the memo keyed
+    /// on the same `(freq, dt)`. Run wrap-around does not break this —
+    /// a single-phase looping app presents the same load across the
+    /// boundary. Drivers use it to elide redundant `set_load` calls and
+    /// batch steady intervals.
+    pub fn steady_at(&self, dt: Seconds, freq: KiloHertz) -> bool {
+        !self.done
+            && self.steady_params.is_some()
+            && self
+                .memo
+                .as_ref()
+                .is_some_and(|m| m.freq == freq && m.dt_bits == dt.value().to_bits())
     }
 
     /// Fraction of the current run completed (0..1); 1.0 once done.

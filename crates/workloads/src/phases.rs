@@ -122,6 +122,12 @@ impl PhasedProfile {
         &self.phases
     }
 
+    /// Whether the profile has a single phase, i.e. [`Self::params_at`]
+    /// returns the same parameters at every position.
+    pub fn is_uniform(&self) -> bool {
+        self.phases.len() == 1
+    }
+
     /// Effective parameters after retiring `retired` of the run's
     /// instructions (wraps around for looping runs).
     pub fn params_at(&self, retired: u64) -> PhaseParams {

@@ -1,0 +1,102 @@
+//! Chaos regression for the `ChipLike` seam: the same fault schedule,
+//! workload mix and controller stack must produce **identical verdicts**
+//! whether the ground truth under the fault layer is the scalar
+//! per-core `Chip` or the batch-stepped `WideChip` (the default every
+//! harness now runs on). Anything less would mean the fleet fast path
+//! changed what the chaos suite certifies.
+
+use pap_faults::chaos_platform;
+use pap_faults::plan::{ChaosProfile, FaultPlan};
+use pap_faults::runner::{ChaosExperiment, ChaosResult};
+use pap_simcpu::chip::Chip;
+use pap_simcpu::units::{Seconds, Watts};
+use pap_simcpu::widechip::WideChip;
+use pap_workloads::spec;
+use powerd::config::PolicyKind;
+
+fn experiment(seed: u64, resilience: bool) -> ChaosExperiment {
+    let platform = chaos_platform();
+    let plan = FaultPlan::chaos(
+        seed,
+        &ChaosProfile::default(),
+        Seconds(40.0),
+        platform.num_cores,
+    );
+    ChaosExperiment::new(platform, PolicyKind::PowerShares, Watts(30.0))
+        .app("cactus", spec::CACTUS_BSSN, 70)
+        .app("gcc", spec::GCC, 50)
+        .app("leela", spec::LEELA, 30)
+        .duration(Seconds(40.0))
+        .plan(plan)
+        .seed(seed)
+        .resilience(resilience)
+}
+
+fn assert_same_verdict(a: &ChaosResult, b: &ChaosResult) {
+    assert_eq!(a.intervals, b.intervals);
+    assert_eq!(a.violations, b.violations, "violation counts diverged");
+    assert_eq!(a.sustained_violations, b.sustained_violations);
+    assert_eq!(a.longest_violation_run, b.longest_violation_run);
+    assert_eq!(
+        a.worst_over_watts.to_bits(),
+        b.worst_over_watts.to_bits(),
+        "worst overshoot diverged"
+    );
+    assert_eq!(
+        a.mean_power.value().to_bits(),
+        b.mean_power.value().to_bits(),
+        "ground-truth mean power diverged"
+    );
+    assert_eq!(a.jain.to_bits(), b.jain.to_bits(), "fairness diverged");
+    assert_eq!(a.starved, b.starved);
+    assert_eq!(
+        format!("{:?}", a.transitions),
+        format!("{:?}", b.transitions),
+        "ladder transitions diverged"
+    );
+    assert_eq!(a.injected, b.injected, "injection accounting diverged");
+    assert_eq!(a.apps.len(), b.apps.len());
+    for (x, y) in a.apps.iter().zip(&b.apps) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.retired, y.retired, "retired instructions diverged");
+        assert_eq!(x.normalized.to_bits(), y.normalized.to_bits());
+    }
+    assert_eq!(a.interval_powers.len(), b.interval_powers.len());
+    for (i, (x, y)) in a.interval_powers.iter().zip(&b.interval_powers).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "interval {i} ground-truth power diverged"
+        );
+    }
+}
+
+#[test]
+fn resilient_verdicts_identical_on_chip_and_widechip() {
+    for seed in [7, 1009] {
+        let scalar = experiment(seed, true).run_on::<Chip>().unwrap();
+        let wide = experiment(seed, true).run_on::<WideChip>().unwrap();
+        assert!(
+            scalar.injected != Default::default(),
+            "plan injected faults"
+        );
+        assert_same_verdict(&scalar, &wide);
+    }
+}
+
+#[test]
+fn baseline_verdicts_identical_on_chip_and_widechip() {
+    let scalar = experiment(42, false).run_on::<Chip>().unwrap();
+    let wide = experiment(42, false).run_on::<WideChip>().unwrap();
+    assert_same_verdict(&scalar, &wide);
+}
+
+#[test]
+fn default_run_uses_the_widechip_fast_path() {
+    // `run()` must stay observationally equal to the explicit WideChip
+    // path — it is the same code, but the delegation is part of the API
+    // contract and a regression here would silently fork the suites.
+    let default = experiment(7, true).run().unwrap();
+    let wide = experiment(7, true).run_on::<WideChip>().unwrap();
+    assert_same_verdict(&default, &wide);
+}
